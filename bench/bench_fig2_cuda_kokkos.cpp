@@ -1,0 +1,3 @@
+// Figure 2c/2d: build@1 and pass@1 for CUDA -> Kokkos (incl. SWE-agent).
+#include "fig2_common.hpp"
+int main() { return run_fig2(1); }

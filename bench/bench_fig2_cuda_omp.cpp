@@ -1,0 +1,3 @@
+// Figure 2a/2b: build@1 and pass@1 for CUDA -> OpenMP Offload.
+#include "fig2_common.hpp"
+int main() { return run_fig2(0); }

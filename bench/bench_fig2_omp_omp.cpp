@@ -1,0 +1,3 @@
+// Figure 2e/2f: build@1 and pass@1 for OpenMP Threads -> OpenMP Offload.
+#include "fig2_common.hpp"
+int main() { return run_fig2(2); }

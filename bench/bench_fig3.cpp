@@ -1,0 +1,18 @@
+// Figure 3: error-category counts per (LLM, application), produced by the
+// real pipeline of §6.3 — word2vec embedding of this run's failure logs,
+// DBSCAN clustering, and the labelling/merging pass — printed next to the
+// paper's reference counts.
+#include <cstdio>
+
+#include "eval/classify.hpp"
+#include "eval/report.hpp"
+#include "sweep_common.hpp"
+
+int main() {
+  const auto tasks = run_all_pairs();
+  const auto classification = pareval::eval::classify_failures(tasks);
+  std::printf("%zu failure logs, %d raw DBSCAN clusters before merging\n\n",
+              classification.logs.size(), classification.raw_clusters);
+  std::printf("%s", pareval::eval::figure3_report(classification).c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 4: total inference tokens used in translation (thousands),
+// averaged across generations and programming-model pairs.
+#include <cstdio>
+
+#include "eval/report.hpp"
+#include "sweep_common.hpp"
+
+int main() {
+  const auto tasks = run_all_pairs();
+  std::printf("%s", pareval::eval::figure4_report(tasks).c_str());
+  return 0;
+}

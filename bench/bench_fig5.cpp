@@ -1,0 +1,12 @@
+// Figure 5: expected token cost Eκ (Eq. 2) — the expected number of tokens
+// needed to obtain one successful translation; cells with pass@1 > 0.
+#include <cstdio>
+
+#include "eval/report.hpp"
+#include "sweep_common.hpp"
+
+int main() {
+  const auto tasks = run_all_pairs();
+  std::printf("%s", pareval::eval::figure5_report(tasks).c_str());
+  return 0;
+}

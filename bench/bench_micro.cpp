@@ -1,0 +1,89 @@
+// Micro benchmarks (google-benchmark) for the substrates: interpreter
+// throughput, translation engine, build simulator, DBSCAN, word2vec and
+// the pass@k estimator.
+#include <benchmark/benchmark.h>
+
+#include "apps/app.hpp"
+#include "buildsim/builder.hpp"
+#include "cluster/dbscan.hpp"
+#include "eval/metrics.hpp"
+#include "support/rng.hpp"
+#include "text/word2vec.hpp"
+#include "translate/transpile.hpp"
+
+using namespace pareval;
+
+static void BM_InterpreterNanoXor(benchmark::State& state) {
+  const auto* app = apps::find_app("nanoXOR");
+  const auto build = buildsim::build_repo(app->repos.at(apps::Model::Cuda));
+  for (auto _ : state) {
+    auto run = execsim::run_executable(*build.exe, {"16", "1"});
+    benchmark::DoNotOptimize(run.stdout_text);
+  }
+}
+BENCHMARK(BM_InterpreterNanoXor);
+
+static void BM_BuildSimXsbench(benchmark::State& state) {
+  const auto* app = apps::find_app("XSBench");
+  const auto& repo = app->repos.at(apps::Model::Cuda);
+  for (auto _ : state) {
+    auto result = buildsim::build_repo(repo);
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_BuildSimXsbench);
+
+static void BM_TranspileCudaToOmp(benchmark::State& state) {
+  const auto* app = apps::find_app("SimpleMOC-kernel");
+  for (auto _ : state) {
+    xlate::TranspileLog log;
+    auto repo = xlate::transpile_repo(*app, apps::Model::Cuda,
+                                      apps::Model::OmpOffload, log);
+    benchmark::DoNotOptimize(repo.file_count());
+  }
+}
+BENCHMARK(BM_TranspileCudaToOmp);
+
+static void BM_Dbscan(benchmark::State& state) {
+  support::Rng rng(7);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<double> p(8);
+    const double center = static_cast<double>(i % 4);
+    for (auto& x : p) x = center + rng.uniform(-0.1, 0.1);
+    points.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    auto labels = cluster::dbscan(points, {0.5, 3});
+    benchmark::DoNotOptimize(labels);
+  }
+}
+BENCHMARK(BM_Dbscan)->Arg(64)->Arg(256);
+
+static void BM_Word2Vec(benchmark::State& state) {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 40; ++i) {
+    docs.push_back({"error", "undeclared", "identifier",
+                    i % 2 ? "kernel" : "makefile", "line",
+                    std::to_string(i % 5)});
+  }
+  for (auto _ : state) {
+    text::Word2Vec w2v;
+    text::Word2VecConfig cfg;
+    cfg.epochs = 3;
+    w2v.train(docs, cfg);
+    benchmark::DoNotOptimize(w2v.vocabulary_size());
+  }
+}
+BENCHMARK(BM_Word2Vec);
+
+static void BM_PassAtK(benchmark::State& state) {
+  for (auto _ : state) {
+    double total = 0;
+    for (int c = 0; c <= 200; ++c) total += eval::pass_at_k(200, c, 10);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PassAtK);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,11 @@
+// Regenerates Table 1: the application suite's SLoC, cyclomatic
+// complexity, file counts and programming-model matrix, computed from the
+// embedded repositories by the same tooling style as the paper (pmccabe).
+#include <cstdio>
+
+#include "eval/report.hpp"
+
+int main() {
+  std::printf("%s\n", pareval::eval::table1_report().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Table 2: estimated $ / node-hour cost of one successful translation for
+// the most token-economic commercial and open-source models.
+#include <cstdio>
+
+#include "eval/report.hpp"
+#include "sweep_common.hpp"
+
+int main() {
+  const auto tasks = run_all_pairs();
+  std::printf("%s", pareval::eval::table2_report(tasks).c_str());
+  return 0;
+}

@@ -1,0 +1,21 @@
+#pragma once
+// Shared driver for the Figure 2 benches: run the full N=25 sweep of one
+// translation pair and print the paper's heat-map layout.
+#include <cstdio>
+
+#include "eval/report.hpp"
+
+inline int run_fig2(std::size_t pair_index) {
+  const auto& pair = pareval::llm::all_pairs()[pair_index];
+  std::printf("Running the ParEval-Repo sweep for %s (N=25 per cell)...\n\n",
+              pareval::llm::pair_name(pair).c_str());
+  const auto tasks = pareval::eval::run_pair_sweep(pair);
+  std::printf("%s", pareval::eval::figure2_report(pair, tasks).c_str());
+  int aborted = 0;
+  for (const auto& t : tasks) {
+    if (!t.ran) ++aborted;
+  }
+  std::printf("(%d task cells aborted, matching the paper's empty cells: "
+              "context-window or node-hour-budget limits)\n", aborted);
+  return 0;
+}

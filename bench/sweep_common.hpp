@@ -1,0 +1,17 @@
+#pragma once
+// Runs the full three-pair sweep once (used by the Fig. 3/4/5 benches).
+#include <cstdio>
+#include <vector>
+
+#include "eval/harness.hpp"
+
+inline std::vector<pareval::eval::TaskResult> run_all_pairs() {
+  std::vector<pareval::eval::TaskResult> all;
+  for (const auto& pair : pareval::llm::all_pairs()) {
+    std::printf("sweeping %s...\n", pareval::llm::pair_name(pair).c_str());
+    auto tasks = pareval::eval::run_pair_sweep(pair);
+    for (auto& t : tasks) all.push_back(std::move(t));
+  }
+  std::printf("\n");
+  return all;
+}

@@ -1,0 +1,40 @@
+// Extensibility: evaluate your own "LLM" against the benchmark. A custom
+// translator only needs to produce a repository; ParEval-Repo's scoring
+// (build + validate + device check) and prompts are reusable as-is. Here
+// the "LLM" is the reference transpiler with one deliberate flaw: it
+// always forgets `target` on the combined construct (the paper's
+// Listing 4 bug) — and the harness catches it as a wrong answer.
+#include <cstdio>
+
+#include "pareval/pareval.hpp"
+#include "support/strings.hpp"
+#include "text/tokens.hpp"
+
+using namespace pareval;
+
+int main() {
+  const apps::AppSpec* app = apps::find_app("nanoXOR");
+  const llm::Pair pair = llm::all_pairs()[0];
+
+  // The prompt your model would receive (paper Listing 1).
+  const std::string prompt = agents::build_nonagentic_prompt(
+      *app, app->repos.at(pair.from), "src/main.cu", pair);
+  std::printf("prompt for src/main.cu: %lld tokens\n\n",
+              text::approx_tokens(prompt));
+
+  // "Generate" a translation with the deliberate Listing-4 flaw.
+  xlate::TranspileLog log;
+  vfs::Repo repo = xlate::transpile_repo(*app, pair.from, pair.to, log);
+  repo.write("src/main.cpp",
+             support::replace_all(
+                 repo.at("src/main.cpp"),
+                 "#pragma omp target teams distribute parallel for",
+                 "#pragma omp teams distribute"));
+
+  const auto score = eval::score_repo(*app, repo, pair.to);
+  std::printf("build: %s\nvalidation: %s\n", score.built ? "ok" : "FAILED",
+              score.passed ? "ok" : "FAILED (as expected: the loop never "
+                                    "ran on the GPU)");
+  std::printf("\nscore log:\n%s\n", score.log.c_str());
+  return 0;
+}

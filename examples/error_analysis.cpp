@@ -1,0 +1,35 @@
+// Run a reduced sweep and push the failure logs through the §6.3
+// classification pipeline: word2vec embeddings -> DBSCAN -> labelled
+// categories. Prints the category counts and a few example logs.
+#include <cstdio>
+
+#include "pareval/pareval.hpp"
+
+using namespace pareval;
+
+int main() {
+  eval::HarnessConfig cfg;
+  cfg.samples_per_task = 8;
+  std::printf("running a reduced CUDA->OpenMP Offload sweep (N=8)...\n");
+  const auto tasks = eval::run_pair_sweep(llm::all_pairs()[0], cfg);
+  const auto result = eval::classify_failures(tasks);
+  std::printf("collected %zu failure logs; DBSCAN found %d raw clusters\n\n",
+              result.logs.size(), result.raw_clusters);
+  for (const auto& [kind, by_app] : result.counts) {
+    int total = 0;
+    for (const auto& [app, by_llm] : by_app) {
+      for (const auto& [llm_name, n] : by_llm) total += n;
+    }
+    std::printf("%-36s %d\n", xlate::defect_name(kind), total);
+  }
+  std::printf("\nexample logs:\n");
+  int shown = 0;
+  for (const auto& log : result.logs) {
+    if (!log.labelled || shown >= 3) continue;
+    std::printf("--- [%s] %s / %s ---\n%.300s\n",
+                xlate::defect_name(log.label), log.llm.c_str(),
+                log.app.c_str(), log.log.c_str());
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Build and run a shipped suite application under the simulated toolchains
+// and GPU. Usage: run_app [app] [model] [args...]
+#include <cstdio>
+#include <cstring>
+
+#include "pareval/pareval.hpp"
+
+using namespace pareval;
+
+int main(int argc, char** argv) {
+  const char* app_name = argc > 1 ? argv[1] : "XSBench";
+  const char* model_name = argc > 2 ? argv[2] : "CUDA";
+  const apps::AppSpec* app = apps::find_app(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s'\n", app_name);
+    return 1;
+  }
+  apps::Model model = apps::Model::Cuda;
+  if (std::strcmp(model_name, "omp") == 0) model = apps::Model::OmpThreads;
+  if (app->repos.count(model) == 0) {
+    std::fprintf(stderr, "%s ships no %s implementation\n", app_name,
+                 apps::model_name(model));
+    return 1;
+  }
+  const auto build = buildsim::build_repo(app->repos.at(model));
+  if (!build.ok) {
+    std::fprintf(stderr, "build failed:\n%s\n", build.log.c_str());
+    return 1;
+  }
+  std::vector<std::string> args;
+  for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
+  const auto run = execsim::run_executable(*build.exe, args);
+  std::printf("%s", run.stdout_text.c_str());
+  std::fprintf(stderr, "%s", run.stderr_text.c_str());
+  std::printf("[device kernel launches: %lld, H2D copies: %lld, D2H "
+              "copies: %lld]\n",
+              run.stats.device_kernel_launches, run.stats.h2d_copies,
+              run.stats.d2h_copies);
+  return run.exit_code;
+}

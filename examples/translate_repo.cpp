@@ -1,0 +1,39 @@
+// Translate any suite application between models and dump the resulting
+// repository. Usage: translate_repo [app] [cuda2omp|cuda2kokkos|omp2omp]
+#include <cstdio>
+#include <cstring>
+
+#include "pareval/pareval.hpp"
+
+using namespace pareval;
+
+int main(int argc, char** argv) {
+  const char* app_name = argc > 1 ? argv[1] : "microXOR";
+  const char* pair_name = argc > 2 ? argv[2] : "cuda2omp";
+  const apps::AppSpec* app = apps::find_app(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s'\n", app_name);
+    return 1;
+  }
+  llm::Pair pair = llm::all_pairs()[0];
+  if (std::strcmp(pair_name, "cuda2kokkos") == 0) pair = llm::all_pairs()[1];
+  if (std::strcmp(pair_name, "omp2omp") == 0) pair = llm::all_pairs()[2];
+  if (app->repos.count(pair.from) == 0) {
+    std::fprintf(stderr, "%s has no %s implementation\n", app_name,
+                 apps::model_name(pair.from));
+    return 1;
+  }
+  xlate::TranspileLog log;
+  const vfs::Repo out = xlate::transpile_repo(*app, pair.from, pair.to, log);
+  std::printf("translated %s: %s\n\nfile tree:\n%s\n", app_name,
+              llm::pair_name(pair).c_str(), out.render_tree().c_str());
+  for (const auto& f : out.files()) {
+    std::printf("===== %s =====\n%s\n", f.path.c_str(), f.content.c_str());
+  }
+  for (const auto& [from, to] : log.file_renames) {
+    std::printf("renamed %s -> %s\n", from.c_str(), to.c_str());
+  }
+  const auto build = buildsim::build_repo(out);
+  std::printf("\nbuild of the translation: %s\n", build.ok ? "ok" : "FAILED");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#pragma once
+// The three repo-level translation techniques the paper benchmarks (§3):
+// non-agentic (whole-repo prompt, file by file), top-down agentic
+// (dependency / chunk / context / translation agents, Fig. 1), and a
+// SWE-agent adapter. Each drives the simulated LLM: real prompts are
+// assembled for token accounting, the reference transpiler provides the
+// "model capability", and the calibrated defect injector degrades the
+// output to the quality the paper measured for that LLM.
+
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "llm/calibration.hpp"
+#include "llm/profiles.hpp"
+#include "support/rng.hpp"
+#include "vfs/repo.hpp"
+
+namespace pareval::agents {
+
+struct TranslationResult {
+  bool generated = false;     // false: aborted (the paper's empty cells)
+  std::string abort_reason;
+  vfs::Repo repo;             // translated repo, defects included
+  long long input_tokens = 0;
+  long long output_tokens = 0;
+  std::vector<std::string> defects;  // injected-defect descriptions
+};
+
+/// Total tokens (input + output) of one translation attempt.
+long long total_tokens(const TranslationResult& r);
+
+/// Run one technique on one task with one simulated LLM. `rng` drives the
+/// defect sampling; distinct samples use split generators.
+TranslationResult run_technique(const apps::AppSpec& app,
+                                llm::Technique technique,
+                                const llm::LlmProfile& profile,
+                                const llm::Pair& pair, support::Rng& rng);
+
+// ---- prompt builders (exposed for tests and token-economy analysis) ----
+
+/// The paper's Listing 1: system prompt + file tree + all files + the
+/// translate instruction (+ CLI/build addenda for main/build files).
+std::string build_nonagentic_prompt(const apps::AppSpec& app,
+                                    const vfs::Repo& repo,
+                                    const std::string& target_file,
+                                    const llm::Pair& pair);
+
+/// Top-down translation prompt for one chunk with context summaries.
+std::string build_topdown_prompt(const apps::AppSpec& app,
+                                 const std::string& chunk,
+                                 const std::vector<std::string>& summaries,
+                                 const llm::Pair& pair);
+
+/// The issue text handed to SWE-agent (§3.3).
+std::string build_swe_issue(const apps::AppSpec& app, const llm::Pair& pair);
+
+}  // namespace pareval::agents

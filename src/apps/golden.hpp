@@ -1,0 +1,37 @@
+#pragma once
+// Shared helpers for the native golden references. The LCG here MUST match
+// src/execsim (cuRAND-lite and libc rand simulation) bit for bit: golden
+// outputs are compared against interpreter runs of the same algorithms.
+
+#include <cstdint>
+#include <string>
+
+namespace pareval::apps {
+
+inline long long lcg_next(long long s) {
+  return static_cast<long long>(
+      static_cast<unsigned long long>(s) * 6364136223846793005ULL +
+      1442695040888963407ULL);
+}
+
+/// curand_init(seed, seq, 0, &state) equivalent.
+inline long long curand_seed(long long seed, long long seq) {
+  return static_cast<long long>(
+      static_cast<unsigned long long>(seed) * 6364136223846793005ULL +
+      static_cast<unsigned long long>(seq) * 1442695040888963407ULL + 1ULL);
+}
+
+/// curand(&s): advances the state, returns a 32-bit value.
+inline unsigned int curand_u32(long long& s) {
+  s = lcg_next(s);
+  return static_cast<unsigned int>((s >> 16) & 0xffffffffLL);
+}
+
+/// curand_uniform(&s): advances the state, returns a double in (0, 1].
+inline double curand_uniform_d(long long& s) {
+  s = lcg_next(s);
+  return (static_cast<double>((s >> 11) & ((1LL << 53) - 1)) + 1.0) /
+         9007199254740993.0;
+}
+
+}  // namespace pareval::apps

@@ -1,0 +1,437 @@
+// llm.c: CUDA implementation of LLM pretraining, "slightly reduced ... to
+// focus on critical application components" (paper §5.1). One training
+// pipeline: token embedding -> layernorm -> linear head -> softmax/xent ->
+// backward -> AdamW, each stage a CUDA kernel in its own header. 7 files.
+
+#include "apps/app.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace pareval::apps {
+
+namespace {
+
+constexpr int kB = 2, kT = 4, kC = 8, kV = 16;
+
+std::string llmc_golden(const TestCase& tc) {
+  int steps = 3;
+  if (!tc.args.empty()) steps = std::atoi(tc.args[0].c_str());
+  const double lr = 0.01, beta1 = 0.9, beta2 = 0.999, eps = 1e-8, wd = 0.01;
+
+  std::vector<double> wte(kV * kC), W(kC * kV);
+  for (int v = 0; v < kV; ++v) {
+    for (int c = 0; c < kC; ++c) {
+      wte[v * kC + c] = ((v * 13 + c * 7) % 19) * 0.1 - 0.9;
+    }
+  }
+  for (int c = 0; c < kC; ++c) {
+    for (int v = 0; v < kV; ++v) {
+      W[c * kV + v] = ((c * 29 + v * 3) % 23) * 0.01 - 0.11;
+    }
+  }
+  std::vector<int> tokens(kB * kT), targets(kB * kT);
+  for (int b = 0; b < kB; ++b) {
+    for (int t = 0; t < kT; ++t) {
+      tokens[b * kT + t] = (b * 7 + t * 3) % kV;
+      targets[b * kT + t] = (b * 7 + t * 3 + 1) % kV;
+    }
+  }
+
+  std::vector<double> m(kC * kV, 0.0), v2(kC * kV, 0.0);
+  std::string out;
+  for (int step = 1; step <= steps; ++step) {
+    // Forward.
+    std::vector<double> x(kB * kT * kC), y(kB * kT * kC);
+    for (int p = 0; p < kB * kT; ++p) {
+      for (int c = 0; c < kC; ++c) {
+        x[p * kC + c] = wte[tokens[p] * kC + c];
+      }
+    }
+    for (int p = 0; p < kB * kT; ++p) {
+      double mean = 0.0;
+      for (int c = 0; c < kC; ++c) mean += x[p * kC + c];
+      mean /= kC;
+      double var = 0.0;
+      for (int c = 0; c < kC; ++c) {
+        const double d = x[p * kC + c] - mean;
+        var += d * d;
+      }
+      var /= kC;
+      const double rstd = 1.0 / std::sqrt(var + 1e-5);
+      for (int c = 0; c < kC; ++c) {
+        y[p * kC + c] = (x[p * kC + c] - mean) * rstd;
+      }
+    }
+    std::vector<double> logits(kB * kT * kV, 0.0), probs(kB * kT * kV);
+    for (int p = 0; p < kB * kT; ++p) {
+      for (int v = 0; v < kV; ++v) {
+        double acc = 0.0;
+        for (int c = 0; c < kC; ++c) {
+          acc += y[p * kC + c] * W[c * kV + v];
+        }
+        logits[p * kV + v] = acc;
+      }
+    }
+    double loss = 0.0;
+    for (int p = 0; p < kB * kT; ++p) {
+      double maxv = logits[p * kV];
+      for (int v = 1; v < kV; ++v) maxv = std::fmax(maxv, logits[p * kV + v]);
+      double sum = 0.0;
+      for (int v = 0; v < kV; ++v) {
+        probs[p * kV + v] = std::exp(logits[p * kV + v] - maxv);
+        sum += probs[p * kV + v];
+      }
+      for (int v = 0; v < kV; ++v) probs[p * kV + v] /= sum;
+      loss += -std::log(probs[p * kV + targets[p]]);
+    }
+    loss /= kB * kT;
+    out += support::strfmt("step %d: loss %.6f\n", step, loss);
+
+    // Backward (head weights only) + AdamW.
+    std::vector<double> dW(kC * kV, 0.0);
+    for (int c = 0; c < kC; ++c) {
+      for (int v = 0; v < kV; ++v) {
+        double acc = 0.0;
+        for (int p = 0; p < kB * kT; ++p) {
+          const double indicator = targets[p] == v ? 1.0 : 0.0;
+          const double dlogit =
+              (probs[p * kV + v] - indicator) / (kB * kT);
+          acc += y[p * kC + c] * dlogit;
+        }
+        dW[c * kV + v] = acc;
+      }
+    }
+    for (int k = 0; k < kC * kV; ++k) {
+      m[k] = beta1 * m[k] + (1.0 - beta1) * dW[k];
+      v2[k] = beta2 * v2[k] + (1.0 - beta2) * dW[k] * dW[k];
+      const double mhat = m[k] / (1.0 - std::pow(beta1, step));
+      const double vhat = v2[k] / (1.0 - std::pow(beta2, step));
+      W[k] = W[k] - lr * (mhat / (std::sqrt(vhat) + eps) + wd * W[k]);
+    }
+  }
+  return out;
+}
+
+const char* kEncoder = R"(#pragma once
+
+__global__ void encoder_forward(double* x, const double* wte,
+                                const int* tokens, int positions, int C) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < positions * C) {
+    int p = i / C;
+    int c = i % C;
+    x[i] = wte[tokens[p] * C + c];
+  }
+}
+)";
+
+const char* kLayernorm = R"(#pragma once
+#include <math.h>
+
+__global__ void layernorm_forward(double* y, const double* x, int positions,
+                                  int C) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p < positions) {
+    double mean = 0.0;
+    for (int c = 0; c < C; c++) {
+      mean += x[p * C + c];
+    }
+    mean = mean / C;
+    double var = 0.0;
+    for (int c = 0; c < C; c++) {
+      double d = x[p * C + c] - mean;
+      var += d * d;
+    }
+    var = var / C;
+    double rstd = 1.0 / sqrt(var + 1e-5);
+    for (int c = 0; c < C; c++) {
+      y[p * C + c] = (x[p * C + c] - mean) * rstd;
+    }
+  }
+}
+)";
+
+const char* kMatmul = R"(#pragma once
+
+__global__ void matmul_forward(double* logits, const double* y,
+                               const double* W, int positions, int C, int V) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < positions * V) {
+    int p = i / V;
+    int v = i % V;
+    double acc = 0.0;
+    for (int c = 0; c < C; c++) {
+      acc += y[p * C + c] * W[c * V + v];
+    }
+    logits[i] = acc;
+  }
+}
+
+__global__ void matmul_backward(double* dW, const double* y,
+                                const double* probs, const int* targets,
+                                int positions, int C, int V) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < C * V) {
+    int c = i / V;
+    int v = i % V;
+    double acc = 0.0;
+    for (int p = 0; p < positions; p++) {
+      double indicator = 0.0;
+      if (targets[p] == v) {
+        indicator = 1.0;
+      }
+      double dlogit = (probs[p * V + v] - indicator) / positions;
+      acc += y[p * C + c] * dlogit;
+    }
+    dW[i] = acc;
+  }
+}
+)";
+
+const char* kSoftmax = R"(#pragma once
+#include <math.h>
+
+__global__ void softmax_loss(double* probs, double* loss_sum,
+                             const double* logits, const int* targets,
+                             int positions, int V) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p < positions) {
+    double maxv = logits[p * V];
+    for (int v = 1; v < V; v++) {
+      maxv = fmax(maxv, logits[p * V + v]);
+    }
+    double sum = 0.0;
+    for (int v = 0; v < V; v++) {
+      probs[p * V + v] = exp(logits[p * V + v] - maxv);
+      sum += probs[p * V + v];
+    }
+    for (int v = 0; v < V; v++) {
+      probs[p * V + v] = probs[p * V + v] / sum;
+    }
+    double nll = -log(probs[p * V + targets[p]]);
+    atomicAdd(loss_sum, nll / positions);
+  }
+}
+)";
+
+const char* kAdamw = R"(#pragma once
+#include <math.h>
+
+__global__ void adamw_update(double* W, double* m, double* v,
+                             const double* dW, int n, int step, double lr,
+                             double beta1, double beta2, double eps,
+                             double weight_decay) {
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  if (k < n) {
+    m[k] = beta1 * m[k] + (1.0 - beta1) * dW[k];
+    v[k] = beta2 * v[k] + (1.0 - beta2) * dW[k] * dW[k];
+    double mhat = m[k] / (1.0 - pow(beta1, step));
+    double vhat = v[k] / (1.0 - pow(beta2, step));
+    W[k] = W[k] - lr * (mhat / (sqrt(vhat) + eps) + weight_decay * W[k]);
+  }
+}
+)";
+
+const char* kTrain = R"(#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include "encoder.cuh"
+#include "layernorm.cuh"
+#include "matmul.cuh"
+#include "softmax.cuh"
+#include "adamw.cuh"
+
+#define B 2
+#define T 4
+#define C 8
+#define V 16
+
+int main(int argc, char** argv) {
+  int steps = 3;
+  if (argc > 1) steps = atoi(argv[1]);
+  int positions = B * T;
+  double lr = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.01;
+
+  double* wte = (double*) malloc(V * C * sizeof(double));
+  double* W = (double*) malloc(C * V * sizeof(double));
+  int* tokens = (int*) malloc(positions * sizeof(int));
+  int* targets = (int*) malloc(positions * sizeof(int));
+  for (int v = 0; v < V; v++) {
+    for (int c = 0; c < C; c++) {
+      wte[v * C + c] = ((v * 13 + c * 7) % 19) * 0.1 - 0.9;
+    }
+  }
+  for (int c = 0; c < C; c++) {
+    for (int v = 0; v < V; v++) {
+      W[c * V + v] = ((c * 29 + v * 3) % 23) * 0.01 - 0.11;
+    }
+  }
+  for (int b = 0; b < B; b++) {
+    for (int t = 0; t < T; t++) {
+      tokens[b * T + t] = (b * 7 + t * 3) % V;
+      targets[b * T + t] = (b * 7 + t * 3 + 1) % V;
+    }
+  }
+
+  double* d_wte;
+  double* d_W;
+  int* d_tokens;
+  int* d_targets;
+  double* d_x;
+  double* d_y;
+  double* d_logits;
+  double* d_probs;
+  double* d_loss;
+  double* d_dW;
+  double* d_m;
+  double* d_v;
+  cudaMalloc((void**)&d_wte, V * C * sizeof(double));
+  cudaMalloc((void**)&d_W, C * V * sizeof(double));
+  cudaMalloc((void**)&d_tokens, positions * sizeof(int));
+  cudaMalloc((void**)&d_targets, positions * sizeof(int));
+  cudaMalloc((void**)&d_x, positions * C * sizeof(double));
+  cudaMalloc((void**)&d_y, positions * C * sizeof(double));
+  cudaMalloc((void**)&d_logits, positions * V * sizeof(double));
+  cudaMalloc((void**)&d_probs, positions * V * sizeof(double));
+  cudaMalloc((void**)&d_loss, sizeof(double));
+  cudaMalloc((void**)&d_dW, C * V * sizeof(double));
+  cudaMalloc((void**)&d_m, C * V * sizeof(double));
+  cudaMalloc((void**)&d_v, C * V * sizeof(double));
+  cudaMemcpy(d_wte, wte, V * C * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_W, W, C * V * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_tokens, tokens, positions * sizeof(int),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(d_targets, targets, positions * sizeof(int),
+             cudaMemcpyHostToDevice);
+  cudaMemset(d_m, 0, C * V * sizeof(double));
+  cudaMemset(d_v, 0, C * V * sizeof(double));
+
+  int threads = 32;
+  for (int step = 1; step <= steps; step++) {
+    encoder_forward<<<(positions * C + threads - 1) / threads, threads>>>(
+        d_x, d_wte, d_tokens, positions, C);
+    layernorm_forward<<<(positions + threads - 1) / threads, threads>>>(
+        d_y, d_x, positions, C);
+    matmul_forward<<<(positions * V + threads - 1) / threads, threads>>>(
+        d_logits, d_y, d_W, positions, C, V);
+    cudaMemset(d_loss, 0, sizeof(double));
+    softmax_loss<<<(positions + threads - 1) / threads, threads>>>(
+        d_probs, d_loss, d_logits, d_targets, positions, V);
+    cudaDeviceSynchronize();
+    double loss = 0.0;
+    cudaMemcpy(&loss, d_loss, sizeof(double), cudaMemcpyDeviceToHost);
+    printf("step %d: loss %.6f\n", step, loss);
+
+    matmul_backward<<<(C * V + threads - 1) / threads, threads>>>(
+        d_dW, d_y, d_probs, d_targets, positions, C, V);
+    adamw_update<<<(C * V + threads - 1) / threads, threads>>>(
+        d_W, d_m, d_v, d_dW, C * V, step, lr, beta1, beta2, eps,
+        weight_decay);
+    cudaDeviceSynchronize();
+  }
+
+  cudaFree(d_wte);
+  cudaFree(d_W);
+  cudaFree(d_tokens);
+  cudaFree(d_targets);
+  cudaFree(d_x);
+  cudaFree(d_y);
+  cudaFree(d_logits);
+  cudaFree(d_probs);
+  cudaFree(d_loss);
+  cudaFree(d_dW);
+  cudaFree(d_m);
+  cudaFree(d_v);
+  free(wte);
+  free(W);
+  free(tokens);
+  free(targets);
+  return 0;
+}
+)";
+
+}  // namespace
+
+const AppSpec& llmc_app() {
+  static const AppSpec app = [] {
+    AppSpec a;
+    a.name = "llm.c";
+    a.description =
+        "CUDA implementation of LLM pretraining, reduced to the critical "
+        "components: embedding, layernorm, linear head, softmax/xent loss, "
+        "backward and AdamW, each as a CUDA kernel.";
+    a.available = {Model::Cuda};
+    a.ports = {Model::OmpOffload, Model::Kokkos};
+    a.tests = {{{"2"}}, {{"3"}}, {{"5"}}};
+    a.golden = llmc_golden;
+    a.tolerance = 1e-6;
+    a.cli_spec =
+        "The application takes one optional positional argument: the "
+        "number of training steps (default 3). It prints one line per "
+        "step: 'step <k>: loss <value>' with the loss in %.6f format.";
+    a.build_spec_make =
+        "The Makefile must provide the default target 'all' producing the "
+        "executable 'train_gpt2'. Compile OpenMP offload code with clang++ "
+        "(LLVM 19) using -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda.";
+    a.build_spec_cmake =
+        "Provide CMakeLists.txt with find_package(Kokkos REQUIRED), an "
+        "executable target named 'train_gpt2', and "
+        "target_link_libraries(... Kokkos::kokkos).";
+    a.array_extents = {};  // single-TU CUDA app: extents derived from mallocs
+
+    vfs::Repo cuda;
+    cuda.write("Makefile",
+               "NVCC = nvcc\n"
+               "NVCCFLAGS = -O2 -arch=sm_80\n\n"
+               "all: train_gpt2\n\n"
+               "train_gpt2: src/train_gpt2.cu src/encoder.cuh "
+               "src/layernorm.cuh src/matmul.cuh src/softmax.cuh "
+               "src/adamw.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) src/train_gpt2.cu -o train_gpt2\n\n"
+               "clean:\n\trm -f train_gpt2\n");
+    cuda.write("README.md",
+               "# llm.c (reduced)\n\nLLM pretraining in CUDA, reduced to "
+               "its critical kernels.\n\nUsage: ./train_gpt2 [steps]\n");
+    cuda.write("src/train_gpt2.cu", kTrain);
+    cuda.write("src/encoder.cuh", kEncoder);
+    cuda.write("src/layernorm.cuh", kLayernorm);
+    cuda.write("src/matmul.cuh", kMatmul);
+    cuda.write("src/softmax.cuh", kSoftmax);
+    cuda.write("src/adamw.cuh", kAdamw);
+    a.repos[Model::Cuda] = std::move(cuda);
+
+    vfs::Repo omp_build;
+    omp_build.write(
+        "Makefile",
+        "CXX = clang++\n"
+        "CXXFLAGS = -O2 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda\n\n"
+        "all: train_gpt2\n\n"
+        "train_gpt2: src/train_gpt2.cpp\n"
+        "\t$(CXX) $(CXXFLAGS) src/train_gpt2.cpp -o train_gpt2\n\n"
+        "clean:\n\trm -f train_gpt2\n");
+    a.ground_truth_builds[Model::OmpOffload] = omp_build;
+
+    vfs::Repo kokkos_build;
+    kokkos_build.write(
+        "CMakeLists.txt",
+        "cmake_minimum_required(VERSION 3.16)\n"
+        "project(train_gpt2 LANGUAGES CXX)\n"
+        "set(CMAKE_CXX_STANDARD 17)\n"
+        "find_package(Kokkos REQUIRED)\n"
+        "add_executable(train_gpt2 src/train_gpt2.cpp)\n"
+        "target_link_libraries(train_gpt2 PRIVATE Kokkos::kokkos)\n");
+    a.ground_truth_builds[Model::Kokkos] = kokkos_build;
+    return a;
+  }();
+  return app;
+}
+
+}  // namespace pareval::apps

@@ -1,0 +1,161 @@
+// nanoXOR: "a single kernel and driver function in a single source file"
+// (paper §5.1). Table 1: 2 files, OpenMP-threads and CUDA implementations
+// shipped; OpenMP-offload and Kokkos are the translation targets.
+
+#include "apps/xor_common.hpp"
+
+namespace pareval::apps {
+
+const AppSpec& nanoxor_app() {
+  static const AppSpec app = [] {
+    AppSpec a;
+    a.name = "nanoXOR";
+    a.description =
+        "Four-point XOR stencil over a 2D grid; one kernel and driver in a "
+        "single source file.";
+    xor_fill_common(a, "nanoXOR", {"src/main.cpp"}, {"src/main.cpp"});
+
+    const char* readme =
+        "# nanoXOR\n\nA micro-application performing a four-point stencil "
+        "with the XOR rule over a 2D grid.\n\nUsage: ./nanoXOR [N] "
+        "[iterations]\n";
+
+    vfs::Repo cuda;
+    cuda.write("Makefile",
+               "NVCC = nvcc\n"
+               "NVCCFLAGS = -O2 -arch=sm_80\n\n"
+               "all: nanoXOR\n\n"
+               "nanoXOR: src/main.cu\n"
+               "\t$(NVCC) $(NVCCFLAGS) src/main.cu -o nanoXOR\n\n"
+               "clean:\n\trm -f nanoXOR\n");
+    cuda.write("README.md", readme);
+    cuda.write("src/main.cu", xor_cuda_main("", /*kernel_inline=*/true));
+    a.repos[Model::Cuda] = std::move(cuda);
+
+    vfs::Repo omp;
+    omp.write("Makefile",
+              "CXX = g++\n"
+              "CXXFLAGS = -O2 -fopenmp\n\n"
+              "all: nanoXOR\n\n"
+              "nanoXOR: src/main.cpp\n"
+              "\t$(CXX) $(CXXFLAGS) src/main.cpp -o nanoXOR\n\n"
+              "clean:\n\trm -f nanoXOR\n");
+    omp.write("README.md", readme);
+    omp.write("src/main.cpp", xor_omp_main("", /*kernel_inline=*/true));
+    a.repos[Model::OmpThreads] = std::move(omp);
+    return a;
+  }();
+  return app;
+}
+
+const AppSpec& microxorh_app() {
+  static const AppSpec app = [] {
+    AppSpec a;
+    a.name = "microXORh";
+    a.description =
+        "nanoXOR with the GPU kernel moved into a header file: a simple "
+        "compile-time dependency.";
+    xor_fill_common(a, "microXORh", {"src/main.cpp"}, {"src/main.cpp"});
+
+    const char* readme =
+        "# microXORh\n\nThe XOR stencil micro-app with its kernel in a "
+        "separate header (compile-time dependency).\n\nUsage: ./microXORh "
+        "[N] [iterations]\n";
+
+    vfs::Repo cuda;
+    cuda.write("Makefile",
+               "NVCC = nvcc\n"
+               "NVCCFLAGS = -O2 -arch=sm_80\n\n"
+               "all: microXORh\n\n"
+               "microXORh: src/main.cu src/kernel.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) src/main.cu -o microXORh\n\n"
+               "clean:\n\trm -f microXORh\n");
+    cuda.write("README.md", readme);
+    cuda.write("src/kernel.cuh", "#pragma once\n\n" + xor_cuda_kernel_def());
+    cuda.write("src/main.cu",
+               xor_cuda_main("kernel.cuh", /*kernel_inline=*/false));
+    a.repos[Model::Cuda] = std::move(cuda);
+
+    vfs::Repo omp;
+    omp.write("Makefile",
+              "CXX = g++\n"
+              "CXXFLAGS = -O2 -fopenmp\n\n"
+              "all: microXORh\n\n"
+              "microXORh: src/main.cpp src/kernel.h\n"
+              "\t$(CXX) $(CXXFLAGS) src/main.cpp -o microXORh\n\n"
+              "clean:\n\trm -f microXORh\n");
+    omp.write("README.md", readme);
+    omp.write("src/kernel.h", "#pragma once\n\n" + xor_omp_kernel_def());
+    omp.write("src/main.cpp",
+              xor_omp_main("kernel.h", /*kernel_inline=*/false));
+    a.repos[Model::OmpThreads] = std::move(omp);
+    return a;
+  }();
+  return app;
+}
+
+const AppSpec& microxor_app() {
+  static const AppSpec app = [] {
+    AppSpec a;
+    a.name = "microXOR";
+    a.description =
+        "nanoXOR with the kernel in a separate translation unit: a simple "
+        "link-time dependency.";
+    xor_fill_common(a, "microXOR", {"src/main.cpp", "src/kernel.cpp"},
+                    {"src/main.cpp", "src/kernel.cpp"});
+
+    const char* readme =
+        "# microXOR\n\nThe XOR stencil micro-app with kernel and driver in "
+        "separate translation units (link-time dependency).\n\nUsage: "
+        "./microXOR [N] [iterations]\n";
+
+    vfs::Repo cuda;
+    cuda.write("Makefile",
+               "NVCC = nvcc\n"
+               "NVCCFLAGS = -O2 -arch=sm_80\n\n"
+               "all: microXOR\n\n"
+               "microXOR: main.o kernel.o\n"
+               "\t$(NVCC) $(NVCCFLAGS) main.o kernel.o -o microXOR\n\n"
+               "main.o: src/main.cu src/kernel.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/main.cu -o main.o\n\n"
+               "kernel.o: src/kernel.cu src/kernel.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/kernel.cu -o kernel.o\n\n"
+               "clean:\n\trm -f microXOR main.o kernel.o\n");
+    cuda.write("README.md", readme);
+    cuda.write("src/kernel.cuh",
+               "#pragma once\n\n"
+               "__global__ void cellsXOR(const int* input, int* output, "
+               "size_t N);\n");
+    cuda.write("src/kernel.cu",
+               "#include \"kernel.cuh\"\n\n" + xor_cuda_kernel_def());
+    cuda.write("src/main.cu",
+               xor_cuda_main("kernel.cuh", /*kernel_inline=*/false));
+    a.repos[Model::Cuda] = std::move(cuda);
+
+    vfs::Repo omp;
+    omp.write("Makefile",
+              "CXX = g++\n"
+              "CXXFLAGS = -O2 -fopenmp\n\n"
+              "all: microXOR\n\n"
+              "microXOR: main.o kernel.o\n"
+              "\t$(CXX) $(CXXFLAGS) main.o kernel.o -o microXOR\n\n"
+              "main.o: src/main.cpp src/kernel.h\n"
+              "\t$(CXX) $(CXXFLAGS) -c src/main.cpp -o main.o\n\n"
+              "kernel.o: src/kernel.cpp src/kernel.h\n"
+              "\t$(CXX) $(CXXFLAGS) -c src/kernel.cpp -o kernel.o\n\n"
+              "clean:\n\trm -f microXOR main.o kernel.o\n");
+    omp.write("README.md", readme);
+    omp.write("src/kernel.h",
+              "#pragma once\n\n"
+              "void cellsXOR(const int* input, int* output, size_t N);\n");
+    omp.write("src/kernel.cpp",
+              "#include \"kernel.h\"\n\n" + xor_omp_kernel_def());
+    omp.write("src/main.cpp",
+              xor_omp_main("kernel.h", /*kernel_inline=*/false));
+    a.repos[Model::OmpThreads] = std::move(omp);
+    return a;
+  }();
+  return app;
+}
+
+}  // namespace pareval::apps

@@ -1,0 +1,262 @@
+// SimpleMOC-kernel: proxy app for SimpleMOC (neutron flux attenuation,
+// paper §5.1). Only a CUDA implementation exists publicly; it depends on
+// the external cuRAND library, "posing an additional challenge to
+// translation". Table 1: 6 files.
+
+#include "apps/app.hpp"
+#include "apps/golden.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace pareval::apps {
+
+namespace {
+
+std::string simplemoc_golden(const TestCase& tc) {
+  int segments = 64, groups = 8;
+  const int regions = 16;
+  const long long seed = 42;
+  if (tc.args.size() > 0) segments = std::atoi(tc.args[0].c_str());
+  if (tc.args.size() > 1) groups = std::atoi(tc.args[1].c_str());
+
+  std::vector<double> sigT(regions * groups), Q(regions * groups),
+      flux(regions * groups, 0.0);
+  for (int r = 0; r < regions; ++r) {
+    for (int g = 0; g < groups; ++g) {
+      sigT[r * groups + g] = 0.1 + ((r * 31 + g * 7) % 17) * 0.05;
+      Q[r * groups + g] = 1.0 + ((r * 13 + g * 3) % 23) * 0.1;
+    }
+  }
+  for (int i = 0; i < segments; ++i) {
+    long long state = curand_seed(seed, i);
+    const int r = static_cast<int>(curand_u32(state) % regions);
+    const int g = static_cast<int>(curand_u32(state) %
+                                   static_cast<unsigned>(groups));
+    const double length = curand_uniform_d(state);
+    const double sig = sigT[r * groups + g];
+    const double tau = sig * length;
+    flux[r * groups + g] += (Q[r * groups + g] / sig) * (1.0 - std::exp(-tau));
+  }
+  double checksum = 0.0;
+  for (int k = 0; k < regions * groups; ++k) {
+    checksum += flux[k] * ((k % 17) + 1);
+  }
+  return support::strfmt("flux checksum %.6e\n", checksum);
+}
+
+const char* kHeader = R"(#pragma once
+
+typedef struct {
+  int segments;
+  int regions;
+  int groups;
+  long seed;
+} Input;
+
+Input read_cli(int argc, char** argv);
+void initialize_data(double* sigT, double* Q, int regions, int groups);
+void print_results(const double* flux, int regions, int groups);
+__global__ void attenuate_segments(const double* sigT, const double* Q,
+                                   double* flux, int segments, int regions,
+                                   int groups, long seed);
+)";
+
+const char* kMain = R"(#include <stdio.h>
+#include <stdlib.h>
+#include "SimpleMOC-kernel_header.cuh"
+
+int main(int argc, char** argv) {
+  Input in = read_cli(argc, argv);
+  int table = in.regions * in.groups;
+
+  double* sigT = (double*) malloc(table * sizeof(double));
+  double* Q = (double*) malloc(table * sizeof(double));
+  double* flux = (double*) malloc(table * sizeof(double));
+  initialize_data(sigT, Q, in.regions, in.groups);
+
+  double* d_sigT;
+  double* d_Q;
+  double* d_flux;
+  cudaMalloc((void**)&d_sigT, table * sizeof(double));
+  cudaMalloc((void**)&d_Q, table * sizeof(double));
+  cudaMalloc((void**)&d_flux, table * sizeof(double));
+  cudaMemcpy(d_sigT, sigT, table * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_Q, Q, table * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemset(d_flux, 0, table * sizeof(double));
+
+  int threads = 32;
+  int blocks = (in.segments + threads - 1) / threads;
+  attenuate_segments<<<blocks, threads>>>(d_sigT, d_Q, d_flux, in.segments,
+                                          in.regions, in.groups, in.seed);
+  cudaDeviceSynchronize();
+
+  cudaMemcpy(flux, d_flux, table * sizeof(double), cudaMemcpyDeviceToHost);
+  print_results(flux, in.regions, in.groups);
+
+  cudaFree(d_sigT);
+  cudaFree(d_Q);
+  cudaFree(d_flux);
+  free(sigT);
+  free(Q);
+  free(flux);
+  return 0;
+}
+)";
+
+const char* kKernel = R"(#include <curand_kernel.h>
+#include <math.h>
+#include "SimpleMOC-kernel_header.cuh"
+
+__global__ void attenuate_segments(const double* sigT, const double* Q,
+                                   double* flux, int segments, int regions,
+                                   int groups, long seed) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < segments) {
+    curandState state;
+    curand_init(seed, i, 0, &state);
+    int r = curand(&state) % regions;
+    int g = curand(&state) % groups;
+    double length = curand_uniform(&state);
+    double sig = sigT[r * groups + g];
+    double tau = sig * length;
+    double contrib = (Q[r * groups + g] / sig) * (1.0 - exp(-tau));
+    atomicAdd(&flux[r * groups + g], contrib);
+  }
+}
+)";
+
+const char* kInit = R"(#include "SimpleMOC-kernel_header.cuh"
+
+void initialize_data(double* sigT, double* Q, int regions, int groups) {
+  for (int r = 0; r < regions; r++) {
+    for (int g = 0; g < groups; g++) {
+      sigT[r * groups + g] = 0.1 + ((r * 31 + g * 7) % 17) * 0.05;
+      Q[r * groups + g] = 1.0 + ((r * 13 + g * 3) % 23) * 0.1;
+    }
+  }
+}
+)";
+
+const char* kIo = R"(#include <stdio.h>
+#include <stdlib.h>
+#include "SimpleMOC-kernel_header.cuh"
+
+Input read_cli(int argc, char** argv) {
+  Input in;
+  in.segments = 64;
+  in.regions = 16;
+  in.groups = 8;
+  in.seed = 42;
+  if (argc > 1) in.segments = atoi(argv[1]);
+  if (argc > 2) in.groups = atoi(argv[2]);
+  return in;
+}
+
+void print_results(const double* flux, int regions, int groups) {
+  double checksum = 0.0;
+  for (int k = 0; k < regions * groups; k++) {
+    checksum += flux[k] * ((k % 17) + 1);
+  }
+  printf("flux checksum %.6e\n", checksum);
+}
+)";
+
+}  // namespace
+
+const AppSpec& simplemoc_app() {
+  static const AppSpec app = [] {
+    AppSpec a;
+    a.name = "SimpleMOC-kernel";
+    a.description =
+        "Proxy application for SimpleMOC: neutron flux attenuation along "
+        "random track segments; depends on cuRAND.";
+    a.available = {Model::Cuda};
+    a.ports = {Model::OmpOffload, Model::Kokkos};
+    a.tests = {{{"32", "4"}}, {{"64", "8"}}, {{"96", "6"}}};
+    a.golden = simplemoc_golden;
+    a.tolerance = 1e-9;
+    a.cli_spec =
+        "The application takes two optional positional arguments: the "
+        "number of track segments (default 64) and the number of energy "
+        "groups (default 8). It prints exactly one line: 'flux checksum "
+        "<value>' with the value in %.6e format.";
+    a.build_spec_make =
+        "The Makefile must provide the default target 'all' producing the "
+        "executable 'SimpleMOC-kernel'. Compile OpenMP offload code with "
+        "clang++ (LLVM 19) using -fopenmp -fopenmp-targets="
+        "nvptx64-nvidia-cuda. cuRAND is not available outside nvcc; "
+        "replace it with an inline RNG preserving the stream.";
+    a.build_spec_cmake =
+        "Provide CMakeLists.txt with find_package(Kokkos REQUIRED), an "
+        "executable target named 'SimpleMOC-kernel' and "
+        "target_link_libraries(... Kokkos::kokkos).";
+    a.array_extents = {
+        {"attenuate_segments.sigT", "regions * groups"},
+        {"attenuate_segments.Q", "regions * groups"},
+        {"attenuate_segments.flux", "regions * groups"},
+    };
+
+    vfs::Repo cuda;
+    cuda.write("Makefile",
+               "NVCC = nvcc\n"
+               "NVCCFLAGS = -O2 -arch=sm_80\n"
+               "OBJS = main.o kernel.o init.o io.o\n\n"
+               "all: SimpleMOC-kernel\n\n"
+               "SimpleMOC-kernel: $(OBJS)\n"
+               "\t$(NVCC) $(NVCCFLAGS) $(OBJS) -lcurand -o SimpleMOC-kernel\n\n"
+               "main.o: src/main.cu src/SimpleMOC-kernel_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/main.cu -o main.o\n\n"
+               "kernel.o: src/kernel.cu src/SimpleMOC-kernel_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/kernel.cu -o kernel.o\n\n"
+               "init.o: src/init.cu src/SimpleMOC-kernel_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/init.cu -o init.o\n\n"
+               "io.o: src/io.cu src/SimpleMOC-kernel_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/io.cu -o io.o\n\n"
+               "clean:\n\trm -f SimpleMOC-kernel $(OBJS)\n");
+    cuda.write("README.md",
+               "# SimpleMOC-kernel\n\nNeutron flux attenuation proxy "
+               "kernel (Method of Characteristics).\n\nUsage: "
+               "./SimpleMOC-kernel [segments] [groups]\n");
+    cuda.write("src/SimpleMOC-kernel_header.cuh", kHeader);
+    cuda.write("src/main.cu", kMain);
+    cuda.write("src/kernel.cu", kKernel);
+    cuda.write("src/init.cu", kInit);
+    cuda.write("src/io.cu", kIo);
+    a.repos[Model::Cuda] = std::move(cuda);
+
+    // Ground-truth build files for the two translation targets. Translated
+    // sources keep their stems with .cpp/.h extensions (prompt: "Assume
+    // .cpp filenames ... as this will be a C++ code").
+    vfs::Repo omp_build;
+    omp_build.write(
+        "Makefile",
+        "CXX = clang++\n"
+        "CXXFLAGS = -O2 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda\n"
+        "SRCS = src/main.cpp src/kernel.cpp src/init.cpp src/io.cpp\n\n"
+        "all: SimpleMOC-kernel\n\n"
+        "SimpleMOC-kernel: $(SRCS)\n"
+        "\t$(CXX) $(CXXFLAGS) $(SRCS) -o SimpleMOC-kernel\n\n"
+        "clean:\n\trm -f SimpleMOC-kernel\n");
+    a.ground_truth_builds[Model::OmpOffload] = omp_build;
+
+    vfs::Repo kokkos_build;
+    kokkos_build.write(
+        "CMakeLists.txt",
+        "cmake_minimum_required(VERSION 3.16)\n"
+        "project(SimpleMOC-kernel LANGUAGES CXX)\n"
+        "set(CMAKE_CXX_STANDARD 17)\n"
+        "find_package(Kokkos REQUIRED)\n"
+        "add_executable(SimpleMOC-kernel src/main.cpp src/kernel.cpp "
+        "src/init.cpp src/io.cpp)\n"
+        "target_link_libraries(SimpleMOC-kernel PRIVATE Kokkos::kokkos)\n");
+    a.ground_truth_builds[Model::Kokkos] = kokkos_build;
+    return a;
+  }();
+  return app;
+}
+
+}  // namespace pareval::apps

@@ -1,0 +1,215 @@
+#include "apps/xor_common.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace pareval::apps {
+
+std::string xor_golden(const TestCase& tc) {
+  std::size_t n = 32;
+  int iters = 1;
+  if (tc.args.size() > 0) n = static_cast<std::size_t>(std::atoll(tc.args[0].c_str()));
+  if (tc.args.size() > 1) iters = std::atoi(tc.args[1].c_str());
+  std::vector<int> input(n * n), output(n * n);
+  for (std::size_t k = 0; k < n * n; ++k) {
+    input[k] = (k * 7 + 3) % 5 == 0 ? 1 : 0;
+  }
+  for (int it = 0; it < iters; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        int count = 0;
+        if (i > 0 && input[(i - 1) * n + j] == 1) count++;
+        if (i < n - 1 && input[(i + 1) * n + j] == 1) count++;
+        if (j > 0 && input[i * n + (j - 1)] == 1) count++;
+        if (j < n - 1 && input[i * n + (j + 1)] == 1) count++;
+        output[i * n + j] = count == 1 ? 1 : 0;
+      }
+    }
+    input = output;
+  }
+  long long sum = 0;
+  for (std::size_t k = 0; k < n * n; ++k) {
+    sum += output[k] * static_cast<long long>(k + 1);
+  }
+  return "checksum " + std::to_string(sum) + "\n";
+}
+
+std::string xor_cuda_kernel_def() {
+  return R"(__global__ void cellsXOR(const int* input, int* output, size_t N) {
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < N && j < N) {
+    int count = 0;
+    if (i > 0 && input[(i - 1) * N + j] == 1) count++;
+    if (i < N - 1 && input[(i + 1) * N + j] == 1) count++;
+    if (j > 0 && input[i * N + (j - 1)] == 1) count++;
+    if (j < N - 1 && input[i * N + (j + 1)] == 1) count++;
+    output[i * N + j] = (count == 1) ? 1 : 0;
+  }
+}
+)";
+}
+
+std::string xor_omp_kernel_def() {
+  return R"(void cellsXOR(const int* input, int* output, size_t N) {
+#pragma omp parallel for collapse(2)
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      int count = 0;
+      if (i > 0 && input[(i - 1) * N + j] == 1) count++;
+      if (i < N - 1 && input[(i + 1) * N + j] == 1) count++;
+      if (j > 0 && input[i * N + (j - 1)] == 1) count++;
+      if (j < N - 1 && input[i * N + (j + 1)] == 1) count++;
+      output[i * N + j] = (count == 1) ? 1 : 0;
+    }
+  }
+}
+)";
+}
+
+std::string xor_cuda_main(const std::string& kernel_include,
+                          bool kernel_inline) {
+  std::string out = "#include <stdio.h>\n#include <stdlib.h>\n";
+  if (!kernel_include.empty()) {
+    out += "#include \"" + kernel_include + "\"\n";
+  }
+  out += "\n";
+  if (kernel_inline) out += xor_cuda_kernel_def() + "\n";
+  out += R"(int main(int argc, char** argv) {
+  size_t N = 32;
+  int iters = 1;
+  if (argc > 1) N = atoi(argv[1]);
+  if (argc > 2) iters = atoi(argv[2]);
+
+  int* input = (int*) malloc(N * N * sizeof(int));
+  int* output = (int*) malloc(N * N * sizeof(int));
+  for (size_t k = 0; k < N * N; k++) {
+    input[k] = (k * 7 + 3) % 5 == 0 ? 1 : 0;
+  }
+
+  int* d_in;
+  int* d_out;
+  cudaMalloc((void**)&d_in, N * N * sizeof(int));
+  cudaMalloc((void**)&d_out, N * N * sizeof(int));
+  cudaMemcpy(d_in, input, N * N * sizeof(int), cudaMemcpyHostToDevice);
+
+  int blockEdge = 8;
+  dim3 block(blockEdge, blockEdge);
+  dim3 grid((N + blockEdge - 1) / blockEdge, (N + blockEdge - 1) / blockEdge);
+  for (int it = 0; it < iters; it++) {
+    cellsXOR<<<grid, block>>>(d_in, d_out, N);
+    cudaDeviceSynchronize();
+    cudaMemcpy(d_in, d_out, N * N * sizeof(int), cudaMemcpyDeviceToDevice);
+  }
+  cudaMemcpy(output, d_out, N * N * sizeof(int), cudaMemcpyDeviceToHost);
+
+  long sum = 0;
+  for (size_t k = 0; k < N * N; k++) {
+    sum += output[k] * (long)(k + 1);
+  }
+  printf("checksum %ld\n", sum);
+
+  cudaFree(d_in);
+  cudaFree(d_out);
+  free(input);
+  free(output);
+  return 0;
+}
+)";
+  return out;
+}
+
+std::string xor_omp_main(const std::string& kernel_include,
+                         bool kernel_inline) {
+  std::string out =
+      "#include <stdio.h>\n#include <stdlib.h>\n#include <string.h>\n";
+  if (!kernel_include.empty()) {
+    out += "#include \"" + kernel_include + "\"\n";
+  }
+  out += "\n";
+  if (kernel_inline) out += xor_omp_kernel_def() + "\n";
+  out += R"(int main(int argc, char** argv) {
+  size_t N = 32;
+  int iters = 1;
+  if (argc > 1) N = atoi(argv[1]);
+  if (argc > 2) iters = atoi(argv[2]);
+
+  int* input = (int*) malloc(N * N * sizeof(int));
+  int* output = (int*) malloc(N * N * sizeof(int));
+  for (size_t k = 0; k < N * N; k++) {
+    input[k] = (k * 7 + 3) % 5 == 0 ? 1 : 0;
+  }
+
+  for (int it = 0; it < iters; it++) {
+    cellsXOR(input, output, N);
+    memcpy(input, output, N * N * sizeof(int));
+  }
+
+  long sum = 0;
+  for (size_t k = 0; k < N * N; k++) {
+    sum += output[k] * (long)(k + 1);
+  }
+  printf("checksum %ld\n", sum);
+
+  free(input);
+  free(output);
+  return 0;
+}
+)";
+  return out;
+}
+
+void xor_fill_common(AppSpec& app, const std::string& exe_name,
+                     const std::vector<std::string>& omp_sources,
+                     const std::vector<std::string>& kokkos_sources) {
+  app.available = {Model::OmpThreads, Model::Cuda};
+  app.ports = {Model::OmpOffload, Model::Kokkos};
+  app.tests = {{{"8", "1"}}, {{"16", "2"}}, {{"12", "3"}}};
+  app.golden = xor_golden;
+  app.tolerance = 0.0;
+  app.cli_spec =
+      "The application takes two optional positional arguments: the grid "
+      "edge length N (default 32) and the iteration count (default 1). It "
+      "prints exactly one line: 'checksum <value>'.";
+  app.build_spec_make =
+      "The Makefile must provide the default target 'all' producing the "
+      "executable '" + exe_name + "'. Compile OpenMP offload code with "
+      "clang++ (LLVM 19) using -fopenmp -fopenmp-targets=nvptx64-nvidia-"
+      "cuda for the NVIDIA A100 (sm_80).";
+  app.build_spec_cmake =
+      "Provide a CMakeLists.txt using find_package(Kokkos REQUIRED) and "
+      "target_link_libraries(" + exe_name + " Kokkos::kokkos); the "
+      "executable target must be named '" + exe_name + "'. Kokkos 4.5.01 "
+      "is installed; the compiler is g++ 11.3.";
+  app.array_extents = {{"cellsXOR.input", "N * N"},
+                       {"cellsXOR.output", "N * N"}};
+
+  // Ground-truth build files (author-translated) for Code-only mode.
+  vfs::Repo omp_build;
+  std::string make =
+      "CXX = clang++\n"
+      "CXXFLAGS = -O2 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda\n"
+      "SRCS = " + support::join(omp_sources, " ") + "\n\n"
+      "all: " + exe_name + "\n\n" +
+      exe_name + ": $(SRCS)\n"
+      "\t$(CXX) $(CXXFLAGS) $(SRCS) -o " + exe_name + "\n\n"
+      "clean:\n\trm -f " + exe_name + "\n";
+  omp_build.write("Makefile", make);
+  app.ground_truth_builds[Model::OmpOffload] = omp_build;
+
+  vfs::Repo kokkos_build;
+  std::string cml =
+      "cmake_minimum_required(VERSION 3.16)\n"
+      "project(" + exe_name + " LANGUAGES CXX)\n"
+      "set(CMAKE_CXX_STANDARD 17)\n"
+      "find_package(Kokkos REQUIRED)\n"
+      "add_executable(" + exe_name + " " +
+      support::join(kokkos_sources, " ") + ")\n"
+      "target_link_libraries(" + exe_name + " PRIVATE Kokkos::kokkos)\n";
+  kokkos_build.write("CMakeLists.txt", cml);
+  app.ground_truth_builds[Model::Kokkos] = kokkos_build;
+}
+
+}  // namespace pareval::apps

@@ -1,0 +1,31 @@
+#pragma once
+// Shared pieces of the three custom XOR micro-applications (paper §5.1):
+// nanoXOR (single file), microXORh (kernel in a header), microXOR (kernel
+// in a separate translation unit). All three run the same four-point XOR
+// stencil; they differ only in repository structure, which is exactly the
+// variable the paper isolates (compile-time vs link-time dependencies).
+
+#include <string>
+
+#include "apps/app.hpp"
+
+namespace pareval::apps {
+
+/// Native reference: run the stencil and return the expected stdout.
+std::string xor_golden(const TestCase& tc);
+
+/// The CUDA kernel body (paper Listing 2) and the host loop used by both
+/// model variants; exposed for reuse by the three app definitions.
+std::string xor_cuda_main(const std::string& kernel_include,
+                          bool kernel_inline);
+std::string xor_omp_main(const std::string& kernel_include,
+                         bool kernel_inline);
+std::string xor_cuda_kernel_def();
+std::string xor_omp_kernel_def();
+
+/// Common spec fields (tests, CLI contract, extents, ground truths).
+void xor_fill_common(AppSpec& app, const std::string& exe_name,
+                     const std::vector<std::string>& omp_sources,
+                     const std::vector<std::string>& kokkos_sources);
+
+}  // namespace pareval::apps

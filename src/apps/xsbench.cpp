@@ -1,0 +1,546 @@
+// XSBench: proxy app for OpenMC — macroscopic cross-section lookup
+// (paper §5.1). A substantial step up in complexity from SimpleMOC-kernel.
+// This is the benchmark's data-contamination probe: public ports to the
+// target models exist. Table 1: 9 files, OpenMP-threads and CUDA shipped.
+
+#include "apps/app.hpp"
+#include "apps/golden.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace pareval::apps {
+
+namespace {
+
+constexpr int kMaterials = 4;
+constexpr int kMaxNucs = 6;
+
+// --- native golden reference -------------------------------------------
+
+double lcg_random_double(long long& seed) {
+  seed = static_cast<long long>(
+      static_cast<unsigned long long>(seed) * 2806196910506780709ULL + 1ULL);
+  return static_cast<double>((seed >> 12) & 2251799813685247LL) /
+         2251799813685248.0;
+}
+
+std::string xsbench_golden(const TestCase& tc) {
+  int n_lookups = 100, n_isotopes = 8, n_gridpoints = 32;
+  if (tc.args.size() > 0) n_lookups = std::atoi(tc.args[0].c_str());
+  if (tc.args.size() > 1) n_isotopes = std::atoi(tc.args[1].c_str());
+  if (tc.args.size() > 2) n_gridpoints = std::atoi(tc.args[2].c_str());
+
+  // Nuclide grids (energy ascending per isotope) — matches GridInit.
+  std::vector<double> energy(n_isotopes * n_gridpoints);
+  std::vector<double> xs(n_isotopes * n_gridpoints * 4);
+  for (int i = 0; i < n_isotopes; ++i) {
+    for (int j = 0; j < n_gridpoints; ++j) {
+      const int idx = i * n_gridpoints + j;
+      energy[idx] = (j + 1.0) / (n_gridpoints + 1.0) +
+                    0.001 * ((i * 7) % 5);
+      xs[idx * 4 + 0] = 0.2 + ((i * 17 + j * 5) % 13) * 0.03;
+      xs[idx * 4 + 1] = 0.1 + ((i * 11 + j * 3) % 7) * 0.02;
+      xs[idx * 4 + 2] = 0.05 + ((i * 5 + j * 7) % 11) * 0.01;
+      xs[idx * 4 + 3] = 0.02 + ((i * 3 + j * 11) % 5) * 0.04;
+    }
+  }
+  // Materials — matches Materials.cu.
+  std::vector<int> num_nucs(kMaterials);
+  std::vector<int> mats(kMaterials * kMaxNucs);
+  std::vector<double> concs(kMaterials * kMaxNucs);
+  for (int m = 0; m < kMaterials; ++m) {
+    num_nucs[m] = 2 + m;
+    for (int k = 0; k < num_nucs[m]; ++k) {
+      mats[m * kMaxNucs + k] = (m * 3 + k * 5) % n_isotopes;
+      concs[m * kMaxNucs + k] = 0.2 + 0.1 * ((m + k) % 5);
+    }
+  }
+
+  double verification = 0.0;
+  for (int i = 0; i < n_lookups; ++i) {
+    long long seed = 1070 + i * 31LL;
+    const double e = lcg_random_double(seed);
+    const int m = static_cast<int>(lcg_random_double(seed) * kMaterials);
+    double macro[4] = {0, 0, 0, 0};
+    for (int k = 0; k < num_nucs[m]; ++k) {
+      const int nuc = mats[m * kMaxNucs + k];
+      const double conc = concs[m * kMaxNucs + k];
+      // Binary search for the interval containing e — matches XSutils.
+      const double* grid = &energy[nuc * n_gridpoints];
+      int lo = 0, hi = n_gridpoints - 1;
+      while (hi - lo > 1) {
+        const int mid = (lo + hi) / 2;
+        if (grid[mid] > e) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      const double e_lo = grid[lo], e_hi = grid[hi];
+      double f = 0.0;
+      if (e_hi > e_lo) f = (e - e_lo) / (e_hi - e_lo);
+      for (int c = 0; c < 4; ++c) {
+        const double x_lo = xs[(nuc * n_gridpoints + lo) * 4 + c];
+        const double x_hi = xs[(nuc * n_gridpoints + hi) * 4 + c];
+        macro[c] += conc * (x_lo + f * (x_hi - x_lo));
+      }
+    }
+    verification += macro[0] + macro[1] + macro[2] + macro[3];
+  }
+  return support::strfmt("Verification checksum: %.6f\n", verification);
+}
+
+// --- shared source text ---------------------------------------------------
+
+const char* kReadme =
+    "# XSBench\n\nProxy application for OpenMC: macroscopic neutron "
+    "cross-section lookups over unionized nuclide energy grids.\n\nUsage: "
+    "./XSBench [lookups] [isotopes] [gridpoints]\n";
+
+// Header for the CUDA variant (.cuh) and OpenMP-threads variant (.h) differ
+// only in qualifiers and extension.
+std::string xs_header(bool cuda) {
+  const char* q = cuda ? "__host__ __device__ " : "";
+  std::string out = R"(#pragma once
+
+#define N_XS_CHANNELS 4
+#define N_MATERIALS 4
+#define MAX_NUCS 6
+
+typedef struct {
+  int n_lookups;
+  int n_isotopes;
+  int n_gridpoints;
+  long seed;
+} Inputs;
+
+typedef struct {
+  double total_xs;
+  double elastic_xs;
+  double absorption_xs;
+  double fission_xs;
+} MicroXS;
+
+Inputs read_cli(int argc, char** argv);
+void print_results(double verification);
+void init_grids(double* energy, double* xs, int n_isotopes, int n_gridpoints);
+void init_materials(int* num_nucs, int* mats, double* concs, int n_isotopes);
+)";
+  out += std::string(q) +
+         "double LCG_random_double(long* seed);\n";
+  out += std::string(q) +
+         "int grid_search(const double* grid, double e, int n);\n";
+  out += std::string(q) +
+         "void calculate_macro_xs(double e, int mat, const double* energy,\n"
+         "                        const double* xs, const int* num_nucs,\n"
+         "                        const int* mats, const double* concs,\n"
+         "                        int n_isotopes, int n_gridpoints,\n"
+         "                        double* macro);\n";
+  return out;
+}
+
+std::string xs_utils(bool cuda) {
+  const std::string inc =
+      std::string("#include \"XSbench_header.") + (cuda ? "cuh" : "h") +
+      "\"\n\n";
+  const char* q = cuda ? "__host__ __device__ " : "";
+  return inc + std::string(q) + R"(double LCG_random_double(long* seed) {
+  *seed = *seed * 2806196910506780709L + 1L;
+  return ((double)((*seed >> 12) & 2251799813685247L)) / 2251799813685248.0;
+}
+
+)" + std::string(q) + R"(int grid_search(const double* grid, double e, int n) {
+  int lo = 0;
+  int hi = n - 1;
+  while (hi - lo > 1) {
+    int mid = (lo + hi) / 2;
+    if (grid[mid] > e) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+)";
+}
+
+std::string xs_gridinit(bool cuda) {
+  const std::string inc =
+      std::string("#include \"XSbench_header.") + (cuda ? "cuh" : "h") +
+      "\"\n\n";
+  return inc + R"(void init_grids(double* energy, double* xs, int n_isotopes,
+                int n_gridpoints) {
+  for (int i = 0; i < n_isotopes; i++) {
+    for (int j = 0; j < n_gridpoints; j++) {
+      int idx = i * n_gridpoints + j;
+      energy[idx] = (j + 1.0) / (n_gridpoints + 1.0) + 0.001 * ((i * 7) % 5);
+      xs[idx * 4 + 0] = 0.2 + ((i * 17 + j * 5) % 13) * 0.03;
+      xs[idx * 4 + 1] = 0.1 + ((i * 11 + j * 3) % 7) * 0.02;
+      xs[idx * 4 + 2] = 0.05 + ((i * 5 + j * 7) % 11) * 0.01;
+      xs[idx * 4 + 3] = 0.02 + ((i * 3 + j * 11) % 5) * 0.04;
+    }
+  }
+}
+)";
+}
+
+std::string xs_materials(bool cuda) {
+  const std::string inc =
+      std::string("#include \"XSbench_header.") + (cuda ? "cuh" : "h") +
+      "\"\n\n";
+  return inc + R"(void init_materials(int* num_nucs, int* mats, double* concs,
+                    int n_isotopes) {
+  for (int m = 0; m < N_MATERIALS; m++) {
+    num_nucs[m] = 2 + m;
+    for (int k = 0; k < num_nucs[m]; k++) {
+      mats[m * MAX_NUCS + k] = (m * 3 + k * 5) % n_isotopes;
+      concs[m * MAX_NUCS + k] = 0.2 + 0.1 * ((m + k) % 5);
+    }
+  }
+}
+)";
+}
+
+std::string xs_calculate(bool cuda) {
+  const std::string inc =
+      std::string("#include \"XSbench_header.") + (cuda ? "cuh" : "h") +
+      "\"\n\n";
+  const char* q = cuda ? "__host__ __device__ " : "";
+  return inc + std::string(q) +
+         R"(void calculate_macro_xs(double e, int mat, const double* energy,
+                        const double* xs, const int* num_nucs,
+                        const int* mats, const double* concs,
+                        int n_isotopes, int n_gridpoints, double* macro) {
+  for (int c = 0; c < N_XS_CHANNELS; c++) {
+    macro[c] = 0.0;
+  }
+  for (int k = 0; k < num_nucs[mat]; k++) {
+    int nuc = mats[mat * MAX_NUCS + k];
+    double conc = concs[mat * MAX_NUCS + k];
+    int lo = grid_search(energy + nuc * n_gridpoints, e, n_gridpoints);
+    int hi = lo + 1;
+    double e_lo = energy[nuc * n_gridpoints + lo];
+    double e_hi = energy[nuc * n_gridpoints + hi];
+    double f = 0.0;
+    if (e_hi > e_lo) {
+      f = (e - e_lo) / (e_hi - e_lo);
+    }
+    for (int c = 0; c < N_XS_CHANNELS; c++) {
+      double x_lo = xs[(nuc * n_gridpoints + lo) * 4 + c];
+      double x_hi = xs[(nuc * n_gridpoints + hi) * 4 + c];
+      macro[c] += conc * (x_lo + f * (x_hi - x_lo));
+    }
+  }
+}
+)";
+}
+
+const char* kSimulationCuda = R"(#include "XSbench_header.cuh"
+
+__global__ void xs_lookup_kernel(const double* energy, const double* xs,
+                                 const int* num_nucs, const int* mats,
+                                 const double* concs, int n_isotopes,
+                                 int n_gridpoints, int n_lookups, long seed,
+                                 double* verification) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n_lookups) {
+    long state = seed + i * 31;
+    double e = LCG_random_double(&state);
+    int m = (int) (LCG_random_double(&state) * N_MATERIALS);
+    double macro[4];
+    calculate_macro_xs(e, m, energy, xs, num_nucs, mats, concs, n_isotopes,
+                       n_gridpoints, macro);
+    double v = macro[0] + macro[1] + macro[2] + macro[3];
+    atomicAdd(verification, v);
+  }
+}
+)";
+
+const char* kSimulationOmp = R"(#include "XSbench_header.h"
+
+void run_lookups(const double* energy, const double* xs,
+                 const int* num_nucs, const int* mats, const double* concs,
+                 int n_isotopes, int n_gridpoints, int n_lookups, long seed,
+                 double* verification) {
+  double v_total = 0.0;
+#pragma omp parallel for reduction(+:v_total)
+  for (int i = 0; i < n_lookups; i++) {
+    long state = seed + i * 31;
+    double e = LCG_random_double(&state);
+    int m = (int) (LCG_random_double(&state) * N_MATERIALS);
+    double macro[4];
+    calculate_macro_xs(e, m, energy, xs, num_nucs, mats, concs, n_isotopes,
+                       n_gridpoints, macro);
+    v_total += macro[0] + macro[1] + macro[2] + macro[3];
+  }
+  *verification = v_total;
+}
+)";
+
+const char* kMainCuda = R"(#include <stdio.h>
+#include <stdlib.h>
+#include "XSbench_header.cuh"
+
+__global__ void xs_lookup_kernel(const double* energy, const double* xs,
+                                 const int* num_nucs, const int* mats,
+                                 const double* concs, int n_isotopes,
+                                 int n_gridpoints, int n_lookups, long seed,
+                                 double* verification);
+
+int main(int argc, char** argv) {
+  Inputs in = read_cli(argc, argv);
+  int grid_cells = in.n_isotopes * in.n_gridpoints;
+
+  double* energy = (double*) malloc(grid_cells * sizeof(double));
+  double* xs = (double*) malloc(grid_cells * 4 * sizeof(double));
+  int* num_nucs = (int*) malloc(N_MATERIALS * sizeof(int));
+  int* mats = (int*) malloc(N_MATERIALS * MAX_NUCS * sizeof(int));
+  double* concs = (double*) malloc(N_MATERIALS * MAX_NUCS * sizeof(double));
+  init_grids(energy, xs, in.n_isotopes, in.n_gridpoints);
+  init_materials(num_nucs, mats, concs, in.n_isotopes);
+
+  double* d_energy;
+  double* d_xs;
+  int* d_num_nucs;
+  int* d_mats;
+  double* d_concs;
+  double* d_verification;
+  cudaMalloc((void**)&d_energy, grid_cells * sizeof(double));
+  cudaMalloc((void**)&d_xs, grid_cells * 4 * sizeof(double));
+  cudaMalloc((void**)&d_num_nucs, N_MATERIALS * sizeof(int));
+  cudaMalloc((void**)&d_mats, N_MATERIALS * MAX_NUCS * sizeof(int));
+  cudaMalloc((void**)&d_concs, N_MATERIALS * MAX_NUCS * sizeof(double));
+  cudaMalloc((void**)&d_verification, sizeof(double));
+  cudaMemcpy(d_energy, energy, grid_cells * sizeof(double),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(d_xs, xs, grid_cells * 4 * sizeof(double),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(d_num_nucs, num_nucs, N_MATERIALS * sizeof(int),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(d_mats, mats, N_MATERIALS * MAX_NUCS * sizeof(int),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(d_concs, concs, N_MATERIALS * MAX_NUCS * sizeof(double),
+             cudaMemcpyHostToDevice);
+  cudaMemset(d_verification, 0, sizeof(double));
+
+  int threads = 64;
+  int blocks = (in.n_lookups + threads - 1) / threads;
+  xs_lookup_kernel<<<blocks, threads>>>(d_energy, d_xs, d_num_nucs, d_mats,
+                                        d_concs, in.n_isotopes,
+                                        in.n_gridpoints, in.n_lookups,
+                                        in.seed, d_verification);
+  cudaDeviceSynchronize();
+
+  double verification = 0.0;
+  cudaMemcpy(&verification, d_verification, sizeof(double),
+             cudaMemcpyDeviceToHost);
+  print_results(verification);
+
+  cudaFree(d_energy);
+  cudaFree(d_xs);
+  cudaFree(d_num_nucs);
+  cudaFree(d_mats);
+  cudaFree(d_concs);
+  cudaFree(d_verification);
+  free(energy);
+  free(xs);
+  free(num_nucs);
+  free(mats);
+  free(concs);
+  return 0;
+}
+)";
+
+const char* kMainOmp = R"(#include <stdio.h>
+#include <stdlib.h>
+#include "XSbench_header.h"
+
+void run_lookups(const double* energy, const double* xs,
+                 const int* num_nucs, const int* mats, const double* concs,
+                 int n_isotopes, int n_gridpoints, int n_lookups, long seed,
+                 double* verification);
+
+int main(int argc, char** argv) {
+  Inputs in = read_cli(argc, argv);
+  int grid_cells = in.n_isotopes * in.n_gridpoints;
+
+  double* energy = (double*) malloc(grid_cells * sizeof(double));
+  double* xs = (double*) malloc(grid_cells * 4 * sizeof(double));
+  int* num_nucs = (int*) malloc(N_MATERIALS * sizeof(int));
+  int* mats = (int*) malloc(N_MATERIALS * MAX_NUCS * sizeof(int));
+  double* concs = (double*) malloc(N_MATERIALS * MAX_NUCS * sizeof(double));
+  init_grids(energy, xs, in.n_isotopes, in.n_gridpoints);
+  init_materials(num_nucs, mats, concs, in.n_isotopes);
+
+  double verification = 0.0;
+  run_lookups(energy, xs, num_nucs, mats, concs, in.n_isotopes,
+              in.n_gridpoints, in.n_lookups, in.seed, &verification);
+  print_results(verification);
+
+  free(energy);
+  free(xs);
+  free(num_nucs);
+  free(mats);
+  free(concs);
+  return 0;
+}
+)";
+
+std::string xs_io(bool cuda) {
+  const std::string inc =
+      std::string("#include <stdio.h>\n#include <stdlib.h>\n#include "
+                  "\"XSbench_header.") + (cuda ? "cuh" : "h") + "\"\n\n";
+  return inc + R"(Inputs read_cli(int argc, char** argv) {
+  Inputs in;
+  in.n_lookups = 100;
+  in.n_isotopes = 8;
+  in.n_gridpoints = 32;
+  in.seed = 1070;
+  if (argc > 1) in.n_lookups = atoi(argv[1]);
+  if (argc > 2) in.n_isotopes = atoi(argv[2]);
+  if (argc > 3) in.n_gridpoints = atoi(argv[3]);
+  return in;
+}
+
+void print_results(double verification) {
+  printf("Verification checksum: %.6f\n", verification);
+}
+)";
+}
+
+}  // namespace
+
+const AppSpec& xsbench_app() {
+  static const AppSpec app = [] {
+    AppSpec a;
+    a.name = "XSBench";
+    a.description =
+        "Proxy application for OpenMC: macroscopic cross-section lookups "
+        "over nuclide energy grids. Publicly available ports exist in the "
+        "target models (data-contamination probe).";
+    a.available = {Model::OmpThreads, Model::Cuda};
+    a.ports = {Model::OmpOffload, Model::Kokkos};
+    a.public_port_exists = true;
+    a.tests = {{{"50", "8", "16"}}, {{"100", "8", "32"}}, {{"80", "12", "24"}}};
+    a.golden = xsbench_golden;
+    a.tolerance = 1e-9;
+    a.cli_spec =
+        "The application takes three optional positional arguments: number "
+        "of lookups (default 100), number of isotopes (default 8) and grid "
+        "points per isotope (default 32). It prints exactly one line: "
+        "'Verification checksum: <value>' in %.6f format.";
+    a.build_spec_make =
+        "The Makefile must provide the default target 'all' producing the "
+        "executable 'XSBench'. Compile OpenMP offload code with clang++ "
+        "(LLVM 19) using -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda.";
+    a.build_spec_cmake =
+        "Provide CMakeLists.txt with find_package(Kokkos REQUIRED), an "
+        "executable target named 'XSBench', and target_link_libraries(... "
+        "Kokkos::kokkos). Kokkos 4.5.01, g++ 11.3.";
+    a.array_extents = {
+        {"run_lookups.energy", "n_isotopes * n_gridpoints"},
+        {"run_lookups.xs", "n_isotopes * n_gridpoints * 4"},
+        {"run_lookups.num_nucs", "4"},
+        {"run_lookups.mats", "24"},
+        {"run_lookups.concs", "24"},
+        {"run_lookups.verification", "1"},
+        {"xs_lookup_kernel.energy", "n_isotopes * n_gridpoints"},
+        {"xs_lookup_kernel.xs", "n_isotopes * n_gridpoints * 4"},
+        {"xs_lookup_kernel.num_nucs", "4"},
+        {"xs_lookup_kernel.mats", "24"},
+        {"xs_lookup_kernel.concs", "24"},
+        {"xs_lookup_kernel.verification", "1"},
+    };
+
+    vfs::Repo cuda;
+    cuda.write("Makefile",
+               "NVCC = nvcc\n"
+               "NVCCFLAGS = -O2 -arch=sm_80\n"
+               "OBJS = main.o Simulation.o CalculateXS.o GridInit.o "
+               "Materials.o XSutils.o io.o\n\n"
+               "all: XSBench\n\n"
+               "XSBench: $(OBJS)\n"
+               "\t$(NVCC) $(NVCCFLAGS) $(OBJS) -o XSBench\n\n"
+               "main.o: src/main.cu src/XSbench_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/main.cu -o main.o\n\n"
+               "Simulation.o: src/Simulation.cu src/XSbench_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/Simulation.cu -o Simulation.o\n\n"
+               "CalculateXS.o: src/CalculateXS.cu src/XSbench_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/CalculateXS.cu -o CalculateXS.o\n\n"
+               "GridInit.o: src/GridInit.cu src/XSbench_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/GridInit.cu -o GridInit.o\n\n"
+               "Materials.o: src/Materials.cu src/XSbench_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/Materials.cu -o Materials.o\n\n"
+               "XSutils.o: src/XSutils.cu src/XSbench_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/XSutils.cu -o XSutils.o\n\n"
+               "io.o: src/io.cu src/XSbench_header.cuh\n"
+               "\t$(NVCC) $(NVCCFLAGS) -c src/io.cu -o io.o\n\n"
+               "clean:\n\trm -f XSBench $(OBJS)\n");
+    cuda.write("README.md", kReadme);
+    cuda.write("src/XSbench_header.cuh", xs_header(true));
+    cuda.write("src/main.cu", kMainCuda);
+    cuda.write("src/Simulation.cu", kSimulationCuda);
+    cuda.write("src/CalculateXS.cu", xs_calculate(true));
+    cuda.write("src/GridInit.cu", xs_gridinit(true));
+    cuda.write("src/Materials.cu", xs_materials(true));
+    cuda.write("src/XSutils.cu", xs_utils(true));
+    cuda.write("src/io.cu", xs_io(true));
+    a.repos[Model::Cuda] = std::move(cuda);
+
+    vfs::Repo omp;
+    omp.write("Makefile",
+              "CXX = g++\n"
+              "CXXFLAGS = -O2 -fopenmp\n"
+              "SRCS = src/main.cpp src/Simulation.cpp src/CalculateXS.cpp "
+              "src/GridInit.cpp src/Materials.cpp src/XSutils.cpp "
+              "src/io.cpp\n\n"
+              "all: XSBench\n\n"
+              "XSBench: $(SRCS) src/XSbench_header.h\n"
+              "\t$(CXX) $(CXXFLAGS) $(SRCS) -o XSBench\n\n"
+              "clean:\n\trm -f XSBench\n");
+    omp.write("README.md", kReadme);
+    omp.write("src/XSbench_header.h", xs_header(false));
+    omp.write("src/main.cpp", kMainOmp);
+    omp.write("src/Simulation.cpp", kSimulationOmp);
+    omp.write("src/CalculateXS.cpp", xs_calculate(false));
+    omp.write("src/GridInit.cpp", xs_gridinit(false));
+    omp.write("src/Materials.cpp", xs_materials(false));
+    omp.write("src/XSutils.cpp", xs_utils(false));
+    omp.write("src/io.cpp", xs_io(false));
+    a.repos[Model::OmpThreads] = std::move(omp);
+
+    vfs::Repo omp_build;
+    omp_build.write(
+        "Makefile",
+        "CXX = clang++\n"
+        "CXXFLAGS = -O2 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda\n"
+        "SRCS = src/main.cpp src/Simulation.cpp src/CalculateXS.cpp "
+        "src/GridInit.cpp src/Materials.cpp src/XSutils.cpp src/io.cpp\n\n"
+        "all: XSBench\n\n"
+        "XSBench: $(SRCS)\n"
+        "\t$(CXX) $(CXXFLAGS) $(SRCS) -o XSBench\n\n"
+        "clean:\n\trm -f XSBench\n");
+    a.ground_truth_builds[Model::OmpOffload] = omp_build;
+
+    vfs::Repo kokkos_build;
+    kokkos_build.write(
+        "CMakeLists.txt",
+        "cmake_minimum_required(VERSION 3.16)\n"
+        "project(XSBench LANGUAGES CXX)\n"
+        "set(CMAKE_CXX_STANDARD 17)\n"
+        "find_package(Kokkos REQUIRED)\n"
+        "add_executable(XSBench src/main.cpp src/Simulation.cpp "
+        "src/CalculateXS.cpp src/GridInit.cpp src/Materials.cpp "
+        "src/XSutils.cpp src/io.cpp)\n"
+        "target_link_libraries(XSBench PRIVATE Kokkos::kokkos)\n");
+    a.ground_truth_builds[Model::Kokkos] = kokkos_build;
+    return a;
+  }();
+  return app;
+}
+
+}  // namespace pareval::apps

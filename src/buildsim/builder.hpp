@@ -1,0 +1,31 @@
+#pragma once
+// Top-level build orchestration: detect the repository's build system
+// (CMakeLists.txt or Makefile), run configure/plan, execute the compiler
+// command lines through the simulated toolchains, and link an Executable.
+// The rendered build log is what the error-classification pipeline
+// (word2vec + DBSCAN, §6.3) consumes.
+
+#include <optional>
+#include <string>
+
+#include "execsim/driver.hpp"
+#include "minic/diag.hpp"
+#include "vfs/repo.hpp"
+
+namespace pareval::buildsim {
+
+struct BuildResult {
+  bool ok = false;
+  minic::DiagBag diags;
+  std::string log;          // make-style transcript: commands + diagnostics
+  std::optional<execsim::Executable> exe;
+  minic::Capabilities caps; // union over all invocations
+  std::string build_system; // "make", "cmake" or "" (none found)
+};
+
+/// Build the repository. `make_target` selects a Makefile goal ("" =
+/// default). CMakeLists.txt takes precedence when both files exist.
+BuildResult build_repo(const vfs::Repo& repo,
+                       const std::string& make_target = "");
+
+}  // namespace pareval::buildsim

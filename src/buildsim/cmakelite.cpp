@@ -1,0 +1,377 @@
+#include "buildsim/cmakelite.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace pareval::buildsim {
+
+using minic::DiagBag;
+using minic::DiagCategory;
+using support::trim;
+
+bool package_installed(const std::string& name) {
+  return name == "Kokkos" || name == "OpenMP" || name == "CUDAToolkit" ||
+         name == "CUDA" || name == "Threads";
+}
+
+namespace {
+
+struct Command {
+  std::string name;
+  std::vector<std::string> args;
+  int line = 0;
+};
+
+/// Tokenise CMakeLists: command '(' args ')' with quoted strings.
+std::optional<std::vector<Command>> scan(const std::string& text,
+                                         const std::string& path,
+                                         DiagBag& diags) {
+  std::vector<Command> out;
+  std::size_t i = 0;
+  int line = 1;
+  const auto n = text.size();
+  auto skip_ws_comments = [&] {
+    while (i < n) {
+      if (text[i] == '\n') {
+        ++line;
+        ++i;
+      } else if (std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      } else if (text[i] == '#') {
+        while (i < n && text[i] != '\n') ++i;
+      } else {
+        break;
+      }
+    }
+  };
+  while (true) {
+    skip_ws_comments();
+    if (i >= n) break;
+    // Command name.
+    std::size_t start = i;
+    while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                     text[i] == '_')) {
+      ++i;
+    }
+    if (i == start) {
+      diags.error(DiagCategory::MakefileSyntax,
+                  "Parse error: expected command name", path, line);
+      return std::nullopt;
+    }
+    Command cmd;
+    cmd.name = support::to_lower(text.substr(start, i - start));
+    cmd.line = line;
+    skip_ws_comments();
+    if (i >= n || text[i] != '(') {
+      diags.error(DiagCategory::MakefileSyntax,
+                  "Parse error: expected '(' after '" + cmd.name + "'", path,
+                  line);
+      return std::nullopt;
+    }
+    ++i;  // (
+    int depth = 1;
+    std::string cur;
+    bool in_quote = false;
+    for (; i < n; ++i) {
+      const char c = text[i];
+      if (c == '\n') ++line;
+      if (in_quote) {
+        if (c == '"') {
+          in_quote = false;
+          cmd.args.push_back(cur);
+          cur.clear();
+        } else {
+          cur += c;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_quote = true;
+        continue;
+      }
+      if (c == '(') {
+        ++depth;
+        cur += c;
+        continue;
+      }
+      if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          if (!trim(cur).empty()) cmd.args.emplace_back(trim(cur));
+          ++i;
+          break;
+        }
+        cur += c;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!trim(cur).empty()) cmd.args.emplace_back(trim(cur));
+        cur.clear();
+        continue;
+      }
+      cur += c;
+    }
+    if (depth != 0 || in_quote) {
+      diags.error(DiagCategory::MakefileSyntax,
+                  "Parse error: unterminated " +
+                      std::string(in_quote ? "string" : "argument list") +
+                      " in '" + cmd.name + "'",
+                  path, cmd.line);
+      return std::nullopt;
+    }
+    out.push_back(std::move(cmd));
+  }
+  return out;
+}
+
+std::string expand(const std::string& s,
+                   const std::map<std::string, std::string>& vars) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '$' && i + 1 < s.size() && s[i + 1] == '{') {
+      const auto end = s.find('}', i + 2);
+      if (end == std::string::npos) {
+        out += s.substr(i);
+        return out;
+      }
+      const std::string name = s.substr(i + 2, end - i - 2);
+      const auto hit = vars.find(name);
+      if (hit != vars.end()) out += hit->second;
+      i = end;
+      continue;
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+const std::vector<std::string> kKnownCommands = {
+    "cmake_minimum_required", "project", "find_package", "add_executable",
+    "target_link_libraries", "target_compile_options",
+    "target_include_directories", "include_directories", "set",
+    "add_compile_options", "enable_language", "message", "option", "if",
+    "else", "elseif", "endif", "add_library", "set_target_properties",
+    "add_definitions", "target_compile_definitions", "link_libraries",
+    "add_subdirectory", "install", "foreach", "endforeach",
+    "include", "string", "list"};
+
+}  // namespace
+
+std::optional<CMakeProject> configure_cmake(const std::string& text,
+                                            const std::string& path,
+                                            DiagBag& diags) {
+  const auto commands = scan(text, path, diags);
+  if (!commands) return std::nullopt;
+
+  CMakeProject proj;
+  bool saw_project = false;
+  bool failed = false;
+
+  auto error = [&](int line, const std::string& msg) {
+    diags.error(DiagCategory::CMakeConfig, "CMake Error: " + msg, path, line);
+    failed = true;
+  };
+
+  auto find_target = [&](const std::string& name) -> CMakeTarget* {
+    for (auto& t : proj.targets) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  };
+
+  for (const auto& cmd : *commands) {
+    std::vector<std::string> args;
+    args.reserve(cmd.args.size());
+    for (const auto& a : cmd.args) args.push_back(expand(a, proj.variables));
+
+    if (std::find(kKnownCommands.begin(), kKnownCommands.end(), cmd.name) ==
+        kKnownCommands.end()) {
+      error(cmd.line, "Unknown CMake command \"" + cmd.name + "\".");
+      continue;
+    }
+    if (cmd.name == "cmake_minimum_required") {
+      continue;
+    }
+    if (cmd.name == "project") {
+      if (args.empty()) {
+        error(cmd.line, "PROJECT called with incorrect number of arguments");
+        continue;
+      }
+      saw_project = true;
+      proj.project_name = args[0];
+      bool langs = false;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "LANGUAGES") {
+          langs = true;
+          continue;
+        }
+        if (langs || args[i] == "CXX" || args[i] == "C" ||
+            args[i] == "CUDA") {
+          proj.languages.push_back(args[i]);
+        }
+      }
+      if (proj.languages.empty()) proj.languages = {"C", "CXX"};
+      continue;
+    }
+    if (cmd.name == "enable_language") {
+      for (const auto& a : args) proj.languages.push_back(a);
+      continue;
+    }
+    if (cmd.name == "find_package") {
+      if (args.empty()) {
+        error(cmd.line, "find_package called with no arguments");
+        continue;
+      }
+      const std::string& pkg = args[0];
+      const bool required =
+          std::find(args.begin(), args.end(), "REQUIRED") != args.end();
+      if (package_installed(pkg)) {
+        proj.found_packages.push_back(pkg);
+        proj.variables[pkg + "_FOUND"] = "TRUE";
+      } else if (required) {
+        error(cmd.line,
+              "By not providing \"Find" + pkg +
+                  ".cmake\" ... could not find a package configuration file "
+                  "provided by \"" + pkg + "\". (Packages are case-sensitive;"
+                  " installed: Kokkos, OpenMP, CUDAToolkit, Threads.)");
+      }
+      continue;
+    }
+    if (cmd.name == "add_executable" || cmd.name == "add_library") {
+      if (args.size() < 2) {
+        error(cmd.line, cmd.name + " called with incorrect number of "
+                        "arguments (missing sources)");
+        continue;
+      }
+      CMakeTarget t;
+      t.name = args[0];
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "STATIC" || args[i] == "SHARED") continue;
+        t.sources.push_back(args[i]);
+      }
+      proj.targets.push_back(std::move(t));
+      continue;
+    }
+    if (cmd.name == "target_link_libraries") {
+      if (args.empty()) continue;
+      CMakeTarget* t = find_target(args[0]);
+      if (t == nullptr) {
+        error(cmd.line, "Cannot specify link libraries for target \"" +
+                            args[0] + "\" which is not built by this "
+                            "project.");
+        continue;
+      }
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "PUBLIC" || args[i] == "PRIVATE" ||
+            args[i] == "INTERFACE") {
+          continue;
+        }
+        const std::string& lib = args[i];
+        const auto sep = lib.find("::");
+        if (sep != std::string::npos) {
+          const std::string pkg = lib.substr(0, sep);
+          if (std::find(proj.found_packages.begin(),
+                        proj.found_packages.end(),
+                        pkg) == proj.found_packages.end()) {
+            error(cmd.line, "Target \"" + t->name + "\" links to: " + lib +
+                                " but the target was not found. Perhaps a "
+                                "find_package() call is missing.");
+            continue;
+          }
+        }
+        t->link_libraries.push_back(lib);
+      }
+      continue;
+    }
+    if (cmd.name == "target_compile_options") {
+      CMakeTarget* t = args.empty() ? nullptr : find_target(args[0]);
+      if (t == nullptr) {
+        error(cmd.line, "target_compile_options called on unknown target");
+        continue;
+      }
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "PUBLIC" || args[i] == "PRIVATE" ||
+            args[i] == "INTERFACE") {
+          continue;
+        }
+        t->compile_options.push_back(args[i]);
+      }
+      continue;
+    }
+    if (cmd.name == "target_include_directories" ||
+        cmd.name == "include_directories") {
+      continue;  // include paths are repo-rooted in the simulation
+    }
+    if (cmd.name == "set") {
+      if (args.empty()) continue;
+      std::string value;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) value += " ";
+        value += args[i];
+      }
+      proj.variables[args[0]] = value;
+      continue;
+    }
+    if (cmd.name == "add_compile_options" ||
+        cmd.name == "add_definitions") {
+      for (const auto& a : args) proj.global_compile_options.push_back(a);
+      continue;
+    }
+    // message/option/if/else/endif/foreach/...: configure no-ops here.
+  }
+
+  if (!saw_project) {
+    error(0, "project() was not called in CMakeLists.txt; no languages "
+             "enabled");
+  }
+  if (proj.targets.empty() && !failed) {
+    diags.error(DiagCategory::CMakeConfig,
+                "CMake Error: no add_executable() target defined", path);
+    failed = true;
+  }
+  if (failed) return std::nullopt;
+  return proj;
+}
+
+std::vector<std::string> generate_commands(const CMakeProject& proj,
+                                           const CMakeTarget& target,
+                                           DiagBag& diags) {
+  (void)diags;
+  // Flags derived from configuration.
+  std::string flags;
+  const auto std_it = proj.variables.find("CMAKE_CXX_STANDARD");
+  flags += " -std=c++" +
+           (std_it != proj.variables.end() ? std_it->second : "17");
+  const auto user_flags = proj.variables.find("CMAKE_CXX_FLAGS");
+  if (user_flags != proj.variables.end() && !user_flags->second.empty()) {
+    flags += " " + user_flags->second;
+  }
+  for (const auto& o : proj.global_compile_options) flags += " " + o;
+  for (const auto& o : target.compile_options) flags += " " + o;
+  for (const auto& lib : target.link_libraries) {
+    if (lib == "OpenMP::OpenMP_CXX") flags += " -fopenmp";
+    // Kokkos::kokkos contributes include paths + the library; our g++
+    // invocation encodes it as a pseudo link input handled by the builder.
+  }
+
+  std::vector<std::string> cmds;
+  std::string link = "g++ -O2" + flags;
+  for (const auto& src : target.sources) {
+    link += " " + src;
+  }
+  for (const auto& lib : target.link_libraries) {
+    if (lib == "Kokkos::kokkos") link += " -lkokkoscore";
+    if (lib == "OpenMP::OpenMP_CXX") continue;  // flag already added
+    if (lib == "CUDA::cudart" || lib == "Threads::Threads") continue;
+    if (lib.find("::") == std::string::npos && lib != "m") {
+      link += " -l" + lib;
+    }
+  }
+  link += " -o " + target.name;
+  cmds.push_back(link);
+  return cmds;
+}
+
+}  // namespace pareval::buildsim

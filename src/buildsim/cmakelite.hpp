@@ -1,0 +1,51 @@
+#pragma once
+// CMakeLists.txt configure simulation, covering the command vocabulary the
+// Kokkos translation tasks need. Parse errors map to "CMake or Makefile
+// Syntax Error"; semantic configure failures (unknown command, failed
+// find_package, unknown imported target) map to "CMake Config Error" —
+// the single most common failure class in the paper's Figure 3.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minic/diag.hpp"
+
+namespace pareval::buildsim {
+
+struct CMakeTarget {
+  std::string name;
+  std::vector<std::string> sources;
+  std::vector<std::string> compile_options;
+  std::vector<std::string> link_libraries;  // imported (Pkg::tgt) + plain
+  std::vector<std::string> include_dirs;
+};
+
+struct CMakeProject {
+  std::string project_name;
+  std::vector<std::string> languages;       // from project()/enable_language
+  std::vector<std::string> found_packages;  // successful find_package calls
+  std::map<std::string, std::string> variables;
+  std::vector<CMakeTarget> targets;
+  std::vector<std::string> global_compile_options;
+};
+
+/// Packages installed on the simulated evaluation machine (§7.2):
+/// Kokkos 4.5.01, OpenMP, CUDAToolkit, Threads. Case-sensitive, as real
+/// CMake package configs are.
+bool package_installed(const std::string& name);
+
+/// Configure step. Returns nullopt when configuration fails.
+std::optional<CMakeProject> configure_cmake(const std::string& text,
+                                            const std::string& path,
+                                            minic::DiagBag& diags);
+
+/// Translate a configured target into compiler command lines (one compile
+/// per source + a link), using the project's options. The compiler is
+/// g++ (GCC 11.3) for Kokkos/plain C++ projects, matching §7.2.
+std::vector<std::string> generate_commands(const CMakeProject& proj,
+                                           const CMakeTarget& target,
+                                           minic::DiagBag& diags);
+
+}  // namespace pareval::buildsim

@@ -1,0 +1,269 @@
+#include "buildsim/makefile.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace pareval::buildsim {
+
+using minic::DiagBag;
+using minic::DiagCategory;
+using support::trim;
+
+const MakeRule* Makefile::find_rule(const std::string& target) const {
+  for (const auto& r : rules) {
+    if (r.target == target) return &r;
+  }
+  return nullptr;
+}
+
+std::optional<Makefile> parse_makefile(const std::string& text,
+                                       const std::string& path,
+                                       DiagBag& diags) {
+  Makefile mk;
+  MakeRule* current = nullptr;
+  int lineno = 0;
+  bool any_error = false;
+
+  for (std::string line : support::split_lines(text)) {
+    ++lineno;
+    // Strip comments (not inside recipes, where '#' may matter — keep it
+    // simple: strip everywhere like GNU make does outside quotes).
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (trim(line).empty()) continue;
+
+    if (line[0] == '\t') {
+      // Recipe line.
+      if (current == nullptr) {
+        diags.error(DiagCategory::MakefileSyntax,
+                    "recipe commences before first target", path, lineno);
+        any_error = true;
+        continue;
+      }
+      current->recipe.push_back(std::string(trim(line)));
+      continue;
+    }
+
+    // A line that is indented with spaces but "looks like" a recipe is the
+    // classic missing-separator error (tabs replaced by spaces).
+    if (line[0] == ' ' && current != nullptr) {
+      diags.error(DiagCategory::MakefileSyntax,
+                  "missing separator (recipe line must start with a TAB)",
+                  path, lineno);
+      any_error = true;
+      continue;
+    }
+
+    // Variable assignment? (=, :=, ?=, +=) — check before rules; the
+    // first '=' must come before any ':' that isn't part of ':='.
+    const auto eq = line.find('=');
+    const auto colon = line.find(':');
+    const bool is_assign =
+        eq != std::string::npos &&
+        (colon == std::string::npos || eq < colon ||
+         (colon + 1 < line.size() && line[colon + 1] == '=' && colon + 1 == eq));
+    if (is_assign) {
+      std::string name = line.substr(0, eq);
+      bool append = false;
+      if (!name.empty() && name.back() == ':') name.pop_back();
+      if (!name.empty() && name.back() == '?') name.pop_back();
+      if (!name.empty() && name.back() == '+') {
+        name.pop_back();
+        append = true;
+      }
+      name = std::string(trim(name));
+      if (name.empty() || name.find(' ') != std::string::npos) {
+        diags.error(DiagCategory::MakefileSyntax,
+                    "invalid variable assignment", path, lineno);
+        any_error = true;
+        continue;
+      }
+      const std::string value = std::string(trim(line.substr(eq + 1)));
+      if (append) {
+        auto& slot = mk.variables[name];
+        slot = slot.empty() ? value : slot + " " + value;
+      } else {
+        mk.variables[name] = value;
+      }
+      current = nullptr;
+      continue;
+    }
+
+    // Rule line: "target [target2]: deps".
+    if (colon == std::string::npos) {
+      diags.error(DiagCategory::MakefileSyntax,
+                  "missing separator (expected 'target: deps' or "
+                  "'VAR = value')",
+                  path, lineno);
+      any_error = true;
+      current = nullptr;
+      continue;
+    }
+    const std::string targets_part = std::string(trim(line.substr(0, colon)));
+    const std::string deps_part = std::string(trim(line.substr(colon + 1)));
+    if (targets_part.empty()) {
+      diags.error(DiagCategory::MakefileSyntax, "empty target name", path,
+                  lineno);
+      any_error = true;
+      continue;
+    }
+    const auto targets = support::split_ws(targets_part);
+    const auto deps = support::split_ws(deps_part);
+    if (targets.size() == 1 && targets[0] == ".PHONY") {
+      for (const auto& d : deps) mk.phony.push_back(d);
+      current = nullptr;
+      continue;
+    }
+    for (const auto& t : targets) {
+      MakeRule rule;
+      rule.target = t;
+      rule.deps = deps;
+      rule.line = lineno;
+      mk.rules.push_back(std::move(rule));
+    }
+    current = &mk.rules.back();
+    if (mk.default_target.empty() && targets[0][0] != '.') {
+      mk.default_target = targets[0];
+    }
+  }
+  if (any_error) return std::nullopt;
+  return mk;
+}
+
+std::string expand_vars(const std::string& text,
+                        const std::map<std::string, std::string>& vars,
+                        DiagBag& diags, const std::string& path, int depth) {
+  if (depth > 16) {
+    diags.error(DiagCategory::MakefileSyntax,
+                "recursive variable reference", path);
+    return text;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '$') {
+      out += text[i];
+      continue;
+    }
+    if (i + 1 >= text.size()) break;
+    const char next = text[i + 1];
+    if (next == '$') {
+      out += '$';
+      ++i;
+      continue;
+    }
+    if (next == '(' || next == '{') {
+      const char close = next == '(' ? ')' : '}';
+      const auto end = text.find(close, i + 2);
+      if (end == std::string::npos) {
+        diags.error(DiagCategory::MakefileSyntax,
+                    "unterminated variable reference", path);
+        return out;
+      }
+      const std::string name = text.substr(i + 2, end - i - 2);
+      const auto hit = vars.find(name);
+      if (hit != vars.end()) {
+        out += expand_vars(hit->second, vars, diags, path, depth + 1);
+      }
+      // Unknown variables expand to empty, like make.
+      i = end;
+      continue;
+    }
+    // Single-char automatic variables ($@ $< $^) handled by caller via
+    // the vars map ("@", "<", "^"); single letters too ($X).
+    const std::string name(1, next);
+    const auto hit = vars.find(name);
+    if (hit != vars.end()) {
+      out += expand_vars(hit->second, vars, diags, path, depth + 1);
+    }
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+void plan_target(const Makefile& mk, const std::string& target,
+                 const std::set<std::string>& files, const std::string& path,
+                 DiagBag& diags, std::set<std::string>& visiting,
+                 std::set<std::string>& done,
+                 std::vector<PlannedCommand>& out) {
+  if (done.count(target) > 0) return;
+  if (visiting.count(target) > 0) {
+    diags.error(DiagCategory::MakefileSyntax,
+                "circular dependency involving '" + target + "'", path);
+    return;
+  }
+  const MakeRule* rule = mk.find_rule(target);
+  if (rule == nullptr) {
+    if (files.count(target) > 0) {
+      done.insert(target);
+      return;  // plain prerequisite file, exists
+    }
+    diags.error(DiagCategory::MissingBuildTarget,
+                "No rule to make target '" + target + "'", path);
+    return;
+  }
+  visiting.insert(target);
+  for (const auto& dep : rule->deps) {
+    plan_target(mk, dep, files, path, diags, visiting, done, out);
+  }
+  visiting.erase(target);
+  done.insert(target);
+
+  std::map<std::string, std::string> vars = mk.variables;
+  vars["@"] = rule->target;
+  vars["<"] = rule->deps.empty() ? "" : rule->deps[0];
+  vars["^"] = support::join(rule->deps, " ");
+  for (const auto& raw : rule->recipe) {
+    std::string line = expand_vars(raw, vars, diags, path);
+    // Strip make's echo/ignore prefixes.
+    while (!line.empty() && (line[0] == '@' || line[0] == '-')) {
+      line.erase(line.begin());
+    }
+    line = std::string(trim(line));
+    if (!line.empty()) out.push_back({line, rule->target});
+  }
+}
+
+}  // namespace
+
+std::vector<PlannedCommand> plan_make(
+    const Makefile& mk_in, const std::string& target,
+    const std::vector<std::string>& existing_files, const std::string& path,
+    DiagBag& diags) {
+  std::vector<PlannedCommand> out;
+  // Expand variables in rule targets and prerequisites (make does this when
+  // reading the rule line).
+  Makefile mk = mk_in;
+  for (auto& rule : mk.rules) {
+    rule.target = expand_vars(rule.target, mk.variables, diags, path);
+    std::vector<std::string> deps;
+    for (const auto& dep : rule.deps) {
+      for (auto& word :
+           support::split_ws(expand_vars(dep, mk.variables, diags, path))) {
+        deps.push_back(std::move(word));
+      }
+    }
+    rule.deps = std::move(deps);
+  }
+  mk.default_target =
+      expand_vars(mk.default_target, mk.variables, diags, path);
+  std::string goal = target.empty() ? mk.default_target : target;
+  if (goal.empty()) {
+    diags.error(DiagCategory::MissingBuildTarget,
+                "No targets. Stop.", path);
+    return out;
+  }
+  if (mk.find_rule(goal) == nullptr) {
+    diags.error(DiagCategory::MissingBuildTarget,
+                "No rule to make target '" + goal + "'. Stop.", path);
+    return out;
+  }
+  std::set<std::string> files(existing_files.begin(), existing_files.end());
+  std::set<std::string> visiting, done;
+  plan_target(mk, goal, files, path, diags, visiting, done, out);
+  return out;
+}
+
+}  // namespace pareval::buildsim

@@ -1,0 +1,57 @@
+#pragma once
+// Makefile parser and executor. Faithful to the failure modes the paper
+// reports: recipe lines must start with a TAB ("missing separator" — the
+// exact breakage SWE-agent causes by converting tabs to spaces, §3.3),
+// missing targets are "No rule to make target", and recipes run through
+// the simulated toolchains.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minic/diag.hpp"
+
+namespace pareval::buildsim {
+
+struct MakeRule {
+  std::string target;
+  std::vector<std::string> deps;
+  std::vector<std::string> recipe;  // variable-unexpanded lines
+  int line = 0;
+};
+
+struct Makefile {
+  std::map<std::string, std::string> variables;
+  std::vector<MakeRule> rules;
+  std::vector<std::string> phony;
+  std::string default_target;  // first non-special target
+
+  const MakeRule* find_rule(const std::string& target) const;
+};
+
+/// Parse Makefile text. Syntax problems (missing separator, unterminated
+/// variable reference, rule with no target) produce MakefileSyntax errors.
+std::optional<Makefile> parse_makefile(const std::string& text,
+                                       const std::string& path,
+                                       minic::DiagBag& diags);
+
+/// Expand $(VAR)/${VAR} and the automatic variables $@ $< $^ recursively.
+std::string expand_vars(const std::string& text,
+                        const std::map<std::string, std::string>& vars,
+                        minic::DiagBag& diags, const std::string& path,
+                        int depth = 0);
+
+/// Compute the recipe execution plan for `target` ("" = default target):
+/// a depth-first postorder of rules with expanded recipe lines.
+/// "No rule to make target" produces MissingBuildTarget errors.
+struct PlannedCommand {
+  std::string line;     // fully expanded
+  std::string target;   // rule that owns it
+};
+std::vector<PlannedCommand> plan_make(
+    const Makefile& mk, const std::string& target,
+    const std::vector<std::string>& existing_files, const std::string& path,
+    minic::DiagBag& diags);
+
+}  // namespace pareval::buildsim

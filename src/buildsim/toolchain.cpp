@@ -1,0 +1,283 @@
+#include "buildsim/toolchain.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "vfs/repo.hpp"
+
+namespace pareval::buildsim {
+
+using minic::DiagBag;
+using minic::DiagCategory;
+
+std::vector<std::string> shell_split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  char quote = '\0';
+  for (const char c : line) {
+    if (quote != '\0') {
+      if (c == quote) {
+        quote = '\0';
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+Tool classify_tool(const std::string& word) {
+  const std::string base = vfs::basename(word);
+  if (base == "nvcc") return Tool::Nvcc;
+  if (base.starts_with("clang++") || base.starts_with("clang")) {
+    return Tool::Clang;
+  }
+  if (base.starts_with("g++") || base == "c++" || base == "cc" ||
+      base.starts_with("gcc") || base == "CC") {
+    return Tool::Gcc;
+  }
+  return Tool::Unknown;
+}
+
+namespace {
+
+bool is_source(const std::string& tok) {
+  const std::string ext = vfs::extension(tok);
+  return ext == ".cpp" || ext == ".cu" || ext == ".c" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+bool is_object(const std::string& tok) {
+  return vfs::extension(tok) == ".o" || vfs::extension(tok) == ".a";
+}
+
+bool valid_sm_arch(const std::string& v) {
+  if (!v.starts_with("sm_") || v.size() < 5) return false;
+  return std::all_of(v.begin() + 3, v.end(),
+                     [](char c) { return c >= '0' && c <= '9'; });
+}
+
+bool known_offload_triple(const std::string& v) {
+  return v == "nvptx64-nvidia-cuda" || v == "nvptx64" ||
+         v == "amdgcn-amd-amdhsa" || v == "x86_64-pc-linux-gnu";
+}
+
+bool nvidia_offload_triple(const std::string& v) {
+  return v == "nvptx64-nvidia-cuda" || v == "nvptx64";
+}
+
+}  // namespace
+
+Invocation parse_invocation(const std::vector<std::string>& tokens,
+                            const std::string& origin, DiagBag& diags) {
+  Invocation inv;
+  if (tokens.empty()) return inv;
+  inv.tool_name = tokens[0];
+  inv.tool = classify_tool(tokens[0]);
+  if (inv.tool == Tool::Unknown) return inv;
+
+  bool fopenmp = false;
+  bool offload_nvidia = false;
+  bool offload_other = false;
+
+  auto flag_error = [&](const std::string& msg) {
+    diags.error(DiagCategory::InvalidCompilerFlag,
+                inv.tool_name + ": " + msg, origin);
+  };
+
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t == "-o") {
+      if (i + 1 >= tokens.size()) {
+        flag_error("argument to '-o' is missing");
+        continue;
+      }
+      inv.output = tokens[++i];
+      continue;
+    }
+    if (!t.empty() && t[0] != '-') {
+      if (is_source(t) || is_object(t)) {
+        inv.inputs.push_back(t);
+      } else {
+        flag_error("no such file or directory: '" + t + "'");
+      }
+      continue;
+    }
+    inv.flags.push_back(t);
+    if (t == "-c") {
+      inv.compile_only = true;
+      continue;
+    }
+    if (t.starts_with("-l")) {
+      inv.link_libs.push_back(t.substr(2));
+      continue;
+    }
+    if (t.starts_with("-D")) {
+      const std::string def = t.substr(2);
+      const auto eq = def.find('=');
+      if (eq == std::string::npos) {
+        inv.defines.emplace_back(def, "1");
+      } else {
+        inv.defines.emplace_back(def.substr(0, eq), def.substr(eq + 1));
+      }
+      continue;
+    }
+    if (t.starts_with("-I") || t.starts_with("-L")) continue;
+    if (t.starts_with("-O")) {
+      const std::string level = t.substr(2);
+      if (level != "" && level != "0" && level != "1" && level != "2" &&
+          level != "3" && level != "fast" && level != "s" && level != "g") {
+        flag_error("invalid optimization level '" + t + "'");
+      }
+      continue;
+    }
+    if (t == "-g" || t == "-Wall" || t == "-Wextra" || t == "-w" ||
+        t == "-fPIC" || t == "-pthread" || t == "-MMD" || t == "-MP") {
+      continue;
+    }
+    if (t.starts_with("-std=")) {
+      const std::string std_v = t.substr(5);
+      static const char* kStds[] = {"c++11", "c++14", "c++17", "c++20",
+                                    "c99", "c11", "gnu++17", "gnu++14"};
+      if (std::none_of(std::begin(kStds), std::end(kStds),
+                       [&](const char* s) { return std_v == s; })) {
+        flag_error("invalid value '" + std_v + "' in '" + t + "'");
+      }
+      continue;
+    }
+
+    // --- OpenMP flags ---------------------------------------------------
+    if (t == "-fopenmp" || t == "-fopenmp=libomp") {
+      fopenmp = true;
+      continue;
+    }
+    if (t == "-qopenmp" || t == "-openmp" || t == "-mp") {
+      flag_error("unknown argument: '" + t + "' (did you mean '-fopenmp'?)");
+      continue;
+    }
+    if (t.starts_with("-fopenmp-targets=")) {
+      if (inv.tool != Tool::Clang) {
+        flag_error("unrecognized command-line option '" + t + "'");
+        continue;
+      }
+      const std::string triple = t.substr(17);
+      if (!known_offload_triple(triple)) {
+        flag_error("invalid target triple '" + triple +
+                   "' in '-fopenmp-targets='");
+        continue;
+      }
+      (nvidia_offload_triple(triple) ? offload_nvidia : offload_other) = true;
+      continue;
+    }
+    if (t.starts_with("--offload-arch=")) {
+      if (inv.tool == Tool::Gcc) {
+        flag_error("unrecognized command-line option '" + t + "'");
+        continue;
+      }
+      const std::string arch = t.substr(15);
+      if (!valid_sm_arch(arch)) {
+        flag_error("invalid offload arch '" + arch + "'");
+        continue;
+      }
+      offload_nvidia = true;
+      continue;
+    }
+    if (t == "-foffload=nvptx-none" || t.starts_with("-foffload=")) {
+      // GCC's spelling: accepted, but our simulated GCC 11 lacks the nvptx
+      // backend (matching the paper's environment where offload codes are
+      // compiled with LLVM).
+      if (inv.tool == Tool::Gcc) {
+        flag_error("GCC was not configured with offload support "
+                   "('" + t + "')");
+      } else {
+        flag_error("unknown argument: '" + t + "'");
+      }
+      continue;
+    }
+
+    // --- CUDA flags -----------------------------------------------------
+    if (t.starts_with("-arch=")) {
+      if (inv.tool != Tool::Nvcc) {
+        flag_error("unrecognized command-line option '" + t + "'");
+        continue;
+      }
+      if (!valid_sm_arch(t.substr(6))) {
+        flag_error("invalid architecture '" + t.substr(6) +
+                   "' in '-arch=' (expected sm_NN)");
+      }
+      continue;
+    }
+    if (t.starts_with("--gpu-architecture=")) {
+      if (inv.tool != Tool::Nvcc) {
+        flag_error("unrecognized command-line option '" + t + "'");
+      }
+      continue;
+    }
+    if (t == "-Xcompiler" || t.starts_with("-Xcompiler=")) {
+      if (inv.tool != Tool::Nvcc) {
+        flag_error("unrecognized command-line option '-Xcompiler'");
+      } else if (t == "-Xcompiler" && i + 1 < tokens.size()) {
+        const std::string host_flag = tokens[++i];
+        if (host_flag == "-fopenmp") fopenmp = true;
+      }
+      continue;
+    }
+    if (t == "--expt-relaxed-constexpr" || t == "-rdc=true" ||
+        t == "--use_fast_math") {
+      if (inv.tool != Tool::Nvcc) {
+        flag_error("unrecognized command-line option '" + t + "'");
+      }
+      continue;
+    }
+
+    flag_error("unknown argument: '" + t + "'");
+  }
+
+  // Derive capabilities.
+  if (inv.tool == Tool::Nvcc) {
+    inv.caps.cuda = true;
+    inv.caps.openmp = fopenmp;
+  } else {
+    inv.caps.openmp = fopenmp;
+    if ((offload_nvidia || offload_other) && !fopenmp) {
+      flag_error("'-fopenmp-targets' must be used in conjunction with "
+                 "'-fopenmp'");
+    }
+    // Offload to a non-NVIDIA triple builds but cannot run on the
+    // evaluation machine's A100: no device kernels execute.
+    inv.caps.offload = fopenmp && offload_nvidia;
+  }
+  for (const auto& lib : inv.link_libs) {
+    if (lib == "curand") inv.caps.curand = true;
+    if (lib == "kokkoscore" || lib == "kokkos") inv.caps.kokkos = true;
+  }
+  // The cuRAND *device* API is header-only and ships with the toolkit.
+  if (inv.tool == Tool::Nvcc) inv.caps.curand = true;
+
+  // CUDA sources require nvcc.
+  for (const auto& in : inv.inputs) {
+    if (vfs::extension(in) == ".cu" && inv.tool != Tool::Nvcc) {
+      diags.error(DiagCategory::InvalidCompilerFlag,
+                  inv.tool_name + ": CUDA source '" + in +
+                      "' requires the nvcc compiler driver",
+                  origin);
+    }
+  }
+  return inv;
+}
+
+}  // namespace pareval::buildsim

@@ -1,0 +1,50 @@
+#pragma once
+// Simulated compiler drivers for the paper's evaluation machine (§7.2):
+// CUDA 12.3 nvcc, LLVM 19 clang++ with OpenMP offload, GCC 11.3 g++ with
+// Kokkos 4.5.01. A compiler invocation is parsed from a command line,
+// its flags validated against the tool's accepted set (the paper's
+// "Invalid Compiler Flag" class), and mapped to the Capabilities the
+// resulting objects/binary will have.
+
+#include <string>
+#include <vector>
+
+#include "minic/diag.hpp"
+#include "minic/program.hpp"
+
+namespace pareval::buildsim {
+
+enum class Tool {
+  Nvcc,     // nvcc
+  Clang,    // clang++ / clang++-19
+  Gcc,      // g++ / g++-11 / c++ / cc / gcc
+  Unknown,  // not a compiler (rm, echo, ...)
+};
+
+struct Invocation {
+  Tool tool = Tool::Unknown;
+  std::string tool_name;           // as written
+  std::vector<std::string> flags;  // non-input tokens
+  std::vector<std::string> inputs; // .cpp/.cu/.c/.o inputs
+  std::string output;              // -o value ("" -> a.out)
+  bool compile_only = false;       // -c
+  std::vector<std::string> link_libs;  // -lfoo -> foo
+  std::vector<std::pair<std::string, std::string>> defines;  // -DN=V
+  minic::Capabilities caps;        // derived from tool + flags
+};
+
+/// Split a shell-ish command line into tokens (quotes honoured, no
+/// globbing or substitution — recipes have been variable-expanded already).
+std::vector<std::string> shell_split(const std::string& line);
+
+/// Identify the tool a command invokes.
+Tool classify_tool(const std::string& word);
+
+/// Parse + validate a compiler command line. Flag problems produce
+/// InvalidCompilerFlag diagnostics; using CUDA sources with a non-CUDA
+/// compiler is reported too. Returns the invocation regardless (callers
+/// check `diags`).
+Invocation parse_invocation(const std::vector<std::string>& tokens,
+                            const std::string& origin, minic::DiagBag& diags);
+
+}  // namespace pareval::buildsim

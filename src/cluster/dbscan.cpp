@@ -1,0 +1,71 @@
+#include "cluster/dbscan.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace pareval::cluster {
+
+namespace {
+
+double dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t k = 0; k < a.size() && k < b.size(); ++k) {
+    const double d = a[k] - b[k];
+    s += d * d;
+  }
+  return s;
+}
+
+std::vector<int> neighbours(const std::vector<std::vector<double>>& pts,
+                            std::size_t i, double eps2) {
+  std::vector<int> out;
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    if (dist2(pts[i], pts[j]) <= eps2) out.push_back(static_cast<int>(j));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> dbscan(const std::vector<std::vector<double>>& points,
+                        const DbscanConfig& config) {
+  const double eps2 = config.eps * config.eps;
+  constexpr int kUnvisited = -2;
+  std::vector<int> labels(points.size(), kUnvisited);
+  int next_cluster = 0;
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] != kUnvisited) continue;
+    auto seeds = neighbours(points, i, eps2);
+    if (static_cast<int>(seeds.size()) < config.min_pts) {
+      labels[i] = -1;  // noise (may be claimed by a cluster later)
+      continue;
+    }
+    const int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<int> queue(seeds.begin(), seeds.end());
+    while (!queue.empty()) {
+      const int j = queue.front();
+      queue.pop_front();
+      if (labels[j] == -1) labels[j] = cluster;  // border point
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cluster;
+      auto jn = neighbours(points, static_cast<std::size_t>(j), eps2);
+      if (static_cast<int>(jn.size()) >= config.min_pts) {
+        for (const int n : jn) queue.push_back(n);
+      }
+    }
+  }
+  for (auto& l : labels) {
+    if (l == kUnvisited) l = -1;
+  }
+  return labels;
+}
+
+int cluster_count(const std::vector<int>& labels) {
+  int max_label = -1;
+  for (const int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+}  // namespace pareval::cluster

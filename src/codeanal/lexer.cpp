@@ -1,0 +1,275 @@
+#include "codeanal/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace pareval::codeanal {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators; the lexer picks the longest match.
+constexpr std::array<std::string_view, 28> kMultiPuncts = {
+    "<<<", ">>>", "<<=", ">>=", "...", "->*",
+    "::",  "->",  "++",  "--",  "<<",  ">>",  "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=",  "/=",  "%=", "&=", "|=", "^=",
+    "##",  ".*"};
+
+}  // namespace
+
+std::string strip_comments(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  std::size_t i = 0;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') out += '\n';  // preserve line numbers
+        ++i;
+      }
+      i = i + 2 <= src.size() ? i + 2 : src.size();
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      out += src[i++];
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          out += src[i++];
+        }
+        if (i < src.size()) out += src[i++];
+      }
+      if (i < src.size()) out += src[i++];
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+LexResult lex(std::string_view src) {
+  LexResult result;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokKind kind, std::string text, int tl, int tc) {
+    result.tokens.push_back(Token{kind, std::move(text), tl, tc});
+  };
+
+  bool at_line_start = true;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      at_line_start = true;
+      advance();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const int start_line = line;
+      advance(2);
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+          advance(2);
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) {
+        result.errors.push_back({"unterminated block comment", start_line});
+      }
+      continue;
+    }
+    // Preprocessor lines (only when '#' is the first non-space on the line).
+    if (c == '#' && at_line_start) {
+      const int tl = line, tc = col;
+      std::string text;
+      while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          text += ' ';
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i];
+        advance();
+      }
+      push(TokKind::PpDirective, text, tl, tc);
+      continue;
+    }
+    at_line_start = false;
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      const int tl = line, tc = col;
+      std::string text;
+      while (i < src.size() && ident_char(src[i])) {
+        text += src[i];
+        advance();
+      }
+      push(TokKind::Identifier, std::move(text), tl, tc);
+      continue;
+    }
+    // Numbers (also handles ".5" floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const int tl = line, tc = col;
+      std::string text;
+      bool is_float = false;
+      if (c == '0' && i + 1 < src.size() &&
+          (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        text += src[i];
+        advance();
+        text += src[i];
+        advance();
+        while (i < src.size() &&
+               std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          text += src[i];
+          advance();
+        }
+      } else {
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i]))) {
+          text += src[i];
+          advance();
+        }
+        if (i < src.size() && src[i] == '.') {
+          is_float = true;
+          text += src[i];
+          advance();
+          while (i < src.size() &&
+                 std::isdigit(static_cast<unsigned char>(src[i]))) {
+            text += src[i];
+            advance();
+          }
+        }
+        if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+          is_float = true;
+          text += src[i];
+          advance();
+          if (i < src.size() && (src[i] == '+' || src[i] == '-')) {
+            text += src[i];
+            advance();
+          }
+          while (i < src.size() &&
+                 std::isdigit(static_cast<unsigned char>(src[i]))) {
+            text += src[i];
+            advance();
+          }
+        }
+      }
+      // Suffixes: u, l, f (any order/case). 'f' forces float.
+      while (i < src.size() && (src[i] == 'u' || src[i] == 'U' ||
+                                src[i] == 'l' || src[i] == 'L' ||
+                                src[i] == 'f' || src[i] == 'F')) {
+        if (src[i] == 'f' || src[i] == 'F') is_float = true;
+        text += src[i];
+        advance();
+      }
+      push(is_float ? TokKind::FloatLit : TokKind::IntLit, std::move(text), tl,
+           tc);
+      continue;
+    }
+    // Strings and chars.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int tl = line, tc = col;
+      advance();
+      std::string value;
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == quote) {
+          advance();
+          closed = true;
+          break;
+        }
+        if (src[i] == '\n') break;
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          advance();
+          switch (src[i]) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case 'r': value += '\r'; break;
+            case '0': value += '\0'; break;
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            case '\'': value += '\''; break;
+            default: value += src[i]; break;
+          }
+          advance();
+          continue;
+        }
+        value += src[i];
+        advance();
+      }
+      if (!closed) {
+        result.errors.push_back(
+            {quote == '"' ? "unterminated string literal"
+                          : "unterminated character literal",
+             tl});
+      }
+      push(quote == '"' ? TokKind::StringLit : TokKind::CharLit,
+           std::move(value), tl, tc);
+      continue;
+    }
+    // Punctuators, longest first.
+    {
+      const int tl = line, tc = col;
+      std::string_view rest = src.substr(i);
+      std::string matched;
+      for (std::string_view p : kMultiPuncts) {
+        if (p.size() <= rest.size() && rest.substr(0, p.size()) == p) {
+          if (p.size() > matched.size()) matched = std::string(p);
+        }
+      }
+      if (!matched.empty()) {
+        advance(matched.size());
+        push(TokKind::Punct, std::move(matched), tl, tc);
+        continue;
+      }
+      static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.(){}[]";
+      if (kSingles.find(c) != std::string_view::npos) {
+        advance();
+        push(TokKind::Punct, std::string(1, c), tl, tc);
+        continue;
+      }
+      result.errors.push_back(
+          {std::string("unexpected character '") + c + "'", line});
+      advance();
+    }
+  }
+  result.tokens.push_back(Token{TokKind::EndOfFile, "", line, col});
+  return result;
+}
+
+}  // namespace pareval::codeanal

@@ -1,0 +1,77 @@
+#include "codeanal/metrics.hpp"
+
+#include "codeanal/functions.hpp"
+#include "codeanal/lexer.hpp"
+#include "support/strings.hpp"
+
+namespace pareval::codeanal {
+
+int sloc(std::string_view source) {
+  const std::string stripped = strip_comments(source);
+  int count = 0;
+  for (const auto& line : support::split_lines(stripped)) {
+    if (!support::trim(line).empty()) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+int complexity_of_range(const std::vector<Token>& toks, std::size_t begin,
+                        std::size_t end) {
+  int cc = 1;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::Identifier) {
+      if (t.text == "if" || t.text == "for" || t.text == "while" ||
+          t.text == "case" || t.text == "do") {
+        ++cc;
+      }
+    } else if (t.kind == TokKind::Punct) {
+      if (t.text == "&&" || t.text == "||" || t.text == "?") ++cc;
+    } else if (t.kind == TokKind::PpDirective) {
+      // pmccabe counts #pragma omp as plain lines; no contribution.
+    }
+  }
+  return cc;
+}
+
+}  // namespace
+
+std::vector<FunctionComplexity> function_complexity(std::string_view source) {
+  const LexResult lexed = lex(source);
+  std::vector<FunctionComplexity> out;
+  for (const FunctionSpan& fn : find_functions(lexed.tokens)) {
+    FunctionComplexity fc;
+    fc.name = fn.name;
+    fc.start_line = fn.start_line;
+    fc.end_line = fn.end_line;
+    fc.complexity =
+        complexity_of_range(lexed.tokens, fn.body_begin, fn.body_end);
+    out.push_back(std::move(fc));
+  }
+  return out;
+}
+
+int file_complexity(std::string_view source) {
+  int total = 0;
+  for (const auto& fc : function_complexity(source)) total += fc.complexity;
+  return total;
+}
+
+RepoMetrics repo_metrics(const vfs::Repo& repo) {
+  RepoMetrics m;
+  for (const auto& f : repo.files()) {
+    const std::string ext = vfs::extension(f.path);
+    if (ext == ".md" || ext == ".txt") continue;
+    ++m.files;
+    m.sloc += sloc(f.content);
+    if (ext == ".c" || ext == ".cpp" || ext == ".cu" || ext == ".h" ||
+        ext == ".hpp" || ext == ".cuh") {
+      m.complexity += file_complexity(f.content);
+    }
+  }
+  return m;
+}
+
+}  // namespace pareval::codeanal

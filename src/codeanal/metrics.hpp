@@ -1,0 +1,45 @@
+#pragma once
+// Source metrics reported in Table 1 of the paper: source lines of code
+// (SLoC), pmccabe-style cyclomatic complexity (CC) and file counts.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vfs/repo.hpp"
+
+namespace pareval::codeanal {
+
+/// Non-blank, non-comment lines of a single file. Build files and READMEs
+/// count like source (the paper's SLoC totals include Makefiles).
+int sloc(std::string_view source);
+
+/// Per-function cyclomatic complexity, pmccabe-style:
+/// 1 + (#if + #for + #while + #case + #&& + #|| + #?: + #do) per function.
+struct FunctionComplexity {
+  std::string name;
+  int start_line = 0;
+  int end_line = 0;
+  int complexity = 1;
+};
+
+/// Extract function spans and their complexity from one source file.
+/// Only definitions with bodies are reported.
+std::vector<FunctionComplexity> function_complexity(std::string_view source);
+
+/// Sum of per-function complexities over a file (pmccabe's per-file total).
+int file_complexity(std::string_view source);
+
+/// Aggregate metrics over a repository.
+struct RepoMetrics {
+  int sloc = 0;
+  int complexity = 0;
+  int files = 0;  // source + build files; README/docs excluded
+};
+
+/// Compute Table-1-style metrics for a repository. Files with extensions
+/// in {.md, .txt} are excluded from the file count and SLoC, matching the
+/// paper's counting of "source" files.
+RepoMetrics repo_metrics(const vfs::Repo& repo);
+
+}  // namespace pareval::codeanal

@@ -1,0 +1,143 @@
+#include "eval/classify.hpp"
+
+#include "support/strings.hpp"
+#include "text/tokens.hpp"
+#include "text/word2vec.hpp"
+
+namespace pareval::eval {
+
+using xlate::DefectKind;
+
+bool label_log(const std::string& log, DefectKind* out) {
+  using support::contains;
+  // Rule table (the "manual pass", §6.3). Order matters: more specific
+  // phrases first.
+  static const std::vector<std::pair<const char*, DefectKind>> kRules = {
+      {"missing separator", DefectKind::MakefileSyntax},
+      {"recipe commences", DefectKind::MakefileSyntax},
+      {"Parse error", DefectKind::MakefileSyntax},
+      {"not found\n", DefectKind::MakefileSyntax},  // /bin/sh: cmd not found
+      {"No rule to make target", DefectKind::MissingBuildTarget},
+      {"No targets", DefectKind::MissingBuildTarget},
+      {"add_executable() target", DefectKind::MissingBuildTarget},
+      {"CMake Error", DefectKind::CMakeConfig},
+      {"unknown argument", DefectKind::InvalidFlag},
+      {"unrecognized command-line option", DefectKind::InvalidFlag},
+      {"invalid target triple", DefectKind::InvalidFlag},
+      {"invalid architecture", DefectKind::InvalidFlag},
+      {"invalid offload arch", DefectKind::InvalidFlag},
+      {"invalid optimization level", DefectKind::InvalidFlag},
+      {"must be used in conjunction with", DefectKind::InvalidFlag},
+      {"requires the nvcc compiler", DefectKind::InvalidFlag},
+      {"file not found", DefectKind::MissingHeader},
+      {"No such file or directory", DefectKind::MissingHeader},
+      {"OpenMP directive", DefectKind::OmpInvalid},
+      {"unknown clause", DefectKind::OmpInvalid},
+      {"incorrect map type", DefectKind::OmpInvalid},
+      {"must be a for loop", DefectKind::OmpInvalid},
+      {"strictly nested inside", DefectKind::OmpInvalid},
+      {"undeclared identifier", DefectKind::UndeclaredId},
+      {"unknown type name", DefectKind::UndeclaredId},
+      {"no member named", DefectKind::UndeclaredId},
+      {"undefined reference", DefectKind::LinkError},
+      {"multiple definition", DefectKind::LinkError},
+      {"cannot find -l", DefectKind::LinkError},
+      {"arguments to function call", DefectKind::ArgMismatch},
+      {"incompatible type", DefectKind::ArgMismatch},
+      {"invalid operands", DefectKind::ArgMismatch},
+      {"no matching function", DefectKind::ArgMismatch},
+      {"is not assignable", DefectKind::ArgMismatch},
+      {"expected ", DefectKind::CodeSyntax},
+      {"unterminated", DefectKind::CodeSyntax},
+      {"validation failed", DefectKind::Semantic},
+      {"did not execute on the GPU", DefectKind::Semantic},
+  };
+  for (const auto& [phrase, kind] : kRules) {
+    if (contains(log, phrase)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+ClassificationResult classify_failures(
+    const std::vector<TaskResult>& tasks,
+    const cluster::DbscanConfig& dbscan_config) {
+  ClassificationResult result;
+
+  // Gather failure logs.
+  for (const auto& task : tasks) {
+    for (const auto& outcome : task.outcomes) {
+      if (outcome.passed_overall || outcome.failure_log.empty()) continue;
+      ClassifiedLog cl;
+      cl.llm = task.llm;
+      cl.app = task.app;
+      cl.log = outcome.failure_log;
+      result.logs.push_back(std::move(cl));
+    }
+  }
+  if (result.logs.empty()) return result;
+
+  // word2vec embedding of each log.
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(result.logs.size());
+  for (const auto& cl : result.logs) {
+    docs.push_back(text::word_tokens(cl.log));
+  }
+  text::Word2Vec w2v;
+  text::Word2VecConfig wc;
+  wc.dim = 12;
+  wc.epochs = 6;
+  w2v.train(docs, wc);
+  std::vector<std::vector<double>> points;
+  points.reserve(docs.size());
+  for (const auto& doc : docs) points.push_back(w2v.embed_document(doc));
+
+  // DBSCAN over the embeddings.
+  const auto labels = cluster::dbscan(points, dbscan_config);
+  result.raw_clusters = cluster::cluster_count(labels);
+  for (std::size_t i = 0; i < result.logs.size(); ++i) {
+    result.logs[i].cluster = labels[i];
+  }
+
+  // Manual pass: label each cluster by the majority keyword rule of its
+  // members; noise points are labelled individually.
+  std::map<int, std::map<int, int>> votes;  // cluster -> kind -> count
+  for (auto& cl : result.logs) {
+    DefectKind kind;
+    if (label_log(cl.log, &kind)) {
+      cl.label = kind;
+      cl.labelled = true;
+      if (cl.cluster >= 0) {
+        votes[cl.cluster][static_cast<int>(kind)]++;
+      }
+    }
+  }
+  for (auto& cl : result.logs) {
+    if (cl.cluster < 0) continue;  // noise keeps its individual label
+    const auto vit = votes.find(cl.cluster);
+    if (vit == votes.end()) continue;
+    int best = -1, best_count = 0;
+    for (const auto& [kind, count] : vit->second) {
+      if (count > best_count) {
+        best = kind;
+        best_count = count;
+      }
+    }
+    if (best >= 0) {
+      cl.label = static_cast<DefectKind>(best);
+      cl.labelled = true;
+    }
+  }
+
+  // Figure 3 counts (build-error categories only, like the paper, which
+  // removed run-stage clusters of less interest).
+  for (const auto& cl : result.logs) {
+    if (!cl.labelled || cl.label == DefectKind::Semantic) continue;
+    result.counts[cl.label][cl.app][cl.llm]++;
+  }
+  return result;
+}
+
+}  // namespace pareval::eval

@@ -1,0 +1,47 @@
+#pragma once
+// The semi-automated error-classification pipeline of §6.3: embed failure
+// logs with word2vec, cluster the embeddings with DBSCAN, then apply the
+// "manual pass" that merges clusters and assigns category labels. Our
+// manual pass is a deterministic rule table keyed on diagnostic phrases
+// (documented below), applied per cluster by majority vote.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/dbscan.hpp"
+#include "eval/harness.hpp"
+#include "translate/mutate.hpp"
+
+namespace pareval::eval {
+
+struct ClassifiedLog {
+  std::string llm;
+  std::string app;
+  std::string log;
+  int cluster = -1;                   // DBSCAN output
+  xlate::DefectKind label =            // final label after the manual pass
+      xlate::DefectKind::Semantic;
+  bool labelled = false;
+};
+
+struct ClassificationResult {
+  std::vector<ClassifiedLog> logs;
+  int raw_clusters = 0;  // before merging
+  /// count[category][app][llm] — the Figure 3 layout.
+  std::map<xlate::DefectKind,
+           std::map<std::string, std::map<std::string, int>>>
+      counts;
+};
+
+/// Keyword rule for a single log (the manual pass's per-sample labeller).
+/// Returns false when the log matches no category (successful build noise,
+/// timeouts — the paper removed those clusters too).
+bool label_log(const std::string& log, xlate::DefectKind* out);
+
+/// Full pipeline over task results.
+ClassificationResult classify_failures(
+    const std::vector<TaskResult>& tasks,
+    const cluster::DbscanConfig& dbscan_config = {0.35, 2});
+
+}  // namespace pareval::eval

@@ -1,0 +1,163 @@
+#include "eval/harness.hpp"
+
+#include "buildsim/builder.hpp"
+#include "support/rng.hpp"
+
+namespace pareval::eval {
+
+using agents::TranslationResult;
+using apps::AppSpec;
+using llm::LlmProfile;
+using llm::Pair;
+using llm::Technique;
+
+double TaskResult::build1_overall() const {
+  return samples > 0 ? static_cast<double>(built_overall) / samples : 0.0;
+}
+double TaskResult::pass1_overall() const {
+  return samples > 0 ? static_cast<double>(passed_overall) / samples : 0.0;
+}
+double TaskResult::build1_codeonly() const {
+  return samples > 0 ? static_cast<double>(built_codeonly) / samples : 0.0;
+}
+double TaskResult::pass1_codeonly() const {
+  return samples > 0 ? static_cast<double>(passed_codeonly) / samples : 0.0;
+}
+
+ScoreResult score_repo(const AppSpec& app, const vfs::Repo& repo,
+                       apps::Model target) {
+  ScoreResult out;
+  const auto build = buildsim::build_repo(repo);
+  out.log = build.log;
+  if (!build.ok) return out;
+  out.built = true;
+
+  const bool gpu_target = target != apps::Model::OmpThreads;
+  bool all_passed = true;
+  for (const auto& tc : app.tests) {
+    const auto run = execsim::run_executable(*build.exe, tc.args);
+    if (!run.ok) {
+      out.log += run.stderr_text;
+      all_passed = false;
+      break;
+    }
+    if (!apps::outputs_match(run.stdout_text, app.golden(tc),
+                             app.tolerance)) {
+      out.log += "validation failed: output mismatch\nexpected:\n" +
+                 app.golden(tc) + "got:\n" + run.stdout_text;
+      all_passed = false;
+      break;
+    }
+    if (gpu_target && run.stats.device_kernel_launches == 0) {
+      out.log +=
+          "validation failed: translation did not execute on the GPU "
+          "(no device kernel launches)\n";
+      all_passed = false;
+      break;
+    }
+  }
+  out.passed = all_passed;
+  return out;
+}
+
+namespace {
+
+/// Code-only mode: swap the generated build system for the ground truth
+/// (a "pre-written ground truth Makefile or CMakeLists.txt manually
+/// translated by the authors", §8.2).
+vfs::Repo with_ground_truth_build(const AppSpec& app, const vfs::Repo& repo,
+                                  apps::Model target) {
+  vfs::Repo out = repo;
+  out.remove("Makefile");
+  out.remove("CMakeLists.txt");
+  const auto it = app.ground_truth_builds.find(target);
+  if (it != app.ground_truth_builds.end()) {
+    for (const auto& f : it->second.files()) out.write(f.path, f.content);
+  }
+  return out;
+}
+
+}  // namespace
+
+TaskResult run_task(const AppSpec& app, Technique technique,
+                    const LlmProfile& profile, const Pair& pair,
+                    const HarnessConfig& config) {
+  TaskResult result;
+  result.llm = profile.name;
+  result.technique = technique;
+  result.pair = pair;
+  result.app = app.name;
+
+  // Per-task deterministic stream: independent of execution order.
+  support::Rng rng(support::stable_hash(profile.name + "|" +
+                                        llm::technique_name(technique) +
+                                        "|" + llm::pair_name(pair) + "|" +
+                                        app.name) ^
+                   config.seed);
+
+  long long token_sum = 0;
+  for (int i = 0; i < config.samples_per_task; ++i) {
+    support::Rng sample_rng = rng.split();
+    TranslationResult gen =
+        agents::run_technique(app, technique, profile, pair, sample_rng);
+    if (!gen.generated) {
+      result.ran = false;
+      result.abort_reason = gen.abort_reason;
+      return result;
+    }
+    SampleOutcome outcome;
+    outcome.tokens = agents::total_tokens(gen);
+    outcome.defects = gen.defects;
+    token_sum += outcome.tokens;
+
+    const ScoreResult overall = score_repo(app, gen.repo, pair.to);
+    outcome.built_overall = overall.built;
+    outcome.passed_overall = overall.passed;
+    if (!overall.passed && config.keep_logs) {
+      outcome.failure_log = overall.log;
+    }
+
+    const ScoreResult codeonly = score_repo(
+        app, with_ground_truth_build(app, gen.repo, pair.to), pair.to);
+    outcome.built_codeonly = codeonly.built;
+    outcome.passed_codeonly = codeonly.passed;
+
+    result.built_overall += overall.built;
+    result.passed_overall += overall.passed;
+    result.built_codeonly += codeonly.built;
+    result.passed_codeonly += codeonly.passed;
+    ++result.samples;
+    result.outcomes.push_back(std::move(outcome));
+  }
+  result.ran = true;
+  result.avg_tokens = result.samples > 0
+                          ? static_cast<double>(token_sum) / result.samples
+                          : 0.0;
+  return result;
+}
+
+std::vector<TaskResult> run_pair_sweep(const Pair& pair,
+                                       const HarnessConfig& config) {
+  std::vector<TaskResult> out;
+  for (const apps::AppSpec* app : apps::all_apps()) {
+    // Apps without an implementation in the pair's source model are not
+    // tasks for this pair (Table 1).
+    if (app->repos.count(pair.from) == 0) continue;
+    for (const auto technique :
+         {Technique::NonAgentic, Technique::TopDown, Technique::SweAgent}) {
+      for (const auto& profile : llm::all_profiles()) {
+        // Skip configurations the calibration marks out of scope, except
+        // that we still *record* aborted cells for in-scope techniques.
+        if (technique == Technique::SweAgent &&
+            !llm::calibration_lookup(profile.name, technique, pair,
+                                     app->name)) {
+          continue;  // SWE-agent cells outside its evaluated slice
+        }
+        out.push_back(run_task(*app, technique, profile, pair, config));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pareval::eval

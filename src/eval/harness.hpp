@@ -1,0 +1,73 @@
+#pragma once
+// The ParEval-Repo evaluation harness: run N translation samples for every
+// (technique, LLM, app, pair) cell, score them in both the paper's modes
+// ("Overall" = generated build system, "Code-only" = ground-truth build
+// file swapped in), collect failure logs for the classification pipeline,
+// and account tokens.
+
+#include <string>
+#include <vector>
+
+#include "agents/techniques.hpp"
+#include "apps/app.hpp"
+#include "llm/calibration.hpp"
+#include "llm/profiles.hpp"
+
+namespace pareval::eval {
+
+struct SampleOutcome {
+  bool built_overall = false;
+  bool passed_overall = false;
+  bool built_codeonly = false;
+  bool passed_codeonly = false;
+  long long tokens = 0;
+  std::string failure_log;   // build/run log of the *overall* attempt
+  std::vector<std::string> defects;  // injected (ground truth for Fig. 3)
+};
+
+struct TaskResult {
+  std::string llm;
+  llm::Technique technique = llm::Technique::NonAgentic;
+  llm::Pair pair;
+  std::string app;
+  bool ran = false;          // false: aborted cell (empty in the heat map)
+  std::string abort_reason;
+  int samples = 0;
+  int built_overall = 0, passed_overall = 0;
+  int built_codeonly = 0, passed_codeonly = 0;
+  double avg_tokens = 0.0;
+  std::vector<SampleOutcome> outcomes;
+
+  double build1_overall() const;
+  double pass1_overall() const;
+  double build1_codeonly() const;
+  double pass1_codeonly() const;
+};
+
+struct HarnessConfig {
+  int samples_per_task = 25;  // the paper's N (scores are multiples of 0.04)
+  std::uint64_t seed = 1070;
+  bool keep_logs = true;
+};
+
+/// Score one generated repository against the app's validation tests:
+/// builds, runs every test case, matches golden output, and executed on
+/// the requested device (§6.1). `log` receives the build/run transcript.
+struct ScoreResult {
+  bool built = false;
+  bool passed = false;
+  std::string log;
+};
+ScoreResult score_repo(const apps::AppSpec& app, const vfs::Repo& repo,
+                       apps::Model target);
+
+/// Run one cell.
+TaskResult run_task(const apps::AppSpec& app, llm::Technique technique,
+                    const llm::LlmProfile& profile, const llm::Pair& pair,
+                    const HarnessConfig& config = {});
+
+/// Run every cell of one pair (the paper's per-figure sweep).
+std::vector<TaskResult> run_pair_sweep(const llm::Pair& pair,
+                                       const HarnessConfig& config = {});
+
+}  // namespace pareval::eval

@@ -1,0 +1,25 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+namespace pareval::eval {
+
+double pass_at_k(int n, int c, int k) {
+  if (n <= 0 || k <= 0) return 0.0;
+  if (c <= 0) return 0.0;
+  if (n - c < k) return 1.0;
+  // 1 - prod_{i=n-c+1..n} (i-k)/i, computed stably in log space.
+  double log_ratio = 0.0;
+  for (int i = n - c + 1; i <= n; ++i) {
+    log_ratio += std::log(static_cast<double>(i - k)) -
+                 std::log(static_cast<double>(i));
+  }
+  return 1.0 - std::exp(log_ratio);
+}
+
+double expected_token_cost(double kappa, double pass1) {
+  if (pass1 <= 0.0) return -1.0;
+  return kappa / pass1;
+}
+
+}  // namespace pareval::eval

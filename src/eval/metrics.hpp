@@ -1,0 +1,16 @@
+#pragma once
+// Correctness and token-economy metrics (paper §6): pass@k / build@k
+// (Eq. 1) and expected token cost Eκ (Eq. 2).
+
+namespace pareval::eval {
+
+/// Unbiased pass@k estimator: 1 - C(n-c, k)/C(n, k).
+/// `n` samples, `c` correct, `k` attempts.
+double pass_at_k(int n, int c, int k);
+
+/// Expected token cost Eκ = κ / pass@1 (Eq. 2); κ is the average number
+/// of tokens per generation. Returns a negative value when pass1 <= 0
+/// (the paper aggregates Eκ only over cells with pass@1 > 0).
+double expected_token_cost(double kappa, double pass1);
+
+}  // namespace pareval::eval

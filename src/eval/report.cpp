@@ -1,0 +1,282 @@
+#include "eval/report.hpp"
+
+#include <cmath>
+
+#include "codeanal/metrics.hpp"
+#include "eval/metrics.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace pareval::eval {
+
+using llm::Pair;
+using llm::Technique;
+using support::HeatMap;
+
+namespace {
+
+std::vector<std::string> apps_for_pair(const Pair& pair) {
+  std::vector<std::string> out;
+  for (const apps::AppSpec* app : apps::all_apps()) {
+    if (app->repos.count(pair.from) > 0) out.push_back(app->name);
+  }
+  return out;
+}
+
+std::vector<std::string> llm_names() {
+  std::vector<std::string> out;
+  for (const auto& p : llm::all_profiles()) out.push_back(p.name);
+  return out;
+}
+
+const TaskResult* find_task(const std::vector<TaskResult>& tasks,
+                            const std::string& llm, Technique tech,
+                            const std::string& app) {
+  for (const auto& t : tasks) {
+    if (t.llm == llm && t.technique == tech && t.app == app) return &t;
+  }
+  return nullptr;
+}
+
+HeatMap metric_map(const std::string& title,
+                   const std::vector<TaskResult>& tasks, Technique tech,
+                   const std::vector<std::string>& apps_rows,
+                   const std::function<double(const TaskResult&)>& metric) {
+  HeatMap hm(title, apps_rows, llm_names());
+  for (std::size_t r = 0; r < apps_rows.size(); ++r) {
+    for (std::size_t c = 0; c < llm_names().size(); ++c) {
+      const TaskResult* t =
+          find_task(tasks, llm_names()[c], tech, apps_rows[r]);
+      if (t != nullptr && t->ran) hm.set(r, c, metric(*t));
+    }
+  }
+  return hm;
+}
+
+}  // namespace
+
+std::string figure2_report(const Pair& pair,
+                           const std::vector<TaskResult>& tasks) {
+  const auto rows = apps_for_pair(pair);
+  std::string out =
+      "== Figure 2: correctness for " + llm::pair_name(pair) + " ==\n\n";
+
+  struct MetricDef {
+    const char* name;
+    std::function<double(const TaskResult&)> codeonly;
+    std::function<double(const TaskResult&)> overall;
+  };
+  const MetricDef metrics[] = {
+      {"build@1",
+       [](const TaskResult& t) { return t.build1_codeonly(); },
+       [](const TaskResult& t) { return t.build1_overall(); }},
+      {"pass@1",
+       [](const TaskResult& t) { return t.pass1_codeonly(); },
+       [](const TaskResult& t) { return t.pass1_overall(); }},
+  };
+  const bool swe =
+      pair == llm::all_pairs()[1];  // SWE-agent evaluated for CUDA->Kokkos
+  for (const auto& m : metrics) {
+    for (const bool overall : {false, true}) {
+      std::vector<HeatMap> maps;
+      for (const auto tech : {Technique::NonAgentic, Technique::TopDown}) {
+        maps.push_back(metric_map(
+            std::string(overall ? "Overall " : "Code-only ") + m.name +
+                " — " + llm::technique_name(tech),
+            tasks, tech, rows, overall ? m.overall : m.codeonly));
+      }
+      if (swe) {
+        maps.push_back(metric_map(
+            std::string(overall ? "Overall " : "Code-only ") + m.name +
+                " — SWE-agent",
+            tasks, Technique::SweAgent, rows,
+            overall ? m.overall : m.codeonly));
+      }
+      out += support::render_side_by_side(maps) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string figure3_report(const ClassificationResult& classification) {
+  std::string out =
+      "== Figure 3: build-error categories per (LLM, application) ==\n"
+      "(ours = classified from this run's failure logs via word2vec + "
+      "DBSCAN + labelling pass; paper = Figure 3 reference counts)\n\n";
+  std::vector<std::string> rows;
+  for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
+  for (const auto kind : xlate::all_defect_kinds()) {
+    if (kind == xlate::DefectKind::Semantic) continue;
+    HeatMap ours(std::string("ours: ") + xlate::defect_name(kind), rows,
+                 llm_names());
+    HeatMap paper(std::string("paper: ") + xlate::defect_name(kind), rows,
+                  llm_names());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < llm_names().size(); ++c) {
+        const auto cit = classification.counts.find(kind);
+        int count = 0;
+        if (cit != classification.counts.end()) {
+          const auto ait = cit->second.find(rows[r]);
+          if (ait != cit->second.end()) {
+            const auto lit = ait->second.find(llm_names()[c]);
+            if (lit != ait->second.end()) count = lit->second;
+          }
+        }
+        ours.set(r, c, count);
+        paper.set(r, c, llm::figure3_reference(kind, rows[r],
+                                               llm_names()[c]));
+      }
+    }
+    out += support::render_side_by_side({ours, paper}, 0) + "\n";
+  }
+  return out;
+}
+
+std::string figure4_report(const std::vector<TaskResult>& tasks) {
+  std::string out =
+      "== Figure 4: total inference tokens used in translation "
+      "(thousands; averaged across generations and pairs) ==\n\n";
+  std::vector<std::string> rows;
+  for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
+  std::vector<HeatMap> maps;
+  for (const auto tech :
+       {Technique::NonAgentic, Technique::TopDown, Technique::SweAgent}) {
+    HeatMap hm(llm::technique_name(tech), rows, llm_names());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < llm_names().size(); ++c) {
+        double sum = 0.0;
+        int n = 0;
+        for (const auto& t : tasks) {
+          if (t.llm == llm_names()[c] && t.technique == tech &&
+              t.app == rows[r] && t.ran) {
+            sum += t.avg_tokens;
+            ++n;
+          }
+        }
+        if (n > 0) hm.set(r, c, sum / n / 1000.0);
+      }
+    }
+    maps.push_back(std::move(hm));
+  }
+  out += support::render_side_by_side(maps, 1);
+  return out;
+}
+
+std::string figure5_report(const std::vector<TaskResult>& tasks) {
+  std::string out =
+      "== Figure 5: expected tokens needed for a successful translation "
+      "(Eκ, thousands; cells with pass@1 > 0) ==\n\n";
+  std::vector<std::string> rows;
+  for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
+  std::vector<HeatMap> maps;
+  for (const auto tech : {Technique::NonAgentic, Technique::TopDown}) {
+    HeatMap hm(llm::technique_name(tech), rows, llm_names());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < llm_names().size(); ++c) {
+        double ek_sum = 0.0;
+        int n = 0;
+        for (const auto& t : tasks) {
+          if (t.llm != llm_names()[c] || t.technique != tech ||
+              t.app != rows[r] || !t.ran) {
+            continue;
+          }
+          const double pass1 = t.pass1_overall();
+          const double ek = expected_token_cost(t.avg_tokens, pass1);
+          if (ek >= 0) {
+            ek_sum += ek;
+            ++n;
+          }
+        }
+        if (n > 0) hm.set(r, c, ek_sum / n / 1000.0);
+      }
+    }
+    maps.push_back(std::move(hm));
+  }
+  out += support::render_side_by_side(maps, 0);
+  return out;
+}
+
+std::string table1_report() {
+  std::string out = "== Table 1: the ParEval-Repo application suite ==\n";
+  support::TextTable t({"Application", "SLoC", "CC", "# Files", "OMP Th.",
+                        "OMP Of.", "CUDA", "Kokkos"});
+  for (const apps::AppSpec* app : apps::all_apps()) {
+    const apps::Model m = app->repos.count(apps::Model::Cuda) > 0
+                              ? apps::Model::Cuda
+                              : apps::Model::OmpThreads;
+    const auto metrics = codeanal::repo_metrics(app->repos.at(m));
+    auto mark = [&](apps::Model model) -> std::string {
+      for (const auto a : app->available) {
+        if (a == model) return "yes";
+      }
+      for (const auto p : app->ports) {
+        if (p == model) return app->public_port_exists ? "port?*" : "port?";
+      }
+      return "";
+    };
+    t.add_row({app->name, std::to_string(metrics.sloc),
+               std::to_string(metrics.complexity),
+               std::to_string(metrics.files), mark(apps::Model::OmpThreads),
+               mark(apps::Model::OmpOffload), mark(apps::Model::Cuda),
+               mark(apps::Model::Kokkos)});
+  }
+  out += t.render();
+  out += "('yes' = implementation shipped; 'port?' = translation target; "
+         "'*' = public ports exist — contamination probe)\n";
+  return out;
+}
+
+std::string table2_report(const std::vector<TaskResult>& tasks) {
+  std::string out =
+      "== Table 2: estimated cost for a successful translation ==\n";
+  const llm::LlmProfile* o4 = llm::find_profile("o4-mini");
+  const llm::LlmProfile* llama = llm::find_profile("Llama-3.3-70B");
+  support::TextTable t({"Configuration", "nanoXOR", "microXORh", "microXOR"});
+
+  auto row = [&](const llm::LlmProfile& profile, bool dollars) {
+    std::vector<std::string> cells = {
+        std::string("Non-agentic ") + profile.name};
+    for (const char* app : {"nanoXOR", "microXORh", "microXOR"}) {
+      double ek_sum = 0.0;
+      int n = 0;
+      for (const auto& task : tasks) {
+        if (task.llm != profile.name ||
+            task.technique != Technique::NonAgentic || task.app != app ||
+            !task.ran) {
+          continue;
+        }
+        const double ek =
+            expected_token_cost(task.avg_tokens, task.pass1_overall());
+        if (ek >= 0) {
+          ek_sum += ek;
+          ++n;
+        }
+      }
+      if (n == 0) {
+        cells.push_back("-");
+        continue;
+      }
+      const double ek = ek_sum / n;
+      if (dollars) {
+        // Assume the paper's ~2:1 input:output split for pricing.
+        const double usd = ek * (0.55 * profile.usd_per_mtok_input +
+                                 0.45 * profile.usd_per_mtok_output) /
+                           1.0e6;
+        cells.push_back("$" + support::strfmt("%.4f", usd));
+      } else {
+        const double node_hours =
+            ek / profile.tokens_per_second / 3600.0;
+        cells.push_back(support::strfmt("%.4f n.h.", node_hours));
+      }
+    }
+    t.add_row(cells);
+  };
+  if (o4 != nullptr) row(*o4, /*dollars=*/true);
+  if (llama != nullptr) row(*llama, /*dollars=*/false);
+  out += t.render();
+  out += "(computed from Eκ, public API prices, and 187 tok/s measured "
+         "local throughput, as in §8.4)\n";
+  return out;
+}
+
+}  // namespace pareval::eval

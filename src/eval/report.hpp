@@ -1,0 +1,35 @@
+#pragma once
+// Report generation: renders the harness's measurements in the layouts of
+// the paper's tables and figures (ASCII heat maps and tables).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/classify.hpp"
+#include "eval/harness.hpp"
+
+namespace pareval::eval {
+
+/// Figure 2 sub-figure: build@1 and pass@1 heat maps (code-only and
+/// overall rows; one technique per column block) for one pair.
+std::string figure2_report(const llm::Pair& pair,
+                           const std::vector<TaskResult>& tasks);
+
+/// Figure 3: error-category counts per (LLM, app), with the paper's counts
+/// alongside for comparison.
+std::string figure3_report(const ClassificationResult& classification);
+
+/// Figure 4: average total inference tokens (thousands) per technique.
+std::string figure4_report(const std::vector<TaskResult>& tasks);
+
+/// Figure 5: expected token cost Eκ (thousands), cells with pass@1 > 0.
+std::string figure5_report(const std::vector<TaskResult>& tasks);
+
+/// Table 1: application statistics (SLoC, CC, #files, model matrix).
+std::string table1_report();
+
+/// Table 2: $ / node-hour estimates for the most economic models.
+std::string table2_report(const std::vector<TaskResult>& tasks);
+
+}  // namespace pareval::eval

@@ -1,0 +1,278 @@
+// CUDA runtime simulation: device allocations, explicit transfers with
+// direction validation, device intrinsics. Wrong-direction cudaMemcpy and
+// kernel access to unmapped host memory behave like the real runtime:
+// an error or corrupted data, never a silent pass.
+
+#include "execsim/registry.hpp"
+
+namespace pareval::execsim {
+
+using minic::ArgClass;
+using minic::BaseType;
+using minic::BuiltinDef;
+using minic::BuiltinTable;
+using minic::DiagCategory;
+using minic::InterpCtx;
+using minic::MemRef;
+using minic::MemSpace;
+using minic::Type;
+using minic::Value;
+
+namespace {
+
+BuiltinDef def(std::string name, int min_args, int max_args,
+               std::vector<ArgClass> classes, Type ret,
+               minic::BuiltinImpl impl, bool device_ok = false) {
+  BuiltinDef d;
+  d.name = std::move(name);
+  d.min_args = min_args;
+  d.max_args = max_args;
+  d.arg_classes = std::move(classes);
+  d.return_type = ret;
+  d.header = "";  // nvcc makes the CUDA runtime visible without an include
+  d.impl = std::move(impl);
+  d.device_ok = device_ok;
+  return d;
+}
+
+Type t_int() { return Type::make(BaseType::Int); }
+Type t_void() { return Type::make(BaseType::Void); }
+
+}  // namespace
+
+void register_cuda(BuiltinTable& t) {
+  t.add(def(
+      "cudaMalloc", 2, 2, {ArgClass::PtrOut, ArgClass::Num}, t_int(),
+      [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+        const long long bytes = a[1].as_int();
+        if (a[0].kind != Value::Kind::Ref || a[0].ref == nullptr) {
+          ctx.raise(DiagCategory::RuntimeFault,
+                    "cudaMalloc: first argument must be the address of a "
+                    "pointer variable",
+                    line);
+        }
+        minic::VarSlot& slot = *a[0].ref;
+        const Type pointee = slot.type.pointee();
+        const int elem = minic::type_size(pointee);
+        const int blk =
+            ctx.alloc_block(MemSpace::Device, bytes / elem, elem,
+                            "cudaMalloc(" + std::to_string(bytes) + ")");
+        MemRef ref;
+        ref.block = blk;
+        ref.elem_size = elem;
+        ref.elem_base =
+            pointee.ptr_depth > 0 ? BaseType::SizeT : pointee.base;
+        slot.v = Value::make_ptr(ref);
+        return Value::make_int(0);  // cudaSuccess
+      }));
+  t.add(def("cudaFree", 1, 1, {ArgClass::PtrAny}, t_int(),
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              if (a[0].kind == Value::Kind::Ptr && a[0].ptr.block >= 0) {
+                auto& b = ctx.block(a[0].ptr.block);
+                if (b.space != MemSpace::Device) {
+                  ctx.raise(DiagCategory::RuntimeFault,
+                            "cudaFree of a host pointer", line);
+                }
+                ctx.free_block(a[0].ptr.block, line);
+              }
+              return Value::make_int(0);
+            }));
+  t.add(def(
+      "cudaMemcpy", 4, 4,
+      {ArgClass::PtrAny, ArgClass::PtrAny, ArgClass::Num, ArgClass::Num},
+      t_int(), [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+        // &scalar endpoints (cudaMemcpy(&h_sum, d_sum, ...)): single-value
+        // copies through a variable reference.
+        if (a[0].kind == Value::Kind::Ref && a[1].kind == Value::Kind::Ptr) {
+          auto& src = ctx.block(a[1].ptr.block);
+          if (src.space != MemSpace::Device || a[3].as_int() != 2) {
+            ctx.raise(DiagCategory::RuntimeFault,
+                      "cudaMemcpy: invalid argument (direction/space "
+                      "mismatch for scalar copy)",
+                      line);
+          }
+          const auto off = static_cast<std::size_t>(a[1].ptr.offset);
+          if (off >= src.cells.size()) {
+            ctx.raise(DiagCategory::RuntimeFault,
+                      "cudaMemcpy: source out of bounds", line);
+          }
+          a[0].ref->v = src.cells[off].clone();
+          return Value::make_int(0);
+        }
+        if (a[0].kind == Value::Kind::Ptr && a[1].kind == Value::Kind::Ref) {
+          auto& dst = ctx.block(a[0].ptr.block);
+          if (dst.space != MemSpace::Device || a[3].as_int() != 1) {
+            ctx.raise(DiagCategory::RuntimeFault,
+                      "cudaMemcpy: invalid argument (direction/space "
+                      "mismatch for scalar copy)",
+                      line);
+          }
+          const auto off = static_cast<std::size_t>(a[0].ptr.offset);
+          if (off >= dst.cells.size()) {
+            ctx.raise(DiagCategory::RuntimeFault,
+                      "cudaMemcpy: destination out of bounds", line);
+          }
+          dst.cells[off] = a[1].ref->v.clone();
+          return Value::make_int(0);
+        }
+        if (a[0].kind != Value::Kind::Ptr || a[1].kind != Value::Kind::Ptr) {
+          ctx.raise(DiagCategory::RuntimeFault,
+                    "cudaMemcpy: invalid argument (not a pointer)", line);
+        }
+        auto& dst = ctx.block(a[0].ptr.block);
+        auto& src = ctx.block(a[1].ptr.block);
+        const long long kind = a[3].as_int();
+        const MemSpace want_dst =
+            (kind == 1 || kind == 3) ? MemSpace::Device : MemSpace::Host;
+        const MemSpace want_src =
+            (kind == 2 || kind == 3) ? MemSpace::Device : MemSpace::Host;
+        if (dst.space != want_dst || src.space != want_src) {
+          ctx.raise(DiagCategory::RuntimeFault,
+                    "cudaMemcpy: invalid argument (copy direction does not "
+                    "match pointer memory spaces)",
+                    line);
+        }
+        const long long cells = a[2].as_int() / dst.elem_size;
+        ctx.copy_cells(a[0].ptr.block, a[0].ptr.offset, a[1].ptr.block,
+                       a[1].ptr.offset, cells, line);
+        return Value::make_int(0);
+      }));
+  t.add(def("cudaMemset", 3, 3,
+            {ArgClass::PtrAny, ArgClass::Num, ArgClass::Num}, t_int(),
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              auto& b = ctx.block(a[0].ptr.block);
+              const long long cells = a[2].as_int() / b.elem_size;
+              const long long start = a[0].ptr.offset;
+              for (long long i = start; i < start + cells &&
+                                        i < static_cast<long long>(
+                                                b.cells.size());
+                   ++i) {
+                b.cells[static_cast<std::size_t>(i)] = Value::make_int(0);
+              }
+              (void)line;
+              return Value::make_int(0);
+            }));
+  t.add(def("cudaDeviceSynchronize", 0, 0, {}, t_int(),
+            [](InterpCtx&, std::vector<Value>&, int) {
+              return Value::make_int(0);
+            }));
+  t.add(def("cudaGetLastError", 0, 0, {}, t_int(),
+            [](InterpCtx&, std::vector<Value>&, int) {
+              return Value::make_int(0);
+            }));
+  t.add(def("cudaGetErrorString", 1, 1, {ArgClass::Num},
+            Type::make(BaseType::Char, 1),
+            [](InterpCtx&, std::vector<Value>&, int) {
+              return Value::make_str("no error");
+            }));
+  t.add(def("cudaSetDevice", 1, 1, {ArgClass::Num}, t_int(),
+            [](InterpCtx&, std::vector<Value>&, int) {
+              return Value::make_int(0);
+            }));
+  // Device intrinsics.
+  t.add(def("__syncthreads", 0, 0, {}, t_void(),
+            [](InterpCtx&, std::vector<Value>&, int) { return Value{}; },
+            /*device_ok=*/true));
+  t.add(def("atomicAdd", 2, 2, {ArgClass::PtrAny, ArgClass::Num},
+            Type::make(BaseType::Double),
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              if (a[0].kind != Value::Kind::Ptr) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "atomicAdd: expected a pointer", line);
+              }
+              const Value old = ctx.load(a[0].ptr, line);
+              Value next;
+              if (old.kind == Value::Kind::Real ||
+                  a[1].kind == Value::Kind::Real) {
+                next = Value::make_real(old.as_real() + a[1].as_real());
+              } else {
+                next = Value::make_int(old.as_int() + a[1].as_int());
+              }
+              ctx.store(a[0].ptr, next, line);
+              return old;
+            },
+            /*device_ok=*/true));
+}
+
+void register_curand(BuiltinTable& t) {
+  // curandState is a struct with a single hidden field "s".
+  auto state_slot = [](InterpCtx& ctx, Value& v,
+                       int line) -> std::shared_ptr<minic::StructData> {
+    if (v.kind == Value::Kind::Ref && v.ref != nullptr &&
+        v.ref->v.kind == Value::Kind::StructV) {
+      return v.ref->v.strct;
+    }
+    if (v.kind == Value::Kind::Ptr) {
+      const Value held = ctx.load(v.ptr, line);
+      if (held.kind == Value::Kind::StructV) return held.strct;
+    }
+    if (v.kind == Value::Kind::StructV) return v.strct;
+    ctx.raise(DiagCategory::RuntimeFault,
+              "curand: expected a curandState*", line);
+  };
+
+  BuiltinDef init;
+  init.name = "curand_init";
+  init.min_args = 4;
+  init.max_args = 4;
+  init.arg_classes = {ArgClass::Num, ArgClass::Num, ArgClass::Num,
+                      ArgClass::PtrOut};
+  init.return_type = Type::make(BaseType::Void);
+  init.header = "curand_kernel.h";
+  init.device_ok = true;
+  init.host_ok = false;
+  init.impl = [state_slot](InterpCtx& ctx, std::vector<Value>& a, int line) {
+    auto st = state_slot(ctx, a[3], line);
+    const long long seed = a[0].as_int();
+    const long long seq = a[1].as_int();
+    st->fields["s"] =
+        Value::make_int(seed * 6364136223846793005LL + seq * 1442695040888963407LL + 1);
+    return Value{};
+  };
+  t.add(std::move(init));
+
+  auto lcg_next = [](long long s) {
+    return s * 6364136223846793005LL + 1442695040888963407LL;
+  };
+
+  BuiltinDef gen;
+  gen.name = "curand";
+  gen.min_args = 1;
+  gen.max_args = 1;
+  gen.arg_classes = {ArgClass::PtrOut};
+  gen.return_type = Type::make(BaseType::UInt);
+  gen.header = "curand_kernel.h";
+  gen.device_ok = true;
+  gen.host_ok = false;
+  gen.impl = [state_slot, lcg_next](InterpCtx& ctx, std::vector<Value>& a,
+                                    int line) {
+    auto st = state_slot(ctx, a[0], line);
+    const long long s = lcg_next(st->fields["s"].as_int());
+    st->fields["s"] = Value::make_int(s);
+    return Value::make_int((s >> 16) & 0xffffffffLL);
+  };
+  t.add(std::move(gen));
+
+  BuiltinDef uni;
+  uni.name = "curand_uniform";
+  uni.min_args = 1;
+  uni.max_args = 1;
+  uni.arg_classes = {ArgClass::PtrOut};
+  uni.return_type = Type::make(BaseType::Float);
+  uni.header = "curand_kernel.h";
+  uni.device_ok = true;
+  uni.host_ok = false;
+  uni.impl = [state_slot, lcg_next](InterpCtx& ctx, std::vector<Value>& a,
+                                    int line) {
+    auto st = state_slot(ctx, a[0], line);
+    const long long s = lcg_next(st->fields["s"].as_int());
+    st->fields["s"] = Value::make_int(s);
+    const double u =
+        (static_cast<double>((s >> 11) & ((1LL << 53) - 1)) + 1.0) /
+        9007199254740993.0;
+    return Value::make_real(u);
+  };
+  t.add(std::move(uni));
+}
+
+}  // namespace pareval::execsim

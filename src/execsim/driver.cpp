@@ -1,0 +1,79 @@
+#include "execsim/driver.hpp"
+
+#include "minic/parser.hpp"
+#include "minic/preproc.hpp"
+#include "minic/sema.hpp"
+
+namespace pareval::execsim {
+
+std::shared_ptr<minic::TranslationUnit> compile_tu(
+    const vfs::Repo& repo, const std::string& source,
+    const minic::Capabilities& caps,
+    const std::vector<std::pair<std::string, std::string>>& defines) {
+  const minic::BuiltinTable builtins = make_builtin_table(caps);
+
+  minic::PreprocessOptions ppopt;
+  ppopt.available_system_headers = system_headers_for(caps);
+  ppopt.predefined = defines;
+  ppopt.predefined.emplace_back("NULL", "(void*)0");
+  if (caps.cuda) ppopt.predefined.emplace_back("__CUDACC__", "1");
+  if (caps.openmp) ppopt.predefined.emplace_back("_OPENMP", "201811");
+
+  minic::PreprocessResult pp = minic::preprocess(repo, source, ppopt);
+  auto tu = std::make_shared<minic::TranslationUnit>(
+      minic::parse_tokens(std::move(pp.tokens), source));
+  tu->path = source;
+  // Preprocessor diagnostics (missing headers) come first.
+  minic::DiagBag merged;
+  merged.merge(pp.diags);
+  merged.merge(tu->diags);
+  tu->diags = std::move(merged);
+  for (const auto& h : pp.system_headers) tu->system_headers.push_back(h);
+
+  minic::SemaOptions sopt;
+  sopt.caps = caps;
+  sopt.builtins = &builtins;
+  sopt.included_headers = pp.system_headers;
+  // CUDA's toolchain pre-includes its runtime; OpenMP API requires omp.h,
+  // libc requires its headers — all expressed via BuiltinDef::header.
+  minic::analyze(*tu, sopt);
+  return tu;
+}
+
+Executable link_tus(std::vector<std::shared_ptr<minic::TranslationUnit>> tus,
+                    const minic::Capabilities& caps) {
+  Executable exe;
+  exe.builtins = make_builtin_table(caps);
+  for (const auto& tu : tus) exe.diags.merge(tu->diags);
+  exe.program = minic::link_units(std::move(tus), caps, exe.diags);
+  return exe;
+}
+
+Executable compile_repo(
+    const vfs::Repo& repo, const std::vector<std::string>& sources,
+    const minic::Capabilities& caps,
+    const std::vector<std::pair<std::string, std::string>>& defines) {
+  std::vector<std::shared_ptr<minic::TranslationUnit>> tus;
+  tus.reserve(sources.size());
+  for (const auto& src : sources) {
+    tus.push_back(compile_tu(repo, src, caps, defines));
+  }
+  return link_tus(std::move(tus), caps);
+}
+
+minic::RunResult run_executable(const Executable& exe,
+                                const std::vector<std::string>& args,
+                                minic::RunLimits limits) {
+  minic::RunResult result;
+  if (!exe.ok()) {
+    result.ok = false;
+    result.exit_code = -1;
+    result.diags.error(minic::DiagCategory::Other,
+                       "cannot run: executable has compile errors");
+    return result;
+  }
+  minic::Interpreter interp(exe.program, exe.builtins, limits);
+  return interp.run(args);
+}
+
+}  // namespace pareval::execsim

@@ -1,0 +1,51 @@
+#pragma once
+// Compile driver: turn a set of repo source files into a runnable
+// Executable for a given capability configuration. This is the common path
+// under the simulated toolchains (nvcc / clang+offload / g++ + Kokkos) and
+// the test suites.
+
+#include <string>
+#include <vector>
+
+#include "execsim/registry.hpp"
+#include "minic/interp.hpp"
+#include "minic/program.hpp"
+#include "vfs/repo.hpp"
+
+namespace pareval::execsim {
+
+struct Executable {
+  minic::LinkedProgram program;
+  minic::BuiltinTable builtins;
+  minic::DiagBag diags;  // compile + link diagnostics
+
+  bool ok() const { return !diags.has_errors(); }
+};
+
+/// Compile `sources` (translation units) from `repo` with the given
+/// capabilities. Extra predefined macros may be injected (-DNAME=V).
+Executable compile_repo(
+    const vfs::Repo& repo, const std::vector<std::string>& sources,
+    const minic::Capabilities& caps,
+    const std::vector<std::pair<std::string, std::string>>& defines = {});
+
+/// Run a compiled executable. Returns a failed RunResult with a diagnostic
+/// if the executable has compile errors.
+minic::RunResult run_executable(const Executable& exe,
+                                const std::vector<std::string>& args,
+                                minic::RunLimits limits = {});
+
+/// Compile a single translation unit under its own capability set (the
+/// build simulator compiles each source with the flags of its own compiler
+/// invocation). Diagnostics are left in the returned TU.
+std::shared_ptr<minic::TranslationUnit> compile_tu(
+    const vfs::Repo& repo, const std::string& source,
+    const minic::Capabilities& caps,
+    const std::vector<std::pair<std::string, std::string>>& defines = {});
+
+/// Link already-compiled TUs into an Executable under the union
+/// capabilities of the build.
+Executable link_tus(std::vector<std::shared_ptr<minic::TranslationUnit>> tus,
+                    const minic::Capabilities& caps);
+
+}  // namespace pareval::execsim

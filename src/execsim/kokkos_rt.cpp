@@ -1,0 +1,275 @@
+// Kokkos-lite runtime: Views live in device memory, mirrors in host memory,
+// parallel_for / parallel_reduce dispatch lambdas in device context (and
+// count as kernel launches), deep_copy moves data between spaces. Host code
+// touching a device View element faults, as on a real CudaSpace view.
+
+#include "execsim/registry.hpp"
+
+namespace pareval::execsim {
+
+using minic::ArgClass;
+using minic::BaseType;
+using minic::BuiltinDef;
+using minic::BuiltinTable;
+using minic::DiagCategory;
+using minic::InterpCtx;
+using minic::MemSpace;
+using minic::Type;
+using minic::Value;
+using minic::ViewData;
+
+namespace {
+
+BuiltinDef def(std::string name, int min_args, int max_args,
+               std::vector<ArgClass> classes, Type ret,
+               minic::BuiltinImpl impl) {
+  BuiltinDef d;
+  d.name = std::move(name);
+  d.min_args = min_args;
+  d.max_args = max_args;
+  d.arg_classes = std::move(classes);
+  d.return_type = ret;
+  d.header = "Kokkos_Core.hpp";
+  d.impl = std::move(impl);
+  return d;
+}
+
+Type t_void() { return Type::make(BaseType::Void); }
+
+/// A policy value produced by RangePolicy/MDRangePolicy: stored as a struct
+/// with fields lo0/hi0/lo1/hi1/rank.
+Value make_policy(int rank, long long lo0, long long hi0, long long lo1,
+                  long long hi1) {
+  Value v;
+  v.kind = Value::Kind::StructV;
+  v.strct = std::make_shared<minic::StructData>();
+  v.strct->struct_name = "#policy";
+  v.strct->fields["rank"] = Value::make_int(rank);
+  v.strct->fields["lo0"] = Value::make_int(lo0);
+  v.strct->fields["hi0"] = Value::make_int(hi0);
+  v.strct->fields["lo1"] = Value::make_int(lo1);
+  v.strct->fields["hi1"] = Value::make_int(hi1);
+  return v;
+}
+
+bool is_policy(const Value& v) {
+  return v.kind == Value::Kind::StructV && v.strct &&
+         v.strct->struct_name == "#policy";
+}
+
+long long tuple_elem(const Value& v, int i) {
+  if (v.kind != Value::Kind::StructV || !v.strct) return 0;
+  const auto it = v.strct->fields.find("#" + std::to_string(i));
+  return it == v.strct->fields.end() ? 0 : it->second.as_int();
+}
+
+/// Dispatch a parallel_for-style loop: args may be
+///   (N, lambda) | ("label", N, lambda) | (policy, lambda) |
+///   ("label", policy, lambda)
+struct LoopSpec {
+  int rank = 1;
+  long long lo0 = 0, hi0 = 0, lo1 = 0, hi1 = 0;
+  Value lambda;
+  bool ok = false;
+};
+
+LoopSpec parse_loop_args(std::vector<Value>& a) {
+  LoopSpec spec;
+  std::size_t i = 0;
+  if (i < a.size() && a[i].kind == Value::Kind::Str) ++i;  // label
+  if (i + 1 >= a.size()) return spec;
+  const Value& range = a[i];
+  spec.lambda = a[i + 1];
+  if (spec.lambda.kind != Value::Kind::LambdaV) return spec;
+  if (range.is_numeric()) {
+    spec.rank = 1;
+    spec.hi0 = range.as_int();
+  } else if (is_policy(range)) {
+    spec.rank = static_cast<int>(range.strct->fields.at("rank").as_int());
+    spec.lo0 = range.strct->fields.at("lo0").as_int();
+    spec.hi0 = range.strct->fields.at("hi0").as_int();
+    spec.lo1 = range.strct->fields.at("lo1").as_int();
+    spec.hi1 = range.strct->fields.at("hi1").as_int();
+  } else {
+    return spec;
+  }
+  spec.ok = true;
+  return spec;
+}
+
+}  // namespace
+
+void register_kokkos(BuiltinTable& t) {
+  t.add(def("Kokkos::initialize", 0, 2, {}, t_void(),
+            [](InterpCtx&, std::vector<Value>&, int) { return Value{}; }));
+  t.add(def("Kokkos::finalize", 0, 0, {}, t_void(),
+            [](InterpCtx&, std::vector<Value>&, int) { return Value{}; }));
+  t.add(def("Kokkos::fence", 0, 1, {}, t_void(),
+            [](InterpCtx&, std::vector<Value>&, int) { return Value{}; }));
+
+  t.add(def("Kokkos::RangePolicy", 2, 2, {ArgClass::Num, ArgClass::Num},
+            Type::make(BaseType::Struct),
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              return make_policy(1, a[0].as_int(), a[1].as_int(), 0, 0);
+            }));
+  t.add(def("Kokkos::MDRangePolicy", 2, 2, {ArgClass::Any, ArgClass::Any},
+            Type::make(BaseType::Struct),
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              if (a[0].kind != Value::Kind::StructV ||
+                  a[1].kind != Value::Kind::StructV) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "MDRangePolicy expects {lo,...},{hi,...} bounds",
+                          line);
+              }
+              return make_policy(2, tuple_elem(a[0], 0), tuple_elem(a[1], 0),
+                                 tuple_elem(a[0], 1), tuple_elem(a[1], 1));
+            }));
+
+  t.add(def("Kokkos::parallel_for", 2, 3,
+            {ArgClass::Any, ArgClass::Any, ArgClass::Any}, t_void(),
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              LoopSpec spec = parse_loop_args(a);
+              if (!spec.ok) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "Kokkos::parallel_for: expected (label,) range, "
+                          "functor",
+                          line);
+              }
+              ctx.count_device_launch();
+              if (spec.rank == 1) {
+                for (long long i = spec.lo0; i < spec.hi0; ++i) {
+                  ctx.call_closure(spec.lambda, {Value::make_int(i)}, {},
+                                   /*on_device=*/true, line);
+                }
+              } else {
+                for (long long i = spec.lo0; i < spec.hi0; ++i) {
+                  for (long long j = spec.lo1; j < spec.hi1; ++j) {
+                    ctx.call_closure(spec.lambda,
+                                     {Value::make_int(i), Value::make_int(j)},
+                                     {}, true, line);
+                  }
+                }
+              }
+              return Value{};
+            }));
+
+  {
+    BuiltinDef d;
+    d.name = "Kokkos::parallel_reduce";
+    d.min_args = 3;
+    d.max_args = 4;
+    d.arg_classes = {ArgClass::Any, ArgClass::Any, ArgClass::PtrOut,
+                     ArgClass::PtrOut};
+    d.return_type = t_void();
+    d.header = "Kokkos_Core.hpp";
+    d.impl = [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+      // The reduction target is the last argument, passed by reference.
+      Value target = a.back();
+      std::vector<Value> head(a.begin(), a.end() - 1);
+      LoopSpec spec = parse_loop_args(head);
+      if (!spec.ok || spec.rank != 1) {
+        ctx.raise(DiagCategory::RuntimeFault,
+                  "Kokkos::parallel_reduce: expected (label,) range, "
+                  "functor, result",
+                  line);
+      }
+      if (target.kind != Value::Kind::Ref || target.ref == nullptr) {
+        ctx.raise(DiagCategory::RuntimeFault,
+                  "Kokkos::parallel_reduce: result must be a variable",
+                  line);
+      }
+      // Accumulator slot bound by reference into the lambda.
+      minic::VarSlot acc;
+      acc.type = Type::make(BaseType::Double);
+      acc.v = Value::make_real(0.0);
+      ctx.count_device_launch();
+      for (long long i = spec.lo0; i < spec.hi0; ++i) {
+        ctx.call_closure(spec.lambda, {Value::make_int(i)}, {&acc}, true,
+                         line);
+      }
+      target.ref->v = acc.v;
+      return Value{};
+    };
+    t.add(std::move(d));
+  }
+
+  t.add(def("Kokkos::deep_copy", 2, 2, {ArgClass::View, ArgClass::View},
+            t_void(), [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              if (a[0].kind != Value::Kind::ViewV ||
+                  a[1].kind != Value::Kind::ViewV) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "Kokkos::deep_copy expects two views", line);
+              }
+              const ViewData& dst = *a[0].view;
+              const ViewData& src = *a[1].view;
+              if (dst.size() != src.size()) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "Kokkos::deep_copy: extent mismatch between '" +
+                              dst.label + "' and '" + src.label + "'",
+                          line);
+              }
+              ctx.copy_cells(dst.block, 0, src.block, 0, dst.size(), line);
+              return Value{};
+            }));
+
+  t.add(def("Kokkos::create_mirror_view", 1, 1, {ArgClass::View},
+            Type::make(BaseType::Unknown),  // mirrors any element type
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              if (a[0].kind != Value::Kind::ViewV) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "create_mirror_view expects a view", line);
+              }
+              const ViewData& src = *a[0].view;
+              ViewData mirror = src;
+              mirror.label = src.label + "_mirror";
+              mirror.block = ctx.alloc_block(
+                  MemSpace::Host, src.size(),
+                  minic::base_type_size(src.elem),
+                  "host mirror of Kokkos::View '" + src.label + "'");
+              Value out;
+              out.kind = Value::Kind::ViewV;
+              out.view = std::make_shared<ViewData>(mirror);
+              return out;
+            }));
+}
+
+void register_omp_api(BuiltinTable& t, const minic::Capabilities& caps) {
+  const bool offload = caps.offload;
+  auto add = [&](std::string name, int nargs, Type ret,
+                 minic::BuiltinImpl impl) {
+    BuiltinDef d;
+    d.name = std::move(name);
+    d.min_args = 0;
+    d.max_args = nargs;
+    d.return_type = ret;
+    d.header = "omp.h";
+    d.impl = std::move(impl);
+    t.add(std::move(d));
+  };
+  add("omp_get_num_threads", 0, Type::make(BaseType::Int),
+      [](InterpCtx&, std::vector<Value>&, int) { return Value::make_int(1); });
+  add("omp_get_max_threads", 0, Type::make(BaseType::Int),
+      [](InterpCtx&, std::vector<Value>&, int) {
+        return Value::make_int(64);
+      });
+  add("omp_get_thread_num", 0, Type::make(BaseType::Int),
+      [](InterpCtx&, std::vector<Value>&, int) { return Value::make_int(0); });
+  add("omp_set_num_threads", 1, Type::make(BaseType::Void),
+      [](InterpCtx&, std::vector<Value>&, int) { return Value{}; });
+  add("omp_get_wtime", 0, Type::make(BaseType::Double),
+      [](InterpCtx& ctx, std::vector<Value>&, int) {
+        return Value::make_real(ctx.sim_time_seconds());
+      });
+  add("omp_get_num_devices", 0, Type::make(BaseType::Int),
+      [offload](InterpCtx&, std::vector<Value>&, int) {
+        return Value::make_int(offload ? 1 : 0);
+      });
+  add("omp_get_default_device", 0, Type::make(BaseType::Int),
+      [](InterpCtx&, std::vector<Value>&, int) { return Value::make_int(0); });
+  add("omp_is_initial_device", 0, Type::make(BaseType::Int),
+      [](InterpCtx& ctx, std::vector<Value>&, int) {
+        return Value::make_int(ctx.on_device() ? 0 : 1);
+      });
+}
+
+}  // namespace pareval::execsim

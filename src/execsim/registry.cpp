@@ -1,0 +1,34 @@
+#include "execsim/registry.hpp"
+
+#include "minic/preproc.hpp"
+
+namespace pareval::execsim {
+
+minic::BuiltinTable make_builtin_table(const minic::Capabilities& caps) {
+  minic::BuiltinTable t;
+  register_std(t);
+  if (caps.openmp) register_omp_api(t, caps);
+  if (caps.cuda) register_cuda(t);
+  if (caps.curand) register_curand(t);
+  if (caps.kokkos) register_kokkos(t);
+  return t;
+}
+
+std::set<std::string> system_headers_for(const minic::Capabilities& caps) {
+  std::set<std::string> headers = minic::base_system_headers();
+  headers.insert("omp.h");  // the header is installed regardless of -fopenmp
+  if (caps.cuda) {
+    headers.insert("cuda_runtime.h");
+    headers.insert("cuda.h");
+  }
+  if (caps.curand) {
+    headers.insert("curand_kernel.h");
+    headers.insert("curand.h");
+  }
+  if (caps.kokkos) {
+    headers.insert("Kokkos_Core.hpp");
+  }
+  return headers;
+}
+
+}  // namespace pareval::execsim

@@ -1,0 +1,39 @@
+#pragma once
+// Execution-model simulators: builtin registries for the runtimes the
+// benchmark applications program against. Which registries are active for
+// a given binary is decided by the build simulator from toolchain + flags
+// (Capabilities), so API misuse surfaces exactly like on the paper's
+// testbed (e.g. cudaMalloc is an undeclared identifier under clang+OpenMP).
+
+#include <set>
+
+#include "minic/builtins.hpp"
+#include "minic/program.hpp"
+
+namespace pareval::execsim {
+
+/// libc / libm / stdio / time: always registered.
+void register_std(minic::BuiltinTable& table);
+
+/// CUDA runtime API + device intrinsics (requires nvcc).
+void register_cuda(minic::BuiltinTable& table);
+
+/// OpenMP host API (omp_get_wtime, omp_get_num_devices, ...).
+void register_omp_api(minic::BuiltinTable& table,
+                      const minic::Capabilities& caps);
+
+/// Kokkos core: initialize/finalize, parallel_for/reduce, deep_copy,
+/// mirrors, fence, policies.
+void register_kokkos(minic::BuiltinTable& table);
+
+/// cuRAND device API (curand_init, curand, curand_uniform).
+void register_curand(minic::BuiltinTable& table);
+
+/// Assemble the full table for a build configuration.
+minic::BuiltinTable make_builtin_table(const minic::Capabilities& caps);
+
+/// System headers visible for a build configuration (feeds the
+/// preprocessor's missing-header detection).
+std::set<std::string> system_headers_for(const minic::Capabilities& caps);
+
+}  // namespace pareval::execsim

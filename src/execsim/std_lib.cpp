@@ -1,0 +1,310 @@
+#include <cmath>
+#include <cstdlib>
+
+#include "execsim/registry.hpp"
+#include "minic/preproc.hpp"
+
+namespace pareval::execsim {
+
+using minic::ArgClass;
+using minic::BaseType;
+using minic::BuiltinDef;
+using minic::BuiltinTable;
+using minic::DiagCategory;
+using minic::InterpCtx;
+using minic::MemRef;
+using minic::MemSpace;
+using minic::Type;
+using minic::Value;
+
+namespace {
+
+BuiltinDef def(std::string name, int min_args, int max_args,
+               std::vector<ArgClass> classes, Type ret, std::string header,
+               minic::BuiltinImpl impl, bool device_ok = false) {
+  BuiltinDef d;
+  d.name = std::move(name);
+  d.min_args = min_args;
+  d.max_args = max_args;
+  d.arg_classes = std::move(classes);
+  d.return_type = ret;
+  d.header = std::move(header);
+  d.impl = std::move(impl);
+  d.device_ok = device_ok;
+  return d;
+}
+
+Type t_void() { return Type::make(BaseType::Void); }
+Type t_int() { return Type::make(BaseType::Int); }
+Type t_long() { return Type::make(BaseType::Long); }
+Type t_double() { return Type::make(BaseType::Double); }
+Type t_voidp() { return Type::make(BaseType::Void, 1); }
+
+/// Register a unary double -> double math function (host + device).
+void math1(BuiltinTable& t, const std::string& name, double (*fn)(double)) {
+  t.add(def(name, 1, 1, {ArgClass::Num}, t_double(), "math.h",
+            [fn](InterpCtx&, std::vector<Value>& a, int) {
+              return Value::make_real(fn(a[0].as_real()));
+            },
+            /*device_ok=*/true));
+}
+
+void math2(BuiltinTable& t, const std::string& name,
+           double (*fn)(double, double)) {
+  t.add(def(name, 2, 2, {ArgClass::Num, ArgClass::Num}, t_double(), "math.h",
+            [fn](InterpCtx&, std::vector<Value>& a, int) {
+              return Value::make_real(fn(a[0].as_real(), a[1].as_real()));
+            },
+            /*device_ok=*/true));
+}
+
+long long block_of(InterpCtx& ctx, const Value& v, int line) {
+  if (v.kind != Value::Kind::Ptr) {
+    ctx.raise(DiagCategory::RuntimeFault, "expected a pointer argument",
+              line);
+  }
+  return v.ptr.block;
+}
+
+}  // namespace
+
+void register_std(BuiltinTable& t) {
+  // ---- stdio ---------------------------------------------------------
+  t.add(def("printf", 1, -1, {ArgClass::Str}, t_int(), "stdio.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              const std::string text =
+                  minic::format_printf(ctx, a[0].s, a, 1, line);
+              ctx.print(text, false);
+              return Value::make_int(static_cast<long long>(text.size()));
+            },
+            /*device_ok=*/true));
+  t.add(def("puts", 1, 1, {ArgClass::Str}, t_int(), "stdio.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int) {
+              ctx.print(a[0].s + "\n", false);
+              return Value::make_int(0);
+            }));
+  t.add(def("fprintf", 2, -1, {ArgClass::Num, ArgClass::Str}, t_int(),
+            "stdio.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              const bool to_stderr = a[0].as_int() == 2;
+              const std::string text =
+                  minic::format_printf(ctx, a[1].s, a, 2, line);
+              ctx.print(text, to_stderr);
+              return Value::make_int(static_cast<long long>(text.size()));
+            }));
+
+  // ---- stdlib --------------------------------------------------------
+  t.add(def("malloc", 1, 1, {ArgClass::Num}, t_voidp(), "stdlib.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              const long long bytes = a[0].as_int();
+              const int blk = ctx.alloc_block(MemSpace::Host, bytes, 1,
+                                              "malloc(" +
+                                                  std::to_string(bytes) + ")");
+              MemRef ref;
+              ref.block = blk;
+              ref.elem_size = 1;
+              ref.elem_base = BaseType::Char;
+              (void)line;
+              return Value::make_ptr(ref);
+            }));
+  t.add(def("calloc", 2, 2, {ArgClass::Num, ArgClass::Num}, t_voidp(),
+            "stdlib.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int) {
+              const long long n = a[0].as_int();
+              const int elem = static_cast<int>(a[1].as_int());
+              const int blk = ctx.alloc_block(MemSpace::Host, n,
+                                              elem > 0 ? elem : 1, "calloc");
+              auto& b = ctx.block(blk);
+              for (auto& cell : b.cells) cell = Value::make_int(0);
+              MemRef ref;
+              ref.block = blk;
+              ref.elem_size = elem > 0 ? elem : 1;
+              ref.elem_base = BaseType::Char;
+              return Value::make_ptr(ref);
+            }));
+  t.add(def("free", 1, 1, {ArgClass::PtrAny}, t_void(), "stdlib.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              if (a[0].kind == Value::Kind::Ptr && a[0].ptr.block >= 0) {
+                ctx.free_block(a[0].ptr.block, line);
+              }
+              return Value{};
+            }));
+  t.add(def("exit", 1, 1, {ArgClass::Num}, t_void(), "stdlib.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int) -> Value {
+              ctx.exit_program(static_cast<int>(a[0].as_int()));
+            }));
+  t.add(def("abort", 0, 0, {}, t_void(), "stdlib.h",
+            [](InterpCtx& ctx, std::vector<Value>&, int line) -> Value {
+              ctx.raise(DiagCategory::RuntimeFault, "abort() called", line);
+            }));
+  t.add(def("atoi", 1, 1, {ArgClass::Str}, t_int(), "stdlib.h",
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              return Value::make_int(
+                  a[0].kind == Value::Kind::Str
+                      ? std::strtoll(a[0].s.c_str(), nullptr, 10)
+                      : a[0].as_int());
+            }));
+  t.add(def("atof", 1, 1, {ArgClass::Str}, t_double(), "stdlib.h",
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              return Value::make_real(
+                  a[0].kind == Value::Kind::Str
+                      ? std::strtod(a[0].s.c_str(), nullptr)
+                      : a[0].as_real());
+            }));
+  t.add(def("atol", 1, 1, {ArgClass::Str}, t_long(), "stdlib.h",
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              return Value::make_int(
+                  a[0].kind == Value::Kind::Str
+                      ? std::strtoll(a[0].s.c_str(), nullptr, 10)
+                      : a[0].as_int());
+            }));
+  t.add(def("rand", 0, 0, {}, t_int(), "stdlib.h",
+            [](InterpCtx& ctx, std::vector<Value>&, int) {
+              long long& s = ctx.rand_state();
+              s = s * 6364136223846793005LL + 1442695040888963407LL;
+              return Value::make_int((s >> 33) & 0x7fffffffLL);
+            }));
+  t.add(def("srand", 1, 1, {ArgClass::Num}, t_void(), "stdlib.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int) {
+              ctx.rand_state() = a[0].as_int() * 2654435761LL + 1;
+              return Value{};
+            }));
+
+  // ---- string --------------------------------------------------------
+  t.add(def("strcmp", 2, 2, {ArgClass::Str, ArgClass::Str}, t_int(),
+            "string.h", [](InterpCtx&, std::vector<Value>& a, int) {
+              return Value::make_int(a[0].s.compare(a[1].s));
+            }));
+  t.add(def("strncmp", 3, 3, {ArgClass::Str, ArgClass::Str, ArgClass::Num},
+            t_int(), "string.h", [](InterpCtx&, std::vector<Value>& a, int) {
+              const std::size_t n = static_cast<std::size_t>(a[2].as_int());
+              return Value::make_int(
+                  a[0].s.substr(0, n).compare(a[1].s.substr(0, n)));
+            }));
+  t.add(def("strlen", 1, 1, {ArgClass::Str}, t_long(), "string.h",
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              return Value::make_int(static_cast<long long>(a[0].s.size()));
+            }));
+  t.add(def("memset", 3, 3, {ArgClass::PtrAny, ArgClass::Num, ArgClass::Num},
+            t_voidp(), "string.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              const long long blk = block_of(ctx, a[0], line);
+              auto& b = ctx.block(static_cast<int>(blk));
+              const long long bytes = a[2].as_int();
+              const long long cells = bytes / b.elem_size;
+              const long long start = a[0].ptr.offset;
+              const long long fill = a[1].as_int();
+              for (long long i = start;
+                   i < start + cells &&
+                   i < static_cast<long long>(b.cells.size());
+                   ++i) {
+                b.cells[static_cast<std::size_t>(i)] =
+                    fill == 0 ? Value::make_int(0) : Value::make_int(fill);
+              }
+              return a[0];
+            }));
+  t.add(def("memcpy", 3, 3, {ArgClass::PtrAny, ArgClass::PtrAny, ArgClass::Num},
+            t_voidp(), "string.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              const int dst = static_cast<int>(block_of(ctx, a[0], line));
+              const int src = static_cast<int>(block_of(ctx, a[1], line));
+              auto& db = ctx.block(dst);
+              auto& sb = ctx.block(src);
+              if (db.space != sb.space) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "memcpy between host and device memory "
+                          "(use cudaMemcpy / omp target update)",
+                          line);
+              }
+              if (db.space == MemSpace::Device && !ctx.on_device()) {
+                ctx.raise(DiagCategory::RuntimeFault,
+                          "memcpy on device memory from host code", line);
+              }
+              const long long cells = a[2].as_int() / db.elem_size;
+              ctx.copy_cells(dst, a[0].ptr.offset, src, a[1].ptr.offset,
+                             cells, line);
+              return a[0];
+            }));
+
+  // ---- math ----------------------------------------------------------
+  math1(t, "sqrt", std::sqrt);
+  math1(t, "sqrtf", std::sqrt);
+  math1(t, "fabs", std::fabs);
+  math1(t, "fabsf", std::fabs);
+  math1(t, "exp", std::exp);
+  math1(t, "expf", std::exp);
+  math1(t, "log", std::log);
+  math1(t, "logf", std::log);
+  math1(t, "log2", std::log2);
+  math1(t, "sin", std::sin);
+  math1(t, "sinf", std::sin);
+  math1(t, "cos", std::cos);
+  math1(t, "cosf", std::cos);
+  math1(t, "tan", std::tan);
+  math1(t, "tanh", std::tanh);
+  math1(t, "tanhf", std::tanh);
+  math1(t, "floor", std::floor);
+  math1(t, "ceil", std::ceil);
+  math2(t, "pow", std::pow);
+  math2(t, "powf", std::pow);
+  math2(t, "fmax", std::fmax);
+  math2(t, "fmaxf", std::fmax);
+  math2(t, "fmin", std::fmin);
+  math2(t, "fminf", std::fmin);
+  math2(t, "fmod", std::fmod);
+  t.add(def("abs", 1, 1, {ArgClass::Num}, t_int(), "stdlib.h",
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              return a[0].kind == Value::Kind::Real
+                         ? Value::make_real(std::fabs(a[0].d))
+                         : Value::make_int(std::llabs(a[0].i));
+            },
+            /*device_ok=*/true));
+  t.add(def("max", 2, 2, {ArgClass::Num, ArgClass::Num}, t_double(), "",
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              if (a[0].kind == Value::Kind::Real ||
+                  a[1].kind == Value::Kind::Real) {
+                return Value::make_real(std::fmax(a[0].as_real(),
+                                                  a[1].as_real()));
+              }
+              return Value::make_int(std::max(a[0].as_int(), a[1].as_int()));
+            },
+            /*device_ok=*/true));
+  t.add(def("min", 2, 2, {ArgClass::Num, ArgClass::Num}, t_double(), "",
+            [](InterpCtx&, std::vector<Value>& a, int) {
+              if (a[0].kind == Value::Kind::Real ||
+                  a[1].kind == Value::Kind::Real) {
+                return Value::make_real(std::fmin(a[0].as_real(),
+                                                  a[1].as_real()));
+              }
+              return Value::make_int(std::min(a[0].as_int(), a[1].as_int()));
+            },
+            /*device_ok=*/true));
+
+  // ---- assert / time -------------------------------------------------
+  t.add(def("assert", 1, 1, {ArgClass::Any}, t_void(), "assert.h",
+            [](InterpCtx& ctx, std::vector<Value>& a, int line) {
+              if (!a[0].truthy()) {
+                ctx.raise(DiagCategory::RuntimeFault, "assertion failed",
+                          line);
+              }
+              return Value{};
+            },
+            /*device_ok=*/true));
+  t.add(def("clock", 0, 0, {}, t_long(), "time.h",
+            [](InterpCtx& ctx, std::vector<Value>&, int) {
+              return Value::make_int(
+                  static_cast<long long>(ctx.sim_time_seconds() * 1e6));
+            }));
+  t.add(def("time", 1, 1, {ArgClass::Any}, t_long(), "time.h",
+            [](InterpCtx& ctx, std::vector<Value>&, int) {
+              return Value::make_int(
+                  1700000000LL +
+                  static_cast<long long>(ctx.sim_time_seconds()));
+            }));
+  t.add(def("get_time", 0, 0, {}, t_double(), "",
+            [](InterpCtx& ctx, std::vector<Value>&, int) {
+              return Value::make_real(ctx.sim_time_seconds());
+            }));
+}
+
+}  // namespace pareval::execsim

@@ -1,0 +1,421 @@
+#include "llm/calibration.hpp"
+
+#include <array>
+#include <map>
+
+namespace pareval::llm {
+
+using apps::Model;
+
+const char* technique_name(Technique t) {
+  switch (t) {
+    case Technique::NonAgentic: return "Non-agentic";
+    case Technique::TopDown: return "Top-down agentic";
+    case Technique::SweAgent: return "SWE-agent";
+  }
+  return "?";
+}
+
+const std::vector<Pair>& all_pairs() {
+  static const std::vector<Pair> kPairs = {
+      {Model::Cuda, Model::OmpOffload},
+      {Model::Cuda, Model::Kokkos},
+      {Model::OmpThreads, Model::OmpOffload},
+  };
+  return kPairs;
+}
+
+std::string pair_name(const Pair& p) {
+  return std::string(apps::model_name(p.from)) + " to " +
+         apps::model_name(p.to);
+}
+
+namespace {
+
+// Row order: nanoXOR, microXORh, microXOR, SimpleMOC-kernel, XSBench, llm.c.
+// Column order: gemini-1.5-flash, gpt-4o-mini, o4-mini, Llama-3.3, QwQ.
+// M marks cells the paper did not run.
+constexpr double M = -1.0;
+using Grid = std::array<std::array<double, 5>, 6>;
+
+const std::array<std::string, 6> kApps = {
+    "nanoXOR", "microXORh", "microXOR", "SimpleMOC-kernel", "XSBench",
+    "llm.c"};
+const std::array<std::string, 5> kLlms = {
+    "gemini-1.5-flash", "gpt-4o-mini", "o4-mini", "Llama-3.3-70B",
+    "qwq-32b-q8_0"};
+
+struct TechniqueGrids {
+  Grid code_build, code_pass, overall_build, overall_pass;
+};
+
+// ------------------------- Figure 2a/2b: CUDA -> OpenMP Offload ---------
+const TechniqueGrids kCudaOmpNonAgentic = {
+    // code-only build@1
+    Grid{{{1, 0.98, 0.92, 0.92, 0.9},
+          {0, 1, 0.56, 0.88, 0.4},
+          {0.1, 0.3, 0.52, 0.76, 0.46},
+          {0, 0, 0, 0, 0},
+          {M, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+    // code-only pass@1
+    Grid{{{0, 0.72, 0.84, 0.2, 0.6},
+          {0, 0.32, 0.48, 0.76, 0.4},
+          {0.06, 0.26, 0.48, 0.36, 0.38},
+          {0, 0, 0, 0, 0},
+          {M, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+    // overall build@1
+    Grid{{{0.58, 0.46, 0.76, 0, 0.64},
+          {0, 0.08, 0.32, 0, 0.32},
+          {0, 0.1, 0.44, 0.04, 0.24},
+          {0, 0, 0, 0, 0},
+          {M, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+    // overall pass@1
+    Grid{{{0, 0.42, 0.68, 0, 0.44},
+          {0, 0.08, 0.24, 0, 0.32},
+          {0, 0.1, 0.4, 0.04, 0.2},
+          {0, 0, 0, 0, 0},
+          {M, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+};
+
+const TechniqueGrids kCudaOmpTopDown = {
+    Grid{{{1, 0.98, 0.96, 0.68, 0.22},
+          {0.24, 0.24, 0.12, 0.36, 0.36},
+          {0, 0.08, 0.2, 0.3, 0},
+          {0, 0, 0, 0.02, 0.08},
+          {0, 0, 0, 0, M},
+          {0.04, 0.16, 0, 0, M}}},
+    Grid{{{0, 0.68, 0.88, 0.2, 0.2},
+          {0.12, 0.12, 0.12, 0.24, 0.12},
+          {0, 0, 0.2, 0.12, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, M},
+          {0, 0, 0, 0, M}}},
+    Grid{{{0, 0.02, 0.8, 0.02, 0.04},
+          {0, 0, 0.12, 0, 0.12},
+          {0, 0.04, 0.16, 0.04, 0},
+          {0, 0, 0, 0.02, 0.08},
+          {0, 0, 0, 0, M},
+          {0.04, 0.16, 0, 0, M}}},
+    Grid{{{0, 0.02, 0.72, 0, 0.04},
+          {0, 0, 0.12, 0, 0.04},
+          {0, 0, 0.16, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, M},
+          {0, 0, 0, 0, M}}},
+};
+
+// ------------------------- Figure 2c/2d: CUDA -> Kokkos -----------------
+const TechniqueGrids kCudaKokkosNonAgentic = {
+    Grid{{{0, 0.26, 1, 1, 0.04},
+          {0, 0.4, 0.96, 0.04, 0.12},
+          {0, 0.24, 0.72, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+    Grid{{{0, 0, 0.6, 0, 0},
+          {0, 0.16, 0.08, 0, 0.04},
+          {0, 0, 0.24, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+    Grid{{{0, 0, 1, 0, 0},
+          {0, 0.2, 0.92, 0.04, 0.08},
+          {0, 0.24, 0.72, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+    Grid{{{0, 0, 0.6, 0, 0},
+          {0, 0, 0.04, 0, 0},
+          {0, 0, 0.24, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          {M, M, 0, 0, 0}}},
+};
+
+const TechniqueGrids kCudaKokkosTopDown = {
+    Grid{{{0, 0.32, 0.96, 0.44, 0.08},
+          {0, 0.28, 0.48, 0, 0.04},
+          {0, 0.2, 0.28, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, M, M},
+          {0, 0, 0, M, M}}},
+    Grid{{{0, 0, 0.04, 0, 0},
+          {0, 0, 0.04, 0, 0},
+          {0, 0, 0.04, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, M, M},
+          {0, 0, 0, M, M}}},
+    Grid{{{0, 0.16, 0.92, 0.08, 0.08},
+          {0, 0.2, 0.44, 0, 0.04},
+          {0, 0.2, 0.28, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, M, M},
+          {0, 0, 0, M, M}}},
+    Grid{{{0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0.04, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, M, M},
+          {0, 0, 0, M, M}}},
+};
+
+// SWE-agent: gpt-4o-mini only, CUDA -> Kokkos, four smallest apps (§8.2).
+const std::array<double, 4> kSweBuild = {0.28, 0.08, 0, 0};
+const std::array<double, 4> kSwePass = {0, 0, 0, 0};
+
+// ------------------- Figure 2e/2f: OMP Threads -> OMP Offload -----------
+// Rows: nanoXOR, microXORh, microXOR, XSBench (pair has 4 apps).
+const TechniqueGrids kOmpOmpNonAgentic = {
+    Grid{{{1, 1, 0.84, 1, 0.6},
+          {1, 1, 0.92, 0.36, 0.16},
+          {1, 0.4, 0.36, 0.96, 0.04},
+          {0, 0, 0, 0, 0},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+    Grid{{{0, 1, 0.68, 0, 0.6},
+          {0, 0.6, 0.76, 0, 0.08},
+          {0, 0.4, 0.32, 0.68, 0.04},
+          {0, 0, 0, 0, 0},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+    Grid{{{0, 0.08, 0.84, 0, 0.24},
+          {0, 0, 0.84, 0, 0.08},
+          {0, 0, 0.32, 0, 0.04},
+          {0, 0, 0, 0, 0},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+    Grid{{{0, 0.08, 0.68, 0, 0.24},
+          {0, 0, 0.68, 0, 0.04},
+          {0, 0, 0.28, 0, 0.04},
+          {0, 0, 0, 0, 0},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+};
+
+const TechniqueGrids kOmpOmpTopDown = {
+    Grid{{{1, 0.96, 0.96, 0.44, 0.2},
+          {1, 0.72, 0.72, 0.24, 0.08},
+          {0.88, 0.12, 0.36, 0.16, 0.12},
+          {0, 0, 0, M, M},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+    Grid{{{0, 0.92, 0.96, 0.28, 0.16},
+          {0.08, 0.2, 0.6, 0, 0},
+          {0.08, 0.08, 0.32, 0.08, 0.08},
+          {0, 0, 0, M, M},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+    Grid{{{0, 0, 0.84, 0.32, 0.16},
+          {0, 0, 0.4, 0.12, 0.04},
+          {0, 0, 0.32, 0.08, 0.12},
+          {0, 0, 0, M, M},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+    Grid{{{0, 0, 0.84, 0.24, 0.16},
+          {0, 0, 0.32, 0, 0},
+          {0, 0, 0.28, 0.04, 0.08},
+          {0, 0, 0, M, M},
+          {M, M, M, M, M},
+          {M, M, M, M, M}}},
+};
+
+int app_row(const std::string& app) {
+  for (std::size_t i = 0; i < kApps.size(); ++i) {
+    if (kApps[i] == app) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int llm_col(const std::string& llm) {
+  for (std::size_t i = 0; i < kLlms.size(); ++i) {
+    if (kLlms[i] == llm) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const TechniqueGrids* grids_for(Technique tech, const Pair& pair) {
+  const auto& pairs = all_pairs();
+  if (pair == pairs[0]) {
+    return tech == Technique::NonAgentic ? &kCudaOmpNonAgentic
+                                         : &kCudaOmpTopDown;
+  }
+  if (pair == pairs[1]) {
+    return tech == Technique::NonAgentic ? &kCudaKokkosNonAgentic
+                                         : &kCudaKokkosTopDown;
+  }
+  if (pair == pairs[2]) {
+    return tech == Technique::NonAgentic ? &kOmpOmpNonAgentic
+                                         : &kOmpOmpTopDown;
+  }
+  return nullptr;
+}
+
+// ------------------------------ Figure 3 --------------------------------
+// Error-category counts per (app row, llm col); categories indexed by
+// xlate::DefectKind order (build categories first, then source, no
+// Semantic row — Figure 3 is about build errors).
+using Fig3Grid = std::array<std::array<int, 5>, 6>;
+const std::map<xlate::DefectKind, Fig3Grid>& fig3() {
+  static const std::map<xlate::DefectKind, Fig3Grid> kFig3 = {
+      {xlate::DefectKind::MakefileSyntax,
+       Fig3Grid{{{0, 0, 0, 0, 0},
+                 {0, 0, 0, 0, 0},
+                 {0, 0, 0, 0, 0},
+                 {49, 1, 1, 22, 10},
+                 {0, 0, 0, 0, 0},
+                 {10, 0, 0, 0, 1}}}},
+      {xlate::DefectKind::MissingBuildTarget,
+       Fig3Grid{{{0, 0, 0, 1, 48},
+                 {0, 0, 2, 1, 10},
+                 {0, 0, 3, 0, 6},
+                 {0, 0, 1, 0, 0},
+                 {0, 0, 1, 0, 0},
+                 {18, 13, 1, 0, 4}}}},
+      {xlate::DefectKind::CMakeConfig,
+       Fig3Grid{{{0, 11, 45, 0, 1},
+                 {0, 12, 31, 1, 3},
+                 {0, 17, 24, 0, 0},
+                 {16, 16, 4, 10, 2},
+                 {0, 0, 0, 0, 0},
+                 {8, 5, 3, 0, 13}}}},
+      {xlate::DefectKind::InvalidFlag,
+       Fig3Grid{{{0, 0, 0, 0, 8},
+                 {0, 0, 0, 0, 4},
+                 {0, 0, 1, 0, 4},
+                 {57, 40, 2, 3, 14},
+                 {0, 0, 0, 0, 0},
+                 {2, 7, 3, 0, 14}}}},
+      {xlate::DefectKind::MissingHeader,
+       Fig3Grid{{{0, 0, 0, 2, 0},
+                 {0, 0, 11, 4, 5},
+                 {0, 0, 9, 12, 5},
+                 {0, 0, 4, 4, 0},
+                 {25, 25, 11, 0, 7},
+                 {0, 0, 0, 0, 0}}}},
+      {xlate::DefectKind::CodeSyntax,
+       Fig3Grid{{{0, 0, 0, 18, 0},
+                 {0, 0, 0, 4, 1},
+                 {0, 1, 3, 14, 0},
+                 {0, 0, 1, 0, 0},
+                 {0, 0, 0, 0, 1},
+                 {0, 0, 0, 0, 0}}}},
+      {xlate::DefectKind::UndeclaredId,
+       Fig3Grid{{{0, 0, 0, 0, 6},
+                 {29, 2, 1, 3, 17},
+                 {75, 14, 10, 3, 11},
+                 {0, 10, 21, 34, 4},
+                 {25, 10, 26, 0, 14},
+                 {0, 0, 0, 0, 0}}}},
+      {xlate::DefectKind::ArgMismatch,
+       Fig3Grid{{{0, 0, 0, 0, 0},
+                 {13, 14, 14, 27, 10},
+                 {1, 35, 22, 6, 13},
+                 {0, 0, 2, 11, 4},
+                 {0, 0, 0, 0, 0},
+                 {0, 0, 0, 0, 0}}}},
+      {xlate::DefectKind::OmpInvalid,
+       Fig3Grid{{{0, 3, 0, 7, 6},
+                 {2, 2, 0, 5, 1},
+                 {2, 6, 1, 9, 8},
+                 {0, 0, 0, 0, 0},
+                 {0, 7, 0, 0, 0},
+                 {0, 0, 0, 0, 0}}}},
+      {xlate::DefectKind::LinkError,
+       Fig3Grid{{{0, 0, 0, 0, 2},
+                 {0, 0, 0, 1, 0},
+                 {6, 41, 5, 1, 7},
+                 {0, 0, 1, 1, 1},
+                 {0, 0, 0, 0, 0},
+                 {0, 0, 1, 0, 2}}}},
+  };
+  return kFig3;
+}
+
+}  // namespace
+
+std::optional<CellScores> calibration_lookup(const std::string& llm,
+                                             Technique tech, const Pair& pair,
+                                             const std::string& app) {
+  if (tech == Technique::SweAgent) {
+    // gpt-4o-mini, CUDA->Kokkos, four smallest apps.
+    if (llm != "gpt-4o-mini" || !(pair == all_pairs()[1])) {
+      return std::nullopt;
+    }
+    const int row = app_row(app);
+    if (row < 0 || row > 3) return std::nullopt;
+    CellScores cs;
+    cs.code_build = kSweBuild[static_cast<std::size_t>(row)];
+    cs.code_pass = kSwePass[static_cast<std::size_t>(row)];
+    cs.overall_build = cs.code_build;
+    cs.overall_pass = cs.code_pass;
+    return cs;
+  }
+  const TechniqueGrids* g = grids_for(tech, pair);
+  const int row = app_row(app);
+  const int col = llm_col(llm);
+  if (g == nullptr || row < 0 || col < 0) return std::nullopt;
+  CellScores cs;
+  cs.code_build = g->code_build[row][col];
+  cs.code_pass = g->code_pass[row][col];
+  cs.overall_build = g->overall_build[row][col];
+  cs.overall_pass = g->overall_pass[row][col];
+  if (cs.code_build < 0) return std::nullopt;
+  return cs;
+}
+
+std::string absence_reason(const std::string& llm, Technique tech,
+                           const Pair& pair, const std::string& app) {
+  (void)pair;
+  if (tech == Technique::NonAgentic) {
+    return "translation exceeds " + llm +
+           "'s output context limit for " + app;
+  }
+  if (tech == Technique::TopDown) {
+    return "translation of " + app + " with " + llm +
+           " exceeds the 8-node-hour per-experiment budget";
+  }
+  return "SWE-agent not evaluated for this configuration (Makefile "
+         "incompatibility / API budget)";
+}
+
+std::vector<double> defect_weights(const std::string& llm,
+                                   const std::string& app, bool build_file) {
+  const int row = app_row(app);
+  const int col = llm_col(llm);
+  std::vector<double> weights;
+  double total = 0.0;
+  for (const auto kind : xlate::all_defect_kinds()) {
+    double w = 0.0;
+    const bool is_build = xlate::is_build_file_defect(kind);
+    if (kind != xlate::DefectKind::Semantic && is_build == build_file &&
+        row >= 0 && col >= 0) {
+      w = fig3().at(kind)[row][col];
+    }
+    weights.push_back(w);
+    total += w;
+  }
+  if (total <= 0.0) {
+    // Uniform fallback over the relevant categories.
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const auto kind = xlate::all_defect_kinds()[i];
+      if (kind == xlate::DefectKind::Semantic) continue;
+      if (xlate::is_build_file_defect(kind) == build_file) weights[i] = 1.0;
+    }
+  }
+  return weights;
+}
+
+int figure3_reference(xlate::DefectKind kind, const std::string& app,
+                      const std::string& llm) {
+  if (kind == xlate::DefectKind::Semantic) return 0;
+  const int row = app_row(app);
+  const int col = llm_col(llm);
+  if (row < 0 || col < 0) return 0;
+  return fig3().at(kind)[row][col];
+}
+
+}  // namespace pareval::llm

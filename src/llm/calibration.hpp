@@ -1,0 +1,62 @@
+#pragma once
+// Calibration of the simulated-LLM defect model from the paper's published
+// results. Every Figure 2 heat-map cell (build@1/pass@1, code-only and
+// overall, per technique/LLM/app/pair) is transcribed here; the defect
+// injector derives its probabilities from these scores, so the harness's
+// *measured* metrics converge to the paper's values while every individual
+// failure is a real artifact defect found by the build/run pipeline
+// (DESIGN.md §2). Figure 3's per-(LLM, app) error-category counts provide
+// the sampling weights for which defect kind is injected.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "translate/mutate.hpp"
+
+namespace pareval::llm {
+
+enum class Technique { NonAgentic, TopDown, SweAgent };
+const char* technique_name(Technique t);
+
+/// A translation pair (source model -> destination model).
+struct Pair {
+  apps::Model from;
+  apps::Model to;
+  bool operator==(const Pair&) const = default;
+};
+
+/// The benchmark's three pairs, in the paper's order (§5.2).
+const std::vector<Pair>& all_pairs();
+std::string pair_name(const Pair& p);
+
+/// One Figure 2 cell.
+struct CellScores {
+  double code_build = 0, code_pass = 0;
+  double overall_build = 0, overall_pass = 0;
+};
+
+/// nullopt = the paper did not run this configuration (context-window or
+/// node-hour-budget abort, or out-of-scope SWE-agent cell).
+std::optional<CellScores> calibration_lookup(const std::string& llm,
+                                             Technique tech, const Pair& pair,
+                                             const std::string& app);
+
+/// Why a missing cell is missing (for harness logs): "context" or "budget".
+std::string absence_reason(const std::string& llm, Technique tech,
+                           const Pair& pair, const std::string& app);
+
+/// Defect-kind sampling weights for (llm, app) from Figure 3. When
+/// `build_file` is true, only build-system categories get weight;
+/// otherwise only source categories. Falls back to uniform weights when
+/// the figure row is all-zero.
+std::vector<double> defect_weights(const std::string& llm,
+                                   const std::string& app, bool build_file);
+
+/// Figure 3 count for one (category, app, llm) triple — used by the
+/// Figure 3 bench to print the paper's reference alongside ours.
+int figure3_reference(xlate::DefectKind kind, const std::string& app,
+                      const std::string& llm);
+
+}  // namespace pareval::llm

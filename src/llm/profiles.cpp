@@ -1,0 +1,69 @@
+#include "llm/profiles.hpp"
+
+namespace pareval::llm {
+
+const std::vector<LlmProfile>& all_profiles() {
+  static const std::vector<LlmProfile> kProfiles = [] {
+    std::vector<LlmProfile> out;
+
+    LlmProfile gemini;
+    gemini.name = "gemini-1.5-flash";
+    gemini.context_tokens = 100000;
+    gemini.max_output_tokens = 800;   // scaled 8k
+    gemini.usd_per_mtok_input = 0.075;
+    gemini.usd_per_mtok_output = 0.30;
+    gemini.topdown_context_fraction = 0.25;
+    out.push_back(gemini);
+
+    LlmProfile gpt;
+    gpt.name = "gpt-4o-mini";
+    gpt.context_tokens = 12800;
+    gpt.max_output_tokens = 1500;     // scaled 16k
+    gpt.usd_per_mtok_input = 0.15;
+    gpt.usd_per_mtok_output = 0.60;
+    gpt.topdown_context_fraction = 0.25;
+    out.push_back(gpt);
+
+    LlmProfile o4;
+    o4.name = "o4-mini";
+    o4.reasoning = true;
+    o4.output_multiplier = 2.2;
+    o4.context_tokens = 20000;
+    o4.max_output_tokens = 10000;     // scaled 100k
+    o4.usd_per_mtok_input = 1.10;
+    o4.usd_per_mtok_output = 4.40;
+    o4.topdown_context_fraction = 0.3;
+    out.push_back(o4);
+
+    LlmProfile llama;
+    llama.name = "Llama-3.3-70B";
+    llama.local = true;
+    llama.context_tokens = 12800;
+    llama.max_output_tokens = 4000;   // scaled 8k (4-bit GGUF serving)
+    llama.tokens_per_second = 187.0;  // measured Delta throughput (§8.4)
+    llama.topdown_context_fraction = 1.0;
+    out.push_back(llama);
+
+    LlmProfile qwq;
+    qwq.name = "qwq-32b-q8_0";
+    qwq.reasoning = true;
+    qwq.output_multiplier = 9.0;      // QwQ's verbose reasoning (§8.4)
+    qwq.local = true;
+    qwq.context_tokens = 12800;
+    qwq.max_output_tokens = 8000;
+    qwq.tokens_per_second = 187.0;
+    qwq.topdown_context_fraction = 1.0;
+    out.push_back(qwq);
+    return out;
+  }();
+  return kProfiles;
+}
+
+const LlmProfile* find_profile(const std::string& name) {
+  for (const auto& p : all_profiles()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace pareval::llm

@@ -1,0 +1,33 @@
+#pragma once
+// Simulated-LLM profiles for the five models the paper evaluates (§4).
+// Context/output limits are scaled to our scaled-down application sources
+// (DESIGN.md §2) so the same task cells abort for the same reasons as on
+// the paper's testbed; prices and throughput are the paper's (§7-8).
+
+#include <string>
+#include <vector>
+
+namespace pareval::llm {
+
+struct LlmProfile {
+  std::string name;          // heat-map column label
+  bool reasoning = false;
+  double output_multiplier = 1.0;  // reasoning tokens per answer token
+  long long context_tokens = 0;    // prompt budget
+  long long max_output_tokens = 0; // single-response budget
+  bool local = false;              // vLLM-hosted (node-hours) vs API ($)
+  double usd_per_mtok_input = 0.0;
+  double usd_per_mtok_output = 0.0;
+  double tokens_per_second = 0.0;  // local generation throughput
+  /// Fraction of untranslated-repo context the model's top-down agent
+  /// includes per chunk; the paper observes commercial models are far more
+  /// conservative here (§8.4).
+  double topdown_context_fraction = 1.0;
+};
+
+/// The five evaluated models, in the paper's column order:
+/// gemini-1.5-flash, gpt-4o-mini, o4-mini, Llama-3.3-70B, qwq-32b-q8_0.
+const std::vector<LlmProfile>& all_profiles();
+const LlmProfile* find_profile(const std::string& name);
+
+}  // namespace pareval::llm

@@ -1,0 +1,123 @@
+#include "minic/builtins.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pareval::minic {
+
+void BuiltinTable::add(BuiltinDef def) {
+  defs_[def.name] = std::move(def);
+}
+
+const BuiltinDef* BuiltinTable::find(const std::string& name) const {
+  const auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+std::string format_printf(InterpCtx& ctx, const std::string& fmt,
+                          const std::vector<Value>& args, std::size_t first,
+                          int line) {
+  std::string out;
+  std::size_t arg = first;
+  auto next_arg = [&]() -> const Value& {
+    static const Value kZero = Value::make_int(0);
+    if (arg >= args.size()) {
+      ctx.raise(DiagCategory::RuntimeFault,
+                "printf: more conversions than arguments", line);
+    }
+    return args[arg++];
+  };
+
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c != '%') {
+      out += c;
+      continue;
+    }
+    if (i + 1 < fmt.size() && fmt[i + 1] == '%') {
+      out += '%';
+      ++i;
+      continue;
+    }
+    // Parse %[flags][width][.prec][length]conv
+    std::string spec = "%";
+    ++i;
+    while (i < fmt.size() &&
+           (std::isdigit(static_cast<unsigned char>(fmt[i])) ||
+            fmt[i] == '.' || fmt[i] == '-' || fmt[i] == '+' ||
+            fmt[i] == ' ' || fmt[i] == '0' || fmt[i] == '#')) {
+      spec += fmt[i++];
+    }
+    // Length modifiers.
+    while (i < fmt.size() && (fmt[i] == 'l' || fmt[i] == 'z' ||
+                              fmt[i] == 'h')) {
+      ++i;  // we format everything as long long / double anyway
+    }
+    if (i >= fmt.size()) {
+      ctx.raise(DiagCategory::RuntimeFault,
+                "printf: incomplete conversion specification", line);
+    }
+    const char conv = fmt[i];
+    char buf[128];
+    switch (conv) {
+      case 'd':
+      case 'i': {
+        spec += "lld";
+        std::snprintf(buf, sizeof buf, spec.c_str(), next_arg().as_int());
+        out += buf;
+        break;
+      }
+      case 'u':
+      case 'x':
+      case 'X': {
+        spec += "ll";
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<unsigned long long>(next_arg().as_int()));
+        out += buf;
+        break;
+      }
+      case 'f':
+      case 'e':
+      case 'g':
+      case 'E':
+      case 'G': {
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(), next_arg().as_real());
+        out += buf;
+        break;
+      }
+      case 'c': {
+        out += static_cast<char>(next_arg().as_int());
+        break;
+      }
+      case 's': {
+        const Value& v = next_arg();
+        if (v.kind == Value::Kind::Str) {
+          out += v.s;
+        } else {
+          out += "<non-string>";
+        }
+        break;
+      }
+      case 'p': {
+        const Value& v = next_arg();
+        std::snprintf(buf, sizeof buf, "0x%llx",
+                      v.kind == Value::Kind::Ptr
+                          ? static_cast<unsigned long long>(
+                                v.ptr.block * 4096 + v.ptr.offset)
+                          : static_cast<unsigned long long>(v.as_int()));
+        out += buf;
+        break;
+      }
+      default:
+        ctx.raise(DiagCategory::RuntimeFault,
+                  std::string("printf: unsupported conversion '%") + conv +
+                      "'",
+                  line);
+    }
+  }
+  return out;
+}
+
+}  // namespace pareval::minic

@@ -1,0 +1,106 @@
+#pragma once
+// Builtin (library) function interface shared by semantic analysis and the
+// interpreter. Each simulated runtime — libc/libm, the CUDA runtime,
+// OpenMP's API, Kokkos, cuRAND — registers its functions here; which
+// registries are active depends on the simulated toolchain and flags, so
+// e.g. calling cudaMalloc under the OpenMP toolchain is an undeclared
+// identifier, exactly as on the paper's testbed.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minic/diag.hpp"
+#include "minic/value.hpp"
+
+namespace pareval::minic {
+
+/// Loose parameter classes for signature checking (C-style leniency).
+enum class ArgClass {
+  Num,      // any numeric
+  PtrAny,   // any pointer (or view handle decays)
+  PtrOut,   // &var or pointer; builtin writes through it
+  Str,      // string literal / char*
+  Lambda,   // closure
+  View,     // Kokkos::View handle
+  Any,
+};
+
+class InterpCtx;  // the interpreter surface builtins program against
+
+using BuiltinImpl =
+    std::function<Value(InterpCtx&, std::vector<Value>&, int call_line)>;
+
+struct BuiltinDef {
+  std::string name;
+  int min_args = 0;
+  int max_args = 0;          // -1 = variadic
+  std::vector<ArgClass> arg_classes;  // checked up to its size
+  Type return_type;
+  bool host_ok = true;
+  bool device_ok = false;
+  std::string header;        // required header ("" = always visible)
+  BuiltinImpl impl;          // may be empty for sema-only use
+};
+
+/// Registry of builtins for one build configuration.
+class BuiltinTable {
+ public:
+  void add(BuiltinDef def);
+  const BuiltinDef* find(const std::string& name) const;
+  std::size_t size() const { return defs_.size(); }
+
+ private:
+  std::map<std::string, BuiltinDef> defs_;
+};
+
+/// The interpreter surface exposed to builtin implementations. Keeps the
+/// execution-model simulators (src/execsim) decoupled from interpreter
+/// internals.
+class InterpCtx {
+ public:
+  virtual ~InterpCtx() = default;
+
+  // -- memory ---------------------------------------------------------
+  virtual int alloc_block(MemSpace space, long long cells, int elem_size,
+                          std::string origin) = 0;
+  virtual void free_block(int block, int line) = 0;
+  virtual MemBlock& block(int id) = 0;
+  /// Load/store honouring the current execution context's space rules.
+  virtual Value load(const MemRef& ref, int line) = 0;
+  virtual void store(const MemRef& ref, Value v, int line) = 0;
+  /// Raw cell copy between blocks (no space check; memcpy/cudaMemcpy use
+  /// their own validated direction).
+  virtual void copy_cells(int dst_block, long long dst_off, int src_block,
+                          long long src_off, long long count, int line) = 0;
+
+  // -- execution ------------------------------------------------------
+  /// Invoke a closure (Kokkos parallel_for body). `on_device` selects the
+  /// execution context. by_ref parameters bind to the given slots.
+  virtual void call_closure(const Value& lambda, std::vector<Value> args,
+                            std::vector<VarSlot*> ref_slots, bool on_device,
+                            int line) = 0;
+  virtual bool on_device() const = 0;
+
+  // -- effects --------------------------------------------------------
+  virtual void print(const std::string& text, bool to_stderr) = 0;
+  [[noreturn]] virtual void raise(DiagCategory cat, const std::string& msg,
+                                  int line) = 0;
+  [[noreturn]] virtual void exit_program(int code) = 0;
+
+  // -- statistics & simulated clocks ----------------------------------
+  virtual void count_device_launch() = 0;
+  virtual void count_host_parallel() = 0;
+  virtual double sim_time_seconds() = 0;  // deterministic monotonic clock
+  virtual long long& rand_state() = 0;    // libc rand() state
+};
+
+/// Render a printf-style format with MiniC values (subset: %d %i %u %ld
+/// %lu %zu %f %e %g %s %c %x %p %%, width/precision digits passed through).
+std::string format_printf(InterpCtx& ctx, const std::string& fmt,
+                          const std::vector<Value>& args, std::size_t first,
+                          int line);
+
+}  // namespace pareval::minic

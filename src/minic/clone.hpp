@@ -1,0 +1,13 @@
+#pragma once
+// Deep-copy helpers for AST nodes, used by the translation engines when
+// grafting kernel bodies into new loop structures.
+
+#include "minic/ast.hpp"
+
+namespace pareval::minic {
+
+ExprPtr clone_expr(const Expr& e);
+StmtPtr clone_stmt(const Stmt& s);
+VarDecl clone_var_decl(const VarDecl& v);
+
+}  // namespace pareval::minic

@@ -1,0 +1,59 @@
+#include "minic/diag.hpp"
+
+namespace pareval::minic {
+
+const char* category_name(DiagCategory c) {
+  switch (c) {
+    case DiagCategory::MakefileSyntax: return "CMake or Makefile Syntax Error";
+    case DiagCategory::MissingBuildTarget: return "Makefile Missing Build Target";
+    case DiagCategory::CMakeConfig: return "CMake Config Error";
+    case DiagCategory::InvalidCompilerFlag: return "Invalid Compiler Flag";
+    case DiagCategory::MissingHeader: return "Missing Header File";
+    case DiagCategory::CodeSyntax: return "Code Syntax Error";
+    case DiagCategory::UndeclaredIdentifier: return "Undeclared Identifier";
+    case DiagCategory::ArgTypeMismatch:
+      return "Function Argument or Type Mismatch";
+    case DiagCategory::OmpInvalidDirective: return "OpenMP Invalid Directive";
+    case DiagCategory::LinkError: return "Linker Error";
+    case DiagCategory::RuntimeFault: return "Runtime Fault";
+    case DiagCategory::WrongOutput: return "Wrong Output";
+    case DiagCategory::WrongExecutionModel: return "Wrong Execution Model";
+    case DiagCategory::Other: return "Other";
+  }
+  return "Other";
+}
+
+std::string Diag::render() const {
+  std::string out;
+  if (!file.empty()) {
+    out += file;
+    out += ":";
+    if (line > 0) out += std::to_string(line) + ":";
+    out += " ";
+  }
+  out += severity == Severity::Error ? "error: " : "warning: ";
+  out += message;
+  return out;
+}
+
+bool DiagBag::has_errors() const {
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::Error) return true;
+  }
+  return false;
+}
+
+void DiagBag::merge(const DiagBag& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::string DiagBag::render() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pareval::minic

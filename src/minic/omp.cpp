@@ -1,0 +1,323 @@
+#include "minic/omp.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace pareval::minic {
+
+namespace {
+
+using support::trim;
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool done() {
+    skip_ws();
+    return i >= s.size();
+  }
+  char peek() { return i < s.size() ? s[i] : '\0'; }
+  std::string word() {
+    skip_ws();
+    std::size_t start = i;
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '_')) {
+      ++i;
+    }
+    return std::string(s.substr(start, i - start));
+  }
+  /// Reads a balanced "(...)" group, returns inner text; empty optional if
+  /// the next char is not '('.
+  std::optional<std::string> paren_group() {
+    skip_ws();
+    if (peek() != '(') return std::nullopt;
+    int depth = 0;
+    std::size_t start = ++i;  // skip '('
+    for (; i < s.size(); ++i) {
+      if (s[i] == '(') ++depth;
+      if (s[i] == ')') {
+        if (depth == 0) {
+          return std::string(s.substr(start, i++ - start));
+        }
+        --depth;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+};
+
+std::optional<OmpMapType> parse_map_type(std::string_view w) {
+  if (w == "to") return OmpMapType::To;
+  if (w == "from") return OmpMapType::From;
+  if (w == "tofrom") return OmpMapType::ToFrom;
+  if (w == "alloc") return OmpMapType::Alloc;
+  return std::nullopt;
+}
+
+/// "x[0:N*N]" -> "x"; "sum" -> "sum".
+std::string var_of_list_item(std::string_view item) {
+  const auto b = item.find('[');
+  return std::string(trim(b == std::string_view::npos ? item
+                                                      : item.substr(0, b)));
+}
+
+const char* kKnownClauses[] = {
+    "map",         "collapse",     "reduction",  "num_threads", "num_teams",
+    "thread_limit", "private",     "firstprivate", "lastprivate", "shared",
+    "schedule",    "default",      "if",         "device",      "nowait",
+    "depend",      "dist_schedule", "is_device_ptr", "simdlen",  "safelen",
+    "order",       "proc_bind",    "defaultmap", "use_device_ptr",
+    "to",          "from"};  // motion clauses on `target update`
+
+bool is_known_clause(const std::string& name) {
+  return std::any_of(std::begin(kKnownClauses), std::end(kKnownClauses),
+                     [&](const char* c) { return name == c; });
+}
+
+}  // namespace
+
+bool OmpDirective::has(OmpConstruct c) const {
+  return std::find(constructs.begin(), constructs.end(), c) !=
+         constructs.end();
+}
+
+const OmpClause* OmpDirective::find_clause(const std::string& name) const {
+  for (const auto& c : clauses) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+int OmpDirective::collapse() const {
+  const OmpClause* c = find_clause("collapse");
+  return c != nullptr && c->int_arg >= 1 ? static_cast<int>(c->int_arg) : 1;
+}
+
+std::optional<OmpDirective> parse_omp_directive(const std::string& text,
+                                                int line,
+                                                const std::string& file,
+                                                DiagBag& diags) {
+  OmpDirective dir;
+  dir.raw = std::string(trim(text));
+  dir.line = line;
+  Cursor cur{dir.raw};
+
+  // Constructs come first; stop at the first word that is a clause or when
+  // a '(' follows (clauses take parens; constructs in our dialect do not,
+  // except `critical` which we don't parse arguments for).
+  while (!cur.done()) {
+    const std::size_t save = cur.i;
+    const std::string w = cur.word();
+    if (w.empty()) break;
+    bool is_construct = true;
+    if (w == "parallel") {
+      dir.constructs.push_back(OmpConstruct::Parallel);
+    } else if (w == "for") {
+      dir.constructs.push_back(OmpConstruct::For);
+    } else if (w == "simd") {
+      dir.constructs.push_back(OmpConstruct::Simd);
+    } else if (w == "target") {
+      // may be "target data", "target update", "target enter/exit data"
+      const std::size_t save2 = cur.i;
+      const std::string w2 = cur.word();
+      if (w2 == "data") {
+        dir.constructs.push_back(OmpConstruct::TargetData);
+      } else if (w2 == "update") {
+        dir.constructs.push_back(OmpConstruct::TargetUpdate);
+      } else if (w2 == "enter") {
+        cur.word();  // "data"
+        dir.constructs.push_back(OmpConstruct::TargetEnterData);
+      } else if (w2 == "exit") {
+        cur.word();  // "data"
+        dir.constructs.push_back(OmpConstruct::TargetExitData);
+      } else {
+        cur.i = save2;
+        dir.constructs.push_back(OmpConstruct::Target);
+      }
+    } else if (w == "teams") {
+      dir.constructs.push_back(OmpConstruct::Teams);
+    } else if (w == "distribute") {
+      dir.constructs.push_back(OmpConstruct::Distribute);
+    } else if (w == "single") {
+      dir.constructs.push_back(OmpConstruct::Single);
+    } else if (w == "critical") {
+      dir.constructs.push_back(OmpConstruct::Critical);
+    } else if (w == "barrier") {
+      dir.constructs.push_back(OmpConstruct::Barrier);
+    } else if (w == "atomic") {
+      dir.constructs.push_back(OmpConstruct::Atomic);
+      cur.word();  // optional: update/read/write
+    } else if (w == "declare") {
+      cur.word();  // "target"
+      dir.constructs.push_back(OmpConstruct::Declare);
+    } else if (w == "end") {
+      cur.word();  // "declare"
+      cur.word();  // "target"
+      dir.constructs.push_back(OmpConstruct::End);
+    } else {
+      is_construct = false;
+      cur.i = save;
+    }
+    if (!is_construct) break;
+  }
+
+  if (dir.constructs.empty()) {
+    const std::string w = Cursor{dir.raw}.word();
+    diags.error(DiagCategory::OmpInvalidDirective,
+                "expected an OpenMP directive name, found '" + w + "'", file,
+                line);
+    return std::nullopt;
+  }
+
+  // Clauses.
+  while (!cur.done()) {
+    const std::string name = cur.word();
+    if (name.empty()) {
+      diags.error(DiagCategory::OmpInvalidDirective,
+                  "junk at end of OpenMP directive: '" +
+                      std::string(cur.s.substr(cur.i)) + "'",
+                  file, line);
+      return std::nullopt;
+    }
+    if (!is_known_clause(name)) {
+      diags.error(
+          DiagCategory::OmpInvalidDirective,
+          "unknown clause '" + name + "' in '#pragma omp " + dir.raw + "'",
+          file, line);
+      return std::nullopt;
+    }
+    OmpClause clause;
+    clause.name = name;
+    auto args = cur.paren_group();
+    if (args) {
+      clause.raw_args = std::string(trim(*args));
+      if (name == "map") {
+        const auto colon = clause.raw_args.find(':');
+        std::string list = clause.raw_args;
+        if (colon != std::string::npos) {
+          const std::string mt =
+              std::string(trim(clause.raw_args.substr(0, colon)));
+          clause.map_type = parse_map_type(mt);
+          if (!clause.map_type) {
+            diags.error(DiagCategory::OmpInvalidDirective,
+                        "incorrect map type '" + mt +
+                            "', expected one of to, from, tofrom, alloc",
+                        file, line);
+            return std::nullopt;
+          }
+          list = clause.raw_args.substr(colon + 1);
+        } else {
+          clause.map_type = OmpMapType::ToFrom;  // default map-type
+        }
+        for (const auto& item : support::split(list, ',')) {
+          if (!trim(item).empty()) {
+            clause.vars.push_back(var_of_list_item(item));
+          }
+        }
+      } else if (name == "reduction") {
+        const auto colon = clause.raw_args.find(':');
+        if (colon == std::string::npos) {
+          diags.error(DiagCategory::OmpInvalidDirective,
+                      "reduction clause requires 'op : list'", file, line);
+          return std::nullopt;
+        }
+        clause.reduction_op =
+            std::string(trim(clause.raw_args.substr(0, colon)));
+        static const char* kOps[] = {"+", "*", "-", "max", "min",
+                                     "&&", "||", "&", "|", "^"};
+        if (std::none_of(std::begin(kOps), std::end(kOps), [&](const char* o) {
+              return clause.reduction_op == o;
+            })) {
+          diags.error(DiagCategory::OmpInvalidDirective,
+                      "invalid reduction operator '" + clause.reduction_op +
+                          "'",
+                      file, line);
+          return std::nullopt;
+        }
+        for (const auto& item :
+             support::split(clause.raw_args.substr(colon + 1), ',')) {
+          if (!trim(item).empty()) {
+            clause.vars.push_back(var_of_list_item(item));
+          }
+        }
+      } else if (name == "collapse" || name == "num_threads" ||
+                 name == "num_teams" || name == "thread_limit" ||
+                 name == "device" || name == "simdlen" || name == "safelen") {
+        try {
+          clause.int_arg = std::stoll(clause.raw_args);
+        } catch (...) {
+          // Non-literal argument (e.g. an expression): accepted, value
+          // irrelevant to sequential simulation.
+          clause.int_arg = 0;
+        }
+        if (name == "collapse" && clause.int_arg < 1) {
+          diags.error(DiagCategory::OmpInvalidDirective,
+                      "collapse argument must be a positive integer constant",
+                      file, line);
+          return std::nullopt;
+        }
+      } else {
+        for (const auto& item : support::split(clause.raw_args, ',')) {
+          if (!trim(item).empty()) {
+            clause.vars.push_back(var_of_list_item(item));
+          }
+        }
+      }
+    } else if (name == "map" || name == "reduction" || name == "collapse" ||
+               name == "num_threads" || name == "private" ||
+               name == "firstprivate" || name == "shared" ||
+               name == "schedule") {
+      diags.error(DiagCategory::OmpInvalidDirective,
+                  "clause '" + name + "' requires arguments", file, line);
+      return std::nullopt;
+    }
+    dir.clauses.push_back(std::move(clause));
+  }
+  return dir;
+}
+
+void validate_omp_directive(const OmpDirective& d, const std::string& file,
+                            DiagBag& diags) {
+  const bool has_target = d.has(OmpConstruct::Target);
+  const bool has_teams = d.has(OmpConstruct::Teams);
+  const bool has_distribute = d.has(OmpConstruct::Distribute);
+  const bool has_parallel = d.has(OmpConstruct::Parallel);
+  const bool has_for = d.has(OmpConstruct::For);
+
+  if (has_distribute && !has_teams) {
+    diags.error(DiagCategory::OmpInvalidDirective,
+                "'distribute' region must be strictly nested inside a 'teams' "
+                "region",
+                file, d.line);
+  }
+  if (has_for && !has_parallel && has_teams) {
+    diags.error(DiagCategory::OmpInvalidDirective,
+                "'for' after 'teams distribute' requires 'parallel'", file,
+                d.line);
+  }
+  if (d.find_clause("num_threads") != nullptr && !has_parallel) {
+    diags.warning(DiagCategory::OmpInvalidDirective,
+                  "'num_threads' clause ignored on non-parallel construct",
+                  file, d.line);
+  }
+  if (d.find_clause("map") != nullptr && !has_target &&
+      !d.has(OmpConstruct::TargetData) && !d.has(OmpConstruct::TargetEnterData) &&
+      !d.has(OmpConstruct::TargetExitData) && !d.has(OmpConstruct::TargetUpdate)) {
+    diags.error(DiagCategory::OmpInvalidDirective,
+                "'map' clause is only allowed on target constructs", file,
+                d.line);
+  }
+  if (d.has(OmpConstruct::TargetData) && d.find_clause("map") == nullptr) {
+    diags.error(DiagCategory::OmpInvalidDirective,
+                "'target data' requires at least one 'map' clause", file,
+                d.line);
+  }
+}
+
+}  // namespace pareval::minic

@@ -1,0 +1,29 @@
+#pragma once
+// Recursive-descent parser for MiniC. Consumes the token stream produced by
+// the preprocessor (includes resolved, object-like macros substituted) and
+// produces a TranslationUnit. Parse problems are recorded as CodeSyntax
+// diagnostics; the parser recovers at statement/declaration boundaries so a
+// single mutation yields a focused error, like a real compiler.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codeanal/lexer.hpp"
+#include "minic/ast.hpp"
+
+namespace pareval::minic {
+
+/// Parse a whole translation unit. `path` is used in diagnostics.
+/// `known_structs` seeds the type-name set, for parsing a file in
+/// isolation when its struct types live in a header (the translation
+/// engines do this; the compile driver merges headers instead).
+TranslationUnit parse_tokens(std::vector<codeanal::Token> tokens,
+                             const std::string& path,
+                             const std::set<std::string>& known_structs = {});
+
+/// Convenience: lex + parse a single self-contained source string
+/// (no include resolution; #pragma omp honoured, other '#' lines skipped).
+TranslationUnit parse_source(std::string_view source, const std::string& path);
+
+}  // namespace pareval::minic

@@ -1,0 +1,311 @@
+#include "minic/preproc.hpp"
+
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace pareval::minic {
+
+namespace {
+
+using codeanal::TokKind;
+using codeanal::Token;
+using support::trim;
+
+struct Frame {
+  bool taken;       // current branch active?
+  bool any_taken;   // some branch of this #if chain already taken?
+};
+
+class Preprocessor {
+ public:
+  Preprocessor(const vfs::Repo& repo, const PreprocessOptions& opt)
+      : repo_(repo), opt_(opt) {
+    for (const auto& [name, value] : opt.predefined) {
+      macros_[name] = lex_fragment(value);
+    }
+  }
+
+  PreprocessResult run(const std::string& entry) {
+    include_file(entry, /*line=*/0, /*from=*/entry);
+    result_.tokens.push_back(Token{TokKind::EndOfFile, "", 0, 0});
+    return std::move(result_);
+  }
+
+ private:
+  static std::vector<Token> lex_fragment(const std::string& text) {
+    auto lexed = codeanal::lex(text);
+    lexed.tokens.pop_back();  // drop EOF
+    return lexed.tokens;
+  }
+
+  bool active() const {
+    for (const auto& f : stack_) {
+      if (!f.taken) return false;
+    }
+    return true;
+  }
+
+  void include_file(const std::string& path, int line,
+                    const std::string& from) {
+    if (included_.count(path) > 0) return;  // include-once semantics
+    const auto content = repo_.read(path);
+    if (!content) {
+      result_.diags.error(DiagCategory::MissingHeader,
+                          "'" + path + "' file not found", from, line);
+      return;
+    }
+    included_.insert(path);
+    if (depth_ > 32) {
+      result_.diags.error(DiagCategory::MissingHeader,
+                          "#include nested too deeply", path, line);
+      return;
+    }
+    ++depth_;
+    auto lexed = codeanal::lex(*content);
+    for (const auto& err : lexed.errors) {
+      result_.diags.error(DiagCategory::CodeSyntax, err.message, path,
+                          err.line);
+    }
+    process_tokens(lexed.tokens, path);
+    --depth_;
+  }
+
+  void process_tokens(const std::vector<Token>& toks,
+                      const std::string& path) {
+    const std::size_t guard_depth = stack_.size();
+    for (const Token& t : toks) {
+      if (t.kind == TokKind::EndOfFile) break;
+      if (t.kind == TokKind::PpDirective) {
+        handle_directive(t, path);
+        continue;
+      }
+      if (!active()) continue;
+      if (t.kind == TokKind::Identifier) {
+        expand_identifier(t, path, 0);
+        continue;
+      }
+      Token out = t;
+      out.file = path;
+      result_.tokens.push_back(std::move(out));
+    }
+    if (stack_.size() != guard_depth) {
+      result_.diags.error(DiagCategory::CodeSyntax,
+                          "unterminated conditional directive (#endif missing)",
+                          path, toks.empty() ? 0 : toks.back().line);
+      stack_.resize(guard_depth);
+    }
+  }
+
+  void expand_identifier(const Token& t, const std::string& path, int depth) {
+    const auto it = macros_.find(t.text);
+    if (it == macros_.end() || depth > 8) {
+      Token out = t;
+      out.file = path;
+      result_.tokens.push_back(std::move(out));
+      return;
+    }
+    for (const Token& rep : it->second) {
+      if (rep.kind == TokKind::Identifier && rep.text != t.text) {
+        expand_identifier(rep, path, depth + 1);
+      } else {
+        Token out = rep;
+        out.line = t.line;
+        out.col = t.col;
+        out.file = path;
+        result_.tokens.push_back(std::move(out));
+      }
+    }
+  }
+
+  void handle_directive(const Token& t, const std::string& path) {
+    std::string body = std::string(trim(t.text));
+    if (!body.starts_with("#")) return;
+    body = std::string(trim(body.substr(1)));
+    const auto sp = body.find_first_of(" \t");
+    const std::string word = body.substr(0, sp);
+    const std::string rest =
+        sp == std::string::npos ? "" : std::string(trim(body.substr(sp)));
+
+    if (word == "ifdef" || word == "ifndef") {
+      const bool defined = macros_.count(rest) > 0;
+      const bool taken = active() && (word == "ifdef" ? defined : !defined);
+      stack_.push_back({taken, taken});
+      return;
+    }
+    if (word == "if") {
+      // Minimal #if: "#if 0", "#if 1", "#if defined(X)".
+      bool value = false;
+      if (rest == "0") {
+        value = false;
+      } else if (rest == "1") {
+        value = true;
+      } else if (rest.starts_with("defined")) {
+        std::string name = rest.substr(7);
+        name = support::replace_all(name, "(", " ");
+        name = support::replace_all(name, ")", " ");
+        value = macros_.count(std::string(trim(name))) > 0;
+      }
+      const bool taken = active() && value;
+      stack_.push_back({taken, taken});
+      return;
+    }
+    if (word == "else") {
+      if (stack_.empty()) {
+        result_.diags.error(DiagCategory::CodeSyntax, "#else without #if",
+                            path, t.line);
+        return;
+      }
+      Frame& f = stack_.back();
+      const bool outer_active = [&] {
+        for (std::size_t i = 0; i + 1 < stack_.size(); ++i) {
+          if (!stack_[i].taken) return false;
+        }
+        return true;
+      }();
+      f.taken = outer_active && !f.any_taken;
+      f.any_taken = f.any_taken || f.taken;
+      return;
+    }
+    if (word == "endif") {
+      if (stack_.empty()) {
+        result_.diags.error(DiagCategory::CodeSyntax, "#endif without #if",
+                            path, t.line);
+        return;
+      }
+      stack_.pop_back();
+      return;
+    }
+    if (!active()) return;
+
+    if (word == "include") {
+      handle_include(rest, t.line, path);
+      return;
+    }
+    if (word == "define") {
+      const auto name_end = rest.find_first_of(" \t(");
+      const std::string name = rest.substr(0, name_end);
+      if (name.empty()) {
+        result_.diags.error(DiagCategory::CodeSyntax,
+                            "macro name missing in #define", path, t.line);
+        return;
+      }
+      if (name_end != std::string::npos && rest[name_end] == '(') {
+        // Function-like macros are not supported by the dialect; keep the
+        // define as a no-op so header guards with args don't break us.
+        macros_[name] = {};
+        return;
+      }
+      const std::string value =
+          name_end == std::string::npos
+              ? ""
+              : std::string(trim(rest.substr(name_end)));
+      macros_[name] = lex_fragment(value);
+      return;
+    }
+    if (word == "undef") {
+      macros_.erase(rest);
+      return;
+    }
+    if (word == "pragma") {
+      if (std::string(trim(rest)) == "once") return;  // include-once anyway
+      Token out = t;
+      out.file = path;
+      result_.tokens.push_back(std::move(out));  // #pragma omp reaches parser
+      return;
+    }
+    if (word == "error") {
+      result_.diags.error(DiagCategory::CodeSyntax, "#error " + rest, path,
+                          t.line);
+      return;
+    }
+    result_.diags.error(DiagCategory::CodeSyntax,
+                        "invalid preprocessing directive '#" + word + "'",
+                        path, t.line);
+  }
+
+  void handle_include(const std::string& spec, int line,
+                      const std::string& path) {
+    if (spec.size() >= 2 && spec.front() == '"') {
+      const auto close = spec.find('"', 1);
+      if (close == std::string::npos) {
+        result_.diags.error(DiagCategory::CodeSyntax,
+                            "expected \"FILENAME\" in #include", path, line);
+        return;
+      }
+      const std::string target = spec.substr(1, close - 1);
+      const std::string sibling =
+          vfs::join_path(vfs::dirname(path), target);
+      if (repo_.exists(sibling)) {
+        include_file(sibling, line, path);
+        return;
+      }
+      std::string rooted;
+      try {
+        rooted = vfs::normalize_path(target);
+      } catch (const std::exception&) {
+        rooted.clear();
+      }
+      if (!rooted.empty() && repo_.exists(rooted)) {
+        include_file(rooted, line, path);
+        return;
+      }
+      // Quoted includes fall back to the system search path.
+      if (opt_.available_system_headers.count(target) > 0) {
+        result_.system_headers.insert(target);
+        return;
+      }
+      result_.diags.error(DiagCategory::MissingHeader,
+                          "'" + target + "' file not found", path, line);
+      return;
+    }
+    if (spec.size() >= 2 && spec.front() == '<') {
+      const auto close = spec.find('>', 1);
+      if (close == std::string::npos) {
+        result_.diags.error(DiagCategory::CodeSyntax,
+                            "expected <FILENAME> in #include", path, line);
+        return;
+      }
+      const std::string target = spec.substr(1, close - 1);
+      if (opt_.available_system_headers.count(target) == 0) {
+        result_.diags.error(
+            DiagCategory::MissingHeader,
+            "'" + target + "' file not found (is the library installed and "
+            "its include path configured?)",
+            path, line);
+        return;
+      }
+      result_.system_headers.insert(target);
+      return;
+    }
+    result_.diags.error(DiagCategory::CodeSyntax,
+                        "expected \"FILENAME\" or <FILENAME> in #include",
+                        path, line);
+  }
+
+  const vfs::Repo& repo_;
+  const PreprocessOptions& opt_;
+  PreprocessResult result_;
+  std::map<std::string, std::vector<Token>> macros_;
+  std::set<std::string> included_;
+  std::vector<Frame> stack_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+PreprocessResult preprocess(const vfs::Repo& repo, const std::string& entry,
+                            const PreprocessOptions& options) {
+  return Preprocessor(repo, options).run(entry);
+}
+
+std::set<std::string> base_system_headers() {
+  return {
+      "stdio.h",  "stdlib.h", "math.h",   "string.h", "time.h",
+      "assert.h", "float.h",  "limits.h", "stdint.h", "stddef.h",
+      "stdbool.h", "cstdio",  "cstdlib",  "cmath",    "cstring",
+      "cstdint",  "cassert",  "sys/time.h",
+  };
+}
+
+}  // namespace pareval::minic

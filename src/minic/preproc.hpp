@@ -1,0 +1,44 @@
+#pragma once
+// A small C preprocessor over the token stream: #include resolution with
+// include-once semantics, object-like #define substitution, and
+// #ifdef/#ifndef/#else/#endif conditionals (header guards).
+//
+// System headers are resolved against the toolchain's header registry; a
+// quoted include that resolves to no repo file, or an angled include of an
+// unavailable header (e.g. <Kokkos_Core.hpp> without the Kokkos package)
+// produces the paper's "Missing Header File" error class.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codeanal/lexer.hpp"
+#include "minic/diag.hpp"
+#include "vfs/repo.hpp"
+
+namespace pareval::minic {
+
+struct PreprocessResult {
+  std::vector<codeanal::Token> tokens;   // merged, macro-substituted
+  std::set<std::string> system_headers;  // angled headers actually included
+  DiagBag diags;
+};
+
+struct PreprocessOptions {
+  /// Angled headers considered installed. Quoted includes that miss the
+  /// repo fall back to this set too (like -I/usr/include).
+  std::set<std::string> available_system_headers;
+  /// Predefined object-like macros (name -> replacement source text).
+  std::vector<std::pair<std::string, std::string>> predefined;
+};
+
+/// Preprocess `entry` (a repo path) within `repo`.
+PreprocessResult preprocess(const vfs::Repo& repo, const std::string& entry,
+                            const PreprocessOptions& options);
+
+/// The default header set shared by every simulated toolchain (libc, libm,
+/// POSIX-ish time). Model-specific headers (CUDA, Kokkos, omp.h) are added
+/// by the build simulator based on toolchain and flags.
+std::set<std::string> base_system_headers();
+
+}  // namespace pareval::minic

@@ -1,0 +1,262 @@
+#include "minic/printer.hpp"
+
+#include "support/strings.hpp"
+
+namespace pareval::minic {
+
+namespace {
+
+std::string ind(int level) { return std::string(level * 2, ' '); }
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string print_type(const Type& t) {
+  if (t.base == BaseType::View) {
+    Type elem;
+    elem.base = t.view_elem;
+    elem.struct_name = t.view_struct_name;
+    elem.ptr_depth = t.view_rank;
+    std::string out = "Kokkos::View<" + print_type(elem) + ">";
+    for (int i = 0; i < t.ptr_depth; ++i) out += "*";
+    return out;
+  }
+  std::string out;
+  if (t.is_const) out += "const ";
+  switch (t.base) {
+    case BaseType::Unknown: out += "auto"; break;
+    case BaseType::Void: out += "void"; break;
+    case BaseType::Bool: out += "bool"; break;
+    case BaseType::Char: out += "char"; break;
+    case BaseType::Int: out += "int"; break;
+    case BaseType::Long: out += "long"; break;
+    case BaseType::UInt: out += "unsigned int"; break;
+    case BaseType::SizeT: out += "size_t"; break;
+    case BaseType::Float: out += "float"; break;
+    case BaseType::Double: out += "double"; break;
+    case BaseType::Struct: out += t.struct_name; break;
+    case BaseType::Dim3: out += "dim3"; break;
+    case BaseType::Lambda: out += "auto"; break;
+    case BaseType::CurandState: out += "curandState"; break;
+    case BaseType::View: break;  // handled above
+  }
+  for (int i = 0; i < t.ptr_depth; ++i) out += "*";
+  return out;
+}
+
+std::string print_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return e.text.empty() ? std::to_string(e.int_value) : e.text;
+    case ExprKind::FloatLit:
+      return e.text.empty() ? support::format_number(e.float_value, 9)
+                            : e.text;
+    case ExprKind::StringLit:
+      return "\"" + escape(e.text) + "\"";
+    case ExprKind::CharLit:
+      return "'" + escape(e.text) + "'";
+    case ExprKind::Ident:
+      return e.text;
+    case ExprKind::Unary: {
+      const std::string inner = print_expr(*e.kids[0]);
+      if (e.postfix) return inner + e.text;
+      if (e.text == "*" || e.text == "&") {
+        return e.text + "(" + inner + ")";
+      }
+      return e.text + inner;
+    }
+    case ExprKind::Binary:
+      return "(" + print_expr(*e.kids[0]) + " " + e.text + " " +
+             print_expr(*e.kids[1]) + ")";
+    case ExprKind::Assign:
+      return print_expr(*e.kids[0]) + " " + e.text + " " +
+             print_expr(*e.kids[1]);
+    case ExprKind::Ternary:
+      return "(" + print_expr(*e.kids[0]) + " ? " + print_expr(*e.kids[1]) +
+             " : " + print_expr(*e.kids[2]) + ")";
+    case ExprKind::Call: {
+      std::string out = e.text;
+      if (e.launch_grid) {
+        out += "<<<" + print_expr(*e.launch_grid) + ", " +
+               print_expr(*e.launch_block) + ">>>";
+      }
+      out += "(";
+      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(*e.kids[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::Index:
+      return print_expr(*e.kids[0]) + "[" + print_expr(*e.kids[1]) + "]";
+    case ExprKind::Member:
+      return print_expr(*e.kids[0]) + (e.arrow ? "->" : ".") + e.text;
+    case ExprKind::Cast:
+      return "(" + print_type(e.type) + ") " + print_expr(*e.kids[0]);
+    case ExprKind::SizeofType:
+      if (!e.kids.empty()) return "sizeof(" + print_expr(*e.kids[0]) + ")";
+      return "sizeof(" + print_type(e.type) + ")";
+    case ExprKind::InitList: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(*e.kids[i]);
+      }
+      return out + "}";
+    }
+    case ExprKind::LambdaExpr: {
+      std::string out = "KOKKOS_LAMBDA(";
+      for (std::size_t i = 0; i < e.lambda_params.size(); ++i) {
+        if (i) out += ", ";
+        const auto& p = e.lambda_params[i];
+        out += print_type(p.type) + (p.by_ref ? "& " : " ") + p.name;
+      }
+      out += ") ";
+      out += support::trim(print_stmt(*e.lambda_body, 0));
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string print_var_decl(const VarDecl& v) {
+  std::string out = print_type(v.type) + " " + v.name;
+  if (v.array_size) out += "[" + print_expr(*v.array_size) + "]";
+  if (!v.ctor_args.empty()) {
+    out += "(";
+    for (std::size_t i = 0; i < v.ctor_args.size(); ++i) {
+      if (i) out += ", ";
+      out += print_expr(*v.ctor_args[i]);
+    }
+    out += ")";
+  }
+  if (v.init) out += " = " + print_expr(*v.init);
+  return out;
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  const std::string pad = ind(indent);
+  switch (s.kind) {
+    case StmtKind::Block: {
+      std::string out = pad + "{\n";
+      for (const auto& child : s.body) out += print_stmt(*child, indent + 1);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::ExprStmt:
+      if (!s.expr) return pad + ";\n";
+      return pad + print_expr(*s.expr) + ";\n";
+    case StmtKind::Decl: {
+      std::string out;
+      for (const auto& v : s.decls) {
+        out += pad + print_var_decl(v) + ";\n";
+      }
+      return out;
+    }
+    case StmtKind::If: {
+      std::string out =
+          pad + "if (" + print_expr(*s.expr) + ")\n" +
+          print_stmt(*s.then_branch,
+                     s.then_branch->kind == StmtKind::Block ? indent
+                                                            : indent + 1);
+      if (s.else_branch) {
+        out += pad + "else\n" +
+               print_stmt(*s.else_branch,
+                          s.else_branch->kind == StmtKind::Block ? indent
+                                                                 : indent + 1);
+      }
+      return out;
+    }
+    case StmtKind::For: {
+      std::string head = pad + "for (";
+      if (s.for_init) {
+        std::string init = print_stmt(*s.for_init, 0);
+        // strip trailing ";\n" formatting to inline
+        init = std::string(support::trim(init));
+        if (!init.empty() && init.back() == ';') init.pop_back();
+        head += init;
+      }
+      head += "; ";
+      if (s.expr) head += print_expr(*s.expr);
+      head += "; ";
+      if (s.for_inc) head += print_expr(*s.for_inc);
+      head += ")\n";
+      return head + print_stmt(*s.loop_body,
+                               s.loop_body->kind == StmtKind::Block
+                                   ? indent
+                                   : indent + 1);
+    }
+    case StmtKind::While:
+      return pad + "while (" + print_expr(*s.expr) + ")\n" +
+             print_stmt(*s.loop_body,
+                        s.loop_body->kind == StmtKind::Block ? indent
+                                                             : indent + 1);
+    case StmtKind::DoWhile:
+      return pad + "do\n" +
+             print_stmt(*s.loop_body,
+                        s.loop_body->kind == StmtKind::Block ? indent
+                                                             : indent + 1) +
+             pad + "while (" + print_expr(*s.expr) + ");\n";
+    case StmtKind::Return:
+      return pad + (s.expr ? "return " + print_expr(*s.expr) + ";\n"
+                           : "return;\n");
+    case StmtKind::Break:
+      return pad + "break;\n";
+    case StmtKind::Continue:
+      return pad + "continue;\n";
+    case StmtKind::Omp: {
+      std::string out = "#pragma omp " +
+                        (s.omp ? s.omp->raw : s.omp_raw) + "\n";
+      if (s.omp_body) out += print_stmt(*s.omp_body, indent);
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string print_function(const FunctionDecl& fn) {
+  std::string out;
+  if (fn.is_static) out += "static ";
+  switch (fn.qual) {
+    case FnQual::Global: out += "__global__ "; break;
+    case FnQual::Device: out += "__device__ "; break;
+    case FnQual::HostDevice: out += "__host__ __device__ "; break;
+    case FnQual::None: break;
+  }
+  out += print_type(fn.return_type) + " " + fn.name + "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) out += ", ";
+    out += print_type(fn.params[i].type);
+    out += fn.params[i].by_ref ? "& " : " ";
+    out += fn.params[i].name;
+  }
+  out += ")";
+  if (!fn.body) return out + ";\n";
+  return out + "\n" + print_stmt(*fn.body, 0);
+}
+
+std::string print_struct(const StructDecl& sd) {
+  std::string out = "typedef struct {\n";
+  for (const auto& f : sd.fields) {
+    out += "  " + print_type(f.type) + " " + f.name;
+    if (f.array_size) out += "[" + print_expr(*f.array_size) + "]";
+    out += ";\n";
+  }
+  out += "} " + sd.name + ";\n";
+  return out;
+}
+
+}  // namespace pareval::minic

@@ -1,0 +1,21 @@
+#pragma once
+// AST -> MiniC source printer. The translation engines parse a kernel or
+// function, transform the AST (CUDA index idiom -> loop nest, pointer
+// indexing -> View calls, ...) and re-emit compilable source with this
+// printer. Output is deterministic: same AST, same text.
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace pareval::minic {
+
+std::string print_type(const Type& t);
+std::string print_expr(const Expr& e);
+/// `indent` is the current indentation level (2 spaces per level).
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_function(const FunctionDecl& fn);
+std::string print_struct(const StructDecl& sd);
+std::string print_var_decl(const VarDecl& v);
+
+}  // namespace pareval::minic

@@ -1,0 +1,75 @@
+#include "minic/program.hpp"
+
+#include <set>
+
+namespace pareval::minic {
+
+LinkedProgram link_units(std::vector<std::shared_ptr<TranslationUnit>> tus,
+                         const Capabilities& caps, DiagBag& diags) {
+  LinkedProgram prog;
+  prog.caps = caps;
+  prog.tus = std::move(tus);
+
+  // Function definitions. A body that originates from the same header file
+  // merged into several TUs is one definition, not a collision.
+  std::map<std::string, const FunctionDecl*> prototypes;
+  for (const auto& tu : prog.tus) {
+    for (const auto& fn : tu->functions) {
+      if (!fn.body) {
+        prototypes.emplace(fn.name, &fn);
+        continue;
+      }
+      auto [it, inserted] = prog.functions.emplace(fn.name, &fn);
+      if (!inserted && it->second->file != fn.file) {
+        diags.error(DiagCategory::LinkError,
+                    "multiple definition of '" + fn.name +
+                        "'; first defined in " + it->second->file,
+                    fn.file, fn.line);
+      }
+    }
+  }
+  // Undefined references: prototype + call site but no body anywhere.
+  // Sema records called names per TU in diags? Simpler: any prototype
+  // without a matching definition that is *called* is an undefined
+  // reference. Calls are recorded by sema in TranslationUnit::called (see
+  // sema.cpp); we recompute conservatively from prototypes here.
+  for (const auto& tu : prog.tus) {
+    for (const auto& name : tu->called_functions) {
+      if (prog.functions.count(name) > 0) continue;
+      if (prototypes.count(name) == 0) continue;  // sema already flagged
+      diags.error(DiagCategory::LinkError,
+                  "undefined reference to '" + name + "'", tu->path, 0);
+    }
+  }
+
+  // Structs: identical names across TUs must agree in field count; we take
+  // the first definition (headers make them literally identical).
+  for (const auto& tu : prog.tus) {
+    for (const auto& sd : tu->structs) {
+      auto [it, inserted] = prog.structs.emplace(sd.name, &sd);
+      if (!inserted && it->second->fields.size() != sd.fields.size()) {
+        diags.error(DiagCategory::LinkError,
+                    "conflicting definitions of struct '" + sd.name + "'",
+                    tu->path, sd.line);
+      }
+    }
+  }
+
+  // Globals: dedupe by (name, origin file) like functions.
+  std::set<std::string> global_names;
+  for (const auto& tu : prog.tus) {
+    for (const auto& g : tu->globals) {
+      if (global_names.insert(g.var.name).second) {
+        prog.globals.push_back(&g);
+      }
+    }
+  }
+
+  if (prog.functions.count("main") == 0) {
+    diags.error(DiagCategory::LinkError,
+                "undefined reference to 'main' (no entry point)", "", 0);
+  }
+  return prog;
+}
+
+}  // namespace pareval::minic

@@ -1,0 +1,45 @@
+#pragma once
+// Linking: merge semantically-checked translation units into an executable
+// program image, resolving cross-TU symbols. Produces the paper's "Linker
+// Error" class: undefined references (a caller translated to the new
+// function name while the definition kept the old one) and multiple
+// definitions.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace pareval::minic {
+
+/// What the simulated toolchain enabled for this binary.
+struct Capabilities {
+  bool cuda = false;     // nvcc: __global__/<<<>>>/cudaMalloc...
+  bool openmp = false;   // -fopenmp: pragmas honoured, omp_* API
+  bool offload = false;  // -fopenmp-targets=...: target constructs use the GPU
+  bool kokkos = false;   // Kokkos package linked: Kokkos:: API
+  bool curand = false;   // cuRAND library available
+
+  bool operator==(const Capabilities&) const = default;
+};
+
+/// A linked, runnable program.
+struct LinkedProgram {
+  std::vector<std::shared_ptr<TranslationUnit>> tus;
+  Capabilities caps;
+
+  // Link tables (pointers into tus).
+  std::map<std::string, const FunctionDecl*> functions;  // with bodies
+  std::map<std::string, const StructDecl*> structs;
+  std::vector<const GlobalVarDecl*> globals;
+};
+
+/// Link TUs. Diagnostics (undefined reference / multiple definition) go to
+/// `diags`; returns the program regardless so callers can inspect partial
+/// results, but it is only runnable when !diags.has_errors().
+LinkedProgram link_units(std::vector<std::shared_ptr<TranslationUnit>> tus,
+                         const Capabilities& caps, DiagBag& diags);
+
+}  // namespace pareval::minic

@@ -1,0 +1,28 @@
+#pragma once
+// Semantic analysis for MiniC. Checks name resolution, C-style type
+// compatibility, CUDA launch/qualifier rules and OpenMP directive validity
+// against the build's capabilities. All findings use the paper's Figure 3
+// error taxonomy (Undeclared Identifier, Function Argument or Type
+// Mismatch, OpenMP Invalid Directive, ...).
+
+#include <set>
+#include <string>
+
+#include "minic/ast.hpp"
+#include "minic/builtins.hpp"
+#include "minic/program.hpp"
+
+namespace pareval::minic {
+
+struct SemaOptions {
+  Capabilities caps;
+  const BuiltinTable* builtins = nullptr;   // required
+  std::set<std::string> included_headers;   // headers this TU included
+};
+
+/// Analyse (and annotate: OpenMP directives are parsed into Stmt::omp)
+/// one translation unit. Diagnostics are appended to tu.diags;
+/// tu.called_functions is populated for the linker.
+void analyze(TranslationUnit& tu, const SemaOptions& options);
+
+}  // namespace pareval::minic

@@ -1,0 +1,17 @@
+#include "minic/value.hpp"
+
+namespace pareval::minic {
+
+Value Value::clone() const {
+  Value out = *this;
+  if (kind == Kind::StructV && strct) {
+    out.strct = std::make_shared<StructData>();
+    out.strct->struct_name = strct->struct_name;
+    for (const auto& [name, v] : strct->fields) {
+      out.strct->fields[name] = v.clone();
+    }
+  }
+  return out;
+}
+
+}  // namespace pareval::minic

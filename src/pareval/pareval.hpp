@@ -1,0 +1,19 @@
+#pragma once
+// Umbrella header for the ParEval-Repo reproduction: include this to get
+// the full public API (application suite, translation engines, simulated
+// LLM layer, evaluation harness and reports).
+
+#include "agents/techniques.hpp"     // translation techniques (§3)
+#include "apps/app.hpp"              // the application suite (§5, Table 1)
+#include "buildsim/builder.hpp"      // simulated toolchains & build systems
+#include "cluster/dbscan.hpp"        // DBSCAN (§6.3)
+#include "eval/classify.hpp"         // error classification pipeline (§6.3)
+#include "eval/harness.hpp"          // N-sample evaluation harness (§7)
+#include "eval/metrics.hpp"          // pass@k / build@k / Eκ (§6)
+#include "eval/report.hpp"           // table & figure regeneration (§8)
+#include "execsim/driver.hpp"        // compile + run on the simulated GPU
+#include "llm/calibration.hpp"       // Figure 2/3 calibration data
+#include "llm/profiles.hpp"          // the five evaluated LLMs (§4)
+#include "text/word2vec.hpp"         // log embeddings (§6.3)
+#include "translate/mutate.hpp"      // defect taxonomy (Figure 3)
+#include "translate/transpile.hpp"   // reference translation engines

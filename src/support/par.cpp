@@ -1,0 +1,51 @@
+#include "support/par.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pareval::support {
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+  if (begin >= end) return;
+  if (threads == 0) threads = hardware_threads();
+  const std::size_t n = end - begin;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+  if (threads <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    try {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) break;
+        body(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pareval::support

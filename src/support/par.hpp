@@ -1,0 +1,22 @@
+#pragma once
+// Minimal shared-memory parallel loop used by the native golden references
+// and the evaluation harness (N independent translation samples per task).
+// Uses plain std::thread with a static block distribution: the work items
+// here are coarse and independent, so anything fancier is wasted complexity.
+
+#include <cstddef>
+#include <functional>
+
+namespace pareval::support {
+
+/// Number of worker threads used by parallel_for (>= 1).
+unsigned hardware_threads() noexcept;
+
+/// Run body(i) for i in [begin, end) across up to `threads` threads.
+/// `threads == 0` means hardware_threads(). Exceptions thrown by `body`
+/// propagate to the caller (the first one observed).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0);
+
+}  // namespace pareval::support

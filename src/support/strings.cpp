@@ -1,0 +1,130 @@
+#include "support/strings.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace pareval::support {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      std::size_t end = i;
+      if (end > start && s[end - 1] == '\r') --end;
+      out.emplace_back(s.substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  if (start < s.size()) out.emplace_back(s.substr(start));
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += s.substr(pos);
+      return out;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out(s.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string format_number(double v, int digits) {
+  if (std::isnan(v)) return "nan";
+  if (v == static_cast<long long>(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace pareval::support

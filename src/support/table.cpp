@@ -1,0 +1,113 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace pareval::support {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out += " " + pad_right(c < row.size() ? row[c] : "", width[c]) + " |";
+    }
+    return out + "\n";
+  };
+  std::string sep = "+";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+  std::string out = sep + line(header_) + sep;
+  for (const auto& row : rows_) out += line(row);
+  out += sep;
+  return out;
+}
+
+HeatMap::HeatMap(std::string title, std::vector<std::string> row_labels,
+                 std::vector<std::string> col_labels)
+    : title_(std::move(title)),
+      row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      cells_(row_labels_.size() * col_labels_.size()) {}
+
+void HeatMap::set(std::size_t row, std::size_t col, double value) {
+  if (row >= rows() || col >= cols()) {
+    throw std::out_of_range("HeatMap::set out of range");
+  }
+  cells_[row * cols() + col] = value;
+}
+
+std::optional<double> HeatMap::at(std::size_t row, std::size_t col) const {
+  if (row >= rows() || col >= cols()) return std::nullopt;
+  return cells_[row * cols() + col];
+}
+
+std::string HeatMap::render(int digits) const {
+  std::size_t label_w = 0;
+  for (const auto& r : row_labels_) label_w = std::max(label_w, r.size());
+  std::vector<std::size_t> col_w(cols());
+  for (std::size_t c = 0; c < cols(); ++c) {
+    col_w[c] = std::max<std::size_t>(col_labels_[c].size(), 4);
+  }
+  std::string out = title_ + "\n";
+  out += std::string(label_w, ' ') + " ";
+  for (std::size_t c = 0; c < cols(); ++c) {
+    out += " " + pad_left(col_labels_[c], col_w[c]);
+  }
+  out += "\n";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    out += pad_right(row_labels_[r], label_w) + " ";
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const auto v = cells_[r * cols() + c];
+      out += " " + pad_left(v ? format_number(*v, digits) : "", col_w[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_side_by_side(const std::vector<HeatMap>& maps, int digits) {
+  std::vector<std::vector<std::string>> blocks;
+  std::size_t max_lines = 0;
+  for (const auto& m : maps) {
+    blocks.push_back(split_lines(m.render(digits)));
+    max_lines = std::max(max_lines, blocks.back().size());
+  }
+  std::vector<std::size_t> block_w(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (const auto& line : blocks[b]) {
+      block_w[b] = std::max(block_w[b], line.size());
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < max_lines; ++i) {
+    std::string line;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const std::string& src = i < blocks[b].size() ? blocks[b][i] : std::string();
+      line += pad_right(src, block_w[b] + 4);
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace pareval::support

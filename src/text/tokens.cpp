@@ -1,0 +1,48 @@
+#include "text/tokens.hpp"
+
+#include <cctype>
+
+namespace pareval::text {
+
+long long approx_tokens(std::string_view text) {
+  long long count = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (std::isalnum(c) || c == '_') {
+      std::size_t len = 0;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+        ++len;
+      }
+      count += static_cast<long long>((len + 3) / 4);
+      continue;
+    }
+    ++count;
+    ++i;
+  }
+  return count;
+}
+
+std::vector<std::string> word_tokens(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace pareval::text

@@ -1,0 +1,19 @@
+#pragma once
+// Token accounting for the simulated LLMs: a deterministic sub-word
+// approximation (identifiers contribute ceil(len/4) tokens — roughly BPE
+// density for code — punctuation one each). The paper's token-economy
+// metrics (Fig. 4, Fig. 5, Table 2) are computed from these counts.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pareval::text {
+
+/// Approximate LLM token count of a text.
+long long approx_tokens(std::string_view text);
+
+/// Lowercased word tokens (alphanumeric runs) for log embedding.
+std::vector<std::string> word_tokens(std::string_view text);
+
+}  // namespace pareval::text

@@ -1,0 +1,1191 @@
+#include "translate/transpile.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "codeanal/lexer.hpp"
+#include "minic/clone.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "support/strings.hpp"
+
+namespace pareval::xlate {
+
+using apps::AppSpec;
+using apps::Model;
+using codeanal::TokKind;
+using minic::BaseType;
+using minic::Expr;
+using minic::ExprKind;
+using minic::ExprPtr;
+using minic::FnQual;
+using minic::FunctionDecl;
+using minic::ParamDecl;
+using minic::Stmt;
+using minic::StmtKind;
+using minic::StmtPtr;
+using minic::TranslationUnit;
+using minic::Type;
+using minic::VarDecl;
+using minic::clone_expr;
+using minic::clone_stmt;
+
+namespace {
+
+// ------------------------------------------------------- tiny builders --
+
+ExprPtr make_ident(const std::string& name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Ident;
+  e->text = name;
+  return e;
+}
+
+ExprPtr make_int(long long v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::IntLit;
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr make_call(const std::string& name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Call;
+  e->text = name;
+  e->kids = std::move(args);
+  return e;
+}
+
+ExprPtr make_binary(const std::string& op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->text = op;
+  e->kids.push_back(std::move(a));
+  e->kids.push_back(std::move(b));
+  return e;
+}
+
+StmtPtr make_expr_stmt(ExprPtr e) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::ExprStmt;
+  s->expr = std::move(e);
+  return s;
+}
+
+StmtPtr make_block(std::vector<StmtPtr> stmts) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Block;
+  s->body = std::move(stmts);
+  return s;
+}
+
+// ----------------------------------------------------------- analyses --
+
+bool expr_mentions(const Expr& e, const std::string& name) {
+  if (e.kind == ExprKind::Ident && e.text == name) return true;
+  for (const auto& k : e.kids) {
+    if (expr_mentions(*k, name)) return true;
+  }
+  if (e.launch_grid && expr_mentions(*e.launch_grid, name)) return true;
+  if (e.launch_block && expr_mentions(*e.launch_block, name)) return true;
+  return false;
+}
+
+void collect_idents_expr(const Expr& e, std::set<std::string>& out) {
+  if (e.kind == ExprKind::Ident || e.kind == ExprKind::Call) {
+    out.insert(e.text);
+  }
+  for (const auto& k : e.kids) collect_idents_expr(*k, out);
+  if (e.launch_grid) collect_idents_expr(*e.launch_grid, out);
+  if (e.launch_block) collect_idents_expr(*e.launch_block, out);
+  if (e.lambda_body) {
+    // handled by caller's stmt walk when needed; lambdas don't appear in
+    // CUDA/OpenMP-threads sources.
+  }
+}
+
+void collect_idents_stmt(const Stmt& s, std::set<std::string>& out) {
+  if (s.expr) collect_idents_expr(*s.expr, out);
+  for (const auto& d : s.decls) {
+    if (d.init) collect_idents_expr(*d.init, out);
+    if (d.array_size) collect_idents_expr(*d.array_size, out);
+    for (const auto& a : d.ctor_args) collect_idents_expr(*a, out);
+  }
+  for (const auto& child : s.body) collect_idents_stmt(*child, out);
+  if (s.then_branch) collect_idents_stmt(*s.then_branch, out);
+  if (s.else_branch) collect_idents_stmt(*s.else_branch, out);
+  if (s.for_init) collect_idents_stmt(*s.for_init, out);
+  if (s.for_inc) collect_idents_expr(*s.for_inc, out);
+  if (s.loop_body) collect_idents_stmt(*s.loop_body, out);
+  if (s.omp_body) collect_idents_stmt(*s.omp_body, out);
+}
+
+/// The CUDA thread-index idiom: leading declarations computing an index
+/// from blockIdx/threadIdx, followed by a guard `if (i < A [&& j < B])`.
+struct IndexVar {
+  std::string name;
+  const Expr* bound = nullptr;  // borrowed from the guard condition
+};
+
+struct KernelPlan {
+  std::vector<IndexVar> vars;  // in declaration order
+  const Stmt* guard = nullptr; // the guarding If statement
+  bool ok = false;
+};
+
+bool collect_guard_bounds(const Expr& cond, std::vector<IndexVar>& vars) {
+  if (cond.kind == ExprKind::Binary && cond.text == "&&") {
+    return collect_guard_bounds(*cond.kids[0], vars) &&
+           collect_guard_bounds(*cond.kids[1], vars);
+  }
+  if (cond.kind == ExprKind::Binary && cond.text == "<" &&
+      cond.kids[0]->kind == ExprKind::Ident) {
+    for (auto& v : vars) {
+      if (v.name == cond.kids[0]->text && v.bound == nullptr) {
+        v.bound = cond.kids[1].get();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+KernelPlan analyze_kernel(const FunctionDecl& fn) {
+  KernelPlan plan;
+  if (!fn.body) return plan;
+  for (const auto& stmt : fn.body->body) {
+    if (stmt->kind == StmtKind::Decl) {
+      bool is_index = false;
+      for (const auto& d : stmt->decls) {
+        if (d.init && (expr_mentions(*d.init, "blockIdx") ||
+                       expr_mentions(*d.init, "threadIdx"))) {
+          plan.vars.push_back({d.name, nullptr});
+          is_index = true;
+        }
+      }
+      if (is_index) continue;
+      return plan;  // non-index decl before the guard: unrecognised
+    }
+    if (stmt->kind == StmtKind::If && !plan.vars.empty()) {
+      if (!collect_guard_bounds(*stmt->expr, plan.vars)) return plan;
+      for (const auto& v : plan.vars) {
+        if (v.bound == nullptr) return plan;
+      }
+      plan.guard = stmt.get();
+      plan.ok = true;
+      return plan;
+    }
+    return plan;
+  }
+  return plan;
+}
+
+// ------------------------------------------------- statement rewriting --
+
+/// Rewrites applied recursively to every statement list.
+class BodyRewriter {
+ public:
+  virtual ~BodyRewriter() = default;
+
+  /// Return a replacement list for `stmt`, or nullopt to keep it (after
+  /// recursing into children).
+  virtual std::optional<std::vector<StmtPtr>> rewrite(Stmt& stmt) = 0;
+
+  void walk(Stmt& s) {
+    if (s.kind == StmtKind::Block) {
+      std::vector<StmtPtr> out;
+      for (auto& child : s.body) {
+        auto replacement = rewrite(*child);
+        if (replacement) {
+          for (auto& r : *replacement) out.push_back(std::move(r));
+        } else {
+          walk(*child);
+          out.push_back(std::move(child));
+        }
+      }
+      s.body = std::move(out);
+      return;
+    }
+    if (s.then_branch) walk_child(s.then_branch);
+    if (s.else_branch) walk_child(s.else_branch);
+    if (s.loop_body) walk_child(s.loop_body);
+    if (s.omp_body) walk_child(s.omp_body);
+  }
+
+ private:
+  void walk_child(StmtPtr& child) {
+    auto replacement = rewrite(*child);
+    if (replacement) {
+      // A non-block child replaced by several statements becomes a block.
+      child = replacement->size() == 1 ? std::move((*replacement)[0])
+                                       : make_block(std::move(*replacement));
+    } else {
+      walk(*child);
+    }
+  }
+};
+
+/// atomicAdd(x, v) -> `*(x) += v` (wrapped in `#pragma omp atomic` for the
+/// OpenMP target).
+class AtomicRewriter : public BodyRewriter {
+ public:
+  explicit AtomicRewriter(bool wrap_omp_atomic) : omp_(wrap_omp_atomic) {}
+
+  std::optional<std::vector<StmtPtr>> rewrite(Stmt& stmt) override {
+    if (stmt.kind != StmtKind::ExprStmt || !stmt.expr ||
+        stmt.expr->kind != ExprKind::Call || stmt.expr->text != "atomicAdd") {
+      return std::nullopt;
+    }
+    auto deref = std::make_unique<Expr>();
+    deref->kind = ExprKind::Unary;
+    deref->text = "*";
+    deref->kids.push_back(clone_expr(*stmt.expr->kids[0]));
+    auto add = std::make_unique<Expr>();
+    add->kind = ExprKind::Assign;
+    add->text = "+=";
+    add->kids.push_back(std::move(deref));
+    add->kids.push_back(clone_expr(*stmt.expr->kids[1]));
+    StmtPtr update = make_expr_stmt(std::move(add));
+    std::vector<StmtPtr> out;
+    if (omp_) {
+      auto omp = std::make_unique<Stmt>();
+      omp->kind = StmtKind::Omp;
+      omp->omp_raw = "atomic update";
+      omp->omp_body = std::move(update);
+      out.push_back(std::move(omp));
+    } else {
+      out.push_back(std::move(update));
+    }
+    return out;
+  }
+
+ private:
+  bool omp_;
+};
+
+/// cuRAND -> inline LCG helpers preserving the stream (pe_curand_*).
+class CurandRewriter : public BodyRewriter {
+ public:
+  bool used = false;
+
+  std::optional<std::vector<StmtPtr>> rewrite(Stmt& stmt) override {
+    rename_calls(stmt);  // curand()/curand_uniform() in any initializer
+    if (stmt.kind == StmtKind::Decl) {
+      for (auto& d : stmt.decls) {
+        if (d.type.base == BaseType::CurandState && d.type.ptr_depth == 0) {
+          d.type = Type::make(BaseType::Long);
+          d.init = make_int(0);
+          used = true;
+        }
+      }
+      return std::nullopt;
+    }
+    if (stmt.kind == StmtKind::ExprStmt && stmt.expr &&
+        stmt.expr->kind == ExprKind::Call &&
+        stmt.expr->text == "curand_init" && stmt.expr->kids.size() == 4) {
+      used = true;
+      std::vector<ExprPtr> args;
+      args.push_back(clone_expr(*stmt.expr->kids[0]));
+      args.push_back(clone_expr(*stmt.expr->kids[1]));
+      args.push_back(clone_expr(*stmt.expr->kids[3]));
+      std::vector<StmtPtr> out;
+      out.push_back(make_expr_stmt(make_call("pe_curand_init",
+                                             std::move(args))));
+      return out;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  void rename_in_expr(Expr& e) {
+    if (e.kind == ExprKind::Call) {
+      if (e.text == "curand") {
+        e.text = "pe_curand";
+        used = true;
+      } else if (e.text == "curand_uniform") {
+        e.text = "pe_curand_uniform";
+        used = true;
+      }
+    }
+    for (auto& k : e.kids) rename_in_expr(*k);
+    if (e.launch_grid) rename_in_expr(*e.launch_grid);
+    if (e.launch_block) rename_in_expr(*e.launch_block);
+  }
+  void rename_calls(Stmt& s) {
+    if (s.expr) rename_in_expr(*s.expr);
+    for (auto& d : s.decls) {
+      if (d.init) rename_in_expr(*d.init);
+      for (auto& a : d.ctor_args) rename_in_expr(*a);
+    }
+    if (s.for_inc) rename_in_expr(*s.for_inc);
+  }
+};
+
+const char* kCurandHelpers = R"(static void pe_curand_init(long seed, long seq, long* s) {
+  *s = seed * 6364136223846793005L + seq * 1442695040888963407L + 1L;
+}
+
+static long pe_curand(long* s) {
+  *s = *s * 6364136223846793005L + 1442695040888963407L;
+  return (*s >> 16) & 4294967295L;
+}
+
+static double pe_curand_uniform(long* s) {
+  *s = *s * 6364136223846793005L + 1442695040888963407L;
+  return ((double)((*s >> 11) & 9007199254740991L) + 1.0) / 9007199254740993.0;
+}
+)";
+
+/// Per-file translation context shared by the call-site rewriters.
+struct KernelInfo {
+  std::vector<ParamDecl> params;
+};
+
+struct XlateCtx {
+  const AppSpec* app = nullptr;
+  Model to = Model::OmpOffload;
+  std::map<std::string, KernelInfo> kernels;  // repo-wide __global__ fns
+  TranspileLog* log = nullptr;
+  bool need_string_h = false;   // memcpy/memset introduced
+  bool need_curand_helpers = false;
+};
+
+/// Rewrites CUDA runtime calls and kernel launches inside host functions.
+class CallSiteRewriter : public BodyRewriter {
+ public:
+  CallSiteRewriter(XlateCtx& ctx, const FunctionDecl& fn) : ctx_(ctx) {
+    collect_decl_types(*fn.body);
+    for (const auto& p : fn.params) decl_types_[p.name] = p.type;
+  }
+
+  std::optional<std::vector<StmtPtr>> rewrite(Stmt& stmt) override {
+    // Remove dim3 declarations; record pointer decls.
+    if (stmt.kind == StmtKind::Decl) {
+      std::vector<VarDecl> kept;
+      for (auto& d : stmt.decls) {
+        if (d.type.base == BaseType::Dim3) continue;
+        kept.push_back(minic::clone_var_decl(d));
+      }
+      if (kept.size() == stmt.decls.size()) return std::nullopt;
+      if (kept.empty()) return std::vector<StmtPtr>{};
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Decl;
+      s->decls = std::move(kept);
+      std::vector<StmtPtr> out;
+      out.push_back(std::move(s));
+      return out;
+    }
+    if (stmt.kind != StmtKind::ExprStmt || !stmt.expr) return std::nullopt;
+    Expr& e = *stmt.expr;
+    if (e.kind != ExprKind::Call) return std::nullopt;
+
+    if (e.launch_grid) return rewrite_launch(e);
+    if (e.text == "cudaMalloc") return rewrite_malloc(e);
+    if (e.text == "cudaMemcpy") return rewrite_memcpy(e);
+    if (e.text == "cudaMemset") return rewrite_memset(e);
+    if (e.text == "cudaFree") return rewrite_free(e);
+    if (e.text == "cudaDeviceSynchronize" || e.text == "cudaSetDevice" ||
+        e.text == "cudaGetLastError") {
+      return std::vector<StmtPtr>{};  // drop
+    }
+    return std::nullopt;
+  }
+
+ private:
+  void collect_decl_types(const Stmt& s) {
+    for (const auto& d : s.decls) decl_types_[d.name] = d.type;
+    for (const auto& child : s.body) collect_decl_types(*child);
+    if (s.then_branch) collect_decl_types(*s.then_branch);
+    if (s.else_branch) collect_decl_types(*s.else_branch);
+    if (s.loop_body) collect_decl_types(*s.loop_body);
+    if (s.for_init) collect_decl_types(*s.for_init);
+    if (s.omp_body) collect_decl_types(*s.omp_body);
+  }
+
+  /// &var (possibly behind a cast) -> variable name.
+  static std::string out_pointer_var(const Expr& e) {
+    const Expr* cur = &e;
+    while (cur->kind == ExprKind::Cast) cur = cur->kids[0].get();
+    if (cur->kind == ExprKind::Unary && cur->text == "&" &&
+        cur->kids[0]->kind == ExprKind::Ident) {
+      return cur->kids[0]->text;
+    }
+    return "";
+  }
+
+  /// bytes expr -> element-count expr (strips a trailing `* sizeof(T)`).
+  static ExprPtr element_count(const Expr& bytes) {
+    if (bytes.kind == ExprKind::SizeofType && bytes.kids.empty()) {
+      return make_int(1);
+    }
+    if (bytes.kind == ExprKind::Binary && bytes.text == "*" &&
+        bytes.kids[1]->kind == ExprKind::SizeofType) {
+      return clone_expr(*bytes.kids[0]);
+    }
+    return clone_expr(bytes);
+  }
+
+  std::optional<std::vector<StmtPtr>> rewrite_malloc(const Expr& e) {
+    const std::string var = out_pointer_var(*e.kids[0]);
+    if (var.empty()) return std::nullopt;
+    alloc_counts_[var] = element_count(*e.kids[1]);
+    Type t = decl_types_.count(var) > 0 ? decl_types_[var]
+                                        : Type::make(BaseType::Double, 1);
+    auto cast = std::make_unique<Expr>();
+    cast->kind = ExprKind::Cast;
+    cast->type = t;
+    cast->kids.push_back(make_call("malloc", vec(clone_expr(*e.kids[1]))));
+    auto assign = std::make_unique<Expr>();
+    assign->kind = ExprKind::Assign;
+    assign->text = "=";
+    assign->kids.push_back(make_ident(var));
+    assign->kids.push_back(std::move(cast));
+    return vecs(make_expr_stmt(std::move(assign)));
+  }
+
+  std::optional<std::vector<StmtPtr>> rewrite_memcpy(const Expr& e) {
+    // &scalar endpoints become plain assignments.
+    const std::string dst_var = out_pointer_var(*e.kids[0]);
+    const bool dst_scalar = !dst_var.empty() &&
+                            decl_types_.count(dst_var) > 0 &&
+                            !decl_types_[dst_var].is_pointer();
+    const std::string src_var = out_pointer_var(*e.kids[1]);
+    const bool src_scalar = !src_var.empty() &&
+                            decl_types_.count(src_var) > 0 &&
+                            !decl_types_[src_var].is_pointer();
+    if (dst_scalar) {
+      auto idx = std::make_unique<Expr>();
+      idx->kind = ExprKind::Index;
+      idx->kids.push_back(clone_expr(*e.kids[1]));
+      idx->kids.push_back(make_int(0));
+      auto assign = std::make_unique<Expr>();
+      assign->kind = ExprKind::Assign;
+      assign->text = "=";
+      assign->kids.push_back(make_ident(dst_var));
+      assign->kids.push_back(std::move(idx));
+      return vecs(make_expr_stmt(std::move(assign)));
+    }
+    if (src_scalar) {
+      auto idx = std::make_unique<Expr>();
+      idx->kind = ExprKind::Index;
+      idx->kids.push_back(clone_expr(*e.kids[0]));
+      idx->kids.push_back(make_int(0));
+      auto assign = std::make_unique<Expr>();
+      assign->kind = ExprKind::Assign;
+      assign->text = "=";
+      assign->kids.push_back(std::move(idx));
+      assign->kids.push_back(make_ident(src_var));
+      return vecs(make_expr_stmt(std::move(assign)));
+    }
+    ctx_.need_string_h = true;
+    return vecs(make_expr_stmt(make_call(
+        "memcpy", vec(clone_expr(*e.kids[0]), clone_expr(*e.kids[1]),
+                      clone_expr(*e.kids[2])))));
+  }
+
+  std::optional<std::vector<StmtPtr>> rewrite_memset(const Expr& e) {
+    ctx_.need_string_h = true;
+    return vecs(make_expr_stmt(make_call(
+        "memset", vec(clone_expr(*e.kids[0]), clone_expr(*e.kids[1]),
+                      clone_expr(*e.kids[2])))));
+  }
+
+  std::optional<std::vector<StmtPtr>> rewrite_free(const Expr& e) {
+    return vecs(make_expr_stmt(
+        make_call("free", vec(clone_expr(*e.kids[0])))));
+  }
+
+  std::optional<std::vector<StmtPtr>> rewrite_launch(const Expr& e) {
+    const auto kit = ctx_.kernels.find(e.text);
+    if (kit == ctx_.kernels.end()) {
+      ctx_.log->warnings.push_back("launch of unknown kernel " + e.text);
+      return std::nullopt;
+    }
+    const KernelInfo& kernel = kit->second;
+
+    if (ctx_.to == Model::Kokkos) {
+      // name<<<g,b>>>(args) -> name(args..., counts...).
+      std::vector<ExprPtr> args;
+      for (const auto& k : e.kids) args.push_back(clone_expr(*k));
+      for (std::size_t i = 0;
+           i < e.kids.size() && i < kernel.params.size(); ++i) {
+        if (!kernel.params[i].type.is_pointer()) continue;
+        args.push_back(count_for_arg(*e.kids[i]));
+      }
+      return vecs(make_expr_stmt(make_call(e.text, std::move(args))));
+    }
+
+    // OpenMP offload: wrap the plain call in a target data region that
+    // maps every pointer argument (paper Listing 3's structure).
+    std::string map_clauses;
+    for (std::size_t i = 0;
+         i < e.kids.size() && i < kernel.params.size(); ++i) {
+      const ParamDecl& p = kernel.params[i];
+      if (!p.type.is_pointer()) continue;
+      const ExprPtr count = count_for_arg(*e.kids[i]);
+      const std::string dir = p.type.is_const ? "to" : "tofrom";
+      map_clauses += " map(" + dir + ": " + print_arg_name(*e.kids[i]) +
+                     "[0:" + minic::print_expr(*count) + "])";
+    }
+    std::vector<ExprPtr> args;
+    for (const auto& k : e.kids) args.push_back(clone_expr(*k));
+    auto omp = std::make_unique<Stmt>();
+    omp->kind = StmtKind::Omp;
+    omp->omp_raw = "target data" + map_clauses;
+    omp->omp_body =
+        make_block(vecs(make_expr_stmt(make_call(e.text, std::move(args)))));
+    return vecs(std::move(omp));
+  }
+
+  ExprPtr count_for_arg(const Expr& arg) {
+    if (arg.kind == ExprKind::Ident &&
+        alloc_counts_.count(arg.text) > 0) {
+      return clone_expr(*alloc_counts_[arg.text]);
+    }
+    ctx_.log->warnings.push_back("unknown extent for launch argument '" +
+                                 minic::print_expr(arg) + "'; assuming 1");
+    return make_int(1);
+  }
+
+  static std::string print_arg_name(const Expr& arg) {
+    return arg.kind == ExprKind::Ident ? arg.text : minic::print_expr(arg);
+  }
+
+  static std::vector<ExprPtr> vec(ExprPtr a) {
+    std::vector<ExprPtr> v;
+    v.push_back(std::move(a));
+    return v;
+  }
+  static std::vector<ExprPtr> vec(ExprPtr a, ExprPtr b, ExprPtr c) {
+    std::vector<ExprPtr> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    v.push_back(std::move(c));
+    return v;
+  }
+  static std::vector<StmtPtr> vecs(StmtPtr a) {
+    std::vector<StmtPtr> v;
+    v.push_back(std::move(a));
+    return v;
+  }
+
+  XlateCtx& ctx_;
+  std::map<std::string, Type> decl_types_;
+  std::map<std::string, ExprPtr> alloc_counts_;  // var -> element count
+};
+
+// -------------------------------------------------- kernel translation --
+
+// Forward declarations for helpers defined later in this namespace.
+std::vector<StmtPtr> vecs(StmtPtr a);
+std::vector<ExprPtr> vecs_e(ExprPtr a);
+std::vector<ExprPtr> vecs_e2(ExprPtr a, ExprPtr b);
+StmtPtr copy_loop(const std::string& p, bool into_mirror);
+
+/// Replace `P[expr]` by `d_P(expr)` and `*P` by `d_P(0)` for the Kokkos
+/// wrapper body (P ranges over the kernel's pointer params).
+void rewrite_ptr_access_to_view(Expr& e, const std::set<std::string>& ptrs) {
+  for (auto& k : e.kids) rewrite_ptr_access_to_view(*k, ptrs);
+  if (e.launch_grid) rewrite_ptr_access_to_view(*e.launch_grid, ptrs);
+  if (e.launch_block) rewrite_ptr_access_to_view(*e.launch_block, ptrs);
+  if (e.kind == ExprKind::Index && e.kids[0]->kind == ExprKind::Ident &&
+      ptrs.count(e.kids[0]->text) > 0) {
+    e.kind = ExprKind::Call;
+    e.text = "d_" + e.kids[0]->text;
+    e.kids.erase(e.kids.begin());
+    return;
+  }
+  if (e.kind == ExprKind::Unary && e.text == "*" &&
+      e.kids[0]->kind == ExprKind::Ident &&
+      ptrs.count(e.kids[0]->text) > 0) {
+    const std::string name = e.kids[0]->text;
+    e.kind = ExprKind::Call;
+    e.text = "d_" + name;
+    e.kids.clear();
+    e.kids.push_back(make_int(0));
+    return;
+  }
+}
+
+void rewrite_ptr_access_stmt(Stmt& s, const std::set<std::string>& ptrs) {
+  if (s.expr) rewrite_ptr_access_to_view(*s.expr, ptrs);
+  for (auto& d : s.decls) {
+    if (d.init) rewrite_ptr_access_to_view(*d.init, ptrs);
+    if (d.array_size) rewrite_ptr_access_to_view(*d.array_size, ptrs);
+    for (auto& a : d.ctor_args) rewrite_ptr_access_to_view(*a, ptrs);
+  }
+  for (auto& child : s.body) rewrite_ptr_access_stmt(*child, ptrs);
+  if (s.then_branch) rewrite_ptr_access_stmt(*s.then_branch, ptrs);
+  if (s.else_branch) rewrite_ptr_access_stmt(*s.else_branch, ptrs);
+  if (s.for_init) rewrite_ptr_access_stmt(*s.for_init, ptrs);
+  if (s.for_inc) rewrite_ptr_access_to_view(*s.for_inc, ptrs);
+  if (s.loop_body) rewrite_ptr_access_stmt(*s.loop_body, ptrs);
+  if (s.omp_body) rewrite_ptr_access_stmt(*s.omp_body, ptrs);
+}
+
+/// CUDA kernel -> OpenMP offload function: thread-index decls become a
+/// loop nest under `#pragma omp target teams distribute parallel for`.
+bool kernel_to_omp(FunctionDecl& fn, XlateCtx& ctx) {
+  const KernelPlan plan = analyze_kernel(fn);
+  if (!plan.ok) {
+    ctx.log->warnings.push_back("kernel '" + fn.name +
+                                "' does not match the index idiom");
+    return false;
+  }
+  StmtPtr inner = clone_stmt(*plan.guard);
+  // Build the loop nest, innermost last.
+  for (auto it = plan.vars.rbegin(); it != plan.vars.rend(); ++it) {
+    auto loop = std::make_unique<Stmt>();
+    loop->kind = StmtKind::For;
+    auto init = std::make_unique<Stmt>();
+    init->kind = StmtKind::Decl;
+    VarDecl iv;
+    iv.type = Type::make(BaseType::Int);
+    iv.name = it->name;
+    iv.init = make_int(0);
+    init->decls.push_back(std::move(iv));
+    loop->for_init = std::move(init);
+    loop->expr = make_binary("<", make_ident(it->name),
+                             clone_expr(*it->bound));
+    auto inc = std::make_unique<Expr>();
+    inc->kind = ExprKind::Unary;
+    inc->text = "++";
+    inc->postfix = true;
+    inc->kids.push_back(make_ident(it->name));
+    loop->for_inc = std::move(inc);
+    loop->loop_body = make_block(vecs(std::move(inner)));
+    inner = std::move(loop);
+  }
+  auto omp = std::make_unique<Stmt>();
+  omp->kind = StmtKind::Omp;
+  omp->omp_raw = "target teams distribute parallel for";
+  if (plan.vars.size() > 1) {
+    omp->omp_raw += " collapse(" + std::to_string(plan.vars.size()) + ")";
+  }
+  omp->omp_body = std::move(inner);
+
+  fn.qual = FnQual::None;
+  fn.body = make_block(vecs(std::move(omp)));
+
+  AtomicRewriter atomics(/*wrap_omp_atomic=*/true);
+  atomics.walk(*fn.body);
+  CurandRewriter curand;
+  curand.walk(*fn.body);
+  ctx.need_curand_helpers |= curand.used;
+  ctx.log->changes[fn.file].push_back(
+      "kernel " + fn.name + " rewritten as an OpenMP offload loop nest");
+  return true;
+}
+
+/// CUDA kernel -> Kokkos wrapper: Views + mirrors + parallel_for.
+bool kernel_to_kokkos(FunctionDecl& fn, XlateCtx& ctx) {
+  const KernelPlan plan = analyze_kernel(fn);
+  if (!plan.ok && fn.body) {
+    ctx.log->warnings.push_back("kernel '" + fn.name +
+                                "' does not match the index idiom");
+    return false;
+  }
+
+  std::set<std::string> ptr_params;
+  for (const auto& p : fn.params) {
+    if (p.type.is_pointer()) ptr_params.insert(p.name);
+  }
+
+  // Extend the signature with element counts (prototypes included).
+  std::vector<ParamDecl> new_params = fn.params;
+  for (const auto& p : fn.params) {
+    if (!p.type.is_pointer()) continue;
+    ParamDecl count;
+    count.type = Type::make(BaseType::Long);
+    count.name = "pe_n_" + p.name;
+    new_params.push_back(std::move(count));
+  }
+
+  if (!fn.body) {
+    fn.qual = FnQual::None;
+    fn.params = std::move(new_params);
+    return true;
+  }
+
+  std::vector<StmtPtr> body;
+  // Views + mirrors + copy-in.
+  for (const auto& p : fn.params) {
+    if (!p.type.is_pointer()) continue;
+    Type view_t;
+    view_t.base = BaseType::View;
+    view_t.view_elem = p.type.pointee().base;
+    view_t.view_struct_name = p.type.pointee().struct_name;
+    view_t.view_rank = 1;
+
+    auto decl_dev = std::make_unique<Stmt>();
+    decl_dev->kind = StmtKind::Decl;
+    VarDecl dv;
+    dv.type = view_t;
+    dv.name = "d_" + p.name;
+    auto label = std::make_unique<Expr>();
+    label->kind = ExprKind::StringLit;
+    label->text = "d_" + p.name;
+    dv.ctor_args.push_back(std::move(label));
+    dv.ctor_args.push_back(make_ident("pe_n_" + p.name));
+    decl_dev->decls.push_back(std::move(dv));
+    body.push_back(std::move(decl_dev));
+
+    auto decl_mirror = std::make_unique<Stmt>();
+    decl_mirror->kind = StmtKind::Decl;
+    VarDecl mv;
+    mv.type = view_t;
+    mv.name = "m_" + p.name;
+    mv.init = make_call("Kokkos::create_mirror_view",
+                        vecs_e(make_ident("d_" + p.name)));
+    decl_mirror->decls.push_back(std::move(mv));
+    body.push_back(std::move(decl_mirror));
+
+    // for (long pe_q = 0; ...) m_P(pe_q) = P[pe_q];
+    body.push_back(copy_loop(p.name, /*into_mirror=*/true));
+    body.push_back(make_expr_stmt(make_call(
+        "Kokkos::deep_copy",
+        vecs_e2(make_ident("d_" + p.name), make_ident("m_" + p.name)))));
+  }
+
+  // The parallel dispatch.
+  auto lambda = std::make_unique<Expr>();
+  lambda->kind = ExprKind::LambdaExpr;
+  for (const auto& v : plan.vars) {
+    Expr::Param lp;
+    lp.type = Type::make(BaseType::Int);
+    lp.name = v.name;
+    lambda->lambda_params.push_back(std::move(lp));
+  }
+  StmtPtr guarded = clone_stmt(*plan.guard);
+  AtomicRewriter atomics(/*wrap_omp_atomic=*/false);
+  {
+    auto tmp = make_block(vecs(std::move(guarded)));
+    atomics.walk(*tmp);
+    CurandRewriter curand;
+    curand.walk(*tmp);
+    ctx.need_curand_helpers |= curand.used;
+    rewrite_ptr_access_stmt(*tmp, ptr_params);
+    lambda->lambda_body = std::move(tmp);
+  }
+
+  std::vector<ExprPtr> pf_args;
+  {
+    auto label = std::make_unique<Expr>();
+    label->kind = ExprKind::StringLit;
+    label->text = fn.name;
+    pf_args.push_back(std::move(label));
+  }
+  if (plan.vars.size() == 1) {
+    pf_args.push_back(make_call(
+        "Kokkos::RangePolicy",
+        vecs_e2(make_int(0), clone_expr(*plan.vars[0].bound))));
+  } else {
+    auto lo = std::make_unique<Expr>();
+    lo->kind = ExprKind::InitList;
+    lo->kids.push_back(make_int(0));
+    lo->kids.push_back(make_int(0));
+    auto hi = std::make_unique<Expr>();
+    hi->kind = ExprKind::InitList;
+    hi->kids.push_back(clone_expr(*plan.vars[0].bound));
+    hi->kids.push_back(clone_expr(*plan.vars[1].bound));
+    auto policy = make_call("Kokkos::MDRangePolicy",
+                            vecs_e2(std::move(lo), std::move(hi)));
+    policy->int_value = 2;
+    pf_args.push_back(std::move(policy));
+  }
+  pf_args.push_back(std::move(lambda));
+  body.push_back(make_expr_stmt(
+      make_call("Kokkos::parallel_for", std::move(pf_args))));
+  body.push_back(make_expr_stmt(make_call("Kokkos::fence", {})));
+
+  // Copy-out for writable params.
+  for (const auto& p : fn.params) {
+    if (!p.type.is_pointer() || p.type.is_const) continue;
+    body.push_back(make_expr_stmt(make_call(
+        "Kokkos::deep_copy",
+        vecs_e2(make_ident("m_" + p.name), make_ident("d_" + p.name)))));
+    body.push_back(copy_loop(p.name, /*into_mirror=*/false));
+  }
+
+  fn.qual = FnQual::None;
+  fn.params = std::move(new_params);
+  fn.body = make_block(std::move(body));
+  ctx.log->changes[fn.file].push_back(
+      "kernel " + fn.name +
+      " rewritten as a Kokkos parallel_for wrapper (signature gained "
+      "element-count parameters)");
+  return true;
+}
+
+StmtPtr copy_loop_impl(const std::string& p, bool into_mirror) {
+  auto loop = std::make_unique<Stmt>();
+  loop->kind = StmtKind::For;
+  auto init = std::make_unique<Stmt>();
+  init->kind = StmtKind::Decl;
+  VarDecl iv;
+  iv.type = Type::make(BaseType::Long);
+  iv.name = "pe_q";
+  iv.init = make_int(0);
+  init->decls.push_back(std::move(iv));
+  loop->for_init = std::move(init);
+  loop->expr = make_binary("<", make_ident("pe_q"),
+                           make_ident("pe_n_" + p));
+  auto inc = std::make_unique<Expr>();
+  inc->kind = ExprKind::Unary;
+  inc->text = "++";
+  inc->postfix = true;
+  inc->kids.push_back(make_ident("pe_q"));
+  loop->for_inc = std::move(inc);
+
+  ExprPtr mirror_cell =
+      make_call("m_" + p, [] {
+        std::vector<ExprPtr> v;
+        v.push_back(make_ident("pe_q"));
+        return v;
+      }());
+  auto host_cell = std::make_unique<Expr>();
+  host_cell->kind = ExprKind::Index;
+  host_cell->kids.push_back(make_ident(p));
+  host_cell->kids.push_back(make_ident("pe_q"));
+
+  auto assign = std::make_unique<Expr>();
+  assign->kind = ExprKind::Assign;
+  assign->text = "=";
+  if (into_mirror) {
+    assign->kids.push_back(std::move(mirror_cell));
+    assign->kids.push_back(std::move(host_cell));
+  } else {
+    assign->kids.push_back(std::move(host_cell));
+    assign->kids.push_back(std::move(mirror_cell));
+  }
+  loop->loop_body = make_block([&] {
+    std::vector<StmtPtr> v;
+    v.push_back(make_expr_stmt(std::move(assign)));
+    return v;
+  }());
+  return loop;
+}
+
+std::vector<StmtPtr> vecs(StmtPtr a) {
+  std::vector<StmtPtr> v;
+  v.push_back(std::move(a));
+  return v;
+}
+std::vector<ExprPtr> vecs_e(ExprPtr a) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(a));
+  return v;
+}
+std::vector<ExprPtr> vecs_e2(ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+StmtPtr copy_loop(const std::string& p, bool into_mirror) {
+  return copy_loop_impl(p, into_mirror);
+}
+
+/// OpenMP threads -> offload: upgrade `parallel for` pragmas and attach
+/// map clauses derived from the AppSpec's extent hints.
+void threads_to_offload(FunctionDecl& fn, XlateCtx& ctx) {
+  struct PragmaRewriter : BodyRewriter {
+    FunctionDecl* fn;
+    XlateCtx* ctx;
+    std::optional<std::vector<StmtPtr>> rewrite(Stmt& stmt) override {
+      if (stmt.kind != StmtKind::Omp) return std::nullopt;
+      const std::string raw = stmt.omp_raw;
+      if (!raw.starts_with("parallel for")) return std::nullopt;
+      std::string rest = raw.substr(std::string("parallel for").size());
+      std::string clauses;
+      // Map pointer params referenced inside the loop.
+      std::set<std::string> used;
+      if (stmt.omp_body) collect_idents_stmt(*stmt.omp_body, used);
+      for (const auto& p : fn->params) {
+        if (!p.type.is_pointer() || used.count(p.name) == 0) continue;
+        const auto hint =
+            ctx->app->array_extents.find(fn->name + "." + p.name);
+        if (hint == ctx->app->array_extents.end()) {
+          ctx->log->warnings.push_back("no extent hint for " + fn->name +
+                                       "." + p.name);
+          continue;
+        }
+        clauses += " map(" +
+                   std::string(p.type.is_const ? "to" : "tofrom") + ": " +
+                   p.name + "[0:" + hint->second + "])";
+      }
+      stmt.omp_raw =
+          "target teams distribute parallel for" + rest + clauses;
+      ctx->log->changes[fn->file].push_back(
+          "function " + fn->name +
+          ": 'parallel for' upgraded to 'target teams distribute parallel "
+          "for' with map clauses");
+      return std::nullopt;
+    }
+  };
+  PragmaRewriter pr;
+  pr.fn = &fn;
+  pr.ctx = &ctx;
+  if (fn.body) pr.walk(*fn.body);
+}
+
+/// Insert Kokkos::initialize/finalize into main().
+void add_kokkos_lifecycle(FunctionDecl& fn) {
+  if (!fn.body) return;
+  struct ReturnWrapper : BodyRewriter {
+    std::optional<std::vector<StmtPtr>> rewrite(Stmt& stmt) override {
+      if (stmt.kind != StmtKind::Return) return std::nullopt;
+      std::vector<StmtPtr> out;
+      out.push_back(make_expr_stmt(make_call("Kokkos::finalize", {})));
+      auto ret = std::make_unique<Stmt>();
+      ret->kind = StmtKind::Return;
+      if (stmt.expr) ret->expr = clone_expr(*stmt.expr);
+      out.push_back(std::move(ret));
+      return out;
+    }
+  };
+  ReturnWrapper rw;
+  rw.walk(*fn.body);
+  auto init = make_expr_stmt(make_call("Kokkos::initialize", {}));
+  fn.body->body.insert(fn.body->body.begin(), std::move(init));
+}
+
+// ----------------------------------------------------- file plumbing --
+
+std::set<std::string> repo_struct_names(const vfs::Repo& repo) {
+  std::set<std::string> names;
+  for (const auto& f : repo.files()) {
+    const std::string ext = vfs::extension(f.path);
+    if (ext != ".c" && ext != ".cpp" && ext != ".cu" && ext != ".h" &&
+        ext != ".hpp" && ext != ".cuh") {
+      continue;
+    }
+    TranslationUnit tu = minic::parse_source(f.content, f.path);
+    for (const auto& sd : tu.structs) names.insert(sd.name);
+  }
+  return names;
+}
+
+bool is_source_file(const std::string& path) {
+  const std::string ext = vfs::extension(path);
+  return ext == ".c" || ext == ".cpp" || ext == ".cu" || ext == ".h" ||
+         ext == ".hpp" || ext == ".cuh";
+}
+
+/// Preprocessor lines of a file, in order, minus OpenMP pragmas (those
+/// belong to statements).
+std::vector<std::string> pp_lines(const std::string& text) {
+  std::vector<std::string> out;
+  for (const auto& tok : codeanal::lex(text).tokens) {
+    if (tok.kind != TokKind::PpDirective) continue;
+    const std::string body = std::string(support::trim(tok.text));
+    if (body.starts_with("#pragma omp")) continue;
+    out.push_back(body);
+  }
+  return out;
+}
+
+std::string transform_pp_line(const std::string& line, Model to) {
+  if (support::contains(line, "curand_kernel.h") ||
+      support::contains(line, "cuda_runtime.h") ||
+      support::contains(line, "cuda.h")) {
+    return "";  // CUDA headers dropped
+  }
+  std::string out = support::replace_all(line, ".cuh", ".h");
+  (void)to;
+  return out;
+}
+
+}  // namespace
+
+std::string translated_path(const std::string& path, Model to) {
+  if (vfs::basename(path) == "Makefile") {
+    return to == Model::Kokkos ? vfs::join_path(vfs::dirname(path),
+                                                "CMakeLists.txt")
+                               : path;
+  }
+  std::string out = path;
+  if (out.ends_with(".cu")) out = out.substr(0, out.size() - 3) + ".cpp";
+  if (out.ends_with(".cuh")) out = out.substr(0, out.size() - 4) + ".h";
+  return out;
+}
+
+std::string generate_build_file(const AppSpec& app, Model to,
+                                const std::vector<std::string>& sources) {
+  // The correct generators mirror the authors' ground-truth build files.
+  const std::string exe = [&] {
+    // The executable name is the app's ground-truth convention.
+    if (app.name == "llm.c") return std::string("train_gpt2");
+    return app.name;
+  }();
+  if (to == Model::Kokkos) {
+    return "cmake_minimum_required(VERSION 3.16)\n"
+           "project(" + exe + " LANGUAGES CXX)\n"
+           "set(CMAKE_CXX_STANDARD 17)\n"
+           "find_package(Kokkos REQUIRED)\n"
+           "add_executable(" + exe + " " + support::join(sources, " ") +
+           ")\n"
+           "target_link_libraries(" + exe + " PRIVATE Kokkos::kokkos)\n";
+  }
+  const std::string flags =
+      to == Model::OmpOffload
+          ? "-O2 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda"
+          : "-O2 -fopenmp";
+  const std::string cxx = to == Model::OmpOffload ? "clang++" : "g++";
+  return "CXX = " + cxx + "\n"
+         "CXXFLAGS = " + flags + "\n"
+         "SRCS = " + support::join(sources, " ") + "\n\n"
+         "all: " + exe + "\n\n" +
+         exe + ": $(SRCS)\n"
+         "\t$(CXX) $(CXXFLAGS) $(SRCS) -o " + exe + "\n\n"
+         "clean:\n\trm -f " + exe + "\n";
+}
+
+std::string transpile_file(const AppSpec& app, const vfs::Repo& repo,
+                           const std::string& path, Model from, Model to,
+                           TranspileLog& log) {
+  const std::string& text = repo.at(path);
+
+  XlateCtx ctx;
+  ctx.app = &app;
+  ctx.to = to;
+  ctx.log = &log;
+
+  // Repo-wide context: struct names and kernel signatures.
+  const std::set<std::string> structs = repo_struct_names(repo);
+  for (const auto& f : repo.files()) {
+    if (!is_source_file(f.path)) continue;
+    auto lexed = codeanal::lex(f.content);
+    TranslationUnit tu =
+        minic::parse_tokens(std::move(lexed.tokens), f.path, structs);
+    for (const auto& fn : tu.functions) {
+      if (fn.qual == FnQual::Global && fn.body) {
+        ctx.kernels[fn.name] = {fn.params};
+      }
+    }
+  }
+
+  auto lexed = codeanal::lex(text);
+  TranslationUnit tu = minic::parse_tokens(std::move(lexed.tokens), path,
+                                           structs);
+  if (tu.diags.has_errors()) {
+    log.warnings.push_back("parse failure in " + path +
+                           "; file copied unchanged");
+    return text;
+  }
+  for (auto& fn : tu.functions) fn.file = path;
+
+  // --- transforms -----------------------------------------------------
+  if (from == Model::Cuda) {
+    for (auto& fn : tu.functions) {
+      if (fn.qual == FnQual::Global) {
+        if (to == Model::OmpOffload) {
+          if (fn.body) {
+            kernel_to_omp(fn, ctx);
+          } else {
+            fn.qual = FnQual::None;  // prototype
+          }
+        } else if (to == Model::Kokkos) {
+          kernel_to_kokkos(fn, ctx);
+        }
+      } else {
+        if (fn.qual != FnQual::None) fn.qual = FnQual::None;  // __device__
+        if (fn.body) {
+          CallSiteRewriter sites(ctx, fn);
+          sites.walk(*fn.body);
+          CurandRewriter curand;
+          curand.walk(*fn.body);
+          ctx.need_curand_helpers |= curand.used;
+        }
+      }
+    }
+  } else if (from == Model::OmpThreads && to == Model::OmpOffload) {
+    for (auto& fn : tu.functions) {
+      threads_to_offload(fn, ctx);
+    }
+  }
+  if (to == Model::Kokkos) {
+    for (auto& fn : tu.functions) {
+      if (fn.name == "main" && fn.body) add_kokkos_lifecycle(fn);
+    }
+  }
+
+  // --- re-emit ----------------------------------------------------------
+  std::string out;
+  bool has_string_h = false;
+  for (const auto& line : pp_lines(text)) {
+    const std::string transformed = transform_pp_line(line, to);
+    if (transformed.empty()) continue;
+    if (support::contains(transformed, "string.h")) has_string_h = true;
+    out += transformed + "\n";
+  }
+  if (ctx.need_string_h && !has_string_h) {
+    out += "#include <string.h>\n";
+  }
+  if (to == Model::Kokkos) {
+    out = "#include <Kokkos_Core.hpp>\n" + out;
+  }
+  out += "\n";
+  if (ctx.need_curand_helpers) {
+    out += std::string(kCurandHelpers) + "\n";
+    log.changes[path].push_back(
+        "cuRAND replaced with inline LCG helpers (pe_curand_*)");
+  }
+
+  // Declarations in original line order (structs / globals / functions).
+  struct Item {
+    int line;
+    std::string text;
+  };
+  std::vector<Item> items;
+  for (const auto& sd : tu.structs) {
+    items.push_back({sd.line, minic::print_struct(sd)});
+  }
+  for (const auto& g : tu.globals) {
+    items.push_back({g.var.line, minic::print_var_decl(g.var) + ";\n"});
+  }
+  for (const auto& fn : tu.functions) {
+    items.push_back({fn.line, minic::print_function(fn)});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.line < b.line; });
+  for (const auto& item : items) {
+    out += item.text + "\n";
+  }
+  return out;
+}
+
+vfs::Repo transpile_repo(const AppSpec& app, Model from, Model to,
+                         TranspileLog& log) {
+  const vfs::Repo& src = app.repos.at(from);
+  vfs::Repo out;
+  std::vector<std::string> translated_sources;
+
+  for (const auto& f : src.files()) {
+    const std::string base = vfs::basename(f.path);
+    if (base == "Makefile" || base == "CMakeLists.txt") {
+      continue;  // regenerated below
+    }
+    const std::string new_path = translated_path(f.path, to);
+    if (new_path != f.path) log.file_renames[f.path] = new_path;
+    if (!is_source_file(f.path)) {
+      out.write(new_path, f.content);
+      continue;
+    }
+    out.write(new_path, transpile_file(app, src, f.path, from, to, log));
+    const std::string ext = vfs::extension(new_path);
+    if (ext == ".cpp" || ext == ".c") {
+      translated_sources.push_back(new_path);
+    }
+  }
+
+  const std::string build_path =
+      to == Model::Kokkos ? "CMakeLists.txt" : "Makefile";
+  out.write(build_path,
+            generate_build_file(app, to, translated_sources));
+  log.changes[build_path].push_back("build system regenerated for " +
+                                    std::string(apps::model_name(to)));
+  return out;
+}
+
+}  // namespace pareval::xlate

@@ -1,0 +1,68 @@
+#pragma once
+// In-memory source repositories. Every benchmark application, every
+// translation output, and every build is expressed as a `Repo`: an ordered
+// map from repository-relative path to file contents. Nothing in the
+// evaluation pipeline touches the real filesystem.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pareval::vfs {
+
+/// One file inside a virtual repository.
+struct File {
+  std::string path;     ///< repo-relative, '/'-separated, normalised
+  std::string content;  ///< full text
+};
+
+/// Normalise a repo-relative path: collapse "./", resolve "a/../", drop
+/// leading "/". Throws std::invalid_argument if the path escapes the root.
+std::string normalize_path(std::string_view path);
+
+/// Directory part of a path ("src/a.cpp" -> "src", "a.cpp" -> "").
+std::string dirname(std::string_view path);
+/// Final component ("src/a.cpp" -> "a.cpp").
+std::string basename(std::string_view path);
+/// Extension including the dot ("a.cpp" -> ".cpp", "Makefile" -> "").
+std::string extension(std::string_view path);
+/// Join two path fragments and normalise.
+std::string join_path(std::string_view a, std::string_view b);
+
+/// An in-memory repository of text files.
+class Repo {
+ public:
+  Repo() = default;
+  explicit Repo(std::vector<File> files);
+
+  /// Insert or overwrite.
+  void write(std::string_view path, std::string content);
+  /// Remove a file; returns false if absent.
+  bool remove(std::string_view path);
+  bool exists(std::string_view path) const;
+  /// nullopt when the file is absent.
+  std::optional<std::string> read(std::string_view path) const;
+  /// Throws std::out_of_range when absent.
+  const std::string& at(std::string_view path) const;
+
+  std::size_t file_count() const { return files_.size(); }
+  bool empty() const { return files_.empty(); }
+
+  /// Paths in lexicographic order.
+  std::vector<std::string> paths() const;
+  /// Files in lexicographic path order.
+  std::vector<File> files() const;
+
+  /// Render the "|--"/"+--" file tree used in translation prompts
+  /// (Listing 1 of the paper).
+  std::string render_tree() const;
+
+  bool operator==(const Repo&) const = default;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace pareval::vfs

@@ -1,0 +1,482 @@
+// Build-simulator tests: Makefile execution, CMake configuration, virtual
+// toolchains and the full build->run path, asserting the same failure
+// classes the paper's Figure 3 reports.
+
+#include <gtest/gtest.h>
+
+#include "buildsim/builder.hpp"
+#include "buildsim/cmakelite.hpp"
+#include "buildsim/makefile.hpp"
+#include "buildsim/toolchain.hpp"
+#include "support/strings.hpp"
+
+namespace bs = pareval::buildsim;
+using pareval::execsim::run_executable;
+using pareval::minic::DiagCategory;
+using pareval::vfs::Repo;
+
+namespace {
+
+bool has_category(const pareval::minic::DiagBag& bag, DiagCategory cat) {
+  for (const auto& d : bag.all()) {
+    if (d.category == cat &&
+        d.severity == pareval::minic::Severity::Error) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Repo cuda_repo() {
+  Repo repo;
+  repo.write("Makefile",
+             "CXX = nvcc\n"
+             "CXXFLAGS = -O2 -arch=sm_80\n"
+             "all: app\n"
+             "app: src/main.cu\n"
+             "\t$(CXX) $(CXXFLAGS) src/main.cu -o app\n"
+             "clean:\n"
+             "\trm -f app\n");
+  repo.write("src/main.cu", R"(
+#include <stdio.h>
+#include <stdlib.h>
+__global__ void fill(int* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) out[i] = i * 2;
+}
+int main() {
+  int n = 8;
+  int* d;
+  cudaMalloc((void**)&d, n * sizeof(int));
+  fill<<<2, 4>>>(d, n);
+  int* h = (int*) malloc(n * sizeof(int));
+  cudaMemcpy(h, d, n * sizeof(int), cudaMemcpyDeviceToHost);
+  int s = 0;
+  for (int i = 0; i < n; i++) s += h[i];
+  printf("%d\n", s);
+  return 0;
+}
+)");
+  return repo;
+}
+
+Repo kokkos_repo() {
+  Repo repo;
+  repo.write("CMakeLists.txt",
+             "cmake_minimum_required(VERSION 3.16)\n"
+             "project(app LANGUAGES CXX)\n"
+             "set(CMAKE_CXX_STANDARD 17)\n"
+             "find_package(Kokkos REQUIRED)\n"
+             "add_executable(app main.cpp)\n"
+             "target_link_libraries(app PRIVATE Kokkos::kokkos)\n");
+  repo.write("main.cpp", R"(
+#include <Kokkos_Core.hpp>
+#include <stdio.h>
+int main() {
+  Kokkos::initialize();
+  {
+    Kokkos::View<double*> v("v", 10);
+    Kokkos::parallel_for(10, KOKKOS_LAMBDA(int i) { v(i) = i; });
+    double s = 0.0;
+    Kokkos::parallel_reduce(10, KOKKOS_LAMBDA(int i, double& acc) {
+      acc += v(i);
+    }, s);
+    printf("%.0f\n", s);
+  }
+  Kokkos::finalize();
+  return 0;
+}
+)");
+  return repo;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- makefile -----
+
+TEST(Makefile, ParsesVariablesRulesPhony) {
+  pareval::minic::DiagBag diags;
+  const auto mk = bs::parse_makefile(
+      "CXX = g++\nFLAGS := -O2\nFLAGS += -g\n"
+      ".PHONY: all clean\n"
+      "all: app\n"
+      "app: main.cpp\n"
+      "\t$(CXX) $(FLAGS) main.cpp -o $@\n",
+      "Makefile", diags);
+  ASSERT_TRUE(mk.has_value()) << diags.render();
+  EXPECT_EQ(mk->variables.at("CXX"), "g++");
+  EXPECT_EQ(mk->variables.at("FLAGS"), "-O2 -g");
+  EXPECT_EQ(mk->default_target, "all");
+  ASSERT_NE(mk->find_rule("app"), nullptr);
+  EXPECT_EQ(mk->find_rule("app")->deps[0], "main.cpp");
+}
+
+TEST(Makefile, SpacesInsteadOfTabIsMissingSeparator) {
+  pareval::minic::DiagBag diags;
+  const auto mk = bs::parse_makefile(
+      "all: app\n    g++ main.cpp -o app\n", "Makefile", diags);
+  EXPECT_FALSE(mk.has_value());
+  EXPECT_TRUE(has_category(diags, DiagCategory::MakefileSyntax));
+}
+
+TEST(Makefile, RecipeBeforeTargetIsError) {
+  pareval::minic::DiagBag diags;
+  const auto mk =
+      bs::parse_makefile("\tg++ main.cpp\nall:\n", "Makefile", diags);
+  EXPECT_FALSE(mk.has_value());
+  EXPECT_TRUE(has_category(diags, DiagCategory::MakefileSyntax));
+}
+
+TEST(Makefile, ExpandVarsRecursiveAndAutomatic) {
+  pareval::minic::DiagBag diags;
+  std::map<std::string, std::string> vars = {
+      {"A", "$(B) end"}, {"B", "start"}, {"@", "target.o"}};
+  EXPECT_EQ(bs::expand_vars("$(A) $@", vars, diags, "Makefile"),
+            "start end target.o");
+  EXPECT_EQ(bs::expand_vars("$(UNKNOWN)x", vars, diags, "Makefile"), "x");
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(Makefile, PlanOrdersDependenciesFirst) {
+  pareval::minic::DiagBag diags;
+  const auto mk = bs::parse_makefile(
+      "all: app\n"
+      "app: a.o b.o\n"
+      "\tg++ a.o b.o -o app\n"
+      "a.o: a.cpp\n"
+      "\tg++ -c a.cpp -o a.o\n"
+      "b.o: b.cpp\n"
+      "\tg++ -c b.cpp -o b.o\n",
+      "Makefile", diags);
+  ASSERT_TRUE(mk.has_value());
+  const auto plan =
+      bs::plan_make(*mk, "", {"a.cpp", "b.cpp"}, "Makefile", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_TRUE(plan[0].line.find("-c a.cpp") != std::string::npos);
+  EXPECT_TRUE(plan[2].line.find("-o app") != std::string::npos);
+}
+
+TEST(Makefile, MissingRuleIsMissingBuildTarget) {
+  pareval::minic::DiagBag diags;
+  const auto mk = bs::parse_makefile(
+      "app: missing.o\n\tg++ missing.o -o app\n", "Makefile", diags);
+  ASSERT_TRUE(mk.has_value());
+  bs::plan_make(*mk, "", {}, "Makefile", diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::MissingBuildTarget));
+}
+
+TEST(Makefile, RequestedTargetAbsent) {
+  pareval::minic::DiagBag diags;
+  const auto mk =
+      bs::parse_makefile("all:\n\techo hi\n", "Makefile", diags);
+  ASSERT_TRUE(mk.has_value());
+  bs::plan_make(*mk, "app", {}, "Makefile", diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::MissingBuildTarget));
+}
+
+// --------------------------------------------------------- toolchain ----
+
+TEST(Toolchain, ShellSplitHonoursQuotes) {
+  const auto t = bs::shell_split("g++ -DNAME=\"two words\" main.cpp");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "-DNAME=two words");
+}
+
+TEST(Toolchain, ClassifiesTools) {
+  EXPECT_EQ(bs::classify_tool("nvcc"), bs::Tool::Nvcc);
+  EXPECT_EQ(bs::classify_tool("/usr/bin/clang++-19"), bs::Tool::Clang);
+  EXPECT_EQ(bs::classify_tool("g++"), bs::Tool::Gcc);
+  EXPECT_EQ(bs::classify_tool("rm"), bs::Tool::Unknown);
+}
+
+TEST(Toolchain, ClangOffloadFlagsEnableOffload) {
+  pareval::minic::DiagBag diags;
+  const auto inv = bs::parse_invocation(
+      bs::shell_split("clang++ -O2 -fopenmp "
+                      "-fopenmp-targets=nvptx64-nvidia-cuda main.cpp -o app"),
+      "build", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  EXPECT_TRUE(inv.caps.openmp);
+  EXPECT_TRUE(inv.caps.offload);
+}
+
+TEST(Toolchain, OffloadWithoutOpenmpIsInvalidFlag) {
+  pareval::minic::DiagBag diags;
+  bs::parse_invocation(
+      bs::shell_split(
+          "clang++ -fopenmp-targets=nvptx64-nvidia-cuda main.cpp -o app"),
+      "build", diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::InvalidCompilerFlag));
+}
+
+TEST(Toolchain, BadOffloadTripleIsInvalidFlag) {
+  pareval::minic::DiagBag diags;
+  bs::parse_invocation(
+      bs::shell_split("clang++ -fopenmp -fopenmp-targets=nvptx-cuda "
+                      "main.cpp -o app"),
+      "build", diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::InvalidCompilerFlag));
+}
+
+TEST(Toolchain, WrongVendorTripleBuildsWithoutDeviceSupport) {
+  pareval::minic::DiagBag diags;
+  const auto inv = bs::parse_invocation(
+      bs::shell_split("clang++ -fopenmp -fopenmp-targets=amdgcn-amd-amdhsa "
+                      "main.cpp -o app"),
+      "build", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(inv.caps.openmp);
+  EXPECT_FALSE(inv.caps.offload);  // builds; cannot launch on the A100
+}
+
+TEST(Toolchain, UnknownFlagRejected) {
+  pareval::minic::DiagBag diags;
+  bs::parse_invocation(bs::shell_split("g++ -qopenmp main.cpp -o app"),
+                       "build", diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::InvalidCompilerFlag));
+}
+
+TEST(Toolchain, GccRejectsOffloadFlag) {
+  pareval::minic::DiagBag diags;
+  bs::parse_invocation(
+      bs::shell_split("g++ -fopenmp --offload-arch=sm_80 main.cpp -o app"),
+      "build", diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::InvalidCompilerFlag));
+}
+
+TEST(Toolchain, BadSmArchRejected) {
+  pareval::minic::DiagBag diags;
+  bs::parse_invocation(
+      bs::shell_split("nvcc -arch=sm80 main.cu -o app"), "build", diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::InvalidCompilerFlag));
+}
+
+TEST(Toolchain, CudaSourceNeedsNvcc) {
+  pareval::minic::DiagBag diags;
+  bs::parse_invocation(bs::shell_split("g++ main.cu -o app"), "build",
+                       diags);
+  EXPECT_TRUE(has_category(diags, DiagCategory::InvalidCompilerFlag));
+}
+
+TEST(Toolchain, DefinesParsed) {
+  pareval::minic::DiagBag diags;
+  const auto inv = bs::parse_invocation(
+      bs::shell_split("g++ -DN=64 -DVERIFY main.cpp -o app"), "build",
+      diags);
+  ASSERT_EQ(inv.defines.size(), 2u);
+  EXPECT_EQ(inv.defines[0].first, "N");
+  EXPECT_EQ(inv.defines[0].second, "64");
+  EXPECT_EQ(inv.defines[1].second, "1");
+}
+
+// ------------------------------------------------------------- cmake ----
+
+TEST(CMake, ConfiguresKokkosProject) {
+  pareval::minic::DiagBag diags;
+  const auto proj = bs::configure_cmake(
+      kokkos_repo().at("CMakeLists.txt"), "CMakeLists.txt", diags);
+  ASSERT_TRUE(proj.has_value()) << diags.render();
+  EXPECT_EQ(proj->project_name, "app");
+  ASSERT_EQ(proj->targets.size(), 1u);
+  EXPECT_EQ(proj->targets[0].link_libraries[0], "Kokkos::kokkos");
+}
+
+TEST(CMake, FindPackageIsCaseSensitive) {
+  pareval::minic::DiagBag diags;
+  const auto proj = bs::configure_cmake(
+      "cmake_minimum_required(VERSION 3.16)\nproject(x)\n"
+      "find_package(kokkos REQUIRED)\nadd_executable(x main.cpp)\n",
+      "CMakeLists.txt", diags);
+  EXPECT_FALSE(proj.has_value());
+  EXPECT_TRUE(has_category(diags, DiagCategory::CMakeConfig));
+}
+
+TEST(CMake, UnknownCommandIsConfigError) {
+  pareval::minic::DiagBag diags;
+  const auto proj = bs::configure_cmake(
+      "project(x)\nadd_exectuable(x main.cpp)\n", "CMakeLists.txt", diags);
+  EXPECT_FALSE(proj.has_value());
+  EXPECT_TRUE(has_category(diags, DiagCategory::CMakeConfig));
+}
+
+TEST(CMake, MissingProjectIsConfigError) {
+  pareval::minic::DiagBag diags;
+  const auto proj = bs::configure_cmake("add_executable(x main.cpp)\n",
+                                        "CMakeLists.txt", diags);
+  EXPECT_FALSE(proj.has_value());
+  EXPECT_TRUE(has_category(diags, DiagCategory::CMakeConfig));
+}
+
+TEST(CMake, UnbalancedParensIsSyntaxError) {
+  pareval::minic::DiagBag diags;
+  const auto proj = bs::configure_cmake(
+      "project(x\nadd_executable(x main.cpp)\n", "CMakeLists.txt", diags);
+  EXPECT_FALSE(proj.has_value());
+  EXPECT_TRUE(has_category(diags, DiagCategory::MakefileSyntax));
+}
+
+TEST(CMake, LinkingUnfoundImportedTargetIsConfigError) {
+  pareval::minic::DiagBag diags;
+  const auto proj = bs::configure_cmake(
+      "project(x)\nadd_executable(x main.cpp)\n"
+      "target_link_libraries(x Kokkos::kokkos)\n",  // no find_package
+      "CMakeLists.txt", diags);
+  EXPECT_FALSE(proj.has_value());
+  EXPECT_TRUE(has_category(diags, DiagCategory::CMakeConfig));
+}
+
+TEST(CMake, VariableExpansionInSet) {
+  pareval::minic::DiagBag diags;
+  const auto proj = bs::configure_cmake(
+      "project(x)\nset(SRC main.cpp)\nadd_executable(x ${SRC})\n",
+      "CMakeLists.txt", diags);
+  ASSERT_TRUE(proj.has_value()) << diags.render();
+  EXPECT_EQ(proj->targets[0].sources[0], "main.cpp");
+}
+
+// ----------------------------------------------------- end-to-end -------
+
+TEST(Builder, CudaMakefileBuildsAndRuns) {
+  const auto result = bs::build_repo(cuda_repo());
+  ASSERT_TRUE(result.ok) << result.log;
+  EXPECT_EQ(result.build_system, "make");
+  EXPECT_TRUE(result.caps.cuda);
+  const auto run = run_executable(*result.exe, {});
+  EXPECT_TRUE(run.ok) << run.stderr_text;
+  EXPECT_EQ(run.stdout_text, "56\n");
+  EXPECT_EQ(run.stats.device_kernel_launches, 1);
+}
+
+TEST(Builder, KokkosCmakeBuildsAndRuns) {
+  const auto result = bs::build_repo(kokkos_repo());
+  ASSERT_TRUE(result.ok) << result.log;
+  EXPECT_EQ(result.build_system, "cmake");
+  EXPECT_TRUE(result.caps.kokkos);
+  const auto run = run_executable(*result.exe, {});
+  EXPECT_TRUE(run.ok) << run.stderr_text;
+  EXPECT_EQ(run.stdout_text, "45\n");
+}
+
+TEST(Builder, TabsToSpacesBreaksBuild) {
+  // The SWE-agent failure mode (§3.3): replace recipe TABs with spaces.
+  Repo repo = cuda_repo();
+  std::string mk = repo.at("Makefile");
+  mk = pareval::support::replace_all(mk, "\t", "    ");
+  repo.write("Makefile", mk);
+  const auto result = bs::build_repo(repo);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_category(result.diags, DiagCategory::MakefileSyntax));
+}
+
+TEST(Builder, MissingBuildSystem) {
+  Repo repo;
+  repo.write("main.cpp", "int main() { return 0; }");
+  const auto result = bs::build_repo(repo);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_category(result.diags, DiagCategory::MissingBuildTarget));
+}
+
+TEST(Builder, SourceCompileErrorFailsBuildWithLog) {
+  Repo repo = cuda_repo();
+  repo.write("src/main.cu",
+             "__global__ void k(int* p) { undeclared_fn(p); }\n"
+             "int main() { k<<<1,1>>>(0); return 0; }\n");
+  const auto result = bs::build_repo(repo);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_category(result.diags, DiagCategory::UndeclaredIdentifier));
+  EXPECT_NE(result.log.find("undeclared"), std::string::npos);
+}
+
+TEST(Builder, SeparateCompileAndLink) {
+  Repo repo;
+  repo.write("Makefile",
+             "all: app\n"
+             "app: main.o util.o\n"
+             "\tg++ main.o util.o -o app\n"
+             "main.o: main.cpp\n"
+             "\tg++ -c main.cpp -o main.o\n"
+             "util.o: util.cpp\n"
+             "\tg++ -c util.cpp -o util.o\n");
+  repo.write("util.cpp", "int triple(int x) { return 3 * x; }\n");
+  repo.write("main.cpp",
+             "#include <stdio.h>\nint triple(int x);\n"
+             "int main() { printf(\"%d\\n\", triple(5)); return 0; }\n");
+  const auto result = bs::build_repo(repo);
+  ASSERT_TRUE(result.ok) << result.log;
+  EXPECT_EQ(run_executable(*result.exe, {}).stdout_text, "15\n");
+}
+
+TEST(Builder, UndefinedReferenceAcrossObjects) {
+  Repo repo;
+  repo.write("Makefile",
+             "all: app\napp: main.cpp\n\tg++ main.cpp -o app\n");
+  repo.write("main.cpp",
+             "int triple(int x);\nint main() { return triple(2); }\n");
+  const auto result = bs::build_repo(repo);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_category(result.diags, DiagCategory::LinkError));
+}
+
+TEST(Builder, UnknownLibraryIsLinkError) {
+  Repo repo;
+  repo.write("Makefile",
+             "all: app\napp: main.cpp\n\tg++ main.cpp -lnotalib -o app\n");
+  repo.write("main.cpp", "int main() { return 0; }\n");
+  const auto result = bs::build_repo(repo);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(has_category(result.diags, DiagCategory::LinkError));
+}
+
+TEST(Builder, OmpOffloadViaClangRunsOnDevice) {
+  Repo repo;
+  repo.write("Makefile",
+             "CXX = clang++\n"
+             "FLAGS = -O2 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda\n"
+             "all: app\n"
+             "app: main.cpp\n"
+             "\t$(CXX) $(FLAGS) main.cpp -o app\n");
+  repo.write("main.cpp", R"(
+#include <stdio.h>
+#include <stdlib.h>
+int main() {
+  int n = 10;
+  double* a = (double*) malloc(n * sizeof(double));
+#pragma omp target teams distribute parallel for map(from: a[0:n])
+  for (int i = 0; i < n; i++) a[i] = i + 1.0;
+  double s = 0;
+  for (int i = 0; i < n; i++) s += a[i];
+  printf("%.0f\n", s);
+  return 0;
+}
+)");
+  const auto result = bs::build_repo(repo);
+  ASSERT_TRUE(result.ok) << result.log;
+  const auto run = run_executable(*result.exe, {});
+  EXPECT_EQ(run.stdout_text, "55\n");
+  EXPECT_GE(run.stats.device_kernel_launches, 1);
+}
+
+TEST(Builder, MissingOffloadFlagRunsOnHostOnly) {
+  Repo repo;
+  repo.write("Makefile",
+             "all: app\napp: main.cpp\n"
+             "\tclang++ -fopenmp main.cpp -o app\n");
+  repo.write("main.cpp", R"(
+#include <stdio.h>
+#include <stdlib.h>
+int main() {
+  int n = 10;
+  double* a = (double*) malloc(n * sizeof(double));
+#pragma omp target teams distribute parallel for map(from: a[0:n])
+  for (int i = 0; i < n; i++) a[i] = i + 1.0;
+  printf("%.0f\n", a[0]);
+  return 0;
+}
+)");
+  const auto result = bs::build_repo(repo);
+  ASSERT_TRUE(result.ok) << result.log;
+  const auto run = run_executable(*result.exe, {});
+  EXPECT_TRUE(run.ok);
+  EXPECT_EQ(run.stats.device_kernel_launches, 0);  // host fallback
+}

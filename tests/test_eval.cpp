@@ -1,0 +1,316 @@
+// Tests for the simulated-LLM layer and the evaluation harness: metrics,
+// calibration tables, prompt construction, technique behaviour (aborted
+// cells, token ordering), end-to-end cell convergence to the paper's
+// scores, and the classification pipeline.
+
+#include <gtest/gtest.h>
+
+#include "eval/classify.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+
+using namespace pareval;
+using llm::Technique;
+
+// ----------------------------------------------------------- metrics ----
+
+TEST(Metrics, PassAtKBasics) {
+  EXPECT_DOUBLE_EQ(eval::pass_at_k(25, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(eval::pass_at_k(25, 25, 1), 1.0);
+  EXPECT_NEAR(eval::pass_at_k(25, 5, 1), 0.2, 1e-12);
+  // pass@k is monotone in k and c.
+  EXPECT_GT(eval::pass_at_k(25, 5, 10), eval::pass_at_k(25, 5, 1));
+  EXPECT_GT(eval::pass_at_k(25, 10, 1), eval::pass_at_k(25, 5, 1));
+  // n - c < k => certain success.
+  EXPECT_DOUBLE_EQ(eval::pass_at_k(10, 8, 5), 1.0);
+}
+
+TEST(Metrics, PassAtKMatchesClosedForm) {
+  // 1 - C(n-c,k)/C(n,k) for n=10, c=3, k=2: 1 - C(7,2)/C(10,2) = 1-21/45.
+  EXPECT_NEAR(eval::pass_at_k(10, 3, 2), 1.0 - 21.0 / 45.0, 1e-12);
+}
+
+TEST(Metrics, ExpectedTokenCost) {
+  EXPECT_DOUBLE_EQ(eval::expected_token_cost(1000, 0.5), 2000.0);
+  EXPECT_LT(eval::expected_token_cost(1000, 0.0), 0.0);  // undefined
+}
+
+// -------------------------------------------------------- calibration ---
+
+TEST(Calibration, PaperCellsPresent) {
+  const auto pair = llm::all_pairs()[0];
+  const auto cell = llm::calibration_lookup(
+      "o4-mini", Technique::NonAgentic, pair, "nanoXOR");
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_DOUBLE_EQ(cell->code_build, 0.92);
+  EXPECT_DOUBLE_EQ(cell->code_pass, 0.84);
+  EXPECT_DOUBLE_EQ(cell->overall_build, 0.76);
+  EXPECT_DOUBLE_EQ(cell->overall_pass, 0.68);
+}
+
+TEST(Calibration, AbortedCellsMatchPaper) {
+  const auto cuda_omp = llm::all_pairs()[0];
+  const auto cuda_kokkos = llm::all_pairs()[1];
+  // Non-agentic: Gemini & GPT-4o-mini cannot emit llm.c (output context).
+  EXPECT_FALSE(llm::calibration_lookup("gemini-1.5-flash",
+                                       Technique::NonAgentic, cuda_omp,
+                                       "llm.c"));
+  EXPECT_FALSE(llm::calibration_lookup("gpt-4o-mini", Technique::NonAgentic,
+                                       cuda_omp, "llm.c"));
+  // Gemini also aborts XSBench for CUDA->OMP but not CUDA->Kokkos.
+  EXPECT_FALSE(llm::calibration_lookup("gemini-1.5-flash",
+                                       Technique::NonAgentic, cuda_omp,
+                                       "XSBench"));
+  EXPECT_TRUE(llm::calibration_lookup("gemini-1.5-flash",
+                                      Technique::NonAgentic, cuda_kokkos,
+                                      "XSBench"));
+  // Top-down: QwQ exceeds the node-hour budget on XSBench and llm.c.
+  EXPECT_FALSE(llm::calibration_lookup("qwq-32b-q8_0", Technique::TopDown,
+                                       cuda_omp, "XSBench"));
+  // Llama only for CUDA->Kokkos.
+  EXPECT_TRUE(llm::calibration_lookup("Llama-3.3-70B", Technique::TopDown,
+                                      cuda_omp, "XSBench"));
+  EXPECT_FALSE(llm::calibration_lookup("Llama-3.3-70B", Technique::TopDown,
+                                       cuda_kokkos, "XSBench"));
+}
+
+TEST(Calibration, SweAgentSliceOnly) {
+  const auto cuda_kokkos = llm::all_pairs()[1];
+  EXPECT_TRUE(llm::calibration_lookup("gpt-4o-mini", Technique::SweAgent,
+                                      cuda_kokkos, "nanoXOR"));
+  EXPECT_FALSE(llm::calibration_lookup("o4-mini", Technique::SweAgent,
+                                       cuda_kokkos, "nanoXOR"));
+  EXPECT_FALSE(llm::calibration_lookup("gpt-4o-mini", Technique::SweAgent,
+                                       llm::all_pairs()[0], "nanoXOR"));
+  EXPECT_FALSE(llm::calibration_lookup("gpt-4o-mini", Technique::SweAgent,
+                                       cuda_kokkos, "XSBench"));
+}
+
+TEST(Calibration, DefectWeightsRespectClassSplit) {
+  const auto build_w = llm::defect_weights("o4-mini", "nanoXOR", true);
+  const auto src_w = llm::defect_weights("o4-mini", "nanoXOR", false);
+  const auto& kinds = xlate::all_defect_kinds();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (kinds[i] == xlate::DefectKind::Semantic) {
+      EXPECT_EQ(build_w[i], 0.0);
+      EXPECT_EQ(src_w[i], 0.0);
+      continue;
+    }
+    if (xlate::is_build_file_defect(kinds[i])) {
+      EXPECT_EQ(src_w[i], 0.0);
+    } else {
+      EXPECT_EQ(build_w[i], 0.0);
+    }
+  }
+}
+
+TEST(Calibration, Figure3Reference) {
+  EXPECT_EQ(llm::figure3_reference(xlate::DefectKind::UndeclaredId,
+                                   "microXOR", "gemini-1.5-flash"),
+            75);
+  EXPECT_EQ(llm::figure3_reference(xlate::DefectKind::InvalidFlag,
+                                   "SimpleMOC-kernel", "gemini-1.5-flash"),
+            57);
+}
+
+// ------------------------------------------------------------ prompts ---
+
+TEST(Prompts, NonAgenticMatchesListing1Structure) {
+  const auto* app = apps::find_app("nanoXOR");
+  const auto pair = llm::all_pairs()[0];
+  const std::string p = agents::build_nonagentic_prompt(
+      *app, app->repos.at(apps::Model::Cuda), "src/main.cu", pair);
+  EXPECT_NE(p.find("helpful coding assistant"), std::string::npos);
+  EXPECT_NE(p.find("|-- Makefile"), std::string::npos);
+  EXPECT_NE(p.find("Translate the src/main.cu file"), std::string::npos);
+  EXPECT_NE(p.find("Assume .cpp filenames"), std::string::npos);
+  // main file => CLI addendum present.
+  EXPECT_NE(p.find("Command line interface requirements"),
+            std::string::npos);
+  // Build file prompt gets the build addendum instead.
+  const std::string pb = agents::build_nonagentic_prompt(
+      *app, app->repos.at(apps::Model::Cuda), "Makefile", pair);
+  EXPECT_NE(pb.find("Build system requirements"), std::string::npos);
+}
+
+// ----------------------------------------------------------- technique --
+
+TEST(Technique, AbortedCellProducesNoRepo) {
+  const auto* app = apps::find_app("llm.c");
+  const auto* gemini = llm::find_profile("gemini-1.5-flash");
+  support::Rng rng(1);
+  const auto r = agents::run_technique(*app, Technique::NonAgentic, *gemini,
+                                       llm::all_pairs()[0], rng);
+  EXPECT_FALSE(r.generated);
+  EXPECT_NE(r.abort_reason.find("context"), std::string::npos);
+}
+
+TEST(Technique, ReasoningModelsUseMoreOutputTokens) {
+  const auto* app = apps::find_app("nanoXOR");
+  const auto pair = llm::all_pairs()[0];
+  support::Rng r1(1), r2(1);
+  const auto qwq = agents::run_technique(
+      *app, Technique::NonAgentic, *llm::find_profile("qwq-32b-q8_0"), pair,
+      r1);
+  const auto gpt = agents::run_technique(
+      *app, Technique::NonAgentic, *llm::find_profile("gpt-4o-mini"), pair,
+      r2);
+  ASSERT_TRUE(qwq.generated);
+  ASSERT_TRUE(gpt.generated);
+  EXPECT_GT(qwq.output_tokens, 4 * gpt.output_tokens);
+}
+
+TEST(Technique, TokensGrowWithAppSize) {
+  const auto pair = llm::all_pairs()[0];
+  const auto* prof = llm::find_profile("o4-mini");
+  support::Rng r1(1), r2(1);
+  const auto small = agents::run_technique(
+      *apps::find_app("nanoXOR"), Technique::NonAgentic, *prof, pair, r1);
+  const auto big = agents::run_technique(
+      *apps::find_app("XSBench"), Technique::NonAgentic, *prof, pair, r2);
+  EXPECT_GT(agents::total_tokens(big), 3 * agents::total_tokens(small));
+}
+
+TEST(Technique, TopDownCheaperThanNonAgenticForApiModels) {
+  // §8.4: commercial API models consume fewer tokens with top-down.
+  const auto pair = llm::all_pairs()[0];
+  const auto* prof = llm::find_profile("gpt-4o-mini");
+  support::Rng r1(1), r2(1);
+  const auto na = agents::run_technique(
+      *apps::find_app("microXOR"), Technique::NonAgentic, *prof, pair, r1);
+  const auto td = agents::run_technique(
+      *apps::find_app("microXOR"), Technique::TopDown, *prof, pair, r2);
+  EXPECT_LT(agents::total_tokens(td), agents::total_tokens(na));
+}
+
+TEST(Technique, TopDownPricierForLocalModels) {
+  const auto pair = llm::all_pairs()[0];
+  const auto* prof = llm::find_profile("Llama-3.3-70B");
+  support::Rng r1(1), r2(1);
+  const auto na = agents::run_technique(
+      *apps::find_app("microXOR"), Technique::NonAgentic, *prof, pair, r1);
+  const auto td = agents::run_technique(
+      *apps::find_app("microXOR"), Technique::TopDown, *prof, pair, r2);
+  EXPECT_GT(agents::total_tokens(td), agents::total_tokens(na));
+}
+
+// ------------------------------------------------------------ harness ---
+
+TEST(Harness, CellConvergesToPaperScores) {
+  // o4-mini / non-agentic / CUDA->OMP / nanoXOR, averaged over seeds,
+  // should land near Figure 2's (0.92, 0.84, 0.76, 0.68).
+  const auto* app = apps::find_app("nanoXOR");
+  const auto pair = llm::all_pairs()[0];
+  const auto* prof = llm::find_profile("o4-mini");
+  double cb = 0, cp = 0, ob = 0, op = 0;
+  const int kRounds = 4;
+  for (int r = 0; r < kRounds; ++r) {
+    eval::HarnessConfig cfg;
+    cfg.samples_per_task = 25;
+    cfg.seed = 1070 + 104729u * static_cast<unsigned>(r);
+    const auto t =
+        eval::run_task(*app, Technique::NonAgentic, *prof, pair, cfg);
+    ASSERT_TRUE(t.ran);
+    cb += t.build1_codeonly();
+    cp += t.pass1_codeonly();
+    ob += t.build1_overall();
+    op += t.pass1_overall();
+  }
+  EXPECT_NEAR(cb / kRounds, 0.92, 0.12);
+  EXPECT_NEAR(cp / kRounds, 0.84, 0.12);
+  EXPECT_NEAR(ob / kRounds, 0.76, 0.12);
+  EXPECT_NEAR(op / kRounds, 0.68, 0.12);
+}
+
+TEST(Harness, OverallNeverExceedsCodeOnlyByMuch) {
+  // Structural invariant of the two scoring modes: a ground-truth build
+  // file can only help. (Small sampling jitter aside, code-only >= overall.)
+  eval::HarnessConfig cfg;
+  cfg.samples_per_task = 15;
+  const auto* app = apps::find_app("microXORh");
+  const auto t = eval::run_task(*app, Technique::NonAgentic,
+                                *llm::find_profile("qwq-32b-q8_0"),
+                                llm::all_pairs()[0], cfg);
+  ASSERT_TRUE(t.ran);
+  EXPECT_GE(t.built_codeonly, t.built_overall);
+  EXPECT_GE(t.passed_codeonly, t.passed_overall);
+}
+
+TEST(Harness, AbortedTaskIsMarked) {
+  eval::HarnessConfig cfg;
+  cfg.samples_per_task = 2;
+  const auto t = eval::run_task(*apps::find_app("llm.c"),
+                                Technique::NonAgentic,
+                                *llm::find_profile("gemini-1.5-flash"),
+                                llm::all_pairs()[0], cfg);
+  EXPECT_FALSE(t.ran);
+  EXPECT_FALSE(t.abort_reason.empty());
+}
+
+TEST(Harness, ScoreRepoRejectsHostOnlyTranslations) {
+  // A "translation" that never touches the device must not pass, even if
+  // its output is right (§6.1's hardware requirement).
+  const auto* app = apps::find_app("nanoXOR");
+  vfs::Repo repo = app->repos.at(apps::Model::OmpThreads);
+  // Pretend this is the OmpOffload translation: host-only build.
+  const auto score = eval::score_repo(*app, repo, apps::Model::OmpOffload);
+  EXPECT_TRUE(score.built);
+  EXPECT_FALSE(score.passed);
+  EXPECT_NE(score.log.find("did not execute on the GPU"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- classification ---
+
+TEST(Classify, LabelsKnownLogs) {
+  xlate::DefectKind kind;
+  ASSERT_TRUE(eval::label_log(
+      "Makefile:3: error: missing separator (recipe line must start with a "
+      "TAB)", &kind));
+  EXPECT_EQ(kind, xlate::DefectKind::MakefileSyntax);
+  ASSERT_TRUE(eval::label_log(
+      "src/main.cpp:5: error: use of undeclared identifier 'cellsXOR'",
+      &kind));
+  EXPECT_EQ(kind, xlate::DefectKind::UndeclaredId);
+  ASSERT_TRUE(eval::label_log("/usr/bin/ld: cannot find -lfoo", &kind));
+  EXPECT_EQ(kind, xlate::DefectKind::LinkError);
+  EXPECT_FALSE(eval::label_log("everything is fine", &kind));
+}
+
+TEST(Classify, PipelineProducesCategoryCounts) {
+  eval::HarnessConfig cfg;
+  cfg.samples_per_task = 6;
+  std::vector<eval::TaskResult> tasks;
+  for (const char* name : {"gemini-1.5-flash", "o4-mini"}) {
+    tasks.push_back(eval::run_task(*apps::find_app("nanoXOR"),
+                                   Technique::NonAgentic,
+                                   *llm::find_profile(name),
+                                   llm::all_pairs()[0], cfg));
+  }
+  const auto result = eval::classify_failures(tasks);
+  EXPECT_FALSE(result.logs.empty());
+  int labelled = 0;
+  for (const auto& log : result.logs) labelled += log.labelled;
+  // The keyword pass should label nearly everything our pipeline emits.
+  EXPECT_GT(labelled, static_cast<int>(result.logs.size() * 3 / 4));
+}
+
+// -------------------------------------------------------------- report --
+
+TEST(Report, Table1AndFigure2Render) {
+  const std::string t1 = eval::table1_report();
+  EXPECT_NE(t1.find("XSBench"), std::string::npos);
+  EXPECT_NE(t1.find("# Files"), std::string::npos);
+
+  eval::HarnessConfig cfg;
+  cfg.samples_per_task = 4;
+  std::vector<eval::TaskResult> tasks = {eval::run_task(
+      *apps::find_app("nanoXOR"), Technique::NonAgentic,
+      *llm::find_profile("o4-mini"), llm::all_pairs()[0], cfg)};
+  const std::string f2 = eval::figure2_report(llm::all_pairs()[0], tasks);
+  EXPECT_NE(f2.find("Code-only build@1"), std::string::npos);
+  EXPECT_NE(f2.find("Overall pass@1"), std::string::npos);
+  const std::string f4 = eval::figure4_report(tasks);
+  EXPECT_NE(f4.find("inference tokens"), std::string::npos);
+}

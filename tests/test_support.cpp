@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/par.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace ps = pareval::support;
+
+TEST(Rng, DeterministicForSameSeed) {
+  ps::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ps::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  ps::Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  ps::Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  ps::Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  ps::Rng r(5);
+  const std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 12000; ++i) {
+    const std::size_t idx = r.weighted_index(w);
+    ASSERT_LT(idx, w.size());
+    counts[idx]++;
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+  ps::Rng r(5);
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(r.weighted_index(w), w.size());
+}
+
+TEST(Rng, StableHashIsStable) {
+  EXPECT_EQ(ps::stable_hash(std::string("abc")),
+            ps::stable_hash(std::string("abc")));
+  EXPECT_NE(ps::stable_hash(std::string("abc")),
+            ps::stable_hash(std::string("abd")));
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  ps::Rng parent(9);
+  ps::Rng child = parent.split();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) {
+    seen.insert(parent.next_u64());
+    seen.insert(child.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Strings, Split) {
+  const auto parts = ps::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitLinesHandlesCrlfAndTrailing) {
+  const auto lines = ps::split_lines("one\r\ntwo\nthree\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = ps::split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(ps::trim("  x \t"), "x");
+  EXPECT_EQ(ps::trim(""), "");
+  EXPECT_EQ(ps::trim(" \n "), "");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(ps::replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ps::replace_all("hello", "xyz", "q"), "hello");
+}
+
+TEST(Strings, FormatNumber) {
+  EXPECT_EQ(ps::format_number(0.5, 2), "0.5");
+  EXPECT_EQ(ps::format_number(3.0), "3");
+  EXPECT_EQ(ps::format_number(0.123456, 2), "0.12");
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(ps::strfmt("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  ps::TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(HeatMap, EmptyCellsRenderBlank) {
+  ps::HeatMap hm("title", {"r1", "r2"}, {"c1", "c2"});
+  hm.set(0, 0, 0.5);
+  EXPECT_FALSE(hm.at(1, 1).has_value());
+  EXPECT_EQ(*hm.at(0, 0), 0.5);
+  const std::string out = hm.render();
+  EXPECT_NE(out.find("0.5"), std::string::npos);
+}
+
+TEST(HeatMap, OutOfRangeSetThrows) {
+  ps::HeatMap hm("t", {"r"}, {"c"});
+  EXPECT_THROW(hm.set(1, 0, 1.0), std::out_of_range);
+}
+
+TEST(HeatMap, SideBySideJoinsTitles) {
+  ps::HeatMap a("left", {"r"}, {"c"});
+  ps::HeatMap b("right", {"r"}, {"c"});
+  const std::string out = ps::render_side_by_side({a, b});
+  EXPECT_NE(out.find("left"), std::string::npos);
+  EXPECT_NE(out.find("right"), std::string::npos);
+}
+
+TEST(Par, ParallelForCoversRange) {
+  std::vector<int> hit(1000, 0);
+  ps::parallel_for(0, hit.size(), [&](std::size_t i) { hit[i]++; });
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(Par, ParallelForPropagatesException) {
+  EXPECT_THROW(
+      ps::parallel_for(0, 100,
+                       [&](std::size_t i) {
+                         if (i == 50) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(Par, EmptyRangeIsNoop) {
+  ps::parallel_for(5, 5, [&](std::size_t) { FAIL(); });
+}

@@ -1,0 +1,113 @@
+// Tests for the text/embedding and clustering substrates (§6.3).
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.hpp"
+#include "support/rng.hpp"
+#include "text/tokens.hpp"
+#include "text/word2vec.hpp"
+
+namespace pt = pareval::text;
+namespace pc = pareval::cluster;
+
+TEST(Tokens, ApproxTokensScalesWithLength) {
+  EXPECT_EQ(pt::approx_tokens(""), 0);
+  EXPECT_EQ(pt::approx_tokens("int"), 1);
+  EXPECT_EQ(pt::approx_tokens("x = y;"), 4);  // x, =, y, ;
+  EXPECT_GT(pt::approx_tokens("cudaMemcpyHostToDevice"),
+            pt::approx_tokens("int"));
+  const std::string code = "for (int i = 0; i < n; i++) { a[i] = b[i]; }";
+  EXPECT_GT(pt::approx_tokens(code), 15);
+  EXPECT_LT(pt::approx_tokens(code), 40);
+}
+
+TEST(Tokens, WordTokensLowercasesAndSplits) {
+  const auto words = pt::word_tokens("Error: use of UNDECLARED identifier");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0], "error");
+  EXPECT_EQ(words[2], "of");
+  EXPECT_EQ(words[3], "undeclared");
+}
+
+TEST(Word2Vec, SimilarContextsYieldSimilarVectors) {
+  // "paris"/"london" share contexts; "banana" does not.
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 60; ++i) {
+    docs.push_back({"the", "city", "of", i % 2 ? "paris" : "london", "is",
+                    "big"});
+    docs.push_back({"eat", "a", "ripe", "banana", "now"});
+  }
+  pt::Word2Vec w2v;
+  pt::Word2VecConfig cfg;
+  cfg.epochs = 20;
+  w2v.train(docs, cfg);
+  EXPECT_GT(w2v.cosine("paris", "london"), w2v.cosine("paris", "banana"));
+}
+
+TEST(Word2Vec, DocumentEmbeddingIsMeanOfWords) {
+  std::vector<std::vector<std::string>> docs = {{"aa", "bb"}, {"bb", "cc"}};
+  pt::Word2Vec w2v;
+  w2v.train(docs);
+  const auto va = w2v.embed_word("aa");
+  const auto vb = w2v.embed_word("bb");
+  const auto doc = w2v.embed_document({"aa", "bb"});
+  for (std::size_t k = 0; k < doc.size(); ++k) {
+    EXPECT_NEAR(doc[k], (va[k] + vb[k]) / 2.0, 1e-12);
+  }
+}
+
+TEST(Word2Vec, OovIsZeroVector) {
+  pt::Word2Vec w2v;
+  w2v.train({{"x", "y"}});
+  for (const double v : w2v.embed_word("zzz")) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Word2Vec, DeterministicForFixedSeed) {
+  std::vector<std::vector<std::string>> docs = {
+      {"a", "b", "c"}, {"b", "c", "d"}, {"c", "d", "a"}};
+  pt::Word2Vec w1, w2;
+  w1.train(docs);
+  w2.train(docs);
+  EXPECT_EQ(w1.embed_word("a"), w2.embed_word("a"));
+}
+
+TEST(Dbscan, SeparatesWellSpacedBlobs) {
+  pareval::support::Rng rng(3);
+  std::vector<std::vector<double>> pts;
+  for (int blob = 0; blob < 3; ++blob) {
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back({blob * 10.0 + rng.uniform(-0.2, 0.2),
+                     blob * 10.0 + rng.uniform(-0.2, 0.2)});
+    }
+  }
+  const auto labels = pc::dbscan(pts, {1.0, 3});
+  EXPECT_EQ(pc::cluster_count(labels), 3);
+  // All points in the same blob share a label.
+  for (int blob = 0; blob < 3; ++blob) {
+    for (int i = 1; i < 20; ++i) {
+      EXPECT_EQ(labels[blob * 20], labels[blob * 20 + i]);
+    }
+  }
+}
+
+TEST(Dbscan, IsolatedPointsAreNoise) {
+  std::vector<std::vector<double>> pts = {
+      {0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1},  // dense blob
+      {50, 50},                                 // loner
+  };
+  const auto labels = pc::dbscan(pts, {0.5, 3});
+  EXPECT_EQ(pc::cluster_count(labels), 1);
+  EXPECT_EQ(labels[4], -1);
+}
+
+TEST(Dbscan, EpsControlsMerging) {
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({i * 1.0});
+  // Chain of points 1 apart: big eps -> one cluster, tiny eps -> noise.
+  EXPECT_EQ(pc::cluster_count(pc::dbscan(pts, {1.5, 3})), 1);
+  EXPECT_EQ(pc::cluster_count(pc::dbscan(pts, {0.1, 3})), 0);
+}
+
+TEST(Dbscan, EmptyInput) {
+  EXPECT_TRUE(pc::dbscan({}, {1.0, 3}).empty());
+}

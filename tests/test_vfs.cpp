@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "vfs/repo.hpp"
+
+namespace pv = pareval::vfs;
+
+TEST(Paths, Normalize) {
+  EXPECT_EQ(pv::normalize_path("./src/../src/main.cpp"), "src/main.cpp");
+  EXPECT_EQ(pv::normalize_path("/a/b"), "a/b");
+  EXPECT_EQ(pv::normalize_path("a//b"), "a/b");
+  EXPECT_THROW(pv::normalize_path("../x"), std::invalid_argument);
+}
+
+TEST(Paths, Components) {
+  EXPECT_EQ(pv::dirname("src/a.cpp"), "src");
+  EXPECT_EQ(pv::dirname("a.cpp"), "");
+  EXPECT_EQ(pv::basename("src/a.cpp"), "a.cpp");
+  EXPECT_EQ(pv::extension("src/a.cpp"), ".cpp");
+  EXPECT_EQ(pv::extension("Makefile"), "");
+  EXPECT_EQ(pv::extension(".gitignore"), "");
+}
+
+TEST(Paths, Join) {
+  EXPECT_EQ(pv::join_path("src", "main.cpp"), "src/main.cpp");
+  EXPECT_EQ(pv::join_path("", "main.cpp"), "main.cpp");
+  EXPECT_EQ(pv::join_path("src/sub", "../main.cpp"), "src/main.cpp");
+}
+
+TEST(Repo, WriteReadRemove) {
+  pv::Repo r;
+  r.write("src/main.cpp", "int main() {}");
+  EXPECT_TRUE(r.exists("src/main.cpp"));
+  EXPECT_TRUE(r.exists("./src/main.cpp"));
+  EXPECT_EQ(*r.read("src/main.cpp"), "int main() {}");
+  EXPECT_FALSE(r.read("nope").has_value());
+  EXPECT_THROW(r.at("nope"), std::out_of_range);
+  EXPECT_TRUE(r.remove("src/main.cpp"));
+  EXPECT_FALSE(r.remove("src/main.cpp"));
+}
+
+TEST(Repo, PathsSorted) {
+  pv::Repo r;
+  r.write("b.cpp", "");
+  r.write("a.cpp", "");
+  const auto p = r.paths();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], "a.cpp");
+  EXPECT_EQ(p[1], "b.cpp");
+}
+
+TEST(Repo, TreeMatchesPaperFormat) {
+  // The paper's Listing 1 shows:
+  //   |-- Makefile
+  //   |-- README.md
+  //   +-- src/
+  //       +-- main.cpp
+  pv::Repo r;
+  r.write("Makefile", "");
+  r.write("README.md", "");
+  r.write("src/main.cpp", "");
+  const std::string tree = r.render_tree();
+  EXPECT_EQ(tree,
+            "|-- Makefile\n"
+            "|-- README.md\n"
+            "+-- src/\n"
+            "    +-- main.cpp\n");
+}
+
+TEST(Repo, EqualityIsContentBased) {
+  pv::Repo a, b;
+  a.write("x", "1");
+  b.write("x", "1");
+  EXPECT_EQ(a, b);
+  b.write("x", "2");
+  EXPECT_NE(a, b);
+}
