@@ -1,12 +1,20 @@
 // Micro benchmarks (google-benchmark) for the substrates: interpreter
 // throughput, translation engine, build simulator, DBSCAN, word2vec and
-// the pass@k estimator.
+// the pass@k estimator — plus a serial-vs-parallel sweep timing section
+// that emits machine-readable JSON (BENCH_sweep.json) so the orchestrator's
+// speedup is tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "apps/app.hpp"
 #include "buildsim/builder.hpp"
 #include "cluster/dbscan.hpp"
+#include "eval/harness.hpp"
 #include "eval/metrics.hpp"
+#include "support/par.hpp"
 #include "support/rng.hpp"
 #include "text/word2vec.hpp"
 #include "translate/transpile.hpp"
@@ -86,4 +94,100 @@ static void BM_PassAtK(benchmark::State& state) {
 }
 BENCHMARK(BM_PassAtK);
 
-BENCHMARK_MAIN();
+static void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  auto& pool = support::ThreadPool::global();
+  for (auto _ : state) {
+    std::vector<std::future<int>> futs;
+    futs.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      futs.push_back(pool.submit([i] { return i * i; }));
+    }
+    long long sum = 0;
+    for (auto& f : futs) sum += pool.await(f);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain);
+
+// ---- sweep orchestrator timing -------------------------------------------
+// Times the same reduced pair sweep three ways and writes the result as
+// google-benchmark-shaped JSON. `threads=1` is the pre-orchestrator serial
+// baseline; the parallel runs use the work-stealing pool; the cached run
+// repeats the parallel one against a warm ScoreCache.
+
+namespace {
+
+double time_sweep_ms(const eval::HarnessConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto tasks = eval::run_pair_sweep(llm::all_pairs()[0], config);
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(tasks.size());
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int run_sweep_timing_section() {
+  eval::HarnessConfig serial;
+  serial.samples_per_task = 10;
+  serial.threads = 1;
+  serial.use_score_cache = false;
+  eval::HarnessConfig parallel = serial;
+  parallel.threads = 0;  // global pool, hardware_threads() workers
+  eval::HarnessConfig cached = parallel;
+  cached.use_score_cache = true;
+
+  const unsigned threads = support::hardware_threads();
+  std::printf("\n-- sweep orchestrator: serial vs parallel "
+              "(N=%d, %u hardware threads) --\n",
+              serial.samples_per_task, threads);
+  const double serial_ms = time_sweep_ms(serial);
+  const double parallel_ms = time_sweep_ms(parallel);
+  eval::ScoreCache::global().clear();
+  const double warmup_ms = time_sweep_ms(cached);   // fills the cache
+  const double cached_ms = time_sweep_ms(cached);   // hits it
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+  std::printf("serial   %10.1f ms\nparallel %10.1f ms  (speedup %.2fx)\n"
+              "cached   %10.1f ms  (%zu hits / %zu misses)\n",
+              serial_ms, parallel_ms, speedup, cached_ms,
+              eval::ScoreCache::global().hits(),
+              eval::ScoreCache::global().misses());
+
+  // Verify the acceptance invariant while we have both runs' configs.
+  const bool identical = eval::run_pair_sweep(llm::all_pairs()[0], serial) ==
+                         eval::run_pair_sweep(llm::all_pairs()[0], parallel);
+  std::printf("determinism (1 thread vs pool): %s\n",
+              identical ? "IDENTICAL" : "MISMATCH");
+
+  FILE* json = std::fopen("BENCH_sweep.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"context\": {\"threads\": %u, \"samples_per_task\": %d,\n"
+        "              \"deterministic\": %s, \"warmup_ms\": %.3f},\n"
+        "  \"benchmarks\": [\n"
+        "    {\"name\": \"sweep_serial\", \"real_time\": %.3f, "
+        "\"time_unit\": \"ms\"},\n"
+        "    {\"name\": \"sweep_parallel\", \"real_time\": %.3f, "
+        "\"time_unit\": \"ms\", \"speedup\": %.3f},\n"
+        "    {\"name\": \"sweep_parallel_cached\", \"real_time\": %.3f, "
+        "\"time_unit\": \"ms\", \"speedup\": %.3f}\n"
+        "  ]\n"
+        "}\n",
+        threads, serial.samples_per_task, identical ? "true" : "false",
+        warmup_ms, serial_ms, parallel_ms, speedup, cached_ms,
+        cached_ms > 0 ? serial_ms / cached_ms : 0.0);
+    std::fclose(json);
+    std::printf("wrote BENCH_sweep.json\n");
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_sweep_timing_section();
+}

@@ -1,15 +1,29 @@
 #pragma once
 // Runs the full three-pair sweep once (used by the Fig. 3/4/5 benches).
+// The three pair sweeps are submitted to the global work-stealing pool so
+// the tail of one pair overlaps the next; each sweep then fans its cells
+// and samples out as nested tasks.
 #include <cstdio>
+#include <future>
 #include <vector>
 
 #include "eval/harness.hpp"
+#include "support/par.hpp"
 
-inline std::vector<pareval::eval::TaskResult> run_all_pairs() {
-  std::vector<pareval::eval::TaskResult> all;
+inline std::vector<pareval::eval::TaskResult> run_all_pairs(
+    const pareval::eval::HarnessConfig& config = {}) {
+  auto& pool = pareval::support::ThreadPool::global();
+  std::vector<std::future<std::vector<pareval::eval::TaskResult>>> futures;
   for (const auto& pair : pareval::llm::all_pairs()) {
-    std::printf("sweeping %s...\n", pareval::llm::pair_name(pair).c_str());
-    auto tasks = pareval::eval::run_pair_sweep(pair);
+    futures.push_back(pool.submit([pair, config] {
+      // Printed when the sweep starts executing, not when it is queued.
+      std::printf("sweeping %s...\n", pareval::llm::pair_name(pair).c_str());
+      return pareval::eval::run_pair_sweep(pair, config);
+    }));
+  }
+  std::vector<pareval::eval::TaskResult> all;
+  for (auto& f : futures) {
+    auto tasks = pool.await(f);
     for (auto& t : tasks) all.push_back(std::move(t));
   }
   std::printf("\n");

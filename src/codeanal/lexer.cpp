@@ -73,7 +73,7 @@ LexResult lex(std::string_view src) {
     }
   };
   auto push = [&](TokKind kind, std::string text, int tl, int tc) {
-    result.tokens.push_back(Token{kind, std::move(text), tl, tc});
+    result.tokens.push_back(Token{kind, std::move(text), tl, tc, {}});
   };
 
   bool at_line_start = true;
@@ -268,7 +268,7 @@ LexResult lex(std::string_view src) {
       advance();
     }
   }
-  result.tokens.push_back(Token{TokKind::EndOfFile, "", line, col});
+  result.tokens.push_back(Token{TokKind::EndOfFile, "", line, col, {}});
   return result;
 }
 

@@ -1,6 +1,12 @@
 #include "eval/harness.hpp"
 
+#include <future>
+#include <limits>
+#include <memory>
+#include <utility>
+
 #include "buildsim/builder.hpp"
+#include "support/par.hpp"
 #include "support/rng.hpp"
 
 namespace pareval::eval {
@@ -10,6 +16,7 @@ using apps::AppSpec;
 using llm::LlmProfile;
 using llm::Pair;
 using llm::Technique;
+using support::ThreadPool;
 
 double TaskResult::build1_overall() const {
   return samples > 0 ? static_cast<double>(built_overall) / samples : 0.0;
@@ -60,6 +67,58 @@ ScoreResult score_repo(const AppSpec& app, const vfs::Repo& repo,
   return out;
 }
 
+std::uint64_t repo_content_hash(const vfs::Repo& repo) {
+  // Fold each file's (path, content) hash pair through SplitMix64 so that
+  // "ab"+"c" vs "a"+"bc" and file-boundary shuffles cannot collide
+  // structurally. (64-bit accidental collisions are ~1e-13 at 1e6 repos.)
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, for an asymmetric start
+  repo.for_each_file([&h](const std::string& path,
+                          const std::string& content) {
+    h = support::SplitMix64(h ^ support::stable_hash(path)).next();
+    h = support::SplitMix64(h ^ support::stable_hash(content)).next();
+  });
+  return h;
+}
+
+ScoreResult ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
+                              apps::Model target) {
+  std::uint64_t key = repo_content_hash(repo);
+  key = support::SplitMix64(key ^ support::stable_hash(app.name)).next();
+  key = support::SplitMix64(key ^ static_cast<std::uint64_t>(target)).next();
+  Shard& shard = shards_[key % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Score outside the shard lock: builds are the expensive part, and two
+  // threads racing on the same key just compute the same pure result twice.
+  ScoreResult result = score_repo(app, repo, target);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.emplace(key, result);
+  }
+  return result;
+}
+
+void ScoreCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+  hits_.store(0);
+  misses_.store(0);
+}
+
+ScoreCache& ScoreCache::global() {
+  static ScoreCache cache;
+  return cache;
+}
+
 namespace {
 
 /// Code-only mode: swap the generated build system for the ground truth
@@ -77,6 +136,47 @@ vfs::Repo with_ground_truth_build(const AppSpec& app, const vfs::Repo& repo,
   return out;
 }
 
+/// Everything one sample contributes to its cell's TaskResult.
+struct SampleRun {
+  bool generated = false;
+  std::string abort_reason;
+  SampleOutcome outcome;
+};
+
+SampleRun run_sample(const AppSpec& app, Technique technique,
+                     const LlmProfile& profile, const Pair& pair,
+                     const HarnessConfig& config, std::uint64_t sample_seed) {
+  SampleRun run;
+  support::Rng rng(sample_seed);
+  TranslationResult gen =
+      agents::run_technique(app, technique, profile, pair, rng);
+  if (!gen.generated) {
+    run.abort_reason = std::move(gen.abort_reason);
+    return run;
+  }
+  run.generated = true;
+  run.outcome.tokens = agents::total_tokens(gen);
+  run.outcome.defects = std::move(gen.defects);
+
+  auto score = [&](const vfs::Repo& repo) {
+    return config.use_score_cache
+               ? ScoreCache::global().score(app, repo, pair.to)
+               : score_repo(app, repo, pair.to);
+  };
+  const ScoreResult overall = score(gen.repo);
+  run.outcome.built_overall = overall.built;
+  run.outcome.passed_overall = overall.passed;
+  if (!overall.passed && config.keep_logs) {
+    run.outcome.failure_log = overall.log;
+  }
+
+  const ScoreResult codeonly =
+      score(with_ground_truth_build(app, gen.repo, pair.to));
+  run.outcome.built_codeonly = codeonly.built;
+  run.outcome.passed_codeonly = codeonly.passed;
+  return run;
+}
+
 }  // namespace
 
 TaskResult run_task(const AppSpec& app, Technique technique,
@@ -88,46 +188,75 @@ TaskResult run_task(const AppSpec& app, Technique technique,
   result.pair = pair;
   result.app = app.name;
 
-  // Per-task deterministic stream: independent of execution order.
-  support::Rng rng(support::stable_hash(profile.name + "|" +
-                                        llm::technique_name(technique) +
-                                        "|" + llm::pair_name(pair) + "|" +
-                                        app.name) ^
-                   config.seed);
+  // Per-sample derived RNG streams: seed ⊕ hash(llm, technique, pair, app,
+  // sample). Each sample's stream depends only on its coordinates, never on
+  // execution order, so serial and work-stealing runs are bit-identical.
+  const std::string cell_key = profile.name + "|" +
+                               llm::technique_name(technique) + "|" +
+                               llm::pair_name(pair) + "|" + app.name;
+  auto sample_seed = [&](int sample) {
+    return config.seed ^
+           support::stable_hash(cell_key + "#" + std::to_string(sample));
+  };
 
+  std::vector<SampleRun> runs;
+  runs.reserve(config.samples_per_task);
+  if (config.threads == 1) {
+    for (int i = 0; i < config.samples_per_task; ++i) {
+      runs.push_back(run_sample(app, technique, profile, pair, config,
+                                sample_seed(i)));
+      if (!runs.back().generated) break;  // aborted cell: stop sampling
+    }
+  } else {
+    // Every sample is an independent pool task. run_task itself often runs
+    // as a pool task (run_pair_sweep submits cells), so awaiting helps
+    // execute other pending samples instead of blocking a worker.
+    //
+    // Aggregation stops at the lowest non-generated index, so samples past
+    // it are dead work; the shared floor lets late-scheduled samples skip
+    // themselves. Determinism holds because only a fully-run abort lowers
+    // the floor, so every index up to the first real abort still runs.
+    ThreadPool& pool = ThreadPool::global();
+    auto abort_floor = std::make_shared<std::atomic<int>>(
+        std::numeric_limits<int>::max());
+    std::vector<std::future<SampleRun>> futures;
+    futures.reserve(config.samples_per_task);
+    for (int i = 0; i < config.samples_per_task; ++i) {
+      futures.push_back(pool.submit([&app, technique, &profile, pair, config,
+                                     abort_floor, i, seed = sample_seed(i)] {
+        if (i > abort_floor->load(std::memory_order_acquire)) {
+          return SampleRun{};  // past an abort; aggregation never gets here
+        }
+        SampleRun run =
+            run_sample(app, technique, profile, pair, config, seed);
+        if (!run.generated) {
+          int cur = abort_floor->load(std::memory_order_relaxed);
+          while (i < cur && !abort_floor->compare_exchange_weak(
+                                cur, i, std::memory_order_release)) {
+          }
+        }
+        return run;
+      }));
+    }
+    for (auto& f : futures) runs.push_back(pool.await(f));
+  }
+
+  // Aggregate in sample-index order; the first non-generated sample aborts
+  // the cell exactly as the serial early-exit does.
   long long token_sum = 0;
-  for (int i = 0; i < config.samples_per_task; ++i) {
-    support::Rng sample_rng = rng.split();
-    TranslationResult gen =
-        agents::run_technique(app, technique, profile, pair, sample_rng);
-    if (!gen.generated) {
+  for (auto& run : runs) {
+    if (!run.generated) {
       result.ran = false;
-      result.abort_reason = gen.abort_reason;
+      result.abort_reason = std::move(run.abort_reason);
       return result;
     }
-    SampleOutcome outcome;
-    outcome.tokens = agents::total_tokens(gen);
-    outcome.defects = gen.defects;
-    token_sum += outcome.tokens;
-
-    const ScoreResult overall = score_repo(app, gen.repo, pair.to);
-    outcome.built_overall = overall.built;
-    outcome.passed_overall = overall.passed;
-    if (!overall.passed && config.keep_logs) {
-      outcome.failure_log = overall.log;
-    }
-
-    const ScoreResult codeonly = score_repo(
-        app, with_ground_truth_build(app, gen.repo, pair.to), pair.to);
-    outcome.built_codeonly = codeonly.built;
-    outcome.passed_codeonly = codeonly.passed;
-
-    result.built_overall += overall.built;
-    result.passed_overall += overall.passed;
-    result.built_codeonly += codeonly.built;
-    result.passed_codeonly += codeonly.passed;
+    result.built_overall += run.outcome.built_overall;
+    result.passed_overall += run.outcome.passed_overall;
+    result.built_codeonly += run.outcome.built_codeonly;
+    result.passed_codeonly += run.outcome.passed_codeonly;
+    token_sum += run.outcome.tokens;
     ++result.samples;
-    result.outcomes.push_back(std::move(outcome));
+    result.outcomes.push_back(std::move(run.outcome));
   }
   result.ran = true;
   result.avg_tokens = result.samples > 0
@@ -138,7 +267,12 @@ TaskResult run_task(const AppSpec& app, Technique technique,
 
 std::vector<TaskResult> run_pair_sweep(const Pair& pair,
                                        const HarnessConfig& config) {
-  std::vector<TaskResult> out;
+  struct Cell {
+    const AppSpec* app;
+    Technique technique;
+    const LlmProfile* profile;
+  };
+  std::vector<Cell> cells;
   for (const apps::AppSpec* app : apps::all_apps()) {
     // Apps without an implementation in the pair's source model are not
     // tasks for this pair (Table 1).
@@ -153,10 +287,32 @@ std::vector<TaskResult> run_pair_sweep(const Pair& pair,
                                      app->name)) {
           continue;  // SWE-agent cells outside its evaluated slice
         }
-        out.push_back(run_task(*app, technique, profile, pair, config));
+        cells.push_back({app, technique, &profile});
       }
     }
   }
+
+  std::vector<TaskResult> out;
+  out.reserve(cells.size());
+  if (config.threads == 1) {
+    for (const Cell& cell : cells) {
+      out.push_back(
+          run_task(*cell.app, cell.technique, *cell.profile, pair, config));
+    }
+    return out;
+  }
+  // Submit every cell; each cell then fans its samples out as nested pool
+  // tasks. Collection order is the cell order, independent of completion.
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<std::future<TaskResult>> futures;
+  futures.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    futures.push_back(pool.submit([cell, pair, config] {
+      return run_task(*cell.app, cell.technique, *cell.profile, pair,
+                      config);
+    }));
+  }
+  for (auto& f : futures) out.push_back(pool.await(f));
   return out;
 }
 

@@ -5,7 +5,12 @@
 // file swapped in), collect failure logs for the classification pipeline,
 // and account tokens.
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "agents/techniques.hpp"
@@ -23,6 +28,8 @@ struct SampleOutcome {
   long long tokens = 0;
   std::string failure_log;   // build/run log of the *overall* attempt
   std::vector<std::string> defects;  // injected (ground truth for Fig. 3)
+
+  bool operator==(const SampleOutcome&) const = default;
 };
 
 struct TaskResult {
@@ -42,12 +49,23 @@ struct TaskResult {
   double pass1_overall() const;
   double build1_codeonly() const;
   double pass1_codeonly() const;
+
+  bool operator==(const TaskResult&) const = default;
 };
 
 struct HarnessConfig {
   int samples_per_task = 25;  // the paper's N (scores are multiples of 0.04)
   std::uint64_t seed = 1070;
   bool keep_logs = true;
+  /// Concurrency for run_task / run_pair_sweep: 1 = fully serial (no pool),
+  /// anything else schedules every sample of every cell on the global
+  /// work-stealing pool (which sizes itself to hardware_threads()).
+  /// Each sample draws from its own seed ⊕ hash(llm, technique, pair, app,
+  /// sample) RNG stream, so results are bit-identical for every setting.
+  unsigned threads = 0;
+  /// Consult the global ScoreCache before building/running a repo. Pure
+  /// memoization: hit or miss, the scores are identical.
+  bool use_score_cache = true;
 };
 
 /// Score one generated repository against the app's validation tests:
@@ -60,6 +78,39 @@ struct ScoreResult {
 };
 ScoreResult score_repo(const apps::AppSpec& app, const vfs::Repo& repo,
                        apps::Model target);
+
+/// Stable 64-bit content hash of a repository (paths + contents,
+/// length-delimited) — the cache key component that identifies "the same
+/// generated artifact".
+std::uint64_t repo_content_hash(const vfs::Repo& repo);
+
+/// Thread-safe memoization of score_repo keyed by (app name, repo content
+/// hash, target model). Code-only re-scores and repeated golden builds of
+/// identical artifacts hit the cache instead of re-running the build/exec
+/// pipeline. Sharded to keep the harness's parallel samples off one lock.
+class ScoreCache {
+ public:
+  /// score_repo with memoization.
+  ScoreResult score(const apps::AppSpec& app, const vfs::Repo& repo,
+                    apps::Model target);
+
+  std::size_t hits() const noexcept { return hits_.load(); }
+  std::size_t misses() const noexcept { return misses_.load(); }
+  void clear();
+
+  /// Process-wide instance used by run_task when use_score_cache is set.
+  static ScoreCache& global();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, ScoreResult> entries;
+  };
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
 
 /// Run one cell.
 TaskResult run_task(const apps::AppSpec& app, llm::Technique technique,

@@ -1,9 +1,11 @@
 #include "eval/report.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "codeanal/metrics.hpp"
 #include "eval/metrics.hpp"
+#include "support/par.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -53,6 +55,16 @@ HeatMap metric_map(const std::string& title,
   return hm;
 }
 
+/// Build every heat map of a figure concurrently on the global pool.
+/// HeatMap has no default constructor, so the slots are optionals.
+std::vector<std::optional<HeatMap>> build_maps(
+    const std::vector<std::function<HeatMap()>>& jobs) {
+  std::vector<std::optional<HeatMap>> built(jobs.size());
+  support::parallel_for(0, jobs.size(),
+                        [&](std::size_t i) { built[i] = jobs[i](); });
+  return built;
+}
+
 }  // namespace
 
 std::string figure2_report(const Pair& pair,
@@ -76,24 +88,41 @@ std::string figure2_report(const Pair& pair,
   };
   const bool swe =
       pair == llm::all_pairs()[1];  // SWE-agent evaluated for CUDA->Kokkos
+
+  // Flatten every (metric, mode, technique) map into one job list, grouped
+  // by the side-by-side block it renders into, and build on the pool.
+  std::vector<Technique> techs = {Technique::NonAgentic, Technique::TopDown};
+  if (swe) techs.push_back(Technique::SweAgent);
+  std::vector<std::function<HeatMap()>> jobs;
+  std::vector<std::size_t> job_group;
+  std::size_t groups = 0;
   for (const auto& m : metrics) {
     for (const bool overall : {false, true}) {
-      std::vector<HeatMap> maps;
-      for (const auto tech : {Technique::NonAgentic, Technique::TopDown}) {
-        maps.push_back(metric_map(
+      for (const auto tech : techs) {
+        const std::string title =
             std::string(overall ? "Overall " : "Code-only ") + m.name +
-                " — " + llm::technique_name(tech),
-            tasks, tech, rows, overall ? m.overall : m.codeonly));
+            " — " +
+            (tech == Technique::SweAgent ? "SWE-agent"
+                                         : llm::technique_name(tech));
+        const auto& metric = overall ? m.overall : m.codeonly;
+        jobs.push_back([&tasks, tech, rows, title, metric] {
+          return metric_map(title, tasks, tech, rows, metric);
+        });
+        job_group.push_back(groups);
       }
-      if (swe) {
-        maps.push_back(metric_map(
-            std::string(overall ? "Overall " : "Code-only ") + m.name +
-                " — SWE-agent",
-            tasks, Technique::SweAgent, rows,
-            overall ? m.overall : m.codeonly));
-      }
-      out += support::render_side_by_side(maps) + "\n";
+      ++groups;
     }
+  }
+  const auto built = build_maps(jobs);
+
+  std::size_t j = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::vector<HeatMap> maps;
+    while (j < jobs.size() && job_group[j] == g) {
+      maps.push_back(*built[j]);
+      ++j;
+    }
+    out += support::render_side_by_side(maps) + "\n";
   }
   return out;
 }
@@ -105,29 +134,51 @@ std::string figure3_report(const ClassificationResult& classification) {
       "DBSCAN + labelling pass; paper = Figure 3 reference counts)\n\n";
   std::vector<std::string> rows;
   for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
+
+  std::vector<xlate::DefectKind> kinds;
   for (const auto kind : xlate::all_defect_kinds()) {
-    if (kind == xlate::DefectKind::Semantic) continue;
-    HeatMap ours(std::string("ours: ") + xlate::defect_name(kind), rows,
-                 llm_names());
-    HeatMap paper(std::string("paper: ") + xlate::defect_name(kind), rows,
-                  llm_names());
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      for (std::size_t c = 0; c < llm_names().size(); ++c) {
-        const auto cit = classification.counts.find(kind);
-        int count = 0;
-        if (cit != classification.counts.end()) {
-          const auto ait = cit->second.find(rows[r]);
-          if (ait != cit->second.end()) {
-            const auto lit = ait->second.find(llm_names()[c]);
-            if (lit != ait->second.end()) count = lit->second;
+    if (kind != xlate::DefectKind::Semantic) kinds.push_back(kind);
+  }
+  // Each kind's (ours, paper) map pair is independent: build them all
+  // concurrently, then render in kind order.
+  std::vector<std::function<HeatMap()>> jobs;
+  for (const auto kind : kinds) {
+    jobs.push_back([&, kind, rows] {
+      HeatMap ours(std::string("ours: ") + xlate::defect_name(kind), rows,
+                   llm_names());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < llm_names().size(); ++c) {
+          const auto cit = classification.counts.find(kind);
+          int count = 0;
+          if (cit != classification.counts.end()) {
+            const auto ait = cit->second.find(rows[r]);
+            if (ait != cit->second.end()) {
+              const auto lit = ait->second.find(llm_names()[c]);
+              if (lit != ait->second.end()) count = lit->second;
+            }
           }
+          ours.set(r, c, count);
         }
-        ours.set(r, c, count);
-        paper.set(r, c, llm::figure3_reference(kind, rows[r],
-                                               llm_names()[c]));
       }
-    }
-    out += support::render_side_by_side({ours, paper}, 0) + "\n";
+      return ours;
+    });
+    jobs.push_back([kind, rows] {
+      HeatMap paper(std::string("paper: ") + xlate::defect_name(kind), rows,
+                    llm_names());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < llm_names().size(); ++c) {
+          paper.set(r, c,
+                    llm::figure3_reference(kind, rows[r], llm_names()[c]));
+        }
+      }
+      return paper;
+    });
+  }
+  const auto built = build_maps(jobs);
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    out += support::render_side_by_side(
+               {*built[2 * k], *built[2 * k + 1]}, 0) +
+           "\n";
   }
   return out;
 }
@@ -138,26 +189,31 @@ std::string figure4_report(const std::vector<TaskResult>& tasks) {
       "(thousands; averaged across generations and pairs) ==\n\n";
   std::vector<std::string> rows;
   for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
-  std::vector<HeatMap> maps;
+  std::vector<std::function<HeatMap()>> jobs;
   for (const auto tech :
        {Technique::NonAgentic, Technique::TopDown, Technique::SweAgent}) {
-    HeatMap hm(llm::technique_name(tech), rows, llm_names());
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      for (std::size_t c = 0; c < llm_names().size(); ++c) {
-        double sum = 0.0;
-        int n = 0;
-        for (const auto& t : tasks) {
-          if (t.llm == llm_names()[c] && t.technique == tech &&
-              t.app == rows[r] && t.ran) {
-            sum += t.avg_tokens;
-            ++n;
+    jobs.push_back([&tasks, tech, rows] {
+      HeatMap hm(llm::technique_name(tech), rows, llm_names());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < llm_names().size(); ++c) {
+          double sum = 0.0;
+          int n = 0;
+          for (const auto& t : tasks) {
+            if (t.llm == llm_names()[c] && t.technique == tech &&
+                t.app == rows[r] && t.ran) {
+              sum += t.avg_tokens;
+              ++n;
+            }
           }
+          if (n > 0) hm.set(r, c, sum / n / 1000.0);
         }
-        if (n > 0) hm.set(r, c, sum / n / 1000.0);
       }
-    }
-    maps.push_back(std::move(hm));
+      return hm;
+    });
   }
+  const auto built = build_maps(jobs);
+  std::vector<HeatMap> maps;
+  for (const auto& hm : built) maps.push_back(*hm);
   out += support::render_side_by_side(maps, 1);
   return out;
 }
@@ -168,30 +224,35 @@ std::string figure5_report(const std::vector<TaskResult>& tasks) {
       "(Eκ, thousands; cells with pass@1 > 0) ==\n\n";
   std::vector<std::string> rows;
   for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
-  std::vector<HeatMap> maps;
+  std::vector<std::function<HeatMap()>> jobs;
   for (const auto tech : {Technique::NonAgentic, Technique::TopDown}) {
-    HeatMap hm(llm::technique_name(tech), rows, llm_names());
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      for (std::size_t c = 0; c < llm_names().size(); ++c) {
-        double ek_sum = 0.0;
-        int n = 0;
-        for (const auto& t : tasks) {
-          if (t.llm != llm_names()[c] || t.technique != tech ||
-              t.app != rows[r] || !t.ran) {
-            continue;
+    jobs.push_back([&tasks, tech, rows] {
+      HeatMap hm(llm::technique_name(tech), rows, llm_names());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < llm_names().size(); ++c) {
+          double ek_sum = 0.0;
+          int n = 0;
+          for (const auto& t : tasks) {
+            if (t.llm != llm_names()[c] || t.technique != tech ||
+                t.app != rows[r] || !t.ran) {
+              continue;
+            }
+            const double pass1 = t.pass1_overall();
+            const double ek = expected_token_cost(t.avg_tokens, pass1);
+            if (ek >= 0) {
+              ek_sum += ek;
+              ++n;
+            }
           }
-          const double pass1 = t.pass1_overall();
-          const double ek = expected_token_cost(t.avg_tokens, pass1);
-          if (ek >= 0) {
-            ek_sum += ek;
-            ++n;
-          }
+          if (n > 0) hm.set(r, c, ek_sum / n / 1000.0);
         }
-        if (n > 0) hm.set(r, c, ek_sum / n / 1000.0);
       }
-    }
-    maps.push_back(std::move(hm));
+      return hm;
+    });
   }
+  const auto built = build_maps(jobs);
+  std::vector<HeatMap> maps;
+  for (const auto& hm : built) maps.push_back(*hm);
   out += support::render_side_by_side(maps, 0);
   return out;
 }
@@ -200,7 +261,12 @@ std::string table1_report() {
   std::string out = "== Table 1: the ParEval-Repo application suite ==\n";
   support::TextTable t({"Application", "SLoC", "CC", "# Files", "OMP Th.",
                         "OMP Of.", "CUDA", "Kokkos"});
-  for (const apps::AppSpec* app : apps::all_apps()) {
+  const auto& apps_list = apps::all_apps();
+  // repo_metrics walks every file of every app: compute the rows on the
+  // pool, then emit them in Table 1 order.
+  std::vector<std::vector<std::string>> table_rows(apps_list.size());
+  support::parallel_for(0, apps_list.size(), [&](std::size_t i) {
+    const apps::AppSpec* app = apps_list[i];
     const apps::Model m = app->repos.count(apps::Model::Cuda) > 0
                               ? apps::Model::Cuda
                               : apps::Model::OmpThreads;
@@ -214,12 +280,14 @@ std::string table1_report() {
       }
       return "";
     };
-    t.add_row({app->name, std::to_string(metrics.sloc),
-               std::to_string(metrics.complexity),
-               std::to_string(metrics.files), mark(apps::Model::OmpThreads),
-               mark(apps::Model::OmpOffload), mark(apps::Model::Cuda),
-               mark(apps::Model::Kokkos)});
-  }
+    table_rows[i] = {app->name, std::to_string(metrics.sloc),
+                     std::to_string(metrics.complexity),
+                     std::to_string(metrics.files),
+                     mark(apps::Model::OmpThreads),
+                     mark(apps::Model::OmpOffload), mark(apps::Model::Cuda),
+                     mark(apps::Model::Kokkos)};
+  });
+  for (auto& row : table_rows) t.add_row(std::move(row));
   out += t.render();
   out += "('yes' = implementation shipped; 'port?' = translation target; "
          "'*' = public ports exist — contamination probe)\n";

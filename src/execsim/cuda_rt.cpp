@@ -209,6 +209,7 @@ void register_curand(BuiltinTable& t) {
     if (v.kind == Value::Kind::StructV) return v.strct;
     ctx.raise(DiagCategory::RuntimeFault,
               "curand: expected a curandState*", line);
+    return nullptr;  // unreachable; raise is [[noreturn]]
   };
 
   BuiltinDef init;

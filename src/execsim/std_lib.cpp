@@ -132,10 +132,12 @@ void register_std(BuiltinTable& t) {
   t.add(def("exit", 1, 1, {ArgClass::Num}, t_void(), "stdlib.h",
             [](InterpCtx& ctx, std::vector<Value>& a, int) -> Value {
               ctx.exit_program(static_cast<int>(a[0].as_int()));
+              return Value{};  // unreachable; exit_program is [[noreturn]]
             }));
   t.add(def("abort", 0, 0, {}, t_void(), "stdlib.h",
             [](InterpCtx& ctx, std::vector<Value>&, int line) -> Value {
               ctx.raise(DiagCategory::RuntimeFault, "abort() called", line);
+              return Value{};  // unreachable; raise is [[noreturn]]
             }));
   t.add(def("atoi", 1, 1, {ArgClass::Str}, t_int(), "stdlib.h",
             [](InterpCtx&, std::vector<Value>& a, int) {

@@ -28,7 +28,7 @@ class Preprocessor {
 
   PreprocessResult run(const std::string& entry) {
     include_file(entry, /*line=*/0, /*from=*/entry);
-    result_.tokens.push_back(Token{TokKind::EndOfFile, "", 0, 0});
+    result_.tokens.push_back(Token{TokKind::EndOfFile, "", 0, 0, {}});
     return std::move(result_);
   }
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 namespace pareval::support {
 
@@ -14,22 +15,168 @@ unsigned hardware_threads() noexcept {
   return n == 0 ? 1 : n;
 }
 
+struct ThreadPool::WorkerQueue {
+  std::mutex mu;
+  std::deque<std::function<void()>> tasks;
+};
+
+struct ThreadPool::State {
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::vector<std::thread> workers;
+  std::mutex sleep_mu;
+  std::condition_variable wake;
+  std::atomic<std::size_t> pending{0};
+  std::atomic<std::size_t> next_queue{0};
+  std::atomic<bool> stopping{false};
+};
+
+namespace {
+// Which pool (if any) the current thread is a worker of, and its queue
+// index there. Lets submit() push to the worker's own deque and lets
+// run_pending_task() prefer local work before stealing. Typed as void* only
+// for identity comparison — State stays private to ThreadPool.
+thread_local const void* tls_pool_state = nullptr;
+thread_local unsigned tls_worker_index = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  worker_count_ = threads == 0 ? hardware_threads() : threads;
+  state_ = std::make_shared<State>();
+  state_->queues.reserve(worker_count_);
+  for (unsigned i = 0; i < worker_count_; ++i) {
+    state_->queues.push_back(std::make_unique<WorkerQueue>());
+  }
+  state_->workers.reserve(worker_count_);
+  for (unsigned i = 0; i < worker_count_; ++i) {
+    state_->workers.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  state_->stopping.store(true, std::memory_order_release);
+  {
+    // The lock pairs with the workers' predicate check: without it a worker
+    // could test `stopping`, miss the flag, and sleep through this notify.
+    std::lock_guard<std::mutex> lock(state_->sleep_mu);
+  }
+  state_->wake.notify_all();
+  for (auto& w : state_->workers) w.join();
+}
+
+void ThreadPool::push(std::function<void()> task) {
+  unsigned index;
+  if (tls_pool_state == state_.get()) {
+    index = tls_worker_index;  // nested submission: keep it local
+  } else {
+    index = static_cast<unsigned>(
+        state_->next_queue.fetch_add(1, std::memory_order_relaxed) %
+        worker_count_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->queues[index]->mu);
+    state_->queues[index]->tasks.push_back(std::move(task));
+  }
+  {
+    // The increment must not land between a worker's predicate check and
+    // its block, or the notify below is lost and the task sits until the
+    // next submission; holding sleep_mu orders it before or after both.
+    std::lock_guard<std::mutex> lock(state_->sleep_mu);
+    state_->pending.fetch_add(1, std::memory_order_release);
+  }
+  state_->wake.notify_one();
+}
+
+bool ThreadPool::try_pop(std::function<void()>& out) {
+  const bool is_worker = tls_pool_state == state_.get();
+  const unsigned self = is_worker ? tls_worker_index : 0;
+  // Own deque back first (LIFO: newest, cache-warm, nested children)...
+  if (is_worker) {
+    WorkerQueue& q = *state_->queues[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      state_->pending.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // ...then steal from the front of peers' deques (FIFO: oldest first).
+  for (unsigned k = 0; k < worker_count_; ++k) {
+    const unsigned victim = (self + 1 + k) % worker_count_;
+    if (is_worker && victim == self) continue;
+    WorkerQueue& q = *state_->queues[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      state_->pending.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::run_pending_task() {
+  std::function<void()> task;
+  if (!try_pop(task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::help_until(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!run_pending_task()) std::this_thread::yield();
+  }
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  tls_pool_state = state_.get();
+  tls_worker_index = index;
+  State& s = *state_;
+  while (true) {
+    std::function<void()> task;
+    if (try_pop(task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(s.sleep_mu);
+    s.wake.wait(lock, [&] {
+      return s.stopping.load(std::memory_order_acquire) ||
+             s.pending.load(std::memory_order_acquire) > 0;
+    });
+    if (s.stopping.load(std::memory_order_acquire) &&
+        s.pending.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+  }
+  tls_pool_state = nullptr;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   unsigned threads) {
   if (begin >= end) return;
   if (threads == 0) threads = hardware_threads();
   const std::size_t n = end - begin;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, n));
-  if (threads <= 1) {
+  const unsigned executors =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  if (executors <= 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
+
+  // Dynamic scheduling: `executors` claimers share one atomic index. The
+  // caller is one executor; the other executors run as pool tasks, so the
+  // concurrency cap holds even when the pool has more workers.
   std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
   std::mutex error_mu;
-  auto worker = [&] {
+  auto claim_loop = [&] {
     try {
       while (true) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -41,10 +188,18 @@ void parallel_for(std::size_t begin, std::size_t end,
       if (!first_error) first_error = std::current_exception();
     }
   };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(executors - 1);
+  for (unsigned t = 0; t + 1 < executors; ++t) {
+    helpers.push_back(pool.submit(claim_loop));
+  }
+  claim_loop();
+  // claim_loop swallows exceptions into first_error, so await() here only
+  // waits; it cannot rethrow. Helping while waiting keeps nested
+  // parallel_for calls deadlock-free on a saturated pool.
+  for (auto& h : helpers) pool.await(h);
   if (first_error) std::rethrow_exception(first_error);
 }
 

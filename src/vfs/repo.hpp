@@ -55,6 +55,13 @@ class Repo {
   /// Files in lexicographic path order.
   std::vector<File> files() const;
 
+  /// Visit (path, content) in lexicographic path order without copying —
+  /// the hot-path alternative to files() for hashing and scanning.
+  template <class Fn>
+  void for_each_file(Fn&& fn) const {
+    for (const auto& [path, content] : files_) fn(path, content);
+  }
+
   /// Render the "|--"/"+--" file tree used in translation prompts
   /// (Listing 1 of the paper).
   std::string render_tree() const;

@@ -1,0 +1,192 @@
+// Tests for the work-stealing ThreadPool orchestrator and for the
+// scheduling-invariance guarantee of the evaluation harness: identical
+// TaskResults no matter how many threads execute the sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "eval/harness.hpp"
+#include "support/par.hpp"
+
+namespace ps = pareval::support;
+namespace pe = pareval::eval;
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ps::ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(pool.await(fut), 42);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsToHardware) {
+  ps::ThreadPool pool;
+  EXPECT_EQ(pool.worker_count(), ps::hardware_threads());
+  ps::ThreadPool three(3);
+  EXPECT_EQ(three.worker_count(), 3u);
+}
+
+TEST(ThreadPool, ExercisesAllWorkers) {
+  constexpr unsigned kWorkers = 4;
+  ps::ThreadPool pool(kWorkers);
+  // A barrier only passable when kWorkers tasks run concurrently: each task
+  // blocks until all have arrived, so every worker must pick one up. The
+  // timed wait turns a scheduling bug into a test failure, not a hang.
+  std::mutex mu;
+  std::condition_variable cv;
+  unsigned arrived = 0;
+  std::set<std::thread::id> ids;
+  std::vector<std::future<bool>> futs;
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    futs.push_back(pool.submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+      ++arrived;
+      cv.notify_all();
+      return cv.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return arrived == kWorkers; });
+    }));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get());
+  EXPECT_EQ(ids.size(), kWorkers);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ps::ThreadPool pool(2);
+  auto fut = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.await(fut), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+  // More outer tasks than workers, each submitting and awaiting children:
+  // with blocking waits this deadlocks a 2-worker pool; await() helps.
+  ps::ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::future<int>> outers;
+  for (int t = 0; t < 8; ++t) {
+    outers.push_back(pool.submit([&pool, &inner_runs] {
+      std::vector<std::future<int>> inners;
+      for (int i = 0; i < 4; ++i) {
+        inners.push_back(pool.submit([&inner_runs] {
+          inner_runs.fetch_add(1);
+          return 1;
+        }));
+      }
+      int sum = 0;
+      for (auto& f : inners) sum += pool.await(f);
+      return sum;
+    }));
+  }
+  int total = 0;
+  for (auto& f : outers) total += pool.await(f);
+  EXPECT_EQ(total, 32);
+  EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  std::atomic<int> count{0};
+  ps::parallel_for(0, 8, [&](std::size_t) {
+    ps::parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, RunPendingTaskFromExternalThread) {
+  ps::ThreadPool pool(1);
+  // Saturate the single worker, then verify the external (test) thread can
+  // steal the queued second task itself. Submit the second task only after
+  // the worker has claimed the first, or this thread could steal the
+  // blocker instead and spin in it.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  auto queued = pool.submit([] { return 7; });
+  while (queued.wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    if (!pool.run_pending_task()) std::this_thread::yield();
+  }
+  EXPECT_EQ(queued.get(), 7);
+  release.store(true);
+  pool.await(blocker);
+}
+
+TEST(ParallelFor, ThreadCapOfOneRunsInline) {
+  std::set<std::thread::id> ids;
+  ps::parallel_for(0, 64,
+                   [&](std::size_t) { ids.insert(std::this_thread::get_id()); },
+                   /*threads=*/1);
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(Determinism, RunTaskIdenticalAcrossThreadCounts) {
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  const auto& pair = pareval::llm::all_pairs()[0];
+  const auto& profile = pareval::llm::all_profiles()[0];
+
+  pe::HarnessConfig serial;
+  serial.samples_per_task = 12;
+  serial.threads = 1;
+  pe::HarnessConfig parallel = serial;
+  parallel.threads = ps::hardware_threads();
+
+  const auto a = pe::run_task(*app, pareval::llm::Technique::NonAgentic,
+                              profile, pair, serial);
+  const auto b = pe::run_task(*app, pareval::llm::Technique::NonAgentic,
+                              profile, pair, parallel);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, PairSweepIdenticalAcrossThreadCountsAndCache) {
+  const auto& pair = pareval::llm::all_pairs()[0];
+  pe::HarnessConfig serial;
+  serial.samples_per_task = 2;
+  serial.threads = 1;
+  serial.use_score_cache = false;
+  pe::HarnessConfig parallel = serial;
+  parallel.threads = ps::hardware_threads();
+  parallel.use_score_cache = true;
+
+  const auto a = pe::run_pair_sweep(pair, serial);
+  const auto b = pe::run_pair_sweep(pair, parallel);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScoreCache, HitsOnIdenticalArtifacts) {
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  const auto& repo = app->repos.at(pareval::apps::Model::Cuda);
+  pe::ScoreCache cache;
+  const auto first = cache.score(*app, repo, pareval::apps::Model::Cuda);
+  const auto again = cache.score(*app, repo, pareval::apps::Model::Cuda);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.built, again.built);
+  EXPECT_EQ(first.passed, again.passed);
+  EXPECT_EQ(first.log, again.log);
+
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ScoreCache, ContentHashSeparatesFileBoundaries) {
+  pareval::vfs::Repo a, b;
+  a.write("x", "ab");
+  a.write("y", "c");
+  b.write("x", "a");
+  b.write("y", "bc");
+  EXPECT_NE(pe::repo_content_hash(a), pe::repo_content_hash(b));
+  pareval::vfs::Repo a2 = a;
+  EXPECT_EQ(pe::repo_content_hash(a), pe::repo_content_hash(a2));
+}
