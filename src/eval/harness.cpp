@@ -1,13 +1,19 @@
 #include "eval/harness.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <future>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "buildsim/builder.hpp"
+#include "support/json.hpp"
 #include "support/par.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace pareval::eval {
 
@@ -16,6 +22,7 @@ using apps::AppSpec;
 using llm::LlmProfile;
 using llm::Pair;
 using llm::Technique;
+using support::Json;
 using support::ThreadPool;
 
 double TaskResult::build1_overall() const {
@@ -80,6 +87,41 @@ std::uint64_t repo_content_hash(const vfs::Repo& repo) {
   return h;
 }
 
+std::uint64_t scoring_pipeline_hash() {
+  // Bump the tag whenever score_repo / buildsim / execsim semantics change
+  // in a way the embedded inputs below cannot witness.
+  std::uint64_t h = support::stable_hash(std::string("score-pipeline-v1"));
+  auto fold = [&h](std::uint64_t v) {
+    h = support::SplitMix64(h ^ v).next();
+  };
+  for (const AppSpec* app : apps::all_apps()) {
+    fold(support::stable_hash(app->name));
+    for (const auto& [model, repo] : app->repos) {  // std::map: stable order
+      fold(static_cast<std::uint64_t>(model));
+      fold(repo_content_hash(repo));
+    }
+    for (const auto& [model, repo] : app->ground_truth_builds) {
+      fold(static_cast<std::uint64_t>(model));
+      fold(repo_content_hash(repo));
+    }
+    fold(static_cast<std::uint64_t>(app->tests.size()));
+    for (const auto& tc : app->tests) {
+      // Length-delimit each test case so arg moves across test boundaries
+      // (or added empty-arg tests) cannot alias the same fold stream.
+      fold(static_cast<std::uint64_t>(tc.args.size()));
+      for (const auto& arg : tc.args) fold(support::stable_hash(arg));
+      // The golden output is part of the pipeline: a corrected reference
+      // must invalidate previously persisted passed/failed verdicts.
+      fold(support::stable_hash(app->golden(tc)));
+    }
+    std::uint64_t tol_bits = 0;
+    static_assert(sizeof(tol_bits) == sizeof(app->tolerance));
+    __builtin_memcpy(&tol_bits, &app->tolerance, sizeof(tol_bits));
+    fold(tol_bits);
+  }
+  return h;
+}
+
 ScoreResult ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
                               apps::Model target) {
   std::uint64_t key = repo_content_hash(repo);
@@ -91,18 +133,68 @@ ScoreResult ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      it->second.last_used =
+          clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+      return it->second.result;
     }
   }
   // Score outside the shard lock: builds are the expensive part, and two
   // threads racing on the same key just compute the same pure result twice.
   ScoreResult result = score_repo(app, repo, target);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.entries.emplace(key, result);
-  }
+  insert_entry(key, result);
   return result;
+}
+
+std::size_t ScoreCache::shard_capacity() const noexcept {
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  return std::max<std::size_t>(1, cap / kShards);
+}
+
+namespace {
+
+/// Evict least-recently-used entries until `entries` fits `bound`. Caller
+/// holds the shard lock. The linear victim scan is fine — shard bounds
+/// are small and eviction is rare.
+template <class Map>
+void evict_to_bound(Map& entries, std::size_t bound) {
+  while (entries.size() > bound) {
+    auto victim = entries.begin();
+    for (auto it = std::next(victim); it != entries.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    entries.erase(victim);
+  }
+}
+
+}  // namespace
+
+void ScoreCache::insert_entry(std::uint64_t key, ScoreResult result) {
+  Shard& shard = shards_[key % kShards];
+  const std::uint64_t now =
+      clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries[key] = Entry{std::move(result), now};
+  evict_to_bound(shard.entries, shard_capacity());
+}
+
+std::size_t ScoreCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+void ScoreCache::set_capacity(std::size_t max_entries) {
+  capacity_.store(std::max(max_entries, kShards),
+                  std::memory_order_relaxed);
+  // Apply the new bound immediately instead of waiting for inserts.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    evict_to_bound(shard.entries, shard_capacity());
+  }
 }
 
 void ScoreCache::clear() {
@@ -112,6 +204,61 @@ void ScoreCache::clear() {
   }
   hits_.store(0);
   misses_.store(0);
+}
+
+bool ScoreCache::save(const std::string& path) const {
+  // Deterministic file: entries sorted by key, version first.
+  std::vector<std::pair<std::uint64_t, Entry>> all;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) all.emplace_back(key, entry);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Json root = Json::object();
+  root.set("format", "pareval-score-cache");
+  root.set("pipeline", support::u64_to_hex(scoring_pipeline_hash()));
+  Json entries = Json::array();
+  for (const auto& [key, entry] : all) {
+    Json e = Json::object();
+    e.set("key", support::u64_to_hex(key));
+    e.set("built", entry.result.built);
+    e.set("passed", entry.result.passed);
+    e.set("log", entry.result.log);
+    entries.push_back(std::move(e));
+  }
+  root.set("entries", std::move(entries));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << root.dump() << '\n';
+  return out.good();
+}
+
+bool ScoreCache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto root = Json::parse(buf.str());
+  if (!root || (*root)["format"].as_string() != "pareval-score-cache") {
+    return false;
+  }
+  if ((*root)["pipeline"].as_string() !=
+      support::u64_to_hex(scoring_pipeline_hash())) {
+    return false;  // stale: written by a different scoring pipeline
+  }
+  for (const Json& e : (*root)["entries"].items()) {
+    std::uint64_t key = 0;
+    if (!support::u64_from_hex(e["key"].as_string(), &key)) continue;
+    ScoreResult r;
+    r.built = e["built"].as_bool();
+    r.passed = e["passed"].as_bool();
+    r.log = e["log"].as_string();
+    insert_entry(key, std::move(r));
+  }
+  return true;
 }
 
 ScoreCache& ScoreCache::global() {
@@ -136,16 +283,21 @@ vfs::Repo with_ground_truth_build(const AppSpec& app, const vfs::Repo& repo,
   return out;
 }
 
-/// Everything one sample contributes to its cell's TaskResult.
-struct SampleRun {
-  bool generated = false;
-  std::string abort_reason;
-  SampleOutcome outcome;
-};
+}  // namespace
 
-SampleRun run_sample(const AppSpec& app, Technique technique,
-                     const LlmProfile& profile, const Pair& pair,
-                     const HarnessConfig& config, std::uint64_t sample_seed) {
+SampleRun run_cell_sample(const AppSpec& app, Technique technique,
+                          const LlmProfile& profile, const Pair& pair,
+                          const HarnessConfig& config, int sample_index) {
+  // Per-sample derived RNG stream: seed ⊕ hash(llm, technique, pair, app,
+  // sample). The stream depends only on the sample's coordinates, never on
+  // execution order, so serial, pooled, and sharded runs are bit-identical.
+  const std::string cell_key = profile.name + "|" +
+                               llm::technique_name(technique) + "|" +
+                               llm::pair_name(pair) + "|" + app.name;
+  const std::uint64_t sample_seed =
+      config.seed ^
+      support::stable_hash(cell_key + "#" + std::to_string(sample_index));
+
   SampleRun run;
   support::Rng rng(sample_seed);
   TranslationResult gen =
@@ -177,69 +329,14 @@ SampleRun run_sample(const AppSpec& app, Technique technique,
   return run;
 }
 
-}  // namespace
-
-TaskResult run_task(const AppSpec& app, Technique technique,
-                    const LlmProfile& profile, const Pair& pair,
-                    const HarnessConfig& config) {
+TaskResult aggregate_samples(const AppSpec& app, Technique technique,
+                             const LlmProfile& profile, const Pair& pair,
+                             std::vector<SampleRun> runs) {
   TaskResult result;
   result.llm = profile.name;
   result.technique = technique;
   result.pair = pair;
   result.app = app.name;
-
-  // Per-sample derived RNG streams: seed ⊕ hash(llm, technique, pair, app,
-  // sample). Each sample's stream depends only on its coordinates, never on
-  // execution order, so serial and work-stealing runs are bit-identical.
-  const std::string cell_key = profile.name + "|" +
-                               llm::technique_name(technique) + "|" +
-                               llm::pair_name(pair) + "|" + app.name;
-  auto sample_seed = [&](int sample) {
-    return config.seed ^
-           support::stable_hash(cell_key + "#" + std::to_string(sample));
-  };
-
-  std::vector<SampleRun> runs;
-  runs.reserve(config.samples_per_task);
-  if (config.threads == 1) {
-    for (int i = 0; i < config.samples_per_task; ++i) {
-      runs.push_back(run_sample(app, technique, profile, pair, config,
-                                sample_seed(i)));
-      if (!runs.back().generated) break;  // aborted cell: stop sampling
-    }
-  } else {
-    // Every sample is an independent pool task. run_task itself often runs
-    // as a pool task (run_pair_sweep submits cells), so awaiting helps
-    // execute other pending samples instead of blocking a worker.
-    //
-    // Aggregation stops at the lowest non-generated index, so samples past
-    // it are dead work; the shared floor lets late-scheduled samples skip
-    // themselves. Determinism holds because only a fully-run abort lowers
-    // the floor, so every index up to the first real abort still runs.
-    ThreadPool& pool = ThreadPool::global();
-    auto abort_floor = std::make_shared<std::atomic<int>>(
-        std::numeric_limits<int>::max());
-    std::vector<std::future<SampleRun>> futures;
-    futures.reserve(config.samples_per_task);
-    for (int i = 0; i < config.samples_per_task; ++i) {
-      futures.push_back(pool.submit([&app, technique, &profile, pair, config,
-                                     abort_floor, i, seed = sample_seed(i)] {
-        if (i > abort_floor->load(std::memory_order_acquire)) {
-          return SampleRun{};  // past an abort; aggregation never gets here
-        }
-        SampleRun run =
-            run_sample(app, technique, profile, pair, config, seed);
-        if (!run.generated) {
-          int cur = abort_floor->load(std::memory_order_relaxed);
-          while (i < cur && !abort_floor->compare_exchange_weak(
-                                cur, i, std::memory_order_release)) {
-          }
-        }
-        return run;
-      }));
-    }
-    for (auto& f : futures) runs.push_back(pool.await(f));
-  }
 
   // Aggregate in sample-index order; the first non-generated sample aborts
   // the cell exactly as the serial early-exit does.
@@ -265,14 +362,57 @@ TaskResult run_task(const AppSpec& app, Technique technique,
   return result;
 }
 
-std::vector<TaskResult> run_pair_sweep(const Pair& pair,
-                                       const HarnessConfig& config) {
-  struct Cell {
-    const AppSpec* app;
-    Technique technique;
-    const LlmProfile* profile;
-  };
-  std::vector<Cell> cells;
+TaskResult run_task(const AppSpec& app, Technique technique,
+                    const LlmProfile& profile, const Pair& pair,
+                    const HarnessConfig& config) {
+  std::vector<SampleRun> runs;
+  runs.reserve(config.samples_per_task);
+  if (config.threads == 1) {
+    for (int i = 0; i < config.samples_per_task; ++i) {
+      runs.push_back(
+          run_cell_sample(app, technique, profile, pair, config, i));
+      if (!runs.back().generated) break;  // aborted cell: stop sampling
+    }
+  } else {
+    // Every sample is an independent pool task. run_task itself often runs
+    // as a pool task (run_pair_sweep submits cells), so awaiting helps
+    // execute other pending samples instead of blocking a worker.
+    //
+    // Aggregation stops at the lowest non-generated index, so samples past
+    // it are dead work; the shared floor lets late-scheduled samples skip
+    // themselves. Determinism holds because only a fully-run abort lowers
+    // the floor, so every index up to the first real abort still runs.
+    ThreadPool& pool = ThreadPool::global();
+    auto abort_floor = std::make_shared<std::atomic<int>>(
+        std::numeric_limits<int>::max());
+    std::vector<std::future<SampleRun>> futures;
+    futures.reserve(config.samples_per_task);
+    for (int i = 0; i < config.samples_per_task; ++i) {
+      futures.push_back(
+          pool.submit([&app, technique, &profile, pair, config, abort_floor,
+                       i] {
+            if (i > abort_floor->load(std::memory_order_acquire)) {
+              return SampleRun{};  // past an abort; aggregation never gets
+                                   // here
+            }
+            SampleRun run =
+                run_cell_sample(app, technique, profile, pair, config, i);
+            if (!run.generated) {
+              int cur = abort_floor->load(std::memory_order_relaxed);
+              while (i < cur && !abort_floor->compare_exchange_weak(
+                                    cur, i, std::memory_order_release)) {
+              }
+            }
+            return run;
+          }));
+    }
+    for (auto& f : futures) runs.push_back(pool.await(f));
+  }
+  return aggregate_samples(app, technique, profile, pair, std::move(runs));
+}
+
+std::vector<SweepCell> sweep_cells(const Pair& pair) {
+  std::vector<SweepCell> cells;
   for (const apps::AppSpec* app : apps::all_apps()) {
     // Apps without an implementation in the pair's source model are not
     // tasks for this pair (Table 1).
@@ -291,11 +431,17 @@ std::vector<TaskResult> run_pair_sweep(const Pair& pair,
       }
     }
   }
+  return cells;
+}
+
+std::vector<TaskResult> run_pair_sweep(const Pair& pair,
+                                       const HarnessConfig& config) {
+  const std::vector<SweepCell> cells = sweep_cells(pair);
 
   std::vector<TaskResult> out;
   out.reserve(cells.size());
   if (config.threads == 1) {
-    for (const Cell& cell : cells) {
+    for (const SweepCell& cell : cells) {
       out.push_back(
           run_task(*cell.app, cell.technique, *cell.profile, pair, config));
     }
@@ -306,7 +452,7 @@ std::vector<TaskResult> run_pair_sweep(const Pair& pair,
   ThreadPool& pool = ThreadPool::global();
   std::vector<std::future<TaskResult>> futures;
   futures.reserve(cells.size());
-  for (const Cell& cell : cells) {
+  for (const SweepCell& cell : cells) {
     futures.push_back(pool.submit([cell, pair, config] {
       return run_task(*cell.app, cell.technique, *cell.profile, pair,
                       config);

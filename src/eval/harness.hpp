@@ -75,6 +75,8 @@ struct ScoreResult {
   bool built = false;
   bool passed = false;
   std::string log;
+
+  bool operator==(const ScoreResult&) const = default;
 };
 ScoreResult score_repo(const apps::AppSpec& app, const vfs::Repo& repo,
                        apps::Model target);
@@ -84,10 +86,23 @@ ScoreResult score_repo(const apps::AppSpec& app, const vfs::Repo& repo,
 /// generated artifact".
 std::uint64_t repo_content_hash(const vfs::Repo& repo);
 
+/// Version key of the scoring pipeline: folds a hand-bumped pipeline tag
+/// with every embedded scoring input (app repos, ground-truth builds, test
+/// cases, tolerances). A persisted ScoreCache whose version differs is
+/// stale — the scores it memoizes were produced by a different pipeline —
+/// and ScoreCache::load discards it.
+std::uint64_t scoring_pipeline_hash();
+
 /// Thread-safe memoization of score_repo keyed by (app name, repo content
 /// hash, target model). Code-only re-scores and repeated golden builds of
 /// identical artifacts hit the cache instead of re-running the build/exec
 /// pipeline. Sharded to keep the harness's parallel samples off one lock.
+///
+/// The cache is persistent: save()/load() serialize it as versioned JSON
+/// (see scoring_pipeline_hash) so figure regeneration after a code-only
+/// change warm-starts from the previous run's scores. Size is bounded:
+/// each shard holds at most capacity/kShards entries and evicts its
+/// least-recently-used entry on overflow.
 class ScoreCache {
  public:
   /// score_repo with memoization.
@@ -96,21 +111,83 @@ class ScoreCache {
 
   std::size_t hits() const noexcept { return hits_.load(); }
   std::size_t misses() const noexcept { return misses_.load(); }
+  std::size_t size() const;
   void clear();
+
+  /// Bound the entry count (minimum kShards: one entry per shard).
+  void set_capacity(std::size_t max_entries);
+
+  /// Write every entry to `path` as JSON, tagged with the current
+  /// scoring-pipeline hash. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+  /// Merge the entries of a previously saved file into this cache.
+  /// Returns false — loading nothing — when the file is missing, does not
+  /// parse, or was written by a different scoring pipeline (stale cache).
+  bool load(const std::string& path);
 
   /// Process-wide instance used by run_task when use_score_cache is set.
   static ScoreCache& global();
 
  private:
   static constexpr std::size_t kShards = 16;
-  struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::uint64_t, ScoreResult> entries;
+  struct Entry {
+    ScoreResult result;
+    std::uint64_t last_used = 0;
   };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> entries;
+  };
+
+  std::size_t shard_capacity() const noexcept;
+  void insert_entry(std::uint64_t key, ScoreResult result);
+
   std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::size_t> capacity_{1 << 16};
 };
+
+/// Everything one sample contributes to its cell's TaskResult.
+struct SampleRun {
+  bool generated = false;
+  std::string abort_reason;
+  SampleOutcome outcome;
+
+  bool operator==(const SampleRun&) const = default;
+};
+
+/// Run one (cell, sample) unit with its derived RNG stream: seed ⊕
+/// hash(llm, technique, pair, app, sample_index). The unit depends only on
+/// its coordinates — never on execution order, thread count, or which
+/// process runs it — which is what makes distributed sharding exact.
+SampleRun run_cell_sample(const apps::AppSpec& app, llm::Technique technique,
+                          const llm::LlmProfile& profile,
+                          const llm::Pair& pair, const HarnessConfig& config,
+                          int sample_index);
+
+/// Fold per-sample runs (in sample-index order) into a TaskResult. Stops
+/// at the first non-generated sample exactly as the serial early-exit
+/// does; run_task and the shard merger share this so any recombination of
+/// the same SampleRuns is bit-identical to a single-process run.
+TaskResult aggregate_samples(const apps::AppSpec& app,
+                             llm::Technique technique,
+                             const llm::LlmProfile& profile,
+                             const llm::Pair& pair,
+                             std::vector<SampleRun> runs);
+
+/// One (app, technique, LLM) cell of a pair's sweep.
+struct SweepCell {
+  const apps::AppSpec* app = nullptr;
+  llm::Technique technique = llm::Technique::NonAgentic;
+  const llm::LlmProfile* profile = nullptr;
+};
+
+/// The cells of one pair's sweep in canonical order — the order
+/// run_pair_sweep returns TaskResults in, and the cell indices the shard
+/// planner partitions.
+std::vector<SweepCell> sweep_cells(const llm::Pair& pair);
 
 /// Run one cell.
 TaskResult run_task(const apps::AppSpec& app, llm::Technique technique,

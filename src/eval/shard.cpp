@@ -1,0 +1,420 @@
+#include "eval/shard.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "support/par.hpp"
+#include "support/strings.hpp"
+
+namespace pareval::eval {
+
+using support::Json;
+using support::ThreadPool;
+
+// --- planner ----------------------------------------------------------------
+
+ShardPlan plan_shard(std::size_t cell_count, int samples_per_cell,
+                     int shard_index, int shard_count) {
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+    throw std::invalid_argument(support::strfmt(
+        "plan_shard: shard_index %d out of range for shard_count %d",
+        shard_index, shard_count));
+  }
+  if (samples_per_cell < 1) {
+    throw std::invalid_argument("plan_shard: samples_per_cell must be >= 1");
+  }
+  ShardPlan plan;
+  plan.shard_index = shard_index;
+  plan.shard_count = shard_count;
+  const std::size_t total = cell_count * static_cast<std::size_t>(samples_per_cell);
+  // First unit this shard owns, then stride by shard_count: g % K == index.
+  for (std::size_t g = static_cast<std::size_t>(shard_index); g < total;
+       g += static_cast<std::size_t>(shard_count)) {
+    plan.units.emplace_back(static_cast<int>(g / samples_per_cell),
+                            static_cast<int>(g % samples_per_cell));
+  }
+  return plan;
+}
+
+// --- worker -----------------------------------------------------------------
+
+ShardResult run_shard(const llm::Pair& pair, int shard_index,
+                      int shard_count, const HarnessConfig& config) {
+  const std::vector<SweepCell> cells = sweep_cells(pair);
+  const ShardPlan plan = plan_shard(cells.size(), config.samples_per_task,
+                                    shard_index, shard_count);
+  ShardResult out;
+  out.pair = pair;
+  out.shard_index = shard_index;
+  out.shard_count = shard_count;
+  out.samples_per_task = config.samples_per_task;
+  out.seed = config.seed;
+  out.records.reserve(plan.units.size());
+
+  if (config.threads == 1) {
+    for (const auto& [cell, sample] : plan.units) {
+      const SweepCell& c = cells[cell];
+      out.records.push_back(
+          {cell, sample,
+           run_cell_sample(*c.app, c.technique, *c.profile, pair, config,
+                           sample)});
+    }
+    return out;
+  }
+  // Every unit is an independent pool task; collection order is plan
+  // order, independent of completion order.
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<std::future<SampleRun>> futures;
+  futures.reserve(plan.units.size());
+  for (const auto& [cell, sample] : plan.units) {
+    const SweepCell& c = cells[cell];
+    futures.push_back(pool.submit([c, pair, config, sample = sample] {
+      return run_cell_sample(*c.app, c.technique, *c.profile, pair, config,
+                             sample);
+    }));
+  }
+  for (std::size_t i = 0; i < plan.units.size(); ++i) {
+    out.records.push_back(
+        {plan.units[i].first, plan.units[i].second, pool.await(futures[i])});
+  }
+  return out;
+}
+
+// --- merger -----------------------------------------------------------------
+
+std::vector<TaskResult> merge_shards(
+    const llm::Pair& pair, const std::vector<ShardResult>& shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("merge_shards: no shards to merge");
+  }
+  const int samples = shards.front().samples_per_task;
+  const std::uint64_t seed = shards.front().seed;
+  const int shard_count = shards.front().shard_count;
+  for (const ShardResult& s : shards) {
+    if (!(s.pair == pair)) {
+      throw std::runtime_error("merge_shards: shard is for a different pair");
+    }
+    if (s.samples_per_task != samples || s.seed != seed ||
+        s.shard_count != shard_count) {
+      throw std::runtime_error(support::strfmt(
+          "merge_shards: shard %d disagrees on configuration "
+          "(samples %d vs %d, shard_count %d vs %d)",
+          s.shard_index, s.samples_per_task, samples, s.shard_count,
+          shard_count));
+    }
+  }
+
+  const std::vector<SweepCell> cells = sweep_cells(pair);
+  // cell -> sample -> run, deduplicated with an exactly-once check.
+  std::vector<std::vector<std::pair<bool, SampleRun>>> grid(
+      cells.size(),
+      std::vector<std::pair<bool, SampleRun>>(
+          static_cast<std::size_t>(samples)));
+  for (const ShardResult& s : shards) {
+    for (const SampleRecord& rec : s.records) {
+      if (rec.cell < 0 || rec.cell >= static_cast<int>(cells.size()) ||
+          rec.sample < 0 || rec.sample >= samples) {
+        throw std::runtime_error(support::strfmt(
+            "merge_shards: record (cell %d, sample %d) out of range",
+            rec.cell, rec.sample));
+      }
+      auto& slot = grid[rec.cell][rec.sample];
+      if (slot.first) {
+        throw std::runtime_error(support::strfmt(
+            "merge_shards: unit (cell %d, sample %d) covered twice",
+            rec.cell, rec.sample));
+      }
+      slot = {true, rec.run};
+    }
+  }
+
+  std::vector<TaskResult> out;
+  out.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<SampleRun> runs;
+    runs.reserve(static_cast<std::size_t>(samples));
+    for (int i = 0; i < samples; ++i) {
+      auto& slot = grid[c][i];
+      if (!slot.first) {
+        throw std::runtime_error(support::strfmt(
+            "merge_shards: unit (cell %zu, sample %d) missing — expected "
+            "%d shards",
+            c, i, shard_count));
+      }
+      runs.push_back(std::move(slot.second));
+    }
+    out.push_back(aggregate_samples(*cells[c].app, cells[c].technique,
+                                    *cells[c].profile, pair,
+                                    std::move(runs)));
+  }
+  return out;
+}
+
+// --- enum keys --------------------------------------------------------------
+
+const char* model_key(apps::Model m) {
+  switch (m) {
+    case apps::Model::OmpThreads: return "omp_threads";
+    case apps::Model::OmpOffload: return "omp_offload";
+    case apps::Model::Cuda: return "cuda";
+    case apps::Model::Kokkos: return "kokkos";
+  }
+  return "?";
+}
+
+bool model_from_key(const std::string& key, apps::Model* out) {
+  for (const auto m : {apps::Model::OmpThreads, apps::Model::OmpOffload,
+                       apps::Model::Cuda, apps::Model::Kokkos}) {
+    if (key == model_key(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool technique_from_name(const std::string& name, llm::Technique* out) {
+  for (const auto t : {llm::Technique::NonAgentic, llm::Technique::TopDown,
+                       llm::Technique::SweAgent}) {
+    if (name == llm::technique_name(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- JSON codecs ------------------------------------------------------------
+
+namespace {
+
+Json pair_to_json(const llm::Pair& p) {
+  Json j = Json::object();
+  j.set("from", model_key(p.from));
+  j.set("to", model_key(p.to));
+  return j;
+}
+
+bool pair_from_json(const Json& j, llm::Pair* out) {
+  return model_from_key(j["from"].as_string(), &out->from) &&
+         model_from_key(j["to"].as_string(), &out->to);
+}
+
+Json u64_to_json(std::uint64_t v) { return Json(support::u64_to_hex(v)); }
+
+bool u64_from_json(const Json& j, std::uint64_t* out) {
+  return support::u64_from_hex(j.as_string(), out);
+}
+
+Json sample_run_to_json(const SampleRun& r) {
+  Json j = Json::object();
+  j.set("generated", r.generated);
+  if (!r.generated) {
+    j.set("abort_reason", r.abort_reason);
+    return j;  // outcome is all-default for non-generated samples
+  }
+  j.set("outcome", to_json(r.outcome));
+  return j;
+}
+
+bool sample_run_from_json(const Json& j, SampleRun* out) {
+  if (!j["generated"].is_bool()) return false;
+  out->generated = j["generated"].as_bool();
+  if (!out->generated) {
+    out->abort_reason = j["abort_reason"].as_string();
+    out->outcome = SampleOutcome{};
+    return true;
+  }
+  return from_json(j["outcome"], &out->outcome);
+}
+
+}  // namespace
+
+Json to_json(const ScoreResult& r) {
+  Json j = Json::object();
+  j.set("built", r.built);
+  j.set("passed", r.passed);
+  j.set("log", r.log);
+  return j;
+}
+
+bool from_json(const Json& j, ScoreResult* out) {
+  if (!j["built"].is_bool() || !j["passed"].is_bool() ||
+      !j["log"].is_string()) {
+    return false;
+  }
+  out->built = j["built"].as_bool();
+  out->passed = j["passed"].as_bool();
+  out->log = j["log"].as_string();
+  return true;
+}
+
+Json to_json(const SampleOutcome& o) {
+  Json j = Json::object();
+  j.set("built_overall", o.built_overall);
+  j.set("passed_overall", o.passed_overall);
+  j.set("built_codeonly", o.built_codeonly);
+  j.set("passed_codeonly", o.passed_codeonly);
+  j.set("tokens", o.tokens);
+  j.set("failure_log", o.failure_log);
+  Json defects = Json::array();
+  for (const std::string& d : o.defects) defects.push_back(d);
+  j.set("defects", std::move(defects));
+  return j;
+}
+
+bool from_json(const Json& j, SampleOutcome* out) {
+  if (!j.is_object() || !j["built_overall"].is_bool() ||
+      !j["tokens"].is_number()) {
+    return false;
+  }
+  out->built_overall = j["built_overall"].as_bool();
+  out->passed_overall = j["passed_overall"].as_bool();
+  out->built_codeonly = j["built_codeonly"].as_bool();
+  out->passed_codeonly = j["passed_codeonly"].as_bool();
+  out->tokens = j["tokens"].as_int();
+  out->failure_log = j["failure_log"].as_string();
+  out->defects.clear();
+  for (const Json& d : j["defects"].items()) {
+    out->defects.push_back(d.as_string());
+  }
+  return true;
+}
+
+Json to_json(const TaskResult& t) {
+  Json j = Json::object();
+  j.set("llm", t.llm);
+  j.set("technique", llm::technique_name(t.technique));
+  j.set("pair", pair_to_json(t.pair));
+  j.set("app", t.app);
+  j.set("ran", t.ran);
+  j.set("abort_reason", t.abort_reason);
+  j.set("samples", t.samples);
+  j.set("built_overall", t.built_overall);
+  j.set("passed_overall", t.passed_overall);
+  j.set("built_codeonly", t.built_codeonly);
+  j.set("passed_codeonly", t.passed_codeonly);
+  j.set("avg_tokens", t.avg_tokens);
+  Json outcomes = Json::array();
+  for (const SampleOutcome& o : t.outcomes) outcomes.push_back(to_json(o));
+  j.set("outcomes", std::move(outcomes));
+  return j;
+}
+
+bool from_json(const Json& j, TaskResult* out) {
+  if (!j.is_object() || !j["llm"].is_string() || !j["ran"].is_bool()) {
+    return false;
+  }
+  out->llm = j["llm"].as_string();
+  if (!technique_from_name(j["technique"].as_string(), &out->technique)) {
+    return false;
+  }
+  if (!pair_from_json(j["pair"], &out->pair)) return false;
+  out->app = j["app"].as_string();
+  out->ran = j["ran"].as_bool();
+  out->abort_reason = j["abort_reason"].as_string();
+  out->samples = static_cast<int>(j["samples"].as_int());
+  out->built_overall = static_cast<int>(j["built_overall"].as_int());
+  out->passed_overall = static_cast<int>(j["passed_overall"].as_int());
+  out->built_codeonly = static_cast<int>(j["built_codeonly"].as_int());
+  out->passed_codeonly = static_cast<int>(j["passed_codeonly"].as_int());
+  out->avg_tokens = j["avg_tokens"].as_double();
+  out->outcomes.clear();
+  for (const Json& o : j["outcomes"].items()) {
+    SampleOutcome outcome;
+    if (!from_json(o, &outcome)) return false;
+    out->outcomes.push_back(std::move(outcome));
+  }
+  return true;
+}
+
+Json to_json(const ShardResult& s) {
+  Json j = Json::object();
+  j.set("pair", pair_to_json(s.pair));
+  j.set("shard_index", s.shard_index);
+  j.set("shard_count", s.shard_count);
+  j.set("samples_per_task", s.samples_per_task);
+  j.set("seed", u64_to_json(s.seed));
+  Json records = Json::array();
+  for (const SampleRecord& rec : s.records) {
+    Json r = Json::object();
+    r.set("cell", rec.cell);
+    r.set("sample", rec.sample);
+    r.set("run", sample_run_to_json(rec.run));
+    records.push_back(std::move(r));
+  }
+  j.set("records", std::move(records));
+  return j;
+}
+
+bool from_json(const Json& j, ShardResult* out) {
+  if (!j.is_object() || !pair_from_json(j["pair"], &out->pair)) return false;
+  if (!j["shard_index"].is_number() || !j["shard_count"].is_number() ||
+      !j["samples_per_task"].is_number()) {
+    return false;
+  }
+  out->shard_index = static_cast<int>(j["shard_index"].as_int());
+  out->shard_count = static_cast<int>(j["shard_count"].as_int());
+  out->samples_per_task = static_cast<int>(j["samples_per_task"].as_int());
+  if (!u64_from_json(j["seed"], &out->seed)) return false;
+  out->records.clear();
+  for (const Json& r : j["records"].items()) {
+    SampleRecord rec;
+    if (!r["cell"].is_number() || !r["sample"].is_number()) return false;
+    rec.cell = static_cast<int>(r["cell"].as_int());
+    rec.sample = static_cast<int>(r["sample"].as_int());
+    if (!sample_run_from_json(r["run"], &rec.run)) return false;
+    out->records.push_back(std::move(rec));
+  }
+  return true;
+}
+
+// --- shard files ------------------------------------------------------------
+
+namespace {
+constexpr const char* kShardFormat = "pareval-shard";
+}
+
+std::string shard_file_text(const std::vector<ShardResult>& shards) {
+  Json root = Json::object();
+  root.set("format", kShardFormat);
+  Json arr = Json::array();
+  for (const ShardResult& s : shards) arr.push_back(to_json(s));
+  root.set("shards", std::move(arr));
+  return root.dump() + "\n";
+}
+
+bool parse_shard_file(const std::string& text,
+                      std::vector<ShardResult>* out, std::string* error) {
+  std::string parse_error;
+  const auto root = Json::parse(text, &parse_error);
+  if (!root) {
+    if (error != nullptr) *error = "JSON parse error: " + parse_error;
+    return false;
+  }
+  if ((*root)["format"].as_string() != kShardFormat) {
+    if (error != nullptr) *error = "not a pareval-shard file";
+    return false;
+  }
+  out->clear();
+  for (const Json& s : (*root)["shards"].items()) {
+    ShardResult shard;
+    if (!from_json(s, &shard)) {
+      if (error != nullptr) {
+        *error = support::strfmt("malformed shard entry #%zu", out->size());
+      }
+      return false;
+    }
+    out->push_back(std::move(shard));
+  }
+  if (out->empty()) {
+    if (error != nullptr) *error = "shard file contains no shards";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pareval::eval

@@ -1,0 +1,110 @@
+#pragma once
+// Distributed sweep sharding: partition the (cell × sample) matrix of one
+// pair's sweep across `shard_count` independent workers, run a shard to
+// per-sample records, and recombine shards by cell in sample-index order.
+//
+// Because every (cell, sample) unit draws from an RNG stream derived only
+// from its coordinates (see run_cell_sample) and aggregation walks
+// sample-index order, merge_shards(run_shard(0..K-1)) is bit-identical to
+// a single-process run_pair_sweep for every K — the invariant the CI
+// fan-in job enforces end-to-end.
+//
+// Also home to the JSON codecs for the harness's result types, so shard
+// files, merged sweeps, and figure inputs share one on-disk format.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/harness.hpp"
+#include "support/json.hpp"
+
+namespace pareval::eval {
+
+/// One (cell, sample) unit of a pair's sweep, tagged with its coordinates
+/// so shards can be recombined without any ordering assumptions.
+struct SampleRecord {
+  int cell = 0;    // index into sweep_cells(pair)
+  int sample = 0;  // sample index within the cell
+  SampleRun run;
+
+  bool operator==(const SampleRecord&) const = default;
+};
+
+/// The units one shard owns: global unit index g = cell * samples_per_task
+/// + sample is assigned to shard g % shard_count. Interleaving balances
+/// load (consecutive samples of an expensive cell land on different
+/// shards) and keeps the plan a pure function of the four integers.
+struct ShardPlan {
+  int shard_index = 0;
+  int shard_count = 1;
+  std::vector<std::pair<int, int>> units;  // (cell, sample), ascending
+};
+
+/// Deterministic planner. Throws std::invalid_argument unless
+/// 0 <= shard_index < shard_count and samples_per_cell > 0.
+ShardPlan plan_shard(std::size_t cell_count, int samples_per_cell,
+                     int shard_index, int shard_count);
+
+/// One shard's worth of a pair's sweep, self-describing enough for the
+/// merger to validate that all shards ran the same configuration.
+struct ShardResult {
+  llm::Pair pair;
+  int shard_index = 0;
+  int shard_count = 1;
+  int samples_per_task = 0;
+  std::uint64_t seed = 0;
+  std::vector<SampleRecord> records;  // in plan (ascending unit) order
+
+  bool operator==(const ShardResult&) const = default;
+};
+
+/// Run this process's share of the pair's sweep. Uses the global pool
+/// unless config.threads == 1. config.samples_per_task and config.seed are
+/// recorded in the result for merge-time validation.
+ShardResult run_shard(const llm::Pair& pair, int shard_index,
+                      int shard_count, const HarnessConfig& config = {});
+
+/// Recombine shards of one pair into per-cell TaskResults, bit-identical
+/// to run_pair_sweep with the same samples/seed. Throws std::runtime_error
+/// when the shards disagree on configuration, cover a unit twice, or
+/// leave a unit uncovered. (Records past a cell's abort floor are still
+/// required for coverage — a shard cannot know another shard aborted —
+/// but aggregation ignores them, exactly as the single-process pool does.)
+std::vector<TaskResult> merge_shards(const llm::Pair& pair,
+                                     const std::vector<ShardResult>& shards);
+
+// --- stable string keys for enums (used by the JSON codecs) ----------------
+
+/// "cuda", "omp_threads", "omp_offload", "kokkos".
+const char* model_key(apps::Model m);
+bool model_from_key(const std::string& key, apps::Model* out);
+
+/// technique_name round trip ("Non-agentic", ...).
+bool technique_from_name(const std::string& name, llm::Technique* out);
+
+// --- JSON codecs ------------------------------------------------------------
+// to_json is total; from_json returns false (leaving *out unspecified) on
+// missing/mistyped fields so the CLI tools can reject malformed files.
+
+support::Json to_json(const ScoreResult& r);
+bool from_json(const support::Json& j, ScoreResult* out);
+
+support::Json to_json(const SampleOutcome& o);
+bool from_json(const support::Json& j, SampleOutcome* out);
+
+support::Json to_json(const TaskResult& t);
+bool from_json(const support::Json& j, TaskResult* out);
+
+support::Json to_json(const ShardResult& s);
+bool from_json(const support::Json& j, ShardResult* out);
+
+/// File wrapper for sweep_worker output: one or more ShardResults (one per
+/// pair swept) under a format tag.
+std::string shard_file_text(const std::vector<ShardResult>& shards);
+/// Parse a shard file; returns false and sets `error` on malformed input.
+bool parse_shard_file(const std::string& text,
+                      std::vector<ShardResult>* out, std::string* error);
+
+}  // namespace pareval::eval

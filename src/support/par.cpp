@@ -28,6 +28,10 @@ struct ThreadPool::State {
   std::atomic<std::size_t> pending{0};
   std::atomic<std::size_t> next_queue{0};
   std::atomic<bool> stopping{false};
+  // Threads idling inside help_until on the wake cv. notify_one would be
+  // consumed by a sleeping worker and leave a helper napping through its
+  // full backoff interval; push() broadcasts when any helper is asleep.
+  std::atomic<unsigned> helpers_sleeping{0};
 };
 
 namespace {
@@ -83,7 +87,11 @@ void ThreadPool::push(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(state_->sleep_mu);
     state_->pending.fetch_add(1, std::memory_order_release);
   }
-  state_->wake.notify_one();
+  if (state_->helpers_sleeping.load(std::memory_order_acquire) > 0) {
+    state_->wake.notify_all();  // prompt wakeup for backed-off helpers
+  } else {
+    state_->wake.notify_one();
+  }
 }
 
 bool ThreadPool::try_pop(std::function<void()>& out) {
@@ -124,8 +132,37 @@ bool ThreadPool::run_pending_task() {
 }
 
 void ThreadPool::help_until(const std::function<bool()>& done) {
+  // Idle backoff: a few yields for short waits, then bounded exponential
+  // sleeps on the wake cv. push() broadcasts while helpers sleep, so new
+  // work still gets prompt pickup; `done()` turning true with no
+  // accompanying push (an in-flight task completing) is observed within
+  // one capped nap. An idle helper therefore burns ~no CPU instead of
+  // yield-spinning a core.
+  constexpr unsigned kSpinRounds = 16;
+  constexpr unsigned kNapFloorUs = 32;
+  constexpr unsigned kNapCapShift = 6;  // 32us << 6 = ~2ms max nap
+  State& s = *state_;
+  unsigned idle = 0;
   while (!done()) {
-    if (!run_pending_task()) std::this_thread::yield();
+    if (run_pending_task()) {
+      idle = 0;
+      continue;
+    }
+    ++idle;
+    if (idle <= kSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    const unsigned shift = std::min(idle - kSpinRounds, kNapCapShift);
+    const auto nap = std::chrono::microseconds(kNapFloorUs << shift);
+    std::unique_lock<std::mutex> lock(s.sleep_mu);
+    if (s.pending.load(std::memory_order_acquire) > 0) continue;
+    s.helpers_sleeping.fetch_add(1, std::memory_order_release);
+    s.wake.wait_for(lock, nap, [&] {
+      return s.pending.load(std::memory_order_acquire) > 0 ||
+             s.stopping.load(std::memory_order_acquire);
+    });
+    s.helpers_sleeping.fetch_sub(1, std::memory_order_release);
   }
 }
 

@@ -67,7 +67,10 @@ class ThreadPool {
     return fut.get();
   }
 
-  /// Run pending tasks until `done()` returns true (yielding when idle).
+  /// Run pending tasks until `done()` returns true. When no work is
+  /// available it backs off — a few yields, then bounded exponential
+  /// sleeps (capped at ~2ms) on the pool's wake signal — so an idle
+  /// waiter burns ~no CPU while push() still wakes it promptly.
   void help_until(const std::function<bool()>& done);
 
   /// The process-wide pool shared by parallel_for and the harness.

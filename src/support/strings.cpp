@@ -114,6 +114,26 @@ std::string format_number(double v, int digits) {
   return s;
 }
 
+std::string u64_to_hex(std::uint64_t v) {
+  return strfmt("%016llx", static_cast<unsigned long long>(v));
+}
+
+bool u64_from_hex(std::string_view hex, std::uint64_t* out) {
+  // Strict: strtoull would accept signs, whitespace, and "0x" prefixes,
+  // any of which would silently mangle a hand-edited cache key.
+  if (hex.empty() || hex.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return false;
+  }
+  *out = v;
+  return true;
+}
+
 std::string strfmt(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

@@ -1,6 +1,7 @@
 #pragma once
 // Small string utilities shared across the harness. All functions are pure.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,5 +45,12 @@ std::string format_number(double v, int digits = 3);
 
 /// printf-style formatting into a std::string.
 std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-width lowercase hex encoding of a u64 ("%016llx") and its strict
+/// inverse: exactly 1-16 hex digits, no sign/whitespace/"0x" accepted.
+/// Shared by the persistent ScoreCache and the shard JSON codecs so keys
+/// and seeds have one on-disk spelling.
+std::string u64_to_hex(std::uint64_t v);
+bool u64_from_hex(std::string_view hex, std::uint64_t* out);
 
 }  // namespace pareval::support

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <ctime>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -117,6 +118,47 @@ TEST(ThreadPool, RunPendingTaskFromExternalThread) {
   EXPECT_EQ(queued.get(), 7);
   release.store(true);
   pool.await(blocker);
+}
+
+TEST(ThreadPool, IdleHelpUntilBurnsLittleCpu) {
+  // An idle help_until must back off to cv sleeps instead of yield-spinning:
+  // waiting ~300ms of wall time on an empty pool should cost the process
+  // almost no CPU time. The old yield-spin burned a full core (~300ms CPU
+  // here); the backoff path wakes at most every ~2ms for microseconds.
+  ps::ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    done.store(true);
+  });
+  const std::clock_t c0 = std::clock();
+  pool.help_until([&] { return done.load(); });
+  const std::clock_t c1 = std::clock();
+  releaser.join();
+  const double cpu_ms = 1000.0 * static_cast<double>(c1 - c0) /
+                        CLOCKS_PER_SEC;
+  EXPECT_LT(cpu_ms, 120.0);  // generous: spin would cost ~300ms+
+}
+
+TEST(ThreadPool, HelpUntilWakesPromptlyOnPush) {
+  // A helper deep in its backed-off sleep must still pick up new work
+  // quickly: push() broadcasts while helpers sleep.
+  ps::ThreadPool pool(1);
+  std::atomic<bool> done{false};
+  // Let the helper reach its capped nap, then measure push-to-run latency.
+  std::thread pusher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    pool.submit([&] { done.store(true); });
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.help_until([&] { return done.load(); });
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  pusher.join();
+  // 100ms until the push, then the task must land well inside the 2ms nap
+  // cap (wide margin for CI scheduling noise).
+  EXPECT_LT(elapsed, 200.0);
 }
 
 TEST(ParallelFor, ThreadCapOfOneRunsInline) {

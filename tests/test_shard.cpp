@@ -1,0 +1,286 @@
+// Tests for the distributed sweep subsystem: the shard planner's
+// exactly-once coverage, bit-identical shard/merge recombination, the JSON
+// codecs for the harness result types, and the persistent (versioned,
+// size-bounded) ScoreCache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eval/shard.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace pe = pareval::eval;
+namespace ps = pareval::support;
+using pareval::llm::Pair;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+}  // namespace
+
+TEST(ShardPlan, CoversEveryUnitExactlyOnceForArbitraryK) {
+  const std::size_t cells = 7;
+  const int samples = 5;
+  for (const int k : {1, 2, 3, 4, 7, 33, 64}) {
+    std::set<std::pair<int, int>> seen;
+    for (int shard = 0; shard < k; ++shard) {
+      const pe::ShardPlan plan = pe::plan_shard(cells, samples, shard, k);
+      EXPECT_EQ(plan.shard_index, shard);
+      for (const auto& unit : plan.units) {
+        EXPECT_TRUE(seen.insert(unit).second)
+            << "unit covered twice with K=" << k;
+        EXPECT_GE(unit.first, 0);
+        EXPECT_LT(unit.first, static_cast<int>(cells));
+        EXPECT_GE(unit.second, 0);
+        EXPECT_LT(unit.second, samples);
+      }
+    }
+    EXPECT_EQ(seen.size(), cells * samples) << "K=" << k;
+  }
+}
+
+TEST(ShardPlan, InterleavesUnitsAcrossShards) {
+  // Consecutive global units land on different shards (load balance).
+  const pe::ShardPlan plan = pe::plan_shard(3, 4, 1, 4);
+  ASSERT_EQ(plan.units.size(), 3u);
+  EXPECT_EQ(plan.units[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(plan.units[1], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(plan.units[2], (std::pair<int, int>{2, 1}));
+}
+
+TEST(ShardPlan, RejectsInvalidArguments) {
+  EXPECT_THROW(pe::plan_shard(3, 4, -1, 4), std::invalid_argument);
+  EXPECT_THROW(pe::plan_shard(3, 4, 4, 4), std::invalid_argument);
+  EXPECT_THROW(pe::plan_shard(3, 4, 0, 0), std::invalid_argument);
+  EXPECT_THROW(pe::plan_shard(3, 0, 0, 1), std::invalid_argument);
+}
+
+TEST(ShardMerge, FourShardsBitIdenticalToSingleProcessSweep) {
+  const Pair& pair = pareval::llm::all_pairs()[0];
+  pe::HarnessConfig config;
+  config.samples_per_task = 2;
+
+  constexpr int kShards = 4;
+  std::vector<pe::ShardResult> shards;
+  for (int i = 0; i < kShards; ++i) {
+    shards.push_back(pe::run_shard(pair, i, kShards, config));
+  }
+  const auto merged = pe::merge_shards(pair, shards);
+  const auto reference = pe::run_pair_sweep(pair, config);
+  EXPECT_EQ(merged, reference);
+}
+
+TEST(ShardMerge, SingleShardEqualsSweepAndSurvivesJsonRoundTrip) {
+  const Pair& pair = pareval::llm::all_pairs()[0];
+  pe::HarnessConfig config;
+  config.samples_per_task = 2;
+
+  const pe::ShardResult shard = pe::run_shard(pair, 0, 1, config);
+  // Through the on-disk format, as the CI fan-in consumes it.
+  std::vector<pe::ShardResult> parsed;
+  std::string error;
+  ASSERT_TRUE(pe::parse_shard_file(pe::shard_file_text({shard}), &parsed,
+                                   &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], shard);
+
+  const auto merged = pe::merge_shards(pair, parsed);
+  EXPECT_EQ(merged, pe::run_pair_sweep(pair, config));
+}
+
+TEST(ShardMerge, RejectsMissingAndDuplicateUnits) {
+  const Pair& pair = pareval::llm::all_pairs()[0];
+  pe::HarnessConfig config;
+  config.samples_per_task = 2;
+
+  std::vector<pe::ShardResult> shards;
+  for (int i = 0; i < 2; ++i) {
+    shards.push_back(pe::run_shard(pair, i, 2, config));
+  }
+  // Missing: drop one shard entirely.
+  EXPECT_THROW(pe::merge_shards(pair, {shards[0]}), std::runtime_error);
+  // Duplicate: the same shard twice.
+  EXPECT_THROW(pe::merge_shards(pair, {shards[0], shards[1], shards[1]}),
+               std::runtime_error);
+  // Configuration mismatch: different seed.
+  auto reseeded = shards;
+  reseeded[1].seed ^= 1;
+  EXPECT_THROW(pe::merge_shards(pair, reseeded), std::runtime_error);
+}
+
+TEST(ShardJson, ScoreResultRoundTrip) {
+  pe::ScoreResult r;
+  r.built = true;
+  r.passed = false;
+  r.log = "line1\n\"quoted\"\ttab\x01 control\nutf8: \xc3\xa9\n";
+  pe::ScoreResult back;
+  ASSERT_TRUE(pe::from_json(pe::to_json(r), &back));
+  EXPECT_EQ(back, r);
+}
+
+TEST(ShardJson, SampleOutcomeRoundTrip) {
+  pe::SampleOutcome o;
+  o.built_overall = true;
+  o.passed_overall = false;
+  o.built_codeonly = true;
+  o.passed_codeonly = true;
+  o.tokens = 123456789;
+  o.failure_log = "error: undeclared identifier 'blockIdx'\n";
+  o.defects = {"cuda_builtin", "makefile_flag"};
+  pe::SampleOutcome back;
+  ASSERT_TRUE(pe::from_json(pe::to_json(o), &back));
+  EXPECT_EQ(back, o);
+}
+
+TEST(ShardJson, TaskResultRoundTripThroughText) {
+  // A real task (with real failure logs) through dump + parse.
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  pe::HarnessConfig config;
+  config.samples_per_task = 4;
+  const auto task = pe::run_task(*app, pareval::llm::Technique::NonAgentic,
+                                 pareval::llm::all_profiles()[0],
+                                 pareval::llm::all_pairs()[0], config);
+  const std::string text = pe::to_json(task).dump();
+  const auto parsed = ps::Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  pe::TaskResult back;
+  ASSERT_TRUE(pe::from_json(*parsed, &back));
+  EXPECT_EQ(back, task);
+}
+
+TEST(ShardJson, AbortedTaskResultRoundTrip) {
+  pe::TaskResult t;
+  t.llm = "o4-mini";
+  t.technique = pareval::llm::Technique::TopDown;
+  t.pair = pareval::llm::all_pairs()[1];
+  t.app = "llm.c";
+  t.ran = false;
+  t.abort_reason = "context window exceeded";
+  pe::TaskResult back;
+  ASSERT_TRUE(pe::from_json(pe::to_json(t), &back));
+  EXPECT_EQ(back, t);
+}
+
+TEST(ShardJson, RejectsMalformedInput) {
+  pe::TaskResult t;
+  EXPECT_FALSE(pe::from_json(ps::Json("not an object"), &t));
+  auto j = pe::to_json(pe::TaskResult{});
+  j.set("technique", "No such technique");
+  EXPECT_FALSE(pe::from_json(j, &t));
+
+  std::vector<pe::ShardResult> shards;
+  std::string error;
+  EXPECT_FALSE(pe::parse_shard_file("{]", &shards, &error));
+  EXPECT_FALSE(pe::parse_shard_file("{\"format\":\"other\"}", &shards,
+                                    &error));
+}
+
+TEST(ScoreCachePersist, SaveLoadRoundTripServesHits) {
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  const auto& repo = app->repos.at(pareval::apps::Model::Cuda);
+
+  pe::ScoreCache cache;
+  const auto first = cache.score(*app, repo, pareval::apps::Model::Cuda);
+  EXPECT_EQ(cache.misses(), 1u);
+  const std::string path = temp_path("score_cache_roundtrip.json");
+  ASSERT_TRUE(cache.save(path));
+
+  pe::ScoreCache reloaded;
+  ASSERT_TRUE(reloaded.load(path));
+  EXPECT_EQ(reloaded.size(), cache.size());
+  const auto again = reloaded.score(*app, repo, pareval::apps::Model::Cuda);
+  EXPECT_EQ(reloaded.hits(), 1u);   // served from the loaded file...
+  EXPECT_EQ(reloaded.misses(), 0u); // ...without re-scoring
+  EXPECT_EQ(again, first);
+  std::remove(path.c_str());
+}
+
+TEST(ScoreCachePersist, VersionMismatchDiscardsStaleFile) {
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  const auto& repo = app->repos.at(pareval::apps::Model::Cuda);
+
+  pe::ScoreCache cache;
+  cache.score(*app, repo, pareval::apps::Model::Cuda);
+  const std::string path = temp_path("score_cache_stale.json");
+  ASSERT_TRUE(cache.save(path));
+
+  // Forge a file written by a "different" scoring pipeline.
+  std::string text = read_file(path);
+  const std::string want = ps::u64_to_hex(pe::scoring_pipeline_hash());
+  ASSERT_NE(text.find(want), std::string::npos);
+  text = ps::replace_all(text, want, "00000000deadbeef");
+  write_file(path, text);
+
+  pe::ScoreCache stale;
+  EXPECT_FALSE(stale.load(path));
+  EXPECT_EQ(stale.size(), 0u);
+
+  // And a file that is not JSON at all.
+  write_file(path, "not json");
+  EXPECT_FALSE(stale.load(path));
+  EXPECT_EQ(stale.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ScoreCachePersist, LoadOfMissingFileFails) {
+  pe::ScoreCache cache;
+  EXPECT_FALSE(cache.load(temp_path("score_cache_nonexistent.json")));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScoreCachePersist, CapacityBoundsEntryCount) {
+  // Build a valid cache file with many synthetic entries, then load it
+  // into a capacity-bounded cache: eviction must keep size <= capacity.
+  ps::Json root = ps::Json::object();
+  root.set("format", "pareval-score-cache");
+  root.set("pipeline", ps::u64_to_hex(pe::scoring_pipeline_hash()));
+  ps::Json entries = ps::Json::array();
+  for (int i = 0; i < 200; ++i) {
+    ps::Json e = ps::Json::object();
+    e.set("key", ps::u64_to_hex(0x1000ull + static_cast<unsigned>(i)));
+    e.set("built", true);
+    e.set("passed", i % 2 == 0);
+    e.set("log", "synthetic");
+    entries.push_back(std::move(e));
+  }
+  root.set("entries", std::move(entries));
+  const std::string path = temp_path("score_cache_bounded.json");
+  write_file(path, root.dump());
+
+  pe::ScoreCache cache;
+  cache.set_capacity(32);
+  ASSERT_TRUE(cache.load(path));
+  EXPECT_LE(cache.size(), 32u);
+  EXPECT_GT(cache.size(), 0u);
+
+  // Shrinking an already-populated cache evicts immediately.
+  cache.set_capacity(16);
+  EXPECT_LE(cache.size(), 16u);
+  std::remove(path.c_str());
+}

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "support/json.hpp"
 #include "support/par.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -172,4 +173,86 @@ TEST(Par, ParallelForPropagatesException) {
 
 TEST(Par, EmptyRangeIsNoop) {
   ps::parallel_for(5, 5, [&](std::size_t) { FAIL(); });
+}
+
+// --- Json -------------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrips) {
+  for (const char* text :
+       {"null", "true", "false", "0", "-7", "9223372036854775807",
+        "\"hello\"", "1.5", "-0.25", "[]", "{}"}) {
+    const auto j = ps::Json::parse(text);
+    ASSERT_TRUE(j.has_value()) << text;
+    EXPECT_EQ(j->dump(), text);
+  }
+}
+
+TEST(Json, IntegersAreExact) {
+  const auto j = ps::Json::parse("[9007199254740993,-9007199254740993]");
+  ASSERT_TRUE(j.has_value());
+  // Beyond double's 2^53 integer range: must not round.
+  EXPECT_EQ(j->at(0).as_int(), 9007199254740993LL);
+  EXPECT_EQ(j->at(1).as_int(), -9007199254740993LL);
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 123456.789012345678, 1e-300,
+                         -2.5e17, 3.0}) {
+    const std::string text = ps::Json(v).dump();
+    const auto back = ps::Json::parse(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(back->as_double(), v) << text;
+    // "3.0" must stay a Double (not collapse to the Int 3) so that
+    // operator== on round-tripped values holds.
+    EXPECT_EQ(back->type(), ps::Json::Type::Double) << text;
+  }
+}
+
+TEST(Json, StringEscapes) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f/\xc3\xa9";
+  const std::string text = ps::Json(nasty).dump();
+  const auto back = ps::Json::parse(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->as_string(), nasty);
+
+  // Escapes we accept but never emit.
+  const auto unicode = ps::Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\\/\"");
+  ASSERT_TRUE(unicode.has_value());
+  EXPECT_EQ(unicode->as_string(), "A\xc3\xa9\xf0\x9f\x98\x80/");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  ps::Json obj = ps::Json::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("zebra", 3);  // replace keeps the original position
+  EXPECT_EQ(obj.dump(), "{\"zebra\":3,\"alpha\":2}");
+  EXPECT_EQ(obj["zebra"].as_int(), 3);
+  EXPECT_EQ(obj["missing"].type(), ps::Json::Type::Null);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, NestedStructureRoundTrip) {
+  const char* text =
+      "{\"a\":[1,2,{\"b\":\"c\"}],\"d\":{\"e\":[true,null,1.5]}}";
+  const auto j = ps::Json::parse(text);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->dump(), text);
+  EXPECT_EQ((*j)["a"].at(2)["b"].as_string(), "c");
+  EXPECT_EQ((*j)["d"]["e"].size(), 3u);
+}
+
+TEST(Json, ParseErrorsAreRejected) {
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "01e",
+        "1 2", "[1] trailing", "{\"a\" 1}", "\"\\q\"", "nan"}) {
+    EXPECT_FALSE(ps::Json::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    error.clear();
+  }
+  // Deep nesting is bounded, not a stack overflow.
+  EXPECT_FALSE(
+      ps::Json::parse(std::string(400, '[') + std::string(400, ']'))
+          .has_value());
 }

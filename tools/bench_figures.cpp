@@ -1,0 +1,167 @@
+// bench_figures: regenerate every figure and table of the paper off ONE
+// sweep, with all three pair sweeps overlapped on the global work-stealing
+// pool and every score drawn through one shared ScoreCache. Replaces the
+// retired per-figure drivers (bench_fig2_*, bench_fig3/4/5, bench_table*),
+// which each re-ran the full sweep serially end-to-end.
+//
+// With --cache FILE the ScoreCache is warm-started from a previous run
+// (self-invalidating via the scoring-pipeline hash) and persisted back, so
+// a second run is mostly cache hits — the warm-start speedup is recorded
+// in BENCH_figures.json and visible in the CI bench job's logs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "eval/classify.hpp"
+#include "eval/report.hpp"
+#include "eval/shard.hpp"
+#include "support/par.hpp"
+#include "support/strings.hpp"
+
+using namespace pareval;
+using support::Json;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --cache FILE       load/save the persistent score cache\n"
+      "  --samples N        samples per cell (default: 25)\n"
+      "  --seed S           base RNG seed (default: 1070)\n"
+      "  --out FILE         timing JSON (default: BENCH_figures.json)\n"
+      "  --print-cache-key  print the scoring-pipeline hash and exit\n",
+      argv0);
+  return 2;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cache_path;
+  std::string out_path = "BENCH_figures.json";
+  eval::HarnessConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-cache-key") {
+      std::printf("%s\n",
+                  support::u64_to_hex(eval::scoring_pipeline_hash())
+                      .c_str());
+      return 0;
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--samples" && i + 1 < argc) {
+      config.samples_per_task = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.samples_per_task < 1) return usage(argv[0]);
+
+  auto& cache = eval::ScoreCache::global();
+  bool preloaded = false;
+  std::size_t loaded_entries = 0;
+  if (!cache_path.empty()) {
+    preloaded = cache.load(cache_path);
+    loaded_entries = preloaded ? cache.size() : 0;
+    std::printf("score cache: %s (%zu entries)\n",
+                preloaded ? "warm-started" : "cold start",
+                loaded_entries);
+  }
+
+  // One sweep, all pairs overlapped; every figure below reads from it.
+  const auto t_sweep = std::chrono::steady_clock::now();
+  auto& pool = support::ThreadPool::global();
+  std::vector<std::future<std::vector<eval::TaskResult>>> futures;
+  for (const auto& pair : llm::all_pairs()) {
+    futures.push_back(pool.submit([pair, config] {
+      std::printf("sweeping %s...\n", llm::pair_name(pair).c_str());
+      return eval::run_pair_sweep(pair, config);
+    }));
+  }
+  std::vector<eval::TaskResult> all;
+  std::vector<std::vector<eval::TaskResult>> per_pair;
+  for (auto& f : futures) {
+    per_pair.push_back(pool.await(f));
+    for (const auto& t : per_pair.back()) all.push_back(t);
+  }
+  const double sweep_ms = ms_since(t_sweep);
+  std::printf("\nsweep: %.1f ms, score cache %zu hits / %zu misses\n\n",
+              sweep_ms, cache.hits(), cache.misses());
+
+  const auto t_reports = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < llm::all_pairs().size(); ++i) {
+    std::printf("%s\n",
+                eval::figure2_report(llm::all_pairs()[i], per_pair[i])
+                    .c_str());
+  }
+  const auto classification = eval::classify_failures(all);
+  std::printf("%s\n", eval::figure3_report(classification).c_str());
+  std::printf("%s\n", eval::figure4_report(all).c_str());
+  std::printf("%s\n", eval::figure5_report(all).c_str());
+  std::printf("%s\n", eval::table1_report().c_str());
+  std::printf("%s\n", eval::table2_report(all).c_str());
+  const double reports_ms = ms_since(t_reports);
+
+  if (!cache_path.empty()) {
+    if (cache.save(cache_path)) {
+      std::printf("saved score cache to %s (%zu entries)\n",
+                  cache_path.c_str(), cache.size());
+    } else {
+      std::fprintf(stderr, "bench_figures: could not save cache to %s\n",
+                   cache_path.c_str());
+    }
+  }
+
+  Json root = Json::object();
+  Json context = Json::object();
+  context.set("samples_per_task", config.samples_per_task);
+  context.set("threads",
+              static_cast<long long>(support::hardware_threads()));
+  context.set("cache_file", cache_path);
+  context.set("cache_preloaded", preloaded);
+  context.set("cache_entries_loaded",
+              static_cast<long long>(loaded_entries));
+  context.set("cache_hits", static_cast<long long>(cache.hits()));
+  context.set("cache_misses", static_cast<long long>(cache.misses()));
+  root.set("context", std::move(context));
+  Json benchmarks = Json::array();
+  auto bench_entry = [](const char* name, double ms) {
+    Json b = Json::object();
+    b.set("name", name);
+    b.set("real_time", ms);
+    b.set("time_unit", "ms");
+    return b;
+  };
+  benchmarks.push_back(bench_entry("figures_sweep", sweep_ms));
+  benchmarks.push_back(bench_entry("figures_reports", reports_ms));
+  benchmarks.push_back(bench_entry("figures_total", sweep_ms + reports_ms));
+  root.set("benchmarks", std::move(benchmarks));
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_figures: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << root.dump() << '\n';
+  std::printf("wrote %s (sweep %.1f ms, %zu hits / %zu misses%s)\n",
+              out_path.c_str(), sweep_ms, cache.hits(), cache.misses(),
+              preloaded ? ", warm start" : "");
+  return out.good() ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+// sweep_merge: fan-in for sweep_worker shards. Recombines the per-sample
+// records of K shard files into per-cell TaskResults (bit-identical to a
+// single-process sweep), writes the merged sweep as JSON figure input, and
+// optionally re-runs the sweep in-process to enforce the determinism
+// guarantee (--verify, used by the CI fan-in job).
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eval/report.hpp"
+#include "eval/shard.hpp"
+
+using namespace pareval;
+using support::Json;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out merged.json] [--report] [--verify] "
+               "shard1.json [shard2.json ...]\n"
+               "  --out FILE   write the merged sweep (default: merged.json)\n"
+               "  --report     print the figure reports off the merged sweep\n"
+               "  --verify     re-run the sweep in-process and fail unless\n"
+               "               the merged result is bit-identical\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "merged.json";
+  bool report = false;
+  bool verify = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  // Group every file's ShardResults by pair, in all_pairs() order.
+  std::map<std::size_t, std::vector<eval::ShardResult>> by_pair;
+  auto pair_index = [](const llm::Pair& p) -> std::size_t {
+    const auto& pairs = llm::all_pairs();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (pairs[i] == p) return i;
+    }
+    return pairs.size();  // unknown pair: still merged, ordered last
+  };
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "sweep_merge: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<eval::ShardResult> shards;
+    std::string error;
+    if (!eval::parse_shard_file(buf.str(), &shards, &error)) {
+      std::fprintf(stderr, "sweep_merge: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    for (auto& shard : shards) {
+      by_pair[pair_index(shard.pair)].push_back(std::move(shard));
+    }
+  }
+
+  Json merged = Json::object();
+  merged.set("format", "pareval-sweep");
+  Json pairs_json = Json::array();
+  std::vector<eval::TaskResult> all;
+  int mismatches = 0;
+  for (auto& [index, shards] : by_pair) {
+    const llm::Pair pair = shards.front().pair;
+    std::vector<eval::TaskResult> tasks;
+    try {
+      tasks = eval::merge_shards(pair, shards);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep_merge: %s: %s\n",
+                   llm::pair_name(pair).c_str(), e.what());
+      return 1;
+    }
+    std::printf("%s: merged %zu shards -> %zu cells\n",
+                llm::pair_name(pair).c_str(), shards.size(), tasks.size());
+
+    if (verify) {
+      eval::HarnessConfig config;
+      config.samples_per_task = shards.front().samples_per_task;
+      config.seed = shards.front().seed;
+      const auto reference = eval::run_pair_sweep(pair, config);
+      const bool identical = reference == tasks;
+      std::printf("  determinism (merged vs single-process): %s\n",
+                  identical ? "IDENTICAL" : "MISMATCH");
+      if (!identical) ++mismatches;
+    }
+
+    Json entry = Json::object();
+    Json pair_json = Json::object();
+    pair_json.set("from", eval::model_key(pair.from));
+    pair_json.set("to", eval::model_key(pair.to));
+    entry.set("pair", std::move(pair_json));
+    entry.set("samples_per_task", shards.front().samples_per_task);
+    entry.set("shard_count", shards.front().shard_count);
+    Json tasks_json = Json::array();
+    for (const auto& t : tasks) tasks_json.push_back(eval::to_json(t));
+    entry.set("tasks", std::move(tasks_json));
+    pairs_json.push_back(std::move(entry));
+
+    if (report) {
+      std::printf("%s", eval::figure2_report(pair, tasks).c_str());
+      for (auto& t : tasks) all.push_back(std::move(t));
+    }
+  }
+  merged.set("pairs", std::move(pairs_json));
+
+  if (report) {
+    // Cross-pair figures off the union of all merged tasks.
+    std::printf("%s", eval::figure4_report(all).c_str());
+    std::printf("%s", eval::figure5_report(all).c_str());
+    std::printf("%s", eval::table2_report(all).c_str());
+  }
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "sweep_merge: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << merged.dump() << '\n';
+  if (!out.good()) {
+    std::fprintf(stderr, "sweep_merge: write to %s failed\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "sweep_merge: %d pair(s) diverged from the single-process "
+                 "reference\n",
+                 mismatches);
+    return 1;
+  }
+  return 0;
+}

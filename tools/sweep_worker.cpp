@@ -1,0 +1,150 @@
+// sweep_worker: run one shard of the (cell × sample) sweep matrix and
+// write the per-sample records as a shard file for sweep_merge.
+//
+// One CI job / host runs:
+//   sweep_worker --pair all --shard-index $i --shard-count $K --out shard-$i.json
+// and the fan-in job recombines the K files with sweep_merge. Merging is
+// bit-identical to a single-process run_pair_sweep for any K (derived
+// per-sample RNG streams + sample-index-order aggregation).
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/shard.hpp"
+
+using namespace pareval;
+
+namespace {
+
+bool parse_int(const char* text, int* out) {
+  // atoi would turn a typo like "--pair cuda" into pair 0 silently.
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < INT_MIN ||
+      v > INT_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --shard-index I --shard-count K [options]\n"
+      "  --pair <index|all>   pair to sweep (default: all)\n"
+      "  --samples N          samples per cell (default: 25)\n"
+      "  --seed S             base RNG seed (default: 1070)\n"
+      "  --threads T          1 = serial; otherwise the global pool\n"
+      "  --cache FILE         warm-start/persist the score cache\n"
+      "  --out FILE           shard file to write (default: shard.json)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int shard_index = -1;
+  int shard_count = 0;
+  std::string pair_arg = "all";
+  std::string out_path = "shard.json";
+  std::string cache_path;
+  eval::HarnessConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    int parsed = 0;
+    if (arg == "--shard-index" && (v = value()) && parse_int(v, &parsed)) {
+      shard_index = parsed;
+    } else if (arg == "--shard-count" && (v = value()) &&
+               parse_int(v, &parsed)) {
+      shard_count = parsed;
+    } else if (arg == "--pair" && (v = value())) {
+      pair_arg = v;
+    } else if (arg == "--samples" && (v = value()) &&
+               parse_int(v, &parsed)) {
+      config.samples_per_task = parsed;
+    } else if (arg == "--seed" && (v = value())) {
+      config.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--threads" && (v = value()) &&
+               parse_int(v, &parsed) && parsed >= 0) {
+      config.threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--cache" && (v = value())) {
+      cache_path = v;
+    } else if (arg == "--out" && (v = value())) {
+      out_path = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (shard_index < 0 || shard_count < 1 || shard_index >= shard_count ||
+      config.samples_per_task < 1) {
+    return usage(argv[0]);
+  }
+
+  std::vector<llm::Pair> pairs;
+  if (pair_arg == "all") {
+    pairs = llm::all_pairs();
+  } else {
+    int index = -1;
+    if (!parse_int(pair_arg.c_str(), &index) || index < 0 ||
+        static_cast<std::size_t>(index) >= llm::all_pairs().size()) {
+      std::fprintf(stderr, "sweep_worker: --pair must be 0..%zu or 'all'\n",
+                   llm::all_pairs().size() - 1);
+      return 2;
+    }
+    pairs.push_back(llm::all_pairs()[static_cast<std::size_t>(index)]);
+  }
+
+  if (!cache_path.empty() && eval::ScoreCache::global().load(cache_path)) {
+    std::printf("warm-started score cache from %s (%zu entries)\n",
+                cache_path.c_str(), eval::ScoreCache::global().size());
+  }
+
+  std::vector<eval::ShardResult> shards;
+  for (const llm::Pair& pair : pairs) {
+    std::printf("shard %d/%d of %s (N=%d)...\n", shard_index, shard_count,
+                llm::pair_name(pair).c_str(), config.samples_per_task);
+    shards.push_back(
+        eval::run_shard(pair, shard_index, shard_count, config));
+    std::printf("  %zu sample records\n", shards.back().records.size());
+  }
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "sweep_worker: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << eval::shard_file_text(shards);
+  if (!out.good()) {
+    std::fprintf(stderr, "sweep_worker: write to %s failed\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!cache_path.empty()) {
+    if (eval::ScoreCache::global().save(cache_path)) {
+      std::printf("saved score cache to %s (%zu entries, %zu hits / %zu "
+                  "misses this run)\n",
+                  cache_path.c_str(), eval::ScoreCache::global().size(),
+                  eval::ScoreCache::global().hits(),
+                  eval::ScoreCache::global().misses());
+    } else {
+      std::fprintf(stderr, "sweep_worker: could not save cache to %s\n",
+                   cache_path.c_str());
+    }
+  }
+  return 0;
+}
