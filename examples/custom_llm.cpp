@@ -4,6 +4,12 @@
 // the "LLM" is the reference transpiler with one deliberate flaw: it
 // always forgets `target` on the combined construct (the paper's
 // Listing 4 bug) — and the harness catches it as a wrong answer.
+//
+// Everything resolves through the Suite registries (no global lookups)
+// and scores flow through an injected ScoreCache, so two such evaluations
+// can coexist in one process. To register a custom model as a first-class
+// sweep column — with its own capability calibration, runnable via
+// run_sweep and the --spec tools — see examples/custom_suite.cpp.
 #include <cstdio>
 
 #include "pareval/pareval.hpp"
@@ -13,8 +19,9 @@
 using namespace pareval;
 
 int main() {
-  const apps::AppSpec* app = apps::find_app("nanoXOR");
-  const llm::Pair pair = llm::all_pairs()[0];
+  const eval::Suite& suite = eval::Suite::paper();
+  const apps::AppSpec* app = suite.find_app("nanoXOR");
+  const llm::Pair pair = suite.pairs()[0];
 
   // The prompt your model would receive (paper Listing 1).
   const std::string prompt = agents::build_nonagentic_prompt(
@@ -31,7 +38,10 @@ int main() {
                  "#pragma omp target teams distribute parallel for",
                  "#pragma omp teams distribute"));
 
-  const auto score = eval::score_repo(*app, repo, pair.to);
+  // Score through an injected cache — the same instance HarnessConfig
+  // would carry into a full sweep (config.score_cache = &cache).
+  eval::ScoreCache cache;
+  const auto score = cache.score(*app, repo, pair.to);
   std::printf("build: %s\nvalidation: %s\n", score.built ? "ok" : "FAILED",
               score.passed ? "ok" : "FAILED (as expected: the loop never "
                                     "ran on the GPU)");

@@ -254,12 +254,21 @@ std::string build_swe_issue(const AppSpec& app, const Pair& pair) {
 TranslationResult run_technique(const AppSpec& app, Technique technique,
                                 const LlmProfile& profile, const Pair& pair,
                                 Rng& rng) {
+  return run_technique(
+      app, technique, profile, pair, rng,
+      llm::calibration_lookup(profile.name, technique, pair, app.name),
+      llm::absence_reason(profile.name, technique, pair, app.name));
+}
+
+TranslationResult run_technique(const AppSpec& app, Technique technique,
+                                const LlmProfile& profile, const Pair& pair,
+                                Rng& rng,
+                                const std::optional<llm::CellScores>& scores,
+                                const std::string& absence_reason) {
   TranslationResult result;
-  const auto cell =
-      llm::calibration_lookup(profile.name, technique, pair, app.name);
+  const auto& cell = scores;
   if (!cell) {
-    result.abort_reason =
-        llm::absence_reason(profile.name, technique, pair, app.name);
+    result.abort_reason = absence_reason;
     return result;
   }
 

@@ -7,6 +7,7 @@
 // "model capability", and the calibrated defect injector degrades the
 // output to the quality the paper measured for that LLM.
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,11 +32,22 @@ struct TranslationResult {
 long long total_tokens(const TranslationResult& r);
 
 /// Run one technique on one task with one simulated LLM. `rng` drives the
-/// defect sampling; distinct samples use split generators.
+/// defect sampling; distinct samples use split generators. Resolves the
+/// cell's capability scores through the paper's calibration tables.
 TranslationResult run_technique(const apps::AppSpec& app,
                                 llm::Technique technique,
                                 const llm::LlmProfile& profile,
                                 const llm::Pair& pair, support::Rng& rng);
+
+/// run_technique with pre-resolved calibration, for suites that register
+/// their own LLMs/pairs/apps (eval::Suite injects its calibration hook
+/// here). nullopt `scores` aborts the cell with `absence_reason`.
+TranslationResult run_technique(const apps::AppSpec& app,
+                                llm::Technique technique,
+                                const llm::LlmProfile& profile,
+                                const llm::Pair& pair, support::Rng& rng,
+                                const std::optional<llm::CellScores>& scores,
+                                const std::string& absence_reason);
 
 // ---- prompt builders (exposed for tests and token-economy analysis) ----
 

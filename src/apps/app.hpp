@@ -21,6 +21,11 @@ enum class Model { OmpThreads, OmpOffload, Cuda, Kokkos };
 const char* model_name(Model m);        // "OpenMP Threads", ...
 const char* model_short_name(Model m);  // "OMP Th.", "OMP Of.", ...
 
+/// Stable machine key ("omp_threads", "omp_offload", "cuda", "kokkos") used
+/// by every on-disk format (sweep specs, shard files, merged sweeps).
+const char* model_key(Model m);
+bool model_from_key(const std::string& key, Model* out);
+
 /// One validation run: CLI arguments handed to the application.
 struct TestCase {
   std::vector<std::string> args;

@@ -27,6 +27,27 @@ const char* model_short_name(Model m) {
   return "?";
 }
 
+const char* model_key(Model m) {
+  switch (m) {
+    case Model::OmpThreads: return "omp_threads";
+    case Model::OmpOffload: return "omp_offload";
+    case Model::Cuda: return "cuda";
+    case Model::Kokkos: return "kokkos";
+  }
+  return "?";
+}
+
+bool model_from_key(const std::string& key, Model* out) {
+  for (const auto m : {Model::OmpThreads, Model::OmpOffload, Model::Cuda,
+                       Model::Kokkos}) {
+    if (key == model_key(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 const std::vector<const AppSpec*>& all_apps() {
   static const std::vector<const AppSpec*> kApps = {
       &nanoxor_app(),  &microxorh_app(), &microxor_app(),

@@ -1,6 +1,10 @@
 #include "eval/harness.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <future>
@@ -230,10 +234,33 @@ bool ScoreCache::save(const std::string& path) const {
   }
   root.set("entries", std::move(entries));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out << root.dump() << '\n';
-  return out.good();
+  // Atomic publish: write a temp file in the same directory, then rename()
+  // over the target. Concurrent savers sharing one cache path — worker
+  // *processes* (pid) or in-process caches/threads (counter) — race
+  // benignly (last rename wins with a complete file) and a reader can
+  // never observe a torn write.
+  static std::atomic<unsigned> save_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << root.dump() << '\n';
+    // Close before the rename and re-check: the final flush can fail
+    // (ENOSPC) after every operator<< "succeeded" into the buffer, and a
+    // truncated temp must never be published.
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool ScoreCache::load(const std::string& path) {
@@ -285,9 +312,12 @@ vfs::Repo with_ground_truth_build(const AppSpec& app, const vfs::Repo& repo,
 
 }  // namespace
 
-SampleRun run_cell_sample(const AppSpec& app, Technique technique,
-                          const LlmProfile& profile, const Pair& pair,
+SampleRun run_cell_sample(const Suite& suite, const SweepCell& cell,
                           const HarnessConfig& config, int sample_index) {
+  const AppSpec& app = *cell.app;
+  const LlmProfile& profile = *cell.profile;
+  const Technique technique = cell.technique;
+  const Pair& pair = cell.pair;
   // Per-sample derived RNG stream: seed ⊕ hash(llm, technique, pair, app,
   // sample). The stream depends only on the sample's coordinates, never on
   // execution order, so serial, pooled, and sharded runs are bit-identical.
@@ -300,8 +330,15 @@ SampleRun run_cell_sample(const AppSpec& app, Technique technique,
 
   SampleRun run;
   support::Rng rng(sample_seed);
-  TranslationResult gen =
-      agents::run_technique(app, technique, profile, pair, rng);
+  const auto scores =
+      suite.calibration(profile.name, technique, pair, app.name);
+  // The absence reason is only meaningful (and only read) for absent
+  // cells — don't build the string on the hot scores-present path.
+  TranslationResult gen = agents::run_technique(
+      app, technique, profile, pair, rng, scores,
+      scores ? std::string()
+             : suite.absence_reason(profile.name, technique, pair,
+                                    app.name));
   if (!gen.generated) {
     run.abort_reason = std::move(gen.abort_reason);
     return run;
@@ -310,10 +347,15 @@ SampleRun run_cell_sample(const AppSpec& app, Technique technique,
   run.outcome.tokens = agents::total_tokens(gen);
   run.outcome.defects = std::move(gen.defects);
 
+  // Injected cache first; the global instance only as the opt-out-able
+  // process-wide default. Hit or miss, the scores are identical.
+  ScoreCache* cache = config.score_cache != nullptr
+                          ? config.score_cache
+                          : (config.use_score_cache ? &ScoreCache::global()
+                                                    : nullptr);
   auto score = [&](const vfs::Repo& repo) {
-    return config.use_score_cache
-               ? ScoreCache::global().score(app, repo, pair.to)
-               : score_repo(app, repo, pair.to);
+    return cache != nullptr ? cache->score(app, repo, pair.to)
+                            : score_repo(app, repo, pair.to);
   };
   const ScoreResult overall = score(gen.repo);
   run.outcome.built_overall = overall.built;
@@ -327,6 +369,14 @@ SampleRun run_cell_sample(const AppSpec& app, Technique technique,
   run.outcome.built_codeonly = codeonly.built;
   run.outcome.passed_codeonly = codeonly.passed;
   return run;
+}
+
+SampleRun run_cell_sample(const AppSpec& app, Technique technique,
+                          const LlmProfile& profile, const Pair& pair,
+                          const HarnessConfig& config, int sample_index) {
+  return run_cell_sample(Suite::paper(),
+                         SweepCell{&app, technique, &profile, pair}, config,
+                         sample_index);
 }
 
 TaskResult aggregate_samples(const AppSpec& app, Technique technique,
@@ -362,21 +412,22 @@ TaskResult aggregate_samples(const AppSpec& app, Technique technique,
   return result;
 }
 
-TaskResult run_task(const AppSpec& app, Technique technique,
-                    const LlmProfile& profile, const Pair& pair,
+TaskResult run_task(const Suite& suite, const SweepCell& cell,
                     const HarnessConfig& config) {
+  const auto priority = config.high_priority
+                            ? support::TaskPriority::High
+                            : support::TaskPriority::Normal;
   std::vector<SampleRun> runs;
   runs.reserve(config.samples_per_task);
   if (config.threads == 1) {
     for (int i = 0; i < config.samples_per_task; ++i) {
-      runs.push_back(
-          run_cell_sample(app, technique, profile, pair, config, i));
+      runs.push_back(run_cell_sample(suite, cell, config, i));
       if (!runs.back().generated) break;  // aborted cell: stop sampling
     }
   } else {
     // Every sample is an independent pool task. run_task itself often runs
-    // as a pool task (run_pair_sweep submits cells), so awaiting helps
-    // execute other pending samples instead of blocking a worker.
+    // as a pool task (run_sweep submits cells), so awaiting helps execute
+    // other pending samples instead of blocking a worker.
     //
     // Aggregation stops at the lowest non-generated index, so samples past
     // it are dead work; the shared floor lets late-scheduled samples skip
@@ -389,14 +440,12 @@ TaskResult run_task(const AppSpec& app, Technique technique,
     futures.reserve(config.samples_per_task);
     for (int i = 0; i < config.samples_per_task; ++i) {
       futures.push_back(
-          pool.submit([&app, technique, &profile, pair, config, abort_floor,
-                       i] {
+          pool.submit(priority, [&suite, cell, config, abort_floor, i] {
             if (i > abort_floor->load(std::memory_order_acquire)) {
               return SampleRun{};  // past an abort; aggregation never gets
                                    // here
             }
-            SampleRun run =
-                run_cell_sample(app, technique, profile, pair, config, i);
+            SampleRun run = run_cell_sample(suite, cell, config, i);
             if (!run.generated) {
               int cur = abort_floor->load(std::memory_order_relaxed);
               while (i < cur && !abort_floor->compare_exchange_weak(
@@ -408,58 +457,91 @@ TaskResult run_task(const AppSpec& app, Technique technique,
     }
     for (auto& f : futures) runs.push_back(pool.await(f));
   }
-  return aggregate_samples(app, technique, profile, pair, std::move(runs));
+  return aggregate_samples(*cell.app, cell.technique, *cell.profile,
+                           cell.pair, std::move(runs));
 }
 
-std::vector<SweepCell> sweep_cells(const Pair& pair) {
+TaskResult run_task(const AppSpec& app, Technique technique,
+                    const LlmProfile& profile, const Pair& pair,
+                    const HarnessConfig& config) {
+  return run_task(Suite::paper(), SweepCell{&app, technique, &profile, pair},
+                  config);
+}
+
+std::vector<SweepCell> sweep_cells(const Suite& suite,
+                                   const SweepSpec& spec) {
   std::vector<SweepCell> cells;
-  for (const apps::AppSpec* app : apps::all_apps()) {
-    // Apps without an implementation in the pair's source model are not
-    // tasks for this pair (Table 1).
-    if (app->repos.count(pair.from) == 0) continue;
-    for (const auto technique :
-         {Technique::NonAgentic, Technique::TopDown, Technique::SweAgent}) {
-      for (const auto& profile : llm::all_profiles()) {
-        // Skip configurations the calibration marks out of scope, except
-        // that we still *record* aborted cells for in-scope techniques.
-        if (technique == Technique::SweAgent &&
-            !llm::calibration_lookup(profile.name, technique, pair,
-                                     app->name)) {
-          continue;  // SWE-agent cells outside its evaluated slice
+  for (const Pair& pair : suite.pairs()) {
+    if (!spec.selects_pair(pair)) continue;
+    for (const apps::AppSpec* app : suite.apps()) {
+      // Apps without an implementation in the pair's source model are not
+      // tasks for this pair (Table 1).
+      if (app->repos.count(pair.from) == 0) continue;
+      if (!spec.selects_app(app->name)) continue;
+      for (const Technique technique : suite.techniques()) {
+        if (!spec.selects_technique(technique)) continue;
+        for (const llm::LlmProfile* profile : suite.profiles()) {
+          if (!spec.selects_llm(profile->name)) continue;
+          // Gated-out cells (e.g. SWE-agent outside its evaluated slice)
+          // are dropped entirely; absent-but-in-scope cells still run and
+          // are *recorded* as aborted.
+          if (!spec.gate_allows(technique, profile->name, pair,
+                                app->name)) {
+            continue;
+          }
+          cells.push_back({app, technique, profile, pair});
         }
-        cells.push_back({app, technique, &profile});
       }
     }
   }
   return cells;
 }
 
-std::vector<TaskResult> run_pair_sweep(const Pair& pair,
-                                       const HarnessConfig& config) {
-  const std::vector<SweepCell> cells = sweep_cells(pair);
+SweepSpec pair_spec(const Pair& pair, const HarnessConfig& config) {
+  SweepSpec spec = SweepSpec::paper();
+  spec.pairs = {llm::pair_key(pair)};
+  spec.samples_per_task = config.samples_per_task;
+  spec.seed = config.seed;
+  return spec;
+}
+
+std::vector<SweepCell> sweep_cells(const Pair& pair) {
+  return sweep_cells(Suite::paper(), pair_spec(pair));
+}
+
+std::vector<TaskResult> run_sweep(const Suite& suite, const SweepSpec& spec,
+                                  const HarnessConfig& config) {
+  const std::vector<SweepCell> cells = sweep_cells(suite, spec);
+  HarnessConfig eff = config;
+  eff.samples_per_task = spec.samples_per_task;
+  eff.seed = spec.seed;
 
   std::vector<TaskResult> out;
   out.reserve(cells.size());
-  if (config.threads == 1) {
+  if (eff.threads == 1) {
     for (const SweepCell& cell : cells) {
-      out.push_back(
-          run_task(*cell.app, cell.technique, *cell.profile, pair, config));
+      out.push_back(run_task(suite, cell, eff));
     }
     return out;
   }
   // Submit every cell; each cell then fans its samples out as nested pool
   // tasks. Collection order is the cell order, independent of completion.
+  const auto priority = eff.high_priority ? support::TaskPriority::High
+                                          : support::TaskPriority::Normal;
   ThreadPool& pool = ThreadPool::global();
   std::vector<std::future<TaskResult>> futures;
   futures.reserve(cells.size());
   for (const SweepCell& cell : cells) {
-    futures.push_back(pool.submit([cell, pair, config] {
-      return run_task(*cell.app, cell.technique, *cell.profile, pair,
-                      config);
-    }));
+    futures.push_back(pool.submit(
+        priority, [&suite, cell, eff] { return run_task(suite, cell, eff); }));
   }
   for (auto& f : futures) out.push_back(pool.await(f));
   return out;
+}
+
+std::vector<TaskResult> run_pair_sweep(const Pair& pair,
+                                       const HarnessConfig& config) {
+  return run_sweep(Suite::paper(), pair_spec(pair, config), config);
 }
 
 }  // namespace pareval::eval

@@ -15,10 +15,14 @@
 
 #include "agents/techniques.hpp"
 #include "apps/app.hpp"
+#include "eval/spec.hpp"
+#include "eval/suite.hpp"
 #include "llm/calibration.hpp"
 #include "llm/profiles.hpp"
 
 namespace pareval::eval {
+
+class ScoreCache;
 
 struct SampleOutcome {
   bool built_overall = false;
@@ -57,15 +61,24 @@ struct HarnessConfig {
   int samples_per_task = 25;  // the paper's N (scores are multiples of 0.04)
   std::uint64_t seed = 1070;
   bool keep_logs = true;
-  /// Concurrency for run_task / run_pair_sweep: 1 = fully serial (no pool),
+  /// Concurrency for run_task / run_sweep: 1 = fully serial (no pool),
   /// anything else schedules every sample of every cell on the global
   /// work-stealing pool (which sizes itself to hardware_threads()).
   /// Each sample draws from its own seed ⊕ hash(llm, technique, pair, app,
   /// sample) RNG stream, so results are bit-identical for every setting.
   unsigned threads = 0;
-  /// Consult the global ScoreCache before building/running a repo. Pure
+  /// Consult a ScoreCache before building/running a repo. Pure
   /// memoization: hit or miss, the scores are identical.
   bool use_score_cache = true;
+  /// The cache instance to consult: injected dependency, nullptr = the
+  /// process-wide ScoreCache::global(). An injected cache is used even
+  /// when use_score_cache is false (the flag only governs the global
+  /// default), so two sweeps can run against isolated caches in one
+  /// process.
+  ScoreCache* score_cache = nullptr;
+  /// Schedule this work on the pool's High lane so it drains before any
+  /// Normal-priority tasks (figure-critical cells in bench_figures).
+  bool high_priority = false;
 };
 
 /// Score one generated repository against the app's validation tests:
@@ -118,7 +131,10 @@ class ScoreCache {
   void set_capacity(std::size_t max_entries);
 
   /// Write every entry to `path` as JSON, tagged with the current
-  /// scoring-pipeline hash. Returns false on I/O failure.
+  /// scoring-pipeline hash. Atomic: the file is written to a temp name in
+  /// the same directory and rename()d into place, so concurrent workers
+  /// sharing one cache path never observe a torn file. Returns false on
+  /// I/O failure.
   bool save(const std::string& path) const;
   /// Merge the entries of a previously saved file into this cache.
   /// Returns false — loading nothing — when the file is missing, does not
@@ -158,10 +174,25 @@ struct SampleRun {
   bool operator==(const SampleRun&) const = default;
 };
 
+/// One (app, technique, LLM, pair) cell of a sweep.
+struct SweepCell {
+  const apps::AppSpec* app = nullptr;
+  llm::Technique technique = llm::Technique::NonAgentic;
+  const llm::LlmProfile* profile = nullptr;
+  llm::Pair pair;
+};
+
 /// Run one (cell, sample) unit with its derived RNG stream: seed ⊕
 /// hash(llm, technique, pair, app, sample_index). The unit depends only on
 /// its coordinates — never on execution order, thread count, or which
 /// process runs it — which is what makes distributed sharding exact.
+/// Calibration (how capable the simulated LLM is on this cell) resolves
+/// through `suite`, so suites with registered LLMs/pairs generate instead
+/// of aborting on missing paper tables.
+SampleRun run_cell_sample(const Suite& suite, const SweepCell& cell,
+                          const HarnessConfig& config, int sample_index);
+
+/// Paper-suite convenience overload (Suite::paper() calibration).
 SampleRun run_cell_sample(const apps::AppSpec& app, llm::Technique technique,
                           const llm::LlmProfile& profile,
                           const llm::Pair& pair, const HarnessConfig& config,
@@ -177,25 +208,45 @@ TaskResult aggregate_samples(const apps::AppSpec& app,
                              const llm::Pair& pair,
                              std::vector<SampleRun> runs);
 
-/// One (app, technique, LLM) cell of a pair's sweep.
-struct SweepCell {
-  const apps::AppSpec* app = nullptr;
-  llm::Technique technique = llm::Technique::NonAgentic;
-  const llm::LlmProfile* profile = nullptr;
-};
+/// The canonical cell enumeration of a (suite, spec) sweep: pairs in suite
+/// registration order (filtered by the spec), then per pair apps (outer),
+/// techniques, and profiles — all in suite order, filtered by the spec's
+/// selections and technique gates. Cell indices into this list are what
+/// the shard planner partitions and shard files reference.
+std::vector<SweepCell> sweep_cells(const Suite& suite,
+                                   const SweepSpec& spec);
 
-/// The cells of one pair's sweep in canonical order — the order
-/// run_pair_sweep returns TaskResults in, and the cell indices the shard
-/// planner partitions.
+/// The cells of one pair's sweep under the paper suite and default spec —
+/// the pre-registry enumeration, bit-identical to the original harness.
 std::vector<SweepCell> sweep_cells(const llm::Pair& pair);
 
-/// Run one cell.
+/// Run one cell against `suite`'s calibration. samples_per_task and seed
+/// come from `config`.
+TaskResult run_task(const Suite& suite, const SweepCell& cell,
+                    const HarnessConfig& config = {});
+
+/// Run one cell of the paper suite.
 TaskResult run_task(const apps::AppSpec& app, llm::Technique technique,
                     const llm::LlmProfile& profile, const llm::Pair& pair,
                     const HarnessConfig& config = {});
 
-/// Run every cell of one pair (the paper's per-figure sweep).
+/// Run every cell of a (suite, spec) sweep, in canonical cell order.
+/// samples_per_task and seed come from the *spec* (the config's copies are
+/// ignored); config contributes the execution knobs (threads, logs,
+/// score cache, priority). This is the canonical sweep entry point;
+/// run_pair_sweep is the paper-suite special case.
+std::vector<TaskResult> run_sweep(const Suite& suite, const SweepSpec& spec,
+                                  const HarnessConfig& config = {});
+
+/// Run every cell of one pair of the paper benchmark (the paper's
+/// per-figure sweep): Suite::paper() + the default spec restricted to
+/// `pair`, with samples/seed taken from `config`.
 std::vector<TaskResult> run_pair_sweep(const llm::Pair& pair,
                                        const HarnessConfig& config = {});
+
+/// The default spec restricted to one pair with `config`'s samples/seed —
+/// the SweepSpec equivalent of a legacy per-pair call, shared by the
+/// run_pair_sweep/run_shard/merge_shards compatibility wrappers.
+SweepSpec pair_spec(const llm::Pair& pair, const HarnessConfig& config = {});
 
 }  // namespace pareval::eval

@@ -17,17 +17,42 @@ using support::HeatMap;
 
 namespace {
 
-std::vector<std::string> apps_for_pair(const Pair& pair) {
+std::vector<std::string> apps_for_pair(const Suite& suite,
+                                       const SweepSpec& spec,
+                                       const Pair& pair) {
   std::vector<std::string> out;
-  for (const apps::AppSpec* app : apps::all_apps()) {
-    if (app->repos.count(pair.from) > 0) out.push_back(app->name);
+  for (const apps::AppSpec* app : suite.apps()) {
+    if (app->repos.count(pair.from) > 0 && spec.selects_app(app->name)) {
+      out.push_back(app->name);
+    }
   }
   return out;
 }
 
-std::vector<std::string> llm_names() {
+std::vector<std::string> suite_app_names(const Suite& suite,
+                                         const SweepSpec& spec) {
   std::vector<std::string> out;
-  for (const auto& p : llm::all_profiles()) out.push_back(p.name);
+  for (const apps::AppSpec* app : suite.apps()) {
+    if (spec.selects_app(app->name)) out.push_back(app->name);
+  }
+  return out;
+}
+
+std::vector<std::string> llm_names(const Suite& suite,
+                                   const SweepSpec& spec) {
+  std::vector<std::string> out;
+  for (const llm::LlmProfile* p : suite.profiles()) {
+    if (spec.selects_llm(p->name)) out.push_back(p->name);
+  }
+  return out;
+}
+
+std::vector<Technique> selected_techniques(const Suite& suite,
+                                           const SweepSpec& spec) {
+  std::vector<Technique> out;
+  for (const Technique t : suite.techniques()) {
+    if (spec.selects_technique(t)) out.push_back(t);
+  }
   return out;
 }
 
@@ -43,12 +68,13 @@ const TaskResult* find_task(const std::vector<TaskResult>& tasks,
 HeatMap metric_map(const std::string& title,
                    const std::vector<TaskResult>& tasks, Technique tech,
                    const std::vector<std::string>& apps_rows,
+                   const std::vector<std::string>& llm_cols,
                    const std::function<double(const TaskResult&)>& metric) {
-  HeatMap hm(title, apps_rows, llm_names());
+  HeatMap hm(title, apps_rows, llm_cols);
   for (std::size_t r = 0; r < apps_rows.size(); ++r) {
-    for (std::size_t c = 0; c < llm_names().size(); ++c) {
+    for (std::size_t c = 0; c < llm_cols.size(); ++c) {
       const TaskResult* t =
-          find_task(tasks, llm_names()[c], tech, apps_rows[r]);
+          find_task(tasks, llm_cols[c], tech, apps_rows[r]);
       if (t != nullptr && t->ran) hm.set(r, c, metric(*t));
     }
   }
@@ -67,9 +93,11 @@ std::vector<std::optional<HeatMap>> build_maps(
 
 }  // namespace
 
-std::string figure2_report(const Pair& pair,
+std::string figure2_report(const Suite& suite, const SweepSpec& spec,
+                           const Pair& pair,
                            const std::vector<TaskResult>& tasks) {
-  const auto rows = apps_for_pair(pair);
+  const auto rows = apps_for_pair(suite, spec, pair);
+  const auto cols = llm_names(suite, spec);
   std::string out =
       "== Figure 2: correctness for " + llm::pair_name(pair) + " ==\n\n";
 
@@ -86,13 +114,17 @@ std::string figure2_report(const Pair& pair,
        [](const TaskResult& t) { return t.pass1_codeonly(); },
        [](const TaskResult& t) { return t.pass1_overall(); }},
   };
-  const bool swe =
-      pair == llm::all_pairs()[1];  // SWE-agent evaluated for CUDA->Kokkos
+
+  // One column block per selected technique whose gates admit this pair —
+  // the SWE-agent block appears exactly where the spec's gating evaluated
+  // it (CUDA->Kokkos under the paper spec), not via a hard-coded pair.
+  std::vector<Technique> techs;
+  for (const Technique tech : selected_techniques(suite, spec)) {
+    if (spec.gate_allows_pair(tech, pair)) techs.push_back(tech);
+  }
 
   // Flatten every (metric, mode, technique) map into one job list, grouped
   // by the side-by-side block it renders into, and build on the pool.
-  std::vector<Technique> techs = {Technique::NonAgentic, Technique::TopDown};
-  if (swe) techs.push_back(Technique::SweAgent);
   std::vector<std::function<HeatMap()>> jobs;
   std::vector<std::size_t> job_group;
   std::size_t groups = 0;
@@ -105,14 +137,15 @@ std::string figure2_report(const Pair& pair,
             (tech == Technique::SweAgent ? "SWE-agent"
                                          : llm::technique_name(tech));
         const auto& metric = overall ? m.overall : m.codeonly;
-        jobs.push_back([&tasks, tech, rows, title, metric] {
-          return metric_map(title, tasks, tech, rows, metric);
+        jobs.push_back([&tasks, tech, rows, cols, title, metric] {
+          return metric_map(title, tasks, tech, rows, cols, metric);
         });
         job_group.push_back(groups);
       }
       ++groups;
     }
   }
+  if (techs.empty()) return out + "(no techniques selected)\n";
   const auto built = build_maps(jobs);
 
   std::size_t j = 0;
@@ -127,13 +160,33 @@ std::string figure2_report(const Pair& pair,
   return out;
 }
 
-std::string figure3_report(const ClassificationResult& classification) {
+std::string figure2_report(const Pair& pair,
+                           const std::vector<TaskResult>& tasks) {
+  return figure2_report(Suite::paper(), SweepSpec::paper(), pair, tasks);
+}
+
+std::string figure2_reports(const Suite& suite, const SweepSpec& spec,
+                            const std::vector<TaskResult>& tasks) {
+  std::string out;
+  for (const Pair& pair : suite.pairs()) {
+    if (!spec.selects_pair(pair)) continue;
+    std::vector<TaskResult> pair_tasks;
+    for (const TaskResult& t : tasks) {
+      if (t.pair == pair) pair_tasks.push_back(t);
+    }
+    out += figure2_report(suite, spec, pair, pair_tasks);
+  }
+  return out;
+}
+
+std::string figure3_report(const Suite& suite, const SweepSpec& spec,
+                           const ClassificationResult& classification) {
   std::string out =
       "== Figure 3: build-error categories per (LLM, application) ==\n"
       "(ours = classified from this run's failure logs via word2vec + "
       "DBSCAN + labelling pass; paper = Figure 3 reference counts)\n\n";
-  std::vector<std::string> rows;
-  for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
+  const std::vector<std::string> rows = suite_app_names(suite, spec);
+  const std::vector<std::string> cols = llm_names(suite, spec);
 
   std::vector<xlate::DefectKind> kinds;
   for (const auto kind : xlate::all_defect_kinds()) {
@@ -143,17 +196,17 @@ std::string figure3_report(const ClassificationResult& classification) {
   // concurrently, then render in kind order.
   std::vector<std::function<HeatMap()>> jobs;
   for (const auto kind : kinds) {
-    jobs.push_back([&, kind, rows] {
+    jobs.push_back([&, kind, rows, cols] {
       HeatMap ours(std::string("ours: ") + xlate::defect_name(kind), rows,
-                   llm_names());
+                   cols);
       for (std::size_t r = 0; r < rows.size(); ++r) {
-        for (std::size_t c = 0; c < llm_names().size(); ++c) {
+        for (std::size_t c = 0; c < cols.size(); ++c) {
           const auto cit = classification.counts.find(kind);
           int count = 0;
           if (cit != classification.counts.end()) {
             const auto ait = cit->second.find(rows[r]);
             if (ait != cit->second.end()) {
-              const auto lit = ait->second.find(llm_names()[c]);
+              const auto lit = ait->second.find(cols[c]);
               if (lit != ait->second.end()) count = lit->second;
             }
           }
@@ -162,13 +215,12 @@ std::string figure3_report(const ClassificationResult& classification) {
       }
       return ours;
     });
-    jobs.push_back([kind, rows] {
+    jobs.push_back([kind, rows, cols] {
       HeatMap paper(std::string("paper: ") + xlate::defect_name(kind), rows,
-                    llm_names());
+                    cols);
       for (std::size_t r = 0; r < rows.size(); ++r) {
-        for (std::size_t c = 0; c < llm_names().size(); ++c) {
-          paper.set(r, c,
-                    llm::figure3_reference(kind, rows[r], llm_names()[c]));
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+          paper.set(r, c, llm::figure3_reference(kind, rows[r], cols[c]));
         }
       }
       return paper;
@@ -183,23 +235,27 @@ std::string figure3_report(const ClassificationResult& classification) {
   return out;
 }
 
-std::string figure4_report(const std::vector<TaskResult>& tasks) {
+std::string figure3_report(const ClassificationResult& classification) {
+  return figure3_report(Suite::paper(), SweepSpec::paper(), classification);
+}
+
+std::string figure4_report(const Suite& suite, const SweepSpec& spec,
+                           const std::vector<TaskResult>& tasks) {
   std::string out =
       "== Figure 4: total inference tokens used in translation "
       "(thousands; averaged across generations and pairs) ==\n\n";
-  std::vector<std::string> rows;
-  for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
+  const std::vector<std::string> rows = suite_app_names(suite, spec);
+  const std::vector<std::string> cols = llm_names(suite, spec);
   std::vector<std::function<HeatMap()>> jobs;
-  for (const auto tech :
-       {Technique::NonAgentic, Technique::TopDown, Technique::SweAgent}) {
-    jobs.push_back([&tasks, tech, rows] {
-      HeatMap hm(llm::technique_name(tech), rows, llm_names());
+  for (const auto tech : selected_techniques(suite, spec)) {
+    jobs.push_back([&tasks, tech, rows, cols] {
+      HeatMap hm(llm::technique_name(tech), rows, cols);
       for (std::size_t r = 0; r < rows.size(); ++r) {
-        for (std::size_t c = 0; c < llm_names().size(); ++c) {
+        for (std::size_t c = 0; c < cols.size(); ++c) {
           double sum = 0.0;
           int n = 0;
           for (const auto& t : tasks) {
-            if (t.llm == llm_names()[c] && t.technique == tech &&
+            if (t.llm == cols[c] && t.technique == tech &&
                 t.app == rows[r] && t.ran) {
               sum += t.avg_tokens;
               ++n;
@@ -211,6 +267,7 @@ std::string figure4_report(const std::vector<TaskResult>& tasks) {
       return hm;
     });
   }
+  if (jobs.empty()) return out + "(no techniques selected)\n";
   const auto built = build_maps(jobs);
   std::vector<HeatMap> maps;
   for (const auto& hm : built) maps.push_back(*hm);
@@ -218,22 +275,29 @@ std::string figure4_report(const std::vector<TaskResult>& tasks) {
   return out;
 }
 
-std::string figure5_report(const std::vector<TaskResult>& tasks) {
+std::string figure4_report(const std::vector<TaskResult>& tasks) {
+  return figure4_report(Suite::paper(), SweepSpec::paper(), tasks);
+}
+
+std::string figure5_report(const Suite& suite, const SweepSpec& spec,
+                           const std::vector<TaskResult>& tasks) {
   std::string out =
       "== Figure 5: expected tokens needed for a successful translation "
       "(Eκ, thousands; cells with pass@1 > 0) ==\n\n";
-  std::vector<std::string> rows;
-  for (const apps::AppSpec* app : apps::all_apps()) rows.push_back(app->name);
+  const std::vector<std::string> rows = suite_app_names(suite, spec);
+  const std::vector<std::string> cols = llm_names(suite, spec);
   std::vector<std::function<HeatMap()>> jobs;
-  for (const auto tech : {Technique::NonAgentic, Technique::TopDown}) {
-    jobs.push_back([&tasks, tech, rows] {
-      HeatMap hm(llm::technique_name(tech), rows, llm_names());
+  for (const auto tech : selected_techniques(suite, spec)) {
+    // The paper's Eκ figure covers the two full-matrix techniques only.
+    if (tech == Technique::SweAgent) continue;
+    jobs.push_back([&tasks, tech, rows, cols] {
+      HeatMap hm(llm::technique_name(tech), rows, cols);
       for (std::size_t r = 0; r < rows.size(); ++r) {
-        for (std::size_t c = 0; c < llm_names().size(); ++c) {
+        for (std::size_t c = 0; c < cols.size(); ++c) {
           double ek_sum = 0.0;
           int n = 0;
           for (const auto& t : tasks) {
-            if (t.llm != llm_names()[c] || t.technique != tech ||
+            if (t.llm != cols[c] || t.technique != tech ||
                 t.app != rows[r] || !t.ran) {
               continue;
             }
@@ -250,6 +314,7 @@ std::string figure5_report(const std::vector<TaskResult>& tasks) {
       return hm;
     });
   }
+  if (jobs.empty()) return out + "(no techniques selected)\n";
   const auto built = build_maps(jobs);
   std::vector<HeatMap> maps;
   for (const auto& hm : built) maps.push_back(*hm);
@@ -257,20 +322,29 @@ std::string figure5_report(const std::vector<TaskResult>& tasks) {
   return out;
 }
 
-std::string table1_report() {
+std::string figure5_report(const std::vector<TaskResult>& tasks) {
+  return figure5_report(Suite::paper(), SweepSpec::paper(), tasks);
+}
+
+std::string table1_report(const Suite& suite) {
   std::string out = "== Table 1: the ParEval-Repo application suite ==\n";
   support::TextTable t({"Application", "SLoC", "CC", "# Files", "OMP Th.",
                         "OMP Of.", "CUDA", "Kokkos"});
-  const auto& apps_list = apps::all_apps();
+  const auto& apps_list = suite.apps();
   // repo_metrics walks every file of every app: compute the rows on the
   // pool, then emit them in Table 1 order.
   std::vector<std::vector<std::string>> table_rows(apps_list.size());
   support::parallel_for(0, apps_list.size(), [&](std::size_t i) {
     const apps::AppSpec* app = apps_list[i];
-    const apps::Model m = app->repos.count(apps::Model::Cuda) > 0
-                              ? apps::Model::Cuda
-                              : apps::Model::OmpThreads;
-    const auto metrics = codeanal::repo_metrics(app->repos.at(m));
+    // Prefer the CUDA implementation (Table 1's convention), else OMP
+    // threads, else whatever the (custom) app ships first.
+    auto it = app->repos.find(apps::Model::Cuda);
+    if (it == app->repos.end()) it = app->repos.find(apps::Model::OmpThreads);
+    if (it == app->repos.end()) it = app->repos.begin();
+    codeanal::RepoMetrics metrics{};
+    if (it != app->repos.end()) {
+      metrics = codeanal::repo_metrics(it->second);
+    }
     auto mark = [&](apps::Model model) -> std::string {
       for (const auto a : app->available) {
         if (a == model) return "yes";
@@ -294,11 +368,14 @@ std::string table1_report() {
   return out;
 }
 
-std::string table2_report(const std::vector<TaskResult>& tasks) {
+std::string table1_report() { return table1_report(Suite::paper()); }
+
+std::string table2_report(const Suite& suite,
+                          const std::vector<TaskResult>& tasks) {
   std::string out =
       "== Table 2: estimated cost for a successful translation ==\n";
-  const llm::LlmProfile* o4 = llm::find_profile("o4-mini");
-  const llm::LlmProfile* llama = llm::find_profile("Llama-3.3-70B");
+  const llm::LlmProfile* o4 = suite.find_profile("o4-mini");
+  const llm::LlmProfile* llama = suite.find_profile("Llama-3.3-70B");
   support::TextTable t({"Configuration", "nanoXOR", "microXORh", "microXOR"});
 
   auto row = [&](const llm::LlmProfile& profile, bool dollars) {
@@ -345,6 +422,10 @@ std::string table2_report(const std::vector<TaskResult>& tasks) {
   out += "(computed from Eκ, public API prices, and 187 tok/s measured "
          "local throughput, as in §8.4)\n";
   return out;
+}
+
+std::string table2_report(const std::vector<TaskResult>& tasks) {
+  return table2_report(Suite::paper(), tasks);
 }
 
 }  // namespace pareval::eval

@@ -41,39 +41,41 @@ ShardPlan plan_shard(std::size_t cell_count, int samples_per_cell,
 
 // --- worker -----------------------------------------------------------------
 
-ShardResult run_shard(const llm::Pair& pair, int shard_index,
-                      int shard_count, const HarnessConfig& config) {
-  const std::vector<SweepCell> cells = sweep_cells(pair);
-  const ShardPlan plan = plan_shard(cells.size(), config.samples_per_task,
+ShardResult run_shard(const Suite& suite, const SweepSpec& spec,
+                      int shard_index, int shard_count,
+                      const HarnessConfig& config) {
+  const std::vector<SweepCell> cells = sweep_cells(suite, spec);
+  const ShardPlan plan = plan_shard(cells.size(), spec.samples_per_task,
                                     shard_index, shard_count);
+  HarnessConfig eff = config;
+  eff.samples_per_task = spec.samples_per_task;
+  eff.seed = spec.seed;
+
   ShardResult out;
-  out.pair = pair;
+  out.spec = spec;
+  out.suite_fingerprint = suite.fingerprint();
   out.shard_index = shard_index;
   out.shard_count = shard_count;
-  out.samples_per_task = config.samples_per_task;
-  out.seed = config.seed;
   out.records.reserve(plan.units.size());
 
-  if (config.threads == 1) {
+  if (eff.threads == 1) {
     for (const auto& [cell, sample] : plan.units) {
-      const SweepCell& c = cells[cell];
       out.records.push_back(
-          {cell, sample,
-           run_cell_sample(*c.app, c.technique, *c.profile, pair, config,
-                           sample)});
+          {cell, sample, run_cell_sample(suite, cells[cell], eff, sample)});
     }
     return out;
   }
   // Every unit is an independent pool task; collection order is plan
   // order, independent of completion order.
+  const auto priority = eff.high_priority ? support::TaskPriority::High
+                                          : support::TaskPriority::Normal;
   ThreadPool& pool = ThreadPool::global();
   std::vector<std::future<SampleRun>> futures;
   futures.reserve(plan.units.size());
   for (const auto& [cell, sample] : plan.units) {
     const SweepCell& c = cells[cell];
-    futures.push_back(pool.submit([c, pair, config, sample = sample] {
-      return run_cell_sample(*c.app, c.technique, *c.profile, pair, config,
-                             sample);
+    futures.push_back(pool.submit(priority, [&suite, c, eff, sample = sample] {
+      return run_cell_sample(suite, c, eff, sample);
     }));
   }
   for (std::size_t i = 0; i < plan.units.size(); ++i) {
@@ -83,31 +85,49 @@ ShardResult run_shard(const llm::Pair& pair, int shard_index,
   return out;
 }
 
+ShardResult run_shard(const llm::Pair& pair, int shard_index,
+                      int shard_count, const HarnessConfig& config) {
+  return run_shard(Suite::paper(), pair_spec(pair, config), shard_index,
+                   shard_count, config);
+}
+
 // --- merger -----------------------------------------------------------------
 
-std::vector<TaskResult> merge_shards(
-    const llm::Pair& pair, const std::vector<ShardResult>& shards) {
+std::vector<TaskResult> merge_shards(const Suite& suite,
+                                     const SweepSpec& spec,
+                                     const std::vector<ShardResult>& shards) {
   if (shards.empty()) {
     throw std::runtime_error("merge_shards: no shards to merge");
   }
-  const int samples = shards.front().samples_per_task;
-  const std::uint64_t seed = shards.front().seed;
+  const std::uint64_t want_hash = spec_hash(spec);
+  const std::uint64_t want_suite = suite.fingerprint();
+  const int samples = spec.samples_per_task;
   const int shard_count = shards.front().shard_count;
   for (const ShardResult& s : shards) {
-    if (!(s.pair == pair)) {
-      throw std::runtime_error("merge_shards: shard is for a different pair");
-    }
-    if (s.samples_per_task != samples || s.seed != seed ||
-        s.shard_count != shard_count) {
+    if (spec_hash(s.spec) != want_hash) {
       throw std::runtime_error(support::strfmt(
-          "merge_shards: shard %d disagrees on configuration "
-          "(samples %d vs %d, shard_count %d vs %d)",
-          s.shard_index, s.samples_per_task, samples, s.shard_count,
-          shard_count));
+          "merge_shards: shard %d ran a different spec (hash %s vs %s)",
+          s.shard_index, support::u64_to_hex(spec_hash(s.spec)).c_str(),
+          support::u64_to_hex(want_hash).c_str()));
+    }
+    if (s.suite_fingerprint != want_suite) {
+      // Same spec, different registries: the shard's cell indices would
+      // resolve against the wrong cells — refuse rather than misattribute.
+      throw std::runtime_error(support::strfmt(
+          "merge_shards: shard %d ran under a different suite "
+          "(fingerprint %s vs %s)",
+          s.shard_index,
+          support::u64_to_hex(s.suite_fingerprint).c_str(),
+          support::u64_to_hex(want_suite).c_str()));
+    }
+    if (s.shard_count != shard_count) {
+      throw std::runtime_error(support::strfmt(
+          "merge_shards: shard %d disagrees on shard_count (%d vs %d)",
+          s.shard_index, s.shard_count, shard_count));
     }
   }
 
-  const std::vector<SweepCell> cells = sweep_cells(pair);
+  const std::vector<SweepCell> cells = sweep_cells(suite, spec);
   // cell -> sample -> run, deduplicated with an exactly-once check.
   std::vector<std::vector<std::pair<bool, SampleRun>>> grid(
       cells.size(),
@@ -147,33 +167,30 @@ std::vector<TaskResult> merge_shards(
       runs.push_back(std::move(slot.second));
     }
     out.push_back(aggregate_samples(*cells[c].app, cells[c].technique,
-                                    *cells[c].profile, pair,
+                                    *cells[c].profile, cells[c].pair,
                                     std::move(runs)));
   }
   return out;
 }
 
-// --- enum keys --------------------------------------------------------------
-
-const char* model_key(apps::Model m) {
-  switch (m) {
-    case apps::Model::OmpThreads: return "omp_threads";
-    case apps::Model::OmpOffload: return "omp_offload";
-    case apps::Model::Cuda: return "cuda";
-    case apps::Model::Kokkos: return "kokkos";
+std::vector<TaskResult> merge_shards(const llm::Pair& pair,
+                                     const std::vector<ShardResult>& shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("merge_shards: no shards to merge");
   }
-  return "?";
+  const SweepSpec& spec = shards.front().spec;
+  if (spec.pairs != std::vector<std::string>{llm::pair_key(pair)}) {
+    throw std::runtime_error("merge_shards: shard is for a different pair");
+  }
+  return merge_shards(Suite::paper(), spec, shards);
 }
 
+// --- enum keys --------------------------------------------------------------
+
+const char* model_key(apps::Model m) { return apps::model_key(m); }
+
 bool model_from_key(const std::string& key, apps::Model* out) {
-  for (const auto m : {apps::Model::OmpThreads, apps::Model::OmpOffload,
-                       apps::Model::Cuda, apps::Model::Kokkos}) {
-    if (key == model_key(m)) {
-      *out = m;
-      return true;
-    }
-  }
-  return false;
+  return apps::model_from_key(key, out);
 }
 
 bool technique_from_name(const std::string& name, llm::Technique* out) {
@@ -193,14 +210,14 @@ namespace {
 
 Json pair_to_json(const llm::Pair& p) {
   Json j = Json::object();
-  j.set("from", model_key(p.from));
-  j.set("to", model_key(p.to));
+  j.set("from", apps::model_key(p.from));
+  j.set("to", apps::model_key(p.to));
   return j;
 }
 
 bool pair_from_json(const Json& j, llm::Pair* out) {
-  return model_from_key(j["from"].as_string(), &out->from) &&
-         model_from_key(j["to"].as_string(), &out->to);
+  return apps::model_from_key(j["from"].as_string(), &out->from) &&
+         apps::model_from_key(j["to"].as_string(), &out->to);
 }
 
 Json u64_to_json(std::uint64_t v) { return Json(support::u64_to_hex(v)); }
@@ -333,11 +350,14 @@ bool from_json(const Json& j, TaskResult* out) {
 
 Json to_json(const ShardResult& s) {
   Json j = Json::object();
-  j.set("pair", pair_to_json(s.pair));
+  j.set("spec", to_json(s.spec));
+  // Redundant with "spec", but load-bearing: the parser recomputes the
+  // hash and rejects entries where the two disagree, and the merger
+  // compares hashes across shards (and against any --spec file).
+  j.set("spec_hash", u64_to_json(spec_hash(s.spec)));
+  j.set("suite_fingerprint", u64_to_json(s.suite_fingerprint));
   j.set("shard_index", s.shard_index);
   j.set("shard_count", s.shard_count);
-  j.set("samples_per_task", s.samples_per_task);
-  j.set("seed", u64_to_json(s.seed));
   Json records = Json::array();
   for (const SampleRecord& rec : s.records) {
     Json r = Json::object();
@@ -351,15 +371,20 @@ Json to_json(const ShardResult& s) {
 }
 
 bool from_json(const Json& j, ShardResult* out) {
-  if (!j.is_object() || !pair_from_json(j["pair"], &out->pair)) return false;
-  if (!j["shard_index"].is_number() || !j["shard_count"].is_number() ||
-      !j["samples_per_task"].is_number()) {
+  if (!j.is_object() || !from_json(j["spec"], &out->spec)) return false;
+  std::uint64_t stored_hash = 0;
+  if (!u64_from_json(j["spec_hash"], &stored_hash) ||
+      stored_hash != spec_hash(out->spec)) {
+    return false;  // spec and its recorded hash disagree: reject the shard
+  }
+  if (!u64_from_json(j["suite_fingerprint"], &out->suite_fingerprint)) {
+    return false;
+  }
+  if (!j["shard_index"].is_number() || !j["shard_count"].is_number()) {
     return false;
   }
   out->shard_index = static_cast<int>(j["shard_index"].as_int());
   out->shard_count = static_cast<int>(j["shard_count"].as_int());
-  out->samples_per_task = static_cast<int>(j["samples_per_task"].as_int());
-  if (!u64_from_json(j["seed"], &out->seed)) return false;
   out->records.clear();
   for (const Json& r : j["records"].items()) {
     SampleRecord rec;

@@ -1,13 +1,19 @@
 #pragma once
-// Distributed sweep sharding: partition the (cell × sample) matrix of one
-// pair's sweep across `shard_count` independent workers, run a shard to
-// per-sample records, and recombine shards by cell in sample-index order.
+// Distributed sweep sharding: partition the (cell × sample) matrix of a
+// (suite, spec) sweep across `shard_count` independent workers, run a
+// shard to per-sample records, and recombine shards by cell in
+// sample-index order.
 //
 // Because every (cell, sample) unit draws from an RNG stream derived only
 // from its coordinates (see run_cell_sample) and aggregation walks
 // sample-index order, merge_shards(run_shard(0..K-1)) is bit-identical to
-// a single-process run_pair_sweep for every K — the invariant the CI
-// fan-in job enforces end-to-end.
+// a single-process run_sweep for every K — the invariant the CI fan-in
+// job enforces end-to-end.
+//
+// Every shard embeds the full SweepSpec it ran plus its spec_hash; the
+// merger refuses to combine shards whose hashes disagree (or that
+// disagree with an explicitly supplied spec), so shards of different
+// sweeps can never be silently recombined.
 //
 // Also home to the JSON codecs for the harness's result types, so shard
 // files, merged sweeps, and figure inputs share one on-disk format.
@@ -22,10 +28,10 @@
 
 namespace pareval::eval {
 
-/// One (cell, sample) unit of a pair's sweep, tagged with its coordinates
-/// so shards can be recombined without any ordering assumptions.
+/// One (cell, sample) unit of a sweep, tagged with its coordinates so
+/// shards can be recombined without any ordering assumptions.
 struct SampleRecord {
-  int cell = 0;    // index into sweep_cells(pair)
+  int cell = 0;    // index into sweep_cells(suite, spec)
   int sample = 0;  // sample index within the cell
   SampleRun run;
 
@@ -47,37 +53,54 @@ struct ShardPlan {
 ShardPlan plan_shard(std::size_t cell_count, int samples_per_cell,
                      int shard_index, int shard_count);
 
-/// One shard's worth of a pair's sweep, self-describing enough for the
-/// merger to validate that all shards ran the same configuration.
+/// One shard's worth of a sweep, self-describing (it carries the full
+/// spec) so the merger can validate that all shards ran the same
+/// configuration and so a shard file needs no side channel.
 struct ShardResult {
-  llm::Pair pair;
+  SweepSpec spec;
+  /// Suite::fingerprint() of the suite that enumerated the cells: bare
+  /// cell indices are only meaningful against that suite's registration
+  /// order, so the merger checks it alongside the spec hash.
+  std::uint64_t suite_fingerprint = 0;
   int shard_index = 0;
   int shard_count = 1;
-  int samples_per_task = 0;
-  std::uint64_t seed = 0;
   std::vector<SampleRecord> records;  // in plan (ascending unit) order
 
   bool operator==(const ShardResult&) const = default;
 };
 
-/// Run this process's share of the pair's sweep. Uses the global pool
-/// unless config.threads == 1. config.samples_per_task and config.seed are
-/// recorded in the result for merge-time validation.
+/// Run this process's share of a (suite, spec) sweep. Uses the global pool
+/// unless config.threads == 1; samples/seed come from the spec.
+ShardResult run_shard(const Suite& suite, const SweepSpec& spec,
+                      int shard_index, int shard_count,
+                      const HarnessConfig& config = {});
+
+/// Paper-suite compatibility: one pair's sweep (the default spec
+/// restricted to `pair` with config's samples/seed, see pair_spec).
 ShardResult run_shard(const llm::Pair& pair, int shard_index,
                       int shard_count, const HarnessConfig& config = {});
 
-/// Recombine shards of one pair into per-cell TaskResults, bit-identical
-/// to run_pair_sweep with the same samples/seed. Throws std::runtime_error
-/// when the shards disagree on configuration, cover a unit twice, or
-/// leave a unit uncovered. (Records past a cell's abort floor are still
-/// required for coverage — a shard cannot know another shard aborted —
-/// but aggregation ignores them, exactly as the single-process pool does.)
+/// Recombine shards of one (suite, spec) sweep into per-cell TaskResults,
+/// bit-identical to run_sweep with the same spec. Throws
+/// std::runtime_error when any shard's spec_hash differs from `spec`'s,
+/// any shard was produced under a suite whose fingerprint differs from
+/// `suite`'s, the shards disagree on shard_count, cover a unit twice, or
+/// leave a unit uncovered. (Records past a cell's abort floor are still required
+/// for coverage — a shard cannot know another shard aborted — but
+/// aggregation ignores them, exactly as the single-process pool does.)
+std::vector<TaskResult> merge_shards(const Suite& suite,
+                                     const SweepSpec& spec,
+                                     const std::vector<ShardResult>& shards);
+
+/// Paper-suite compatibility: merge per-pair shards produced by the
+/// run_shard(pair, ...) wrapper. The spec is recovered from the first
+/// shard; it must select exactly `pair`.
 std::vector<TaskResult> merge_shards(const llm::Pair& pair,
                                      const std::vector<ShardResult>& shards);
 
 // --- stable string keys for enums (used by the JSON codecs) ----------------
 
-/// "cuda", "omp_threads", "omp_offload", "kokkos".
+/// "cuda", "omp_threads", "omp_offload", "kokkos" (apps::model_key).
 const char* model_key(apps::Model m);
 bool model_from_key(const std::string& key, apps::Model* out);
 
@@ -100,8 +123,10 @@ bool from_json(const support::Json& j, TaskResult* out);
 support::Json to_json(const ShardResult& s);
 bool from_json(const support::Json& j, ShardResult* out);
 
-/// File wrapper for sweep_worker output: one or more ShardResults (one per
-/// pair swept) under a format tag.
+/// File wrapper for sweep_worker output: one or more ShardResults under a
+/// format tag. Each serialized shard embeds its spec and spec_hash;
+/// parsing rejects entries whose stored hash does not match the spec they
+/// carry (a tampered or corrupted file).
 std::string shard_file_text(const std::vector<ShardResult>& shards);
 /// Parse a shard file; returns false and sets `error` on malformed input.
 bool parse_shard_file(const std::string& text,

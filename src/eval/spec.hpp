@@ -1,0 +1,102 @@
+#pragma once
+// eval::SweepSpec — a declarative description of *which slice* of a Suite
+// a sweep covers: selected LLMs, pairs, apps, and techniques (empty list =
+// everything the suite registers), samples per task, the base RNG seed,
+// and per-technique pair gating (e.g. the paper's SWE-agent rule: only
+// gpt-4o-mini, only CUDA->Kokkos, only the four smallest apps).
+//
+// A spec is data, not code: it round-trips through src/support/json, so a
+// subset sweep is a config file handed to sweep_worker/sweep_merge/
+// bench_figures via --spec, not a fork of the harness. A *suite* is code
+// (registered apps embed sources and golden functions), so the stock
+// tools resolve specs against Suite::paper(); a spec naming custom
+// registrations runs through the same run_sweep/run_shard/merge_shards
+// calls from a driver that links the suite (examples/custom_suite.cpp).
+//
+// spec_hash() is a stable 64-bit digest of the spec's *semantics*
+// (selection lists are order-insensitive). Shard files embed it and
+// merge_shards rejects shards whose hash disagrees, so shards produced
+// under different specs can never be silently recombined.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/calibration.hpp"
+#include "support/json.hpp"
+
+namespace pareval::eval {
+
+class Suite;
+
+/// Restrict one technique to a slice of the sweep matrix. A cell whose
+/// technique matches `technique` is kept only when every non-empty list
+/// contains the cell's coordinate. Techniques without a gate are ungated.
+struct TechniqueGate {
+  std::string technique;           // llm::technique_key
+  std::vector<std::string> llms;   // profile names; empty = no restriction
+  std::vector<std::string> pairs;  // llm::pair_key; empty = no restriction
+  std::vector<std::string> apps;   // app names; empty = no restriction
+
+  bool operator==(const TechniqueGate&) const = default;
+};
+
+struct SweepSpec {
+  std::vector<std::string> llms;        // profile names; empty = all
+  std::vector<std::string> pairs;       // llm::pair_key; empty = all
+  std::vector<std::string> apps;        // app names; empty = all
+  std::vector<std::string> techniques;  // llm::technique_key; empty = all
+  int samples_per_task = 25;            // the paper's N
+  std::uint64_t seed = 1070;
+  std::vector<TechniqueGate> gates;
+
+  bool operator==(const SweepSpec&) const = default;
+
+  /// The paper's default spec: everything the suite registers, N=25,
+  /// seed 1070, and the SWE-agent gate (gpt-4o-mini, CUDA->Kokkos, four
+  /// smallest apps — §8.2). Suite::paper() + this spec enumerates exactly
+  /// the pre-registry sweep_cells matrix.
+  static SweepSpec paper();
+
+  /// True when `spec` selects this llm/pair/app/technique coordinate
+  /// (selection lists only; gates are checked by gate_allows).
+  bool selects_llm(const std::string& llm) const;
+  bool selects_pair(const llm::Pair& pair) const;
+  bool selects_app(const std::string& app) const;
+  bool selects_technique(llm::Technique technique) const;
+
+  /// True when no gate for `technique` excludes the (llm, pair, app) cell.
+  bool gate_allows(llm::Technique technique, const std::string& llm,
+                   const llm::Pair& pair, const std::string& app) const;
+  /// True when some (llm, app) cell of `technique` could exist for `pair`
+  /// under the gates — i.e. no gate pins the technique away from the pair.
+  bool gate_allows_pair(llm::Technique technique,
+                        const llm::Pair& pair) const;
+
+  /// "" when every name in the spec resolves against `suite`; otherwise a
+  /// human-readable description of the first unknown name.
+  std::string validate(const Suite& suite) const;
+};
+
+/// JSON codec ("format": "pareval-sweep-spec"). from_json returns false on
+/// missing/mistyped fields or unparseable technique/pair keys.
+support::Json to_json(const SweepSpec& spec);
+bool from_json(const support::Json& j, SweepSpec* out);
+
+/// Stable content hash of the spec's semantics: selection lists (and gate
+/// lists) are sorted and deduplicated before hashing, so two specs that
+/// enumerate the same cells hash identically regardless of list order.
+std::uint64_t spec_hash(const SweepSpec& spec);
+
+/// Read + parse a spec file; false and `error` set on I/O or parse errors.
+bool load_spec_file(const std::string& path, SweepSpec* out,
+                    std::string* error);
+/// load_spec_file + SweepSpec::validate against `suite` in one call — the
+/// shared front door of every --spec CLI flag. false and `error` set on
+/// I/O, parse, or validation failure.
+bool load_and_validate_spec(const std::string& path, const Suite& suite,
+                            SweepSpec* out, std::string* error);
+/// Serialize `spec` as a spec file ("pareval-sweep-spec" document + '\n').
+std::string spec_file_text(const SweepSpec& spec);
+
+}  // namespace pareval::eval

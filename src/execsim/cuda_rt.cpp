@@ -224,16 +224,21 @@ void register_curand(BuiltinTable& t) {
   init.host_ok = false;
   init.impl = [state_slot](InterpCtx& ctx, std::vector<Value>& a, int line) {
     auto st = state_slot(ctx, a[3], line);
-    const long long seed = a[0].as_int();
-    const long long seq = a[1].as_int();
-    st->fields["s"] =
-        Value::make_int(seed * 6364136223846793005LL + seq * 1442695040888963407LL + 1);
+    // The LCG deliberately wraps mod 2^64: compute in unsigned (signed
+    // overflow is UB) and cast back, which is value-preserving two's
+    // complement in C++20 — bit-identical to the old wrapping behaviour.
+    const auto seed = static_cast<unsigned long long>(a[0].as_int());
+    const auto seq = static_cast<unsigned long long>(a[1].as_int());
+    st->fields["s"] = Value::make_int(static_cast<long long>(
+        seed * 6364136223846793005ULL + seq * 1442695040888963407ULL + 1));
     return Value{};
   };
   t.add(std::move(init));
 
   auto lcg_next = [](long long s) {
-    return s * 6364136223846793005LL + 1442695040888963407LL;
+    return static_cast<long long>(
+        static_cast<unsigned long long>(s) * 6364136223846793005ULL +
+        1442695040888963407ULL);
   };
 
   BuiltinDef gen;

@@ -30,6 +30,38 @@ std::string pair_name(const Pair& p) {
          apps::model_name(p.to);
 }
 
+const char* technique_key(Technique t) {
+  switch (t) {
+    case Technique::NonAgentic: return "non_agentic";
+    case Technique::TopDown: return "top_down";
+    case Technique::SweAgent: return "swe_agent";
+  }
+  return "?";
+}
+
+bool technique_from_key(const std::string& key, Technique* out) {
+  for (const auto t :
+       {Technique::NonAgentic, Technique::TopDown, Technique::SweAgent}) {
+    if (key == technique_key(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string pair_key(const Pair& p) {
+  return std::string(apps::model_key(p.from)) + "->" +
+         apps::model_key(p.to);
+}
+
+bool pair_from_key(const std::string& key, Pair* out) {
+  const auto arrow = key.find("->");
+  if (arrow == std::string::npos) return false;
+  return apps::model_from_key(key.substr(0, arrow), &out->from) &&
+         apps::model_from_key(key.substr(arrow + 2), &out->to);
+}
+
 namespace {
 
 // Row order: nanoXOR, microXORh, microXOR, SimpleMOC-kernel, XSBench, llm.c.

@@ -20,6 +20,11 @@ namespace pareval::llm {
 enum class Technique { NonAgentic, TopDown, SweAgent };
 const char* technique_name(Technique t);
 
+/// Stable machine key ("non_agentic", "top_down", "swe_agent") used by the
+/// declarative sweep-spec layer and every on-disk format.
+const char* technique_key(Technique t);
+bool technique_from_key(const std::string& key, Technique* out);
+
 /// A translation pair (source model -> destination model).
 struct Pair {
   apps::Model from;
@@ -30,6 +35,11 @@ struct Pair {
 /// The benchmark's three pairs, in the paper's order (§5.2).
 const std::vector<Pair>& all_pairs();
 std::string pair_name(const Pair& p);
+
+/// Stable machine key of a pair, "<from>-><to>" over apps::model_key
+/// (e.g. "cuda->kokkos"), and its strict inverse.
+std::string pair_key(const Pair& p);
+bool pair_from_key(const std::string& key, Pair* out);
 
 /// One Figure 2 cell.
 struct CellScores {

@@ -23,6 +23,8 @@ struct LlmProfile {
   /// includes per chunk; the paper observes commercial models are far more
   /// conservative here (§8.4).
   double topdown_context_fraction = 1.0;
+
+  bool operator==(const LlmProfile&) const = default;
 };
 
 /// The five evaluated models, in the paper's column order:

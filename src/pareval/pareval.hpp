@@ -11,6 +11,9 @@
 #include "eval/harness.hpp"          // N-sample evaluation harness (§7)
 #include "eval/metrics.hpp"          // pass@k / build@k / Eκ (§6)
 #include "eval/report.hpp"           // table & figure regeneration (§8)
+#include "eval/shard.hpp"            // distributed sweep sharding + codecs
+#include "eval/spec.hpp"             // declarative sweep specs (--spec)
+#include "eval/suite.hpp"            // app/LLM/technique/pair registries
 #include "execsim/driver.hpp"        // compile + run on the simulated GPU
 #include "llm/calibration.hpp"       // Figure 2/3 calibration data
 #include "llm/profiles.hpp"          // the five evaluated LLMs (§4)

@@ -17,7 +17,8 @@ unsigned hardware_threads() noexcept {
 
 struct ThreadPool::WorkerQueue {
   std::mutex mu;
-  std::deque<std::function<void()>> tasks;
+  std::deque<std::function<void()>> tasks;       // Normal lane
+  std::deque<std::function<void()>> high_tasks;  // High lane, drained first
 };
 
 struct ThreadPool::State {
@@ -26,6 +27,9 @@ struct ThreadPool::State {
   std::mutex sleep_mu;
   std::condition_variable wake;
   std::atomic<std::size_t> pending{0};
+  // High-lane occupancy, so the all-Normal hot path (every pop, absent any
+  // High submission) skips the whole-pool High sweep without taking locks.
+  std::atomic<std::size_t> high_pending{0};
   std::atomic<std::size_t> next_queue{0};
   std::atomic<bool> stopping{false};
   // Threads idling inside help_until on the wake cv. notify_one would be
@@ -67,7 +71,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : state_->workers) w.join();
 }
 
-void ThreadPool::push(std::function<void()> task) {
+void ThreadPool::push(std::function<void()> task, TaskPriority priority) {
   unsigned index;
   if (tls_pool_state == state_.get()) {
     index = tls_worker_index;  // nested submission: keep it local
@@ -76,9 +80,18 @@ void ThreadPool::push(std::function<void()> task) {
         state_->next_queue.fetch_add(1, std::memory_order_relaxed) %
         worker_count_);
   }
+  // Count High occupancy BEFORE the task becomes poppable: a pop can then
+  // never decrement ahead of its task's increment, so the counter cannot
+  // wrap below zero — at worst it transiently overcounts, costing one
+  // wasted (empty) High sweep.
+  if (priority == TaskPriority::High) {
+    state_->high_pending.fetch_add(1, std::memory_order_release);
+  }
   {
-    std::lock_guard<std::mutex> lock(state_->queues[index]->mu);
-    state_->queues[index]->tasks.push_back(std::move(task));
+    WorkerQueue& q = *state_->queues[index];
+    std::lock_guard<std::mutex> lock(q.mu);
+    (priority == TaskPriority::High ? q.high_tasks : q.tasks)
+        .push_back(std::move(task));
   }
   {
     // The increment must not land between a worker's predicate check and
@@ -97,28 +110,45 @@ void ThreadPool::push(std::function<void()> task) {
 bool ThreadPool::try_pop(std::function<void()>& out) {
   const bool is_worker = tls_pool_state == state_.get();
   const unsigned self = is_worker ? tls_worker_index : 0;
-  // Own deque back first (LIFO: newest, cache-warm, nested children)...
-  if (is_worker) {
-    WorkerQueue& q = *state_->queues[self];
-    std::lock_guard<std::mutex> lock(q.mu);
-    if (!q.tasks.empty()) {
-      out = std::move(q.tasks.back());
-      q.tasks.pop_back();
-      state_->pending.fetch_sub(1, std::memory_order_relaxed);
-      return true;
+  // Both lanes follow the same discipline — own deque back first (LIFO:
+  // newest, cache-warm, nested children), then steal from the front of
+  // peers' deques (FIFO: oldest first) — but the High lane is swept across
+  // every queue before any Normal task is considered, so an executor never
+  // starts normal work while a high-priority task is pending anywhere.
+  // The sweep itself is gated on an occupancy counter: an all-Normal
+  // workload (the common case) pays one relaxed load, not a lock per
+  // queue, to learn the High lane is empty.
+  for (const bool high : {true, false}) {
+    if (high &&
+        state_->high_pending.load(std::memory_order_acquire) == 0) {
+      continue;
     }
-  }
-  // ...then steal from the front of peers' deques (FIFO: oldest first).
-  for (unsigned k = 0; k < worker_count_; ++k) {
-    const unsigned victim = (self + 1 + k) % worker_count_;
-    if (is_worker && victim == self) continue;
-    WorkerQueue& q = *state_->queues[victim];
-    std::lock_guard<std::mutex> lock(q.mu);
-    if (!q.tasks.empty()) {
-      out = std::move(q.tasks.front());
-      q.tasks.pop_front();
+    auto lane = [high](WorkerQueue& q) -> std::deque<std::function<void()>>& {
+      return high ? q.high_tasks : q.tasks;
+    };
+    auto take = [&](WorkerQueue& q, bool back) {
+      out = back ? std::move(lane(q).back()) : std::move(lane(q).front());
+      back ? lane(q).pop_back() : lane(q).pop_front();
       state_->pending.fetch_sub(1, std::memory_order_relaxed);
-      return true;
+      if (high) state_->high_pending.fetch_sub(1, std::memory_order_relaxed);
+    };
+    if (is_worker) {
+      WorkerQueue& q = *state_->queues[self];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!lane(q).empty()) {
+        take(q, /*back=*/true);
+        return true;
+      }
+    }
+    for (unsigned k = 0; k < worker_count_; ++k) {
+      const unsigned victim = (self + 1 + k) % worker_count_;
+      if (is_worker && victim == self) continue;
+      WorkerQueue& q = *state_->queues[victim];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!lane(q).empty()) {
+        take(q, /*back=*/false);
+        return true;
+      }
     }
   }
   return false;

@@ -28,6 +28,12 @@ namespace pareval::support {
 /// Number of worker threads in the default pool (>= 1).
 unsigned hardware_threads() noexcept;
 
+/// Two-level task priority: every executor (worker, helper, or external
+/// thread calling run_pending_task) drains High tasks — its own and any it
+/// can steal — before touching a Normal one. Figure-critical sweep cells
+/// (bench_figures) ride the High lane so reports unblock first.
+enum class TaskPriority { Normal, High };
+
 class ThreadPool {
  public:
   /// `threads == 0` means hardware_threads().
@@ -45,10 +51,16 @@ class ThreadPool {
   /// `await()` rather than `future::get()` when doing so.
   template <class F, class R = std::invoke_result_t<std::decay_t<F>>>
   std::future<R> submit(F&& f) {
+    return submit(TaskPriority::Normal, std::forward<F>(f));
+  }
+
+  /// submit() with an explicit priority lane.
+  template <class F, class R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> submit(TaskPriority priority, F&& f) {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> out = task->get_future();
-    push([task] { (*task)(); });
+    push([task] { (*task)(); }, priority);
     return out;
   }
 
@@ -80,7 +92,8 @@ class ThreadPool {
   struct WorkerQueue;
   struct State;
 
-  void push(std::function<void()> task);
+  void push(std::function<void()> task,
+            TaskPriority priority = TaskPriority::Normal);
   void worker_loop(unsigned index);
   bool try_pop(std::function<void()>& out);
 

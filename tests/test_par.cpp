@@ -161,6 +161,49 @@ TEST(ThreadPool, HelpUntilWakesPromptlyOnPush) {
   EXPECT_LT(elapsed, 200.0);
 }
 
+TEST(ThreadPool, HighPriorityTasksDrainFirst) {
+  // Block the single worker, queue Normal tasks, then High tasks, then
+  // release: every High task must execute before any Normal one, even
+  // though the Normal tasks were submitted first. The test thread never
+  // helps (plain future waits), so the worker's pop order is observed
+  // directly.
+  ps::ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::future<void>> futs;
+  constexpr int kEach = 4;
+  for (int i = 0; i < kEach; ++i) {
+    futs.push_back(pool.submit([&, i] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(100 + i);  // Normal lane
+    }));
+  }
+  for (int i = 0; i < kEach; ++i) {
+    futs.push_back(pool.submit(ps::TaskPriority::High, [&, i] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);  // High lane
+    }));
+  }
+  release.store(true);
+  blocker.wait();
+  for (auto& f : futs) f.wait();
+
+  ASSERT_EQ(order.size(), 2u * kEach);
+  for (int i = 0; i < kEach; ++i) {
+    EXPECT_LT(order[static_cast<std::size_t>(i)], 100)
+        << "high-priority task displaced by a normal one at slot " << i;
+    EXPECT_GE(order[static_cast<std::size_t>(kEach + i)], 100);
+  }
+}
+
 TEST(ParallelFor, ThreadCapOfOneRunsInline) {
   std::set<std::thread::id> ids;
   ps::parallel_for(0, 64,

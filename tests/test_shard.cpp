@@ -125,9 +125,9 @@ TEST(ShardMerge, RejectsMissingAndDuplicateUnits) {
   // Duplicate: the same shard twice.
   EXPECT_THROW(pe::merge_shards(pair, {shards[0], shards[1], shards[1]}),
                std::runtime_error);
-  // Configuration mismatch: different seed.
+  // Configuration mismatch: different seed (a different spec hash).
   auto reseeded = shards;
-  reseeded[1].seed ^= 1;
+  reseeded[1].spec.seed ^= 1;
   EXPECT_THROW(pe::merge_shards(pair, reseeded), std::runtime_error);
 }
 

@@ -1,18 +1,20 @@
 // bench_figures: regenerate every figure and table of the paper off ONE
-// sweep, with all three pair sweeps overlapped on the global work-stealing
-// pool and every score drawn through one shared ScoreCache. Replaces the
-// retired per-figure drivers (bench_fig2_*, bench_fig3/4/5, bench_table*),
-// which each re-ran the full sweep serially end-to-end.
+// (suite, spec) sweep, with every cell overlapped on the global
+// work-stealing pool and every score drawn through one injected
+// ScoreCache. The sweep's cells ride the pool's High priority lane, so
+// figure-critical work drains before any other (Normal) tasks a host
+// process may have queued.
 //
 // With --cache FILE the ScoreCache is warm-started from a previous run
 // (self-invalidating via the scoring-pipeline hash) and persisted back, so
 // a second run is mostly cache hits — the warm-start speedup is recorded
-// in BENCH_figures.json and visible in the CI bench job's logs.
+// in BENCH_figures.json and visible in the CI bench job's logs. With
+// --spec FILE the sweep covers a declarative subset instead of the full
+// paper matrix.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <future>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
+      "  --spec FILE        declarative sweep spec (JSON); exclusive with\n"
+      "                     --samples/--seed\n"
       "  --cache FILE       load/save the persistent score cache\n"
       "  --samples N        samples per cell (default: 25)\n"
       "  --seed S           base RNG seed (default: 1070)\n"
@@ -50,8 +54,11 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   std::string cache_path;
+  std::string spec_path;
   std::string out_path = "BENCH_figures.json";
-  eval::HarnessConfig config;
+  int samples = 25;
+  std::uint64_t seed = 1070;
+  bool samples_set = false, seed_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--print-cache-key") {
@@ -59,21 +66,51 @@ int main(int argc, char** argv) {
                   support::u64_to_hex(eval::scoring_pipeline_hash())
                       .c_str());
       return 0;
+    } else if (arg == "--spec" && i + 1 < argc) {
+      spec_path = argv[++i];
     } else if (arg == "--cache" && i + 1 < argc) {
       cache_path = argv[++i];
     } else if (arg == "--samples" && i + 1 < argc) {
-      config.samples_per_task = std::atoi(argv[++i]);
+      samples = std::atoi(argv[++i]);
+      samples_set = true;
     } else if (arg == "--seed" && i + 1 < argc) {
-      config.seed = std::strtoull(argv[++i], nullptr, 0);
+      seed = std::strtoull(argv[++i], nullptr, 0);
+      seed_set = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
-  if (config.samples_per_task < 1) return usage(argv[0]);
+  if (samples < 1) return usage(argv[0]);
+  if (!spec_path.empty() && (samples_set || seed_set)) {
+    std::fprintf(stderr,
+                 "bench_figures: --spec is exclusive with --samples/--seed "
+                 "(the spec declares them)\n");
+    return 2;
+  }
 
-  auto& cache = eval::ScoreCache::global();
+  const eval::Suite& suite = eval::Suite::paper();
+  eval::SweepSpec spec;
+  if (!spec_path.empty()) {
+    std::string error;
+    if (!eval::load_and_validate_spec(spec_path, suite, &spec, &error)) {
+      std::fprintf(stderr, "bench_figures: %s\n", error.c_str());
+      return 2;
+    }
+  } else {
+    spec = eval::SweepSpec::paper();
+    spec.samples_per_task = samples;
+    spec.seed = seed;
+  }
+
+  // Injected cache: this process's scores go through one local instance
+  // handed to the harness via HarnessConfig, not the process-wide global.
+  eval::ScoreCache cache;
+  eval::HarnessConfig config;
+  config.score_cache = &cache;
+  config.high_priority = true;  // figure-critical cells drain first
+
   bool preloaded = false;
   std::size_t loaded_entries = 0;
   if (!cache_path.empty()) {
@@ -84,38 +121,26 @@ int main(int argc, char** argv) {
                 loaded_entries);
   }
 
-  // One sweep, all pairs overlapped; every figure below reads from it.
+  // One sweep over the whole spec; every figure below reads from it.
   const auto t_sweep = std::chrono::steady_clock::now();
-  auto& pool = support::ThreadPool::global();
-  std::vector<std::future<std::vector<eval::TaskResult>>> futures;
-  for (const auto& pair : llm::all_pairs()) {
-    futures.push_back(pool.submit([pair, config] {
-      std::printf("sweeping %s...\n", llm::pair_name(pair).c_str());
-      return eval::run_pair_sweep(pair, config);
-    }));
-  }
-  std::vector<eval::TaskResult> all;
-  std::vector<std::vector<eval::TaskResult>> per_pair;
-  for (auto& f : futures) {
-    per_pair.push_back(pool.await(f));
-    for (const auto& t : per_pair.back()) all.push_back(t);
-  }
+  std::printf("sweeping spec %s (%zu cells, N=%d)...\n",
+              support::u64_to_hex(eval::spec_hash(spec)).c_str(),
+              eval::sweep_cells(suite, spec).size(), spec.samples_per_task);
+  const std::vector<eval::TaskResult> all =
+      eval::run_sweep(suite, spec, config);
   const double sweep_ms = ms_since(t_sweep);
   std::printf("\nsweep: %.1f ms, score cache %zu hits / %zu misses\n\n",
               sweep_ms, cache.hits(), cache.misses());
 
   const auto t_reports = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < llm::all_pairs().size(); ++i) {
-    std::printf("%s\n",
-                eval::figure2_report(llm::all_pairs()[i], per_pair[i])
-                    .c_str());
-  }
+  std::printf("%s\n", eval::figure2_reports(suite, spec, all).c_str());
   const auto classification = eval::classify_failures(all);
-  std::printf("%s\n", eval::figure3_report(classification).c_str());
-  std::printf("%s\n", eval::figure4_report(all).c_str());
-  std::printf("%s\n", eval::figure5_report(all).c_str());
-  std::printf("%s\n", eval::table1_report().c_str());
-  std::printf("%s\n", eval::table2_report(all).c_str());
+  std::printf("%s\n",
+              eval::figure3_report(suite, spec, classification).c_str());
+  std::printf("%s\n", eval::figure4_report(suite, spec, all).c_str());
+  std::printf("%s\n", eval::figure5_report(suite, spec, all).c_str());
+  std::printf("%s\n", eval::table1_report(suite).c_str());
+  std::printf("%s\n", eval::table2_report(suite, all).c_str());
   const double reports_ms = ms_since(t_reports);
 
   if (!cache_path.empty()) {
@@ -130,7 +155,9 @@ int main(int argc, char** argv) {
 
   Json root = Json::object();
   Json context = Json::object();
-  context.set("samples_per_task", config.samples_per_task);
+  context.set("samples_per_task", spec.samples_per_task);
+  context.set("spec_hash", support::u64_to_hex(eval::spec_hash(spec)));
+  context.set("spec_file", spec_path);
   context.set("threads",
               static_cast<long long>(support::hardware_threads()));
   context.set("cache_file", cache_path);

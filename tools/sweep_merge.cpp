@@ -3,9 +3,12 @@
 // single-process sweep), writes the merged sweep as JSON figure input, and
 // optionally re-runs the sweep in-process to enforce the determinism
 // guarantee (--verify, used by the CI fan-in job).
+//
+// Every shard embeds the SweepSpec it ran plus its spec_hash; all inputs
+// must agree on that hash (and on --spec FILE when given) or the merge is
+// refused — shards of different sweeps can never be silently recombined.
 #include <cstdio>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -13,6 +16,7 @@
 
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
+#include "support/strings.hpp"
 
 using namespace pareval;
 using support::Json;
@@ -20,14 +24,19 @@ using support::Json;
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--out merged.json] [--report] [--verify] "
-               "shard1.json [shard2.json ...]\n"
-               "  --out FILE   write the merged sweep (default: merged.json)\n"
-               "  --report     print the figure reports off the merged sweep\n"
-               "  --verify     re-run the sweep in-process and fail unless\n"
-               "               the merged result is bit-identical\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--spec spec.json] [--out merged.json] [--report] "
+      "[--verify] shard1.json [shard2.json ...]\n"
+      "  --spec FILE  require every shard to match this spec (hash check)\n"
+      "  --out FILE   write the merged sweep (default: merged.json)\n"
+      "  --report     print the figure reports off the merged sweep\n"
+      "  --verify     re-run the sweep in-process and fail unless\n"
+      "               the merged result is bit-identical\n"
+      "All shards must come from ONE spec; to cover several pairs in one\n"
+      "merge, select them in one spec (or --pair all) instead of merging\n"
+      "separate per-pair sweeps.\n",
+      argv0);
   return 2;
 }
 
@@ -35,6 +44,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string out_path = "merged.json";
+  std::string spec_path;
   bool report = false;
   bool verify = false;
   std::vector<std::string> inputs;
@@ -42,6 +52,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--spec" && i + 1 < argc) {
+      spec_path = argv[++i];
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--verify") {
@@ -54,15 +66,7 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) return usage(argv[0]);
 
-  // Group every file's ShardResults by pair, in all_pairs() order.
-  std::map<std::size_t, std::vector<eval::ShardResult>> by_pair;
-  auto pair_index = [](const llm::Pair& p) -> std::size_t {
-    const auto& pairs = llm::all_pairs();
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      if (pairs[i] == p) return i;
-    }
-    return pairs.size();  // unknown pair: still merged, ordered last
-  };
+  std::vector<eval::ShardResult> shards;
   for (const std::string& path : inputs) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -71,71 +75,93 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    std::vector<eval::ShardResult> shards;
+    std::vector<eval::ShardResult> parsed;
     std::string error;
-    if (!eval::parse_shard_file(buf.str(), &shards, &error)) {
+    if (!eval::parse_shard_file(buf.str(), &parsed, &error)) {
       std::fprintf(stderr, "sweep_merge: %s: %s\n", path.c_str(),
                    error.c_str());
       return 1;
     }
-    for (auto& shard : shards) {
-      by_pair[pair_index(shard.pair)].push_back(std::move(shard));
+    for (auto& shard : parsed) shards.push_back(std::move(shard));
+  }
+
+  // The authoritative spec: --spec FILE when given, else the first
+  // shard's embedded copy. merge_shards rejects any shard whose hash
+  // disagrees with it.
+  const eval::Suite& suite = eval::Suite::paper();
+  eval::SweepSpec spec;
+  if (!spec_path.empty()) {
+    std::string error;
+    if (!eval::load_and_validate_spec(spec_path, suite, &spec, &error)) {
+      std::fprintf(stderr, "sweep_merge: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    spec = shards.front().spec;
+    const std::string invalid = spec.validate(suite);
+    if (!invalid.empty()) {
+      std::fprintf(stderr, "sweep_merge: invalid spec: %s\n",
+                   invalid.c_str());
+      return 1;
     }
   }
 
+  std::vector<eval::TaskResult> tasks;
+  try {
+    tasks = eval::merge_shards(suite, spec, shards);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_merge: %s\n", e.what());
+    return 1;
+  }
+  std::printf("spec %s: merged %zu shards -> %zu cells\n",
+              support::u64_to_hex(eval::spec_hash(spec)).c_str(),
+              shards.size(), tasks.size());
+
+  int mismatches = 0;
+  if (verify) {
+    eval::HarnessConfig config;
+    const auto reference = eval::run_sweep(suite, spec, config);
+    const bool identical = reference == tasks;
+    std::printf("determinism (merged vs single-process): %s\n",
+                identical ? "IDENTICAL" : "MISMATCH");
+    if (!identical) ++mismatches;
+  }
+
+  // Group the merged cells by pair (suite order) for the per-pair figure
+  // reports and the merged-sweep JSON layout.
   Json merged = Json::object();
   merged.set("format", "pareval-sweep");
+  merged.set("spec", eval::to_json(spec));
+  merged.set("spec_hash",
+             support::u64_to_hex(eval::spec_hash(spec)));
+  merged.set("shard_count",
+             shards.empty() ? 0 : shards.front().shard_count);
   Json pairs_json = Json::array();
-  std::vector<eval::TaskResult> all;
-  int mismatches = 0;
-  for (auto& [index, shards] : by_pair) {
-    const llm::Pair pair = shards.front().pair;
-    std::vector<eval::TaskResult> tasks;
-    try {
-      tasks = eval::merge_shards(pair, shards);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "sweep_merge: %s: %s\n",
-                   llm::pair_name(pair).c_str(), e.what());
-      return 1;
+  for (const llm::Pair& pair : suite.pairs()) {
+    if (!spec.selects_pair(pair)) continue;
+    std::vector<eval::TaskResult> pair_tasks;
+    for (const auto& t : tasks) {
+      if (t.pair == pair) pair_tasks.push_back(t);
     }
-    std::printf("%s: merged %zu shards -> %zu cells\n",
-                llm::pair_name(pair).c_str(), shards.size(), tasks.size());
-
-    if (verify) {
-      eval::HarnessConfig config;
-      config.samples_per_task = shards.front().samples_per_task;
-      config.seed = shards.front().seed;
-      const auto reference = eval::run_pair_sweep(pair, config);
-      const bool identical = reference == tasks;
-      std::printf("  determinism (merged vs single-process): %s\n",
-                  identical ? "IDENTICAL" : "MISMATCH");
-      if (!identical) ++mismatches;
-    }
-
+    if (pair_tasks.empty()) continue;
     Json entry = Json::object();
     Json pair_json = Json::object();
     pair_json.set("from", eval::model_key(pair.from));
     pair_json.set("to", eval::model_key(pair.to));
     entry.set("pair", std::move(pair_json));
-    entry.set("samples_per_task", shards.front().samples_per_task);
-    entry.set("shard_count", shards.front().shard_count);
     Json tasks_json = Json::array();
-    for (const auto& t : tasks) tasks_json.push_back(eval::to_json(t));
+    for (const auto& t : pair_tasks) tasks_json.push_back(eval::to_json(t));
     entry.set("tasks", std::move(tasks_json));
     pairs_json.push_back(std::move(entry));
-
-    if (report) {
-      std::printf("%s", eval::figure2_report(pair, tasks).c_str());
-      for (auto& t : tasks) all.push_back(std::move(t));
-    }
   }
   merged.set("pairs", std::move(pairs_json));
 
   if (report) {
+    std::printf("%s", eval::figure2_reports(suite, spec, tasks).c_str());
     // Cross-pair figures off the union of all merged tasks.
-    std::printf("%s", eval::figure4_report(all).c_str());
-    std::printf("%s", eval::figure5_report(all).c_str());
-    std::printf("%s", eval::table2_report(all).c_str());
+    std::printf("%s", eval::figure4_report(suite, spec, tasks).c_str());
+    std::printf("%s", eval::figure5_report(suite, spec, tasks).c_str());
+    std::printf("%s", eval::table2_report(suite, tasks).c_str());
   }
 
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
@@ -152,9 +178,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
   if (mismatches > 0) {
     std::fprintf(stderr,
-                 "sweep_merge: %d pair(s) diverged from the single-process "
-                 "reference\n",
-                 mismatches);
+                 "sweep_merge: merged sweep diverged from the "
+                 "single-process reference\n");
     return 1;
   }
   return 0;

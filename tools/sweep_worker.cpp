@@ -1,11 +1,16 @@
-// sweep_worker: run one shard of the (cell × sample) sweep matrix and
-// write the per-sample records as a shard file for sweep_merge.
+// sweep_worker: run one shard of a (suite, spec) sweep's (cell × sample)
+// matrix and write the per-sample records as a shard file for sweep_merge.
 //
 // One CI job / host runs:
-//   sweep_worker --pair all --shard-index $i --shard-count $K --out shard-$i.json
+//   sweep_worker --spec spec.json --shard-index $i --shard-count $K --out shard-$i.json
 // and the fan-in job recombines the K files with sweep_merge. Merging is
-// bit-identical to a single-process run_pair_sweep for any K (derived
-// per-sample RNG streams + sample-index-order aggregation).
+// bit-identical to a single-process run_sweep for any K (derived
+// per-sample RNG streams + sample-index-order aggregation). Every shard
+// file embeds the spec and its hash, so the merger refuses shards of a
+// different sweep.
+//
+// Without --spec, the classic flags (--pair/--samples/--seed) build the
+// paper's default spec, optionally restricted to one pair.
 #include <cerrno>
 #include <climits>
 #include <cstdio>
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "eval/shard.hpp"
+#include "support/strings.hpp"
 
 using namespace pareval;
 
@@ -38,6 +44,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --shard-index I --shard-count K [options]\n"
+      "  --spec FILE          declarative sweep spec (JSON); exclusive\n"
+      "                       with --pair/--samples/--seed\n"
       "  --pair <index|all>   pair to sweep (default: all)\n"
       "  --samples N          samples per cell (default: 25)\n"
       "  --seed S             base RNG seed (default: 1070)\n"
@@ -53,9 +61,11 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   int shard_index = -1;
   int shard_count = 0;
-  std::string pair_arg = "all";
+  std::string pair_arg;
+  std::string spec_path;
   std::string out_path = "shard.json";
   std::string cache_path;
+  bool samples_set = false, seed_set = false;
   eval::HarnessConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -70,13 +80,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--shard-count" && (v = value()) &&
                parse_int(v, &parsed)) {
       shard_count = parsed;
+    } else if (arg == "--spec" && (v = value())) {
+      spec_path = v;
     } else if (arg == "--pair" && (v = value())) {
       pair_arg = v;
     } else if (arg == "--samples" && (v = value()) &&
                parse_int(v, &parsed)) {
       config.samples_per_task = parsed;
+      samples_set = true;
     } else if (arg == "--seed" && (v = value())) {
       config.seed = std::strtoull(v, nullptr, 0);
+      seed_set = true;
     } else if (arg == "--threads" && (v = value()) &&
                parse_int(v, &parsed) && parsed >= 0) {
       config.threads = static_cast<unsigned>(parsed);
@@ -92,19 +106,43 @@ int main(int argc, char** argv) {
       config.samples_per_task < 1) {
     return usage(argv[0]);
   }
+  if (!spec_path.empty() && (!pair_arg.empty() || samples_set || seed_set)) {
+    std::fprintf(stderr,
+                 "sweep_worker: --spec is exclusive with --pair/--samples/"
+                 "--seed (the spec declares them)\n");
+    return 2;
+  }
 
-  std::vector<llm::Pair> pairs;
-  if (pair_arg == "all") {
-    pairs = llm::all_pairs();
-  } else {
-    int index = -1;
-    if (!parse_int(pair_arg.c_str(), &index) || index < 0 ||
-        static_cast<std::size_t>(index) >= llm::all_pairs().size()) {
-      std::fprintf(stderr, "sweep_worker: --pair must be 0..%zu or 'all'\n",
-                   llm::all_pairs().size() - 1);
+  const eval::Suite& suite = eval::Suite::paper();
+  eval::SweepSpec spec;
+  if (!spec_path.empty()) {
+    std::string error;
+    if (!eval::load_and_validate_spec(spec_path, suite, &spec, &error)) {
+      std::fprintf(stderr, "sweep_worker: %s\n", error.c_str());
       return 2;
     }
-    pairs.push_back(llm::all_pairs()[static_cast<std::size_t>(index)]);
+  } else {
+    spec = eval::SweepSpec::paper();
+    spec.samples_per_task = config.samples_per_task;
+    spec.seed = config.seed;
+    if (!pair_arg.empty() && pair_arg != "all") {
+      int index = -1;
+      if (!parse_int(pair_arg.c_str(), &index) || index < 0 ||
+          static_cast<std::size_t>(index) >= suite.pairs().size()) {
+        std::fprintf(stderr,
+                     "sweep_worker: --pair must be 0..%zu or 'all'\n",
+                     suite.pairs().size() - 1);
+        return 2;
+      }
+      spec.pairs = {
+          llm::pair_key(suite.pairs()[static_cast<std::size_t>(index)])};
+    }
+    const std::string invalid = spec.validate(suite);
+    if (!invalid.empty()) {
+      std::fprintf(stderr, "sweep_worker: invalid spec: %s\n",
+                   invalid.c_str());
+      return 2;
+    }
   }
 
   if (!cache_path.empty() && eval::ScoreCache::global().load(cache_path)) {
@@ -112,21 +150,20 @@ int main(int argc, char** argv) {
                 cache_path.c_str(), eval::ScoreCache::global().size());
   }
 
-  std::vector<eval::ShardResult> shards;
-  for (const llm::Pair& pair : pairs) {
-    std::printf("shard %d/%d of %s (N=%d)...\n", shard_index, shard_count,
-                llm::pair_name(pair).c_str(), config.samples_per_task);
-    shards.push_back(
-        eval::run_shard(pair, shard_index, shard_count, config));
-    std::printf("  %zu sample records\n", shards.back().records.size());
-  }
+  std::printf("shard %d/%d of spec %s (%zu cells, N=%d)...\n", shard_index,
+              shard_count,
+              support::u64_to_hex(eval::spec_hash(spec)).c_str(),
+              eval::sweep_cells(suite, spec).size(), spec.samples_per_task);
+  const eval::ShardResult shard =
+      eval::run_shard(suite, spec, shard_index, shard_count, config);
+  std::printf("  %zu sample records\n", shard.records.size());
 
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "sweep_worker: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  out << eval::shard_file_text(shards);
+  out << eval::shard_file_text({shard});
   if (!out.good()) {
     std::fprintf(stderr, "sweep_worker: write to %s failed\n",
                  out_path.c_str());
