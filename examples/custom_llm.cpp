@@ -39,12 +39,20 @@ int main() {
                  "#pragma omp teams distribute"));
 
   // Score through an injected cache — the same instance HarnessConfig
-  // would carry into a full sweep (config.score_cache = &cache).
+  // would carry into a full sweep (config.score_cache = &cache). The
+  // result is staged: one structured outcome per Build/Execute/Validate
+  // stage, with the legacy blob available as flat_log().
   eval::ScoreCache cache;
   const auto score = cache.score(*app, repo, pair.to);
   std::printf("build: %s\nvalidation: %s\n", score.built ? "ok" : "FAILED",
               score.passed ? "ok" : "FAILED (as expected: the loop never "
                                     "ran on the GPU)");
-  std::printf("\nscore log:\n%s\n", score.log.c_str());
+  std::printf("\nstages:\n");
+  for (const auto& stage : score.stages) {
+    std::printf("  %-8s %-4s %s\n", eval::stage_key(stage.stage),
+                eval::stage_verdict_key(stage.verdict),
+                stage.detail.c_str());
+  }
+  std::printf("\nscore log:\n%s\n", score.flat_log().c_str());
   return 0;
 }

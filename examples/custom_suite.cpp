@@ -117,7 +117,21 @@ int main() {
       "check rejects translations that never launch a GPU kernel — the "
       "reference engine has no reverse-transform rules, exactly what a "
       "real reverse-pair benchmark would measure)\n");
-  std::printf("\nscore cache: %zu hits / %zu misses\n", cache.hits(),
-              cache.misses());
+  std::printf("\nscore cache: score layer %zu hits / %zu misses, build "
+              "layer %zu hits / %zu misses\n",
+              cache.hits(), cache.misses(), cache.builds().hits(),
+              cache.builds().misses());
+
+  // A custom suite persists its cache under its *own* scoring-pipeline
+  // hash, so a file produced here can never warm-start a sweep of a
+  // different suite (and vice versa) — version-level invalidation on top
+  // of the per-entry keys.
+  const std::uint64_t version = eval::scoring_pipeline_hash(suite);
+  std::printf("suite pipeline hash %s (paper: %s)\n",
+              support::u64_to_hex(version).c_str(),
+              support::u64_to_hex(eval::scoring_pipeline_hash()).c_str());
+  if (cache.save("custom_suite_cache.json", version)) {
+    std::printf("persisted the suite's cache to custom_suite_cache.json\n");
+  }
   return 0;
 }

@@ -13,8 +13,11 @@ int main() {
   std::printf("running a reduced CUDA->OpenMP Offload sweep (N=8)...\n");
   const auto tasks = eval::run_pair_sweep(llm::all_pairs()[0], cfg);
   const auto result = eval::classify_failures(tasks);
-  std::printf("collected %zu failure logs; DBSCAN found %d raw clusters\n\n",
+  std::printf("collected %zu failure logs; DBSCAN found %d raw clusters\n",
               result.logs.size(), result.raw_clusters);
+  std::printf("per-sample labels: %d exact from stage provenance, %d via "
+              "the keyword fallback\n\n",
+              result.provenance_exact, result.keyword_fallback);
   for (const auto& [kind, by_app] : result.counts) {
     int total = 0;
     for (const auto& [app, by_llm] : by_app) {

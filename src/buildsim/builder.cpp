@@ -214,6 +214,19 @@ void build_with_cmake(const vfs::Repo& repo, BuildResult& result) {
 
 }  // namespace
 
+std::optional<minic::DiagCategory> BuildResult::sole_error_category() const {
+  std::optional<minic::DiagCategory> category;
+  for (const auto& d : diags.all()) {
+    if (d.severity != minic::Severity::Error) continue;
+    if (!category.has_value()) {
+      category = d.category;
+    } else if (*category != d.category) {
+      return std::nullopt;  // mixed: more than one failure class
+    }
+  }
+  return category;
+}
+
 BuildResult build_repo(const vfs::Repo& repo, const std::string& make_target) {
   BuildResult result;
   if (repo.exists("CMakeLists.txt")) {

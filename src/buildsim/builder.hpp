@@ -21,6 +21,12 @@ struct BuildResult {
   std::optional<execsim::Executable> exe;
   minic::Capabilities caps; // union over all invocations
   std::string build_system; // "make", "cmake" or "" (none found)
+
+  /// The diagnostic category every error of this build shares — the
+  /// structured provenance a failed Build stage carries (eval/pipeline).
+  /// nullopt when the build has no errors or errors of several categories
+  /// (an ambiguous failure the classifier resolves by keyword instead).
+  std::optional<minic::DiagCategory> sole_error_category() const;
 };
 
 /// Build the repository. `make_target` selects a Makefile goal ("" =

@@ -61,19 +61,130 @@ bool label_log(const std::string& log, DefectKind* out) {
   return false;
 }
 
+namespace {
+
+/// Map a failed Build stage's diagnostic-category detail to its Figure 3
+/// row. The detail string round-trips through pipeline's
+/// diag_detail_from_key (single source for the key spellings); the
+/// category mapping is the identity with one deliberate exception:
+/// missing-header is *ambiguous under the keyword pass Figure 3 is
+/// calibrated against* — the preprocessor's "'x.h' file not found"
+/// spelling ends with "not found", which the "/bin/sh: ...: not found"
+/// rule claims first (filed under CMake-or-Makefile Syntax), while the
+/// tool-level "No such file or directory" spelling reaches the real
+/// MissingHeader rule. Only the log can tell the spellings apart, so
+/// missing-header stays on the keyword fallback instead of getting a
+/// provenance row of its own.
+bool defect_from_build_detail(const std::string& detail,
+                              DefectKind* out) {
+  minic::DiagCategory category;
+  if (!diag_detail_from_key(detail, &category)) return false;
+  switch (category) {
+    case minic::DiagCategory::MakefileSyntax:
+      *out = DefectKind::MakefileSyntax;
+      return true;
+    case minic::DiagCategory::MissingBuildTarget:
+      *out = DefectKind::MissingBuildTarget;
+      return true;
+    case minic::DiagCategory::CMakeConfig:
+      *out = DefectKind::CMakeConfig;
+      return true;
+    case minic::DiagCategory::InvalidCompilerFlag:
+      *out = DefectKind::InvalidFlag;
+      return true;
+    case minic::DiagCategory::MissingHeader:
+      return false;  // spelling-dependent under the keyword pass, see above
+    case minic::DiagCategory::CodeSyntax:
+      *out = DefectKind::CodeSyntax;
+      return true;
+    case minic::DiagCategory::UndeclaredIdentifier:
+      *out = DefectKind::UndeclaredId;
+      return true;
+    case minic::DiagCategory::ArgTypeMismatch:
+      *out = DefectKind::ArgMismatch;
+      return true;
+    case minic::DiagCategory::OmpInvalidDirective:
+      *out = DefectKind::OmpInvalid;
+      return true;
+    case minic::DiagCategory::LinkError:
+      *out = DefectKind::LinkError;
+      return true;
+    case minic::DiagCategory::RuntimeFault:
+    case minic::DiagCategory::WrongOutput:
+    case minic::DiagCategory::WrongExecutionModel:
+    case minic::DiagCategory::Other:
+      return false;  // not build-stage categories: keyword fallback
+  }
+  return false;
+}
+
+}  // namespace
+
+bool label_outcome(const std::vector<StageOutcome>& stages,
+                   const std::string& flat_log, DefectKind* out,
+                   bool* exact) {
+  if (exact != nullptr) *exact = false;
+  const StageOutcome* failed = first_failed_stage(stages);
+  if (failed == nullptr) {
+    // No staged provenance (pre-staged input, or a pass that reached us
+    // anyway): the keyword table over the flat blob is all we have.
+    return label_log(flat_log, out);
+  }
+  switch (failed->stage) {
+    case Stage::Validate:
+      // Output mismatch and missed-device are the harness's own verdicts
+      // (§6.1) — Semantic by construction, no log needed.
+      *out = DefectKind::Semantic;
+      if (exact != nullptr) *exact = true;
+      return true;
+    case Stage::Build:
+      if (defect_from_build_detail(failed->detail, out)) {
+        if (exact != nullptr) *exact = true;
+        return true;
+      }
+      // Ambiguous build (mixed categories, spelling-dependent rows): the
+      // keyword pass over the flat blob — which for a build failure *is*
+      // the build slice, since no later stage ever ran.
+      return label_log(flat_log, out);
+    case Stage::Execute:
+      // Run-stage failures need the keyword split (runtime noise vs
+      // semantic phrasing) — legacy behaviour over the flat blob.
+      return label_log(flat_log, out);
+  }
+  return label_log(flat_log, out);
+}
+
+bool label_outcome(const SampleOutcome& outcome, DefectKind* out,
+                   bool* exact) {
+  return label_outcome(outcome.stages, outcome.failure_log(), out, exact);
+}
+
 ClassificationResult classify_failures(
     const std::vector<TaskResult>& tasks,
     const cluster::DbscanConfig& dbscan_config) {
   ClassificationResult result;
 
-  // Gather failure logs.
+  // Gather failure logs. Samples whose log slices were stripped
+  // (keep_logs=false) are skipped like the legacy log-less samples: the
+  // embedding/clustering passes need the text.
   for (const auto& task : tasks) {
     for (const auto& outcome : task.outcomes) {
-      if (outcome.passed_overall || outcome.failure_log.empty()) continue;
+      if (outcome.passed_overall) continue;
+      std::string log = outcome.failure_log();
+      if (log.empty()) continue;
       ClassifiedLog cl;
       cl.llm = task.llm;
       cl.app = task.app;
-      cl.log = outcome.failure_log;
+      cl.log = std::move(log);
+      // Structural provenance only: the stage log slices concatenate to
+      // cl.log, so even transiently copying them would double every
+      // transcript's bytes. The labelling pass below runs off
+      // (cl.stages, cl.log), which label_outcome is built for.
+      cl.stages.reserve(outcome.stages.size());
+      for (const StageOutcome& s : outcome.stages) {
+        cl.stages.push_back({s.stage, s.verdict, s.test_case, s.detail,
+                             /*log=*/""});
+      }
       result.logs.push_back(std::move(cl));
     }
   }
@@ -101,14 +212,21 @@ ClassificationResult classify_failures(
     result.logs[i].cluster = labels[i];
   }
 
-  // Manual pass: label each cluster by the majority keyword rule of its
-  // members; noise points are labelled individually.
+  // Manual pass: label each cluster by the majority per-sample label of
+  // its members; noise points are labelled individually. Per-sample
+  // labels come from stage provenance first (exact for build/run/device
+  // failures), keyword scanning only where the stages are ambiguous —
+  // with identical labels either way, so the votes (and Figure 3 counts)
+  // match the keyword-only pass exactly.
   std::map<int, std::map<int, int>> votes;  // cluster -> kind -> count
-  for (auto& cl : result.logs) {
+  for (ClassifiedLog& cl : result.logs) {
     DefectKind kind;
-    if (label_log(cl.log, &kind)) {
+    bool exact = false;
+    if (label_outcome(cl.stages, cl.log, &kind, &exact)) {
       cl.label = kind;
       cl.labelled = true;
+      cl.exact = exact;
+      (exact ? result.provenance_exact : result.keyword_fallback)++;
       if (cl.cluster >= 0) {
         votes[cl.cluster][static_cast<int>(kind)]++;
       }

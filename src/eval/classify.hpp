@@ -19,15 +19,28 @@ struct ClassifiedLog {
   std::string llm;
   std::string app;
   std::string log;
+  /// Staged provenance of the failed sample (copied from its
+  /// SampleOutcome with the log slices cleared — they concatenate to
+  /// `log`, so keeping them would store every transcript twice); empty
+  /// for pre-staged inputs.
+  std::vector<StageOutcome> stages;
   int cluster = -1;                   // DBSCAN output
   xlate::DefectKind label =            // final label after the manual pass
       xlate::DefectKind::Semantic;
   bool labelled = false;
+  /// True when the per-sample label came from stage provenance (exact);
+  /// false when the keyword table resolved it.
+  bool exact = false;
 };
 
 struct ClassificationResult {
   std::vector<ClassifiedLog> logs;
   int raw_clusters = 0;  // before merging
+  /// How many per-sample labels came from stage provenance vs the keyword
+  /// fallback (ambiguous stages: mixed build diagnostics, run-stage
+  /// splits). Counts the pre-vote labelling pass, like `labelled`.
+  int provenance_exact = 0;
+  int keyword_fallback = 0;
   /// count[category][app][llm] — the Figure 3 layout.
   std::map<xlate::DefectKind,
            std::map<std::string, std::map<std::string, int>>>
@@ -38,6 +51,29 @@ struct ClassificationResult {
 /// Returns false when the log matches no category (successful build noise,
 /// timeouts — the paper removed those clusters too).
 bool label_log(const std::string& log, xlate::DefectKind* out);
+
+/// Provenance-first labeller for one failed sample: the structured stage
+/// outcomes decide build/run/device failures exactly (a failed Validate
+/// stage is Semantic by construction; a failed Build stage's diagnostic
+/// category maps straight to its Figure 3 row), and the keyword table is
+/// consulted only where the stages are ambiguous (mixed build
+/// diagnostics, run-stage stderr) or absent. On the *paper corpus* the
+/// mapping is pinned equal to the keyword pass per log (enforced by
+/// tests/test_classify.cpp), so Figure 3 counts are unchanged. For
+/// custom apps the provenance label is authoritative — e.g. a golden
+/// output that happens to embed a compiler phrase cannot mislead a
+/// Validate-stage verdict the way it misleads a keyword scan. `exact`
+/// (optional) reports whether provenance decided without keywords.
+bool label_outcome(const SampleOutcome& outcome, xlate::DefectKind* out,
+                   bool* exact = nullptr);
+
+/// Same labeller over pre-separated provenance: `stages` may carry
+/// stripped log slices (ClassifiedLog's form) as long as `flat_log` holds
+/// their concatenation — the keyword fallback scans `flat_log`, which for
+/// a build failure *is* the build slice (no later stage ever ran).
+bool label_outcome(const std::vector<StageOutcome>& stages,
+                   const std::string& flat_log, xlate::DefectKind* out,
+                   bool* exact = nullptr);
 
 /// Full pipeline over task results.
 ClassificationResult classify_failures(

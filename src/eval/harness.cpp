@@ -42,91 +42,74 @@ double TaskResult::pass1_codeonly() const {
   return samples > 0 ? static_cast<double>(passed_codeonly) / samples : 0.0;
 }
 
-ScoreResult score_repo(const AppSpec& app, const vfs::Repo& repo,
-                       apps::Model target) {
-  ScoreResult out;
-  const auto build = buildsim::build_repo(repo);
-  out.log = build.log;
-  if (!build.ok) return out;
-  out.built = true;
-
-  const bool gpu_target = target != apps::Model::OmpThreads;
-  bool all_passed = true;
-  for (const auto& tc : app.tests) {
-    const auto run = execsim::run_executable(*build.exe, tc.args);
-    if (!run.ok) {
-      out.log += run.stderr_text;
-      all_passed = false;
-      break;
-    }
-    if (!apps::outputs_match(run.stdout_text, app.golden(tc),
-                             app.tolerance)) {
-      out.log += "validation failed: output mismatch\nexpected:\n" +
-                 app.golden(tc) + "got:\n" + run.stdout_text;
-      all_passed = false;
-      break;
-    }
-    if (gpu_target && run.stats.device_kernel_launches == 0) {
-      out.log +=
-          "validation failed: translation did not execute on the GPU "
-          "(no device kernel launches)\n";
-      all_passed = false;
-      break;
-    }
-  }
-  out.passed = all_passed;
-  return out;
+std::string SampleOutcome::failure_log() const {
+  return concat_stage_logs(stages);
 }
 
-std::uint64_t repo_content_hash(const vfs::Repo& repo) {
-  // Fold each file's (path, content) hash pair through SplitMix64 so that
-  // "ab"+"c" vs "a"+"bc" and file-boundary shuffles cannot collide
-  // structurally. (64-bit accidental collisions are ~1e-13 at 1e6 repos.)
-  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, for an asymmetric start
-  repo.for_each_file([&h](const std::string& path,
-                          const std::string& content) {
-    h = support::SplitMix64(h ^ support::stable_hash(path)).next();
-    h = support::SplitMix64(h ^ support::stable_hash(content)).next();
-  });
+ScoreResult score_repo(const AppSpec& app, const vfs::Repo& repo,
+                       apps::Model target) {
+  const StagedScore staged = ScoringPipeline().score(app, repo, target);
+  return ScoreResult{staged.built, staged.passed, staged.flat_log()};
+}
+
+namespace {
+
+/// Fold one app's scoring inputs into the pipeline hash.
+void fold_app_scoring_inputs(std::uint64_t& h, const AppSpec& app) {
+  auto fold = [&h](std::uint64_t v) {
+    h = support::SplitMix64(h ^ v).next();
+  };
+  fold(support::stable_hash(app.name));
+  for (const auto& [model, repo] : app.repos) {  // std::map: stable order
+    fold(static_cast<std::uint64_t>(model));
+    fold(repo_content_hash(repo));
+  }
+  for (const auto& [model, repo] : app.ground_truth_builds) {
+    fold(static_cast<std::uint64_t>(model));
+    fold(repo_content_hash(repo));
+  }
+  fold(static_cast<std::uint64_t>(app.tests.size()));
+  for (const auto& tc : app.tests) {
+    // Length-delimit each test case so arg moves across test boundaries
+    // (or added empty-arg tests) cannot alias the same fold stream.
+    fold(static_cast<std::uint64_t>(tc.args.size()));
+    for (const auto& arg : tc.args) fold(support::stable_hash(arg));
+    // The golden output is part of the pipeline: a corrected reference
+    // must invalidate previously persisted passed/failed verdicts.
+    fold(support::stable_hash(app.golden(tc)));
+  }
+  std::uint64_t tol_bits = 0;
+  static_assert(sizeof(tol_bits) == sizeof(app.tolerance));
+  __builtin_memcpy(&tol_bits, &app.tolerance, sizeof(tol_bits));
+  fold(tol_bits);
+}
+
+}  // namespace
+
+std::uint64_t scoring_pipeline_hash(const Suite& suite) {
+  // Bump the tag whenever score_repo / buildsim / execsim semantics change
+  // in a way the embedded inputs below cannot witness. (Scores are
+  // unchanged by the staged-pipeline refactor, so the tag predates it;
+  // the persisted cache *format* is versioned separately.)
+  std::uint64_t h = support::stable_hash(std::string("score-pipeline-v1"));
+  for (const AppSpec* app : suite.apps()) {
+    fold_app_scoring_inputs(h, *app);
+  }
   return h;
 }
 
 std::uint64_t scoring_pipeline_hash() {
-  // Bump the tag whenever score_repo / buildsim / execsim semantics change
-  // in a way the embedded inputs below cannot witness.
+  // apps::all_apps() in Table 1 order == Suite::paper()'s registration
+  // order, so this is scoring_pipeline_hash(Suite::paper()) without
+  // touching the suite singleton (golden-pinned in the tests).
   std::uint64_t h = support::stable_hash(std::string("score-pipeline-v1"));
-  auto fold = [&h](std::uint64_t v) {
-    h = support::SplitMix64(h ^ v).next();
-  };
   for (const AppSpec* app : apps::all_apps()) {
-    fold(support::stable_hash(app->name));
-    for (const auto& [model, repo] : app->repos) {  // std::map: stable order
-      fold(static_cast<std::uint64_t>(model));
-      fold(repo_content_hash(repo));
-    }
-    for (const auto& [model, repo] : app->ground_truth_builds) {
-      fold(static_cast<std::uint64_t>(model));
-      fold(repo_content_hash(repo));
-    }
-    fold(static_cast<std::uint64_t>(app->tests.size()));
-    for (const auto& tc : app->tests) {
-      // Length-delimit each test case so arg moves across test boundaries
-      // (or added empty-arg tests) cannot alias the same fold stream.
-      fold(static_cast<std::uint64_t>(tc.args.size()));
-      for (const auto& arg : tc.args) fold(support::stable_hash(arg));
-      // The golden output is part of the pipeline: a corrected reference
-      // must invalidate previously persisted passed/failed verdicts.
-      fold(support::stable_hash(app->golden(tc)));
-    }
-    std::uint64_t tol_bits = 0;
-    static_assert(sizeof(tol_bits) == sizeof(app->tolerance));
-    __builtin_memcpy(&tol_bits, &app->tolerance, sizeof(tol_bits));
-    fold(tol_bits);
+    fold_app_scoring_inputs(h, *app);
   }
   return h;
 }
 
-ScoreResult ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
+StagedScore ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
                               apps::Model target) {
   std::uint64_t key = repo_content_hash(repo);
   key = support::SplitMix64(key ^ support::stable_hash(app.name)).next();
@@ -143,10 +126,13 @@ ScoreResult ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
     }
   }
   // Score outside the shard lock: builds are the expensive part, and two
-  // threads racing on the same key just compute the same pure result twice.
-  ScoreResult result = score_repo(app, repo, target);
+  // threads racing on the same key just compute the same pure result
+  // twice. The pipeline consults the lower (build-artifact) layer, so a
+  // score-layer miss on an already-built artifact skips straight to the
+  // Execute/Validate stages.
+  StagedScore result = ScoringPipeline(&builds_).score(app, repo, target);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  insert_entry(key, result);
+  insert_entry(key, result, /*fresh=*/true);
   return result;
 }
 
@@ -155,31 +141,14 @@ std::size_t ScoreCache::shard_capacity() const noexcept {
   return std::max<std::size_t>(1, cap / kShards);
 }
 
-namespace {
-
-/// Evict least-recently-used entries until `entries` fits `bound`. Caller
-/// holds the shard lock. The linear victim scan is fine — shard bounds
-/// are small and eviction is rare.
-template <class Map>
-void evict_to_bound(Map& entries, std::size_t bound) {
-  while (entries.size() > bound) {
-    auto victim = entries.begin();
-    for (auto it = std::next(victim); it != entries.end(); ++it) {
-      if (it->second.last_used < victim->second.last_used) victim = it;
-    }
-    entries.erase(victim);
-  }
-}
-
-}  // namespace
-
-void ScoreCache::insert_entry(std::uint64_t key, ScoreResult result) {
+void ScoreCache::insert_entry(std::uint64_t key, StagedScore result,
+                              bool fresh) {
   Shard& shard = shards_[key % kShards];
   const std::uint64_t now =
       clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.entries[key] = Entry{std::move(result), now};
-  evict_to_bound(shard.entries, shard_capacity());
+  shard.entries[key] = Entry{std::move(result), now, fresh};
+  detail::evict_lru_to_bound(shard.entries, shard_capacity());
 }
 
 std::size_t ScoreCache::size() const {
@@ -197,7 +166,7 @@ void ScoreCache::set_capacity(std::size_t max_entries) {
   // Apply the new bound immediately instead of waiting for inserts.
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    evict_to_bound(shard.entries, shard_capacity());
+    detail::evict_lru_to_bound(shard.entries, shard_capacity());
   }
 }
 
@@ -206,30 +175,48 @@ void ScoreCache::clear() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.entries.clear();
   }
+  builds_.clear();
   hits_.store(0);
   misses_.store(0);
 }
 
-bool ScoreCache::save(const std::string& path) const {
+bool ScoreCache::save(const std::string& path,
+                      std::uint64_t version) const {
+  return save_entries(path, version, /*fresh_only=*/false);
+}
+
+bool ScoreCache::save_delta(const std::string& path, std::uint64_t version,
+                            std::size_t* entries_written) const {
+  return save_entries(path, version, /*fresh_only=*/true, entries_written);
+}
+
+bool ScoreCache::save_entries(const std::string& path,
+                              std::uint64_t version, bool fresh_only,
+                              std::size_t* entries_written) const {
   // Deterministic file: entries sorted by key, version first.
   std::vector<std::pair<std::uint64_t, Entry>> all;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [key, entry] : shard.entries) all.emplace_back(key, entry);
+    for (const auto& [key, entry] : shard.entries) {
+      if (fresh_only && !entry.fresh) continue;
+      all.emplace_back(key, entry);
+    }
   }
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (entries_written != nullptr) *entries_written = all.size();
 
   Json root = Json::object();
-  root.set("format", "pareval-score-cache");
-  root.set("pipeline", support::u64_to_hex(scoring_pipeline_hash()));
+  // v2: entries carry staged outcomes instead of one flat log. The format
+  // tag is bumped so a restored v1 file cold-starts instead of loading
+  // entries with missing provenance (which would break the cold-vs-warm
+  // bit-identity guarantee).
+  root.set("format", "pareval-score-cache-v2");
+  root.set("pipeline", support::u64_to_hex(version));
   Json entries = Json::array();
   for (const auto& [key, entry] : all) {
-    Json e = Json::object();
+    Json e = to_json(entry.result);
     e.set("key", support::u64_to_hex(key));
-    e.set("built", entry.result.built);
-    e.set("passed", entry.result.passed);
-    e.set("log", entry.result.log);
     entries.push_back(std::move(e));
   }
   root.set("entries", std::move(entries));
@@ -263,27 +250,24 @@ bool ScoreCache::save(const std::string& path) const {
   return true;
 }
 
-bool ScoreCache::load(const std::string& path) {
+bool ScoreCache::load(const std::string& path, std::uint64_t version) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
   const auto root = Json::parse(buf.str());
-  if (!root || (*root)["format"].as_string() != "pareval-score-cache") {
-    return false;
+  if (!root || (*root)["format"].as_string() != "pareval-score-cache-v2") {
+    return false;  // missing, malformed, or a pre-staged-pipeline format
   }
-  if ((*root)["pipeline"].as_string() !=
-      support::u64_to_hex(scoring_pipeline_hash())) {
+  if ((*root)["pipeline"].as_string() != support::u64_to_hex(version)) {
     return false;  // stale: written by a different scoring pipeline
   }
   for (const Json& e : (*root)["entries"].items()) {
     std::uint64_t key = 0;
     if (!support::u64_from_hex(e["key"].as_string(), &key)) continue;
-    ScoreResult r;
-    r.built = e["built"].as_bool();
-    r.passed = e["passed"].as_bool();
-    r.log = e["log"].as_string();
-    insert_entry(key, std::move(r));
+    StagedScore r;
+    if (!from_json(e, &r)) continue;
+    insert_entry(key, std::move(r), /*fresh=*/false);
   }
   return true;
 }
@@ -308,6 +292,24 @@ vfs::Repo with_ground_truth_build(const AppSpec& app, const vfs::Repo& repo,
     for (const auto& f : it->second.files()) out.write(f.path, f.content);
   }
   return out;
+}
+
+/// Apply the log policy to a failed attempt's stage outcomes before they
+/// land in a SampleOutcome: strip the log slices entirely when keep_logs
+/// is off (the structured verdicts/details survive), or truncate each
+/// slice to max_log_bytes when a bound is set.
+std::vector<StageOutcome> outcome_stages(const StagedScore& score,
+                                         const HarnessConfig& config) {
+  std::vector<StageOutcome> stages = score.stages;
+  for (StageOutcome& s : stages) {
+    if (!config.keep_logs) {
+      s.log.clear();
+    } else if (config.max_log_bytes > 0 &&
+               s.log.size() > config.max_log_bytes) {
+      s.log.resize(config.max_log_bytes);
+    }
+  }
+  return stages;
 }
 
 }  // namespace
@@ -355,16 +357,18 @@ SampleRun run_cell_sample(const Suite& suite, const SweepCell& cell,
                                                     : nullptr);
   auto score = [&](const vfs::Repo& repo) {
     return cache != nullptr ? cache->score(app, repo, pair.to)
-                            : score_repo(app, repo, pair.to);
+                            : ScoringPipeline().score(app, repo, pair.to);
   };
-  const ScoreResult overall = score(gen.repo);
+  const StagedScore overall = score(gen.repo);
   run.outcome.built_overall = overall.built;
   run.outcome.passed_overall = overall.passed;
-  if (!overall.passed && config.keep_logs) {
-    run.outcome.failure_log = overall.log;
+  if (!overall.passed) {
+    // Staged provenance of the failure; the flat failure_log() view
+    // concatenates the kept slices back into the legacy blob.
+    run.outcome.stages = outcome_stages(overall, config);
   }
 
-  const ScoreResult codeonly =
+  const StagedScore codeonly =
       score(with_ground_truth_build(app, gen.repo, pair.to));
   run.outcome.built_codeonly = codeonly.built;
   run.outcome.passed_codeonly = codeonly.passed;

@@ -15,6 +15,7 @@
 
 #include "agents/techniques.hpp"
 #include "apps/app.hpp"
+#include "eval/pipeline.hpp"
 #include "eval/spec.hpp"
 #include "eval/suite.hpp"
 #include "llm/calibration.hpp"
@@ -30,8 +31,18 @@ struct SampleOutcome {
   bool built_codeonly = false;
   bool passed_codeonly = false;
   long long tokens = 0;
-  std::string failure_log;   // build/run log of the *overall* attempt
+  /// Staged provenance of the *overall* attempt when it failed: one
+  /// StageOutcome per attempted stage, in pipeline order. Stage log slices
+  /// are kept under HarnessConfig::keep_logs (bounded by max_log_bytes)
+  /// and stripped otherwise — the structured verdicts/details survive
+  /// either way. Empty for passed and aborted samples.
+  std::vector<StageOutcome> stages;
   std::vector<std::string> defects;  // injected (ground truth for Fig. 3)
+
+  /// The legacy flat failure blob: the stage log slices concatenated in
+  /// stage order — byte-identical to the monolithic harness's
+  /// failure_log field (and "" when logs were stripped).
+  std::string failure_log() const;
 
   bool operator==(const SampleOutcome&) const = default;
 };
@@ -60,7 +71,14 @@ struct TaskResult {
 struct HarnessConfig {
   int samples_per_task = 25;  // the paper's N (scores are multiples of 0.04)
   std::uint64_t seed = 1070;
+  /// Keep per-stage failure-log slices in SampleOutcome (and thus in shard
+  /// files). When false only the structured stage verdicts/details are
+  /// recorded, so large sweeps don't ship log blobs.
   bool keep_logs = true;
+  /// When keep_logs is set and this is non-zero, every kept stage-log
+  /// slice is truncated to this many bytes. 0 = unbounded (the default,
+  /// which keeps results bit-identical to the unbounded harness).
+  std::size_t max_log_bytes = 0;
   /// Concurrency for run_task / run_sweep: 1 = fully serial (no pool),
   /// anything else schedules every sample of every cell on the global
   /// work-stealing pool (which sizes itself to hardware_threads()).
@@ -81,9 +99,9 @@ struct HarnessConfig {
   bool high_priority = false;
 };
 
-/// Score one generated repository against the app's validation tests:
-/// builds, runs every test case, matches golden output, and executed on
-/// the requested device (§6.1). `log` receives the build/run transcript.
+/// The legacy flat scoring verdict: built/passed plus one log blob. Kept
+/// as the convenience view of a StagedScore (eval/pipeline.hpp) for call
+/// sites that don't care about per-stage provenance.
 struct ScoreResult {
   bool built = false;
   bool passed = false;
@@ -91,55 +109,93 @@ struct ScoreResult {
 
   bool operator==(const ScoreResult&) const = default;
 };
+
+/// Score one generated repository against the app's validation tests:
+/// builds, runs every test case, matches golden output, and executed on
+/// the requested device (§6.1). Thin wrapper over ScoringPipeline::score
+/// collapsing the staged outcomes to the legacy flat result; the log is
+/// byte-identical to the pre-staged monolith's transcript.
 ScoreResult score_repo(const apps::AppSpec& app, const vfs::Repo& repo,
                        apps::Model target);
 
-/// Stable 64-bit content hash of a repository (paths + contents,
-/// length-delimited) — the cache key component that identifies "the same
-/// generated artifact".
-std::uint64_t repo_content_hash(const vfs::Repo& repo);
-
-/// Version key of the scoring pipeline: folds a hand-bumped pipeline tag
-/// with every embedded scoring input (app repos, ground-truth builds, test
-/// cases, tolerances). A persisted ScoreCache whose version differs is
+/// Version key of the scoring pipeline for `suite`'s registered apps:
+/// folds a hand-bumped pipeline tag with every embedded scoring input
+/// (app repos, ground-truth builds, test cases, tolerances) in suite
+/// registration order. A persisted ScoreCache whose version differs is
 /// stale — the scores it memoizes were produced by a different pipeline —
-/// and ScoreCache::load discards it.
+/// and ScoreCache::load discards it. Custom suites get version-level
+/// invalidation of their own scoring inputs by persisting caches under
+/// scoring_pipeline_hash(suite) instead of the paper default.
+std::uint64_t scoring_pipeline_hash(const Suite& suite);
+
+/// The paper overload: folds apps::all_apps() (== Suite::paper()'s apps).
+/// Golden-pinned in the tests — the CI score-cache key must only move
+/// when scoring semantics actually change.
 std::uint64_t scoring_pipeline_hash();
 
-/// Thread-safe memoization of score_repo keyed by (app name, repo content
-/// hash, target model). Code-only re-scores and repeated golden builds of
-/// identical artifacts hit the cache instead of re-running the build/exec
-/// pipeline. Sharded to keep the harness's parallel samples off one lock.
+/// Two-layer memoization of the staged scoring pipeline, sharded to keep
+/// the harness's parallel samples off one lock.
 ///
-/// The cache is persistent: save()/load() serialize it as versioned JSON
-/// (see scoring_pipeline_hash) so figure regeneration after a code-only
-/// change warm-starts from the previous run's scores. Size is bounded:
+/// Upper (score) layer: full StagedScores keyed by (app name, repo content
+/// hash, target model). Code-only re-scores and repeated golden builds of
+/// identical artifacts hit here instead of re-running any stage.
+///
+/// Lower (build-artifact) layer: a BuildArtifactCache keyed by (app, repo
+/// content hash) — no target — consulted by the pipeline on a score-layer
+/// miss, so scoring one artifact under several targets (or re-validating
+/// after an eviction) shares one build. Per-layer hit/miss counters make
+/// the sharing observable; builds().misses() counts builds performed.
+///
+/// The score layer is persistent: save()/load() serialize it as JSON
+/// versioned by a scoring-pipeline hash so figure regeneration after a
+/// code-only change warm-starts from the previous run's scores (the build
+/// layer holds live executables and is process-local). Size is bounded:
 /// each shard holds at most capacity/kShards entries and evicts its
 /// least-recently-used entry on overflow.
 class ScoreCache {
  public:
-  /// score_repo with memoization.
-  ScoreResult score(const apps::AppSpec& app, const vfs::Repo& repo,
+  /// ScoringPipeline::score with two-layer memoization.
+  StagedScore score(const apps::AppSpec& app, const vfs::Repo& repo,
                     apps::Model target);
 
   std::size_t hits() const noexcept { return hits_.load(); }
   std::size_t misses() const noexcept { return misses_.load(); }
   std::size_t size() const;
+  /// Clears both layers (and all counters).
   void clear();
 
-  /// Bound the entry count (minimum kShards: one entry per shard).
+  /// The lower layer, for per-layer stats and capacity control.
+  BuildArtifactCache& builds() noexcept { return builds_; }
+  const BuildArtifactCache& builds() const noexcept { return builds_; }
+
+  /// Bound the score-layer entry count (minimum kShards: one entry per
+  /// shard). The build layer has its own set_capacity.
   void set_capacity(std::size_t max_entries);
 
-  /// Write every entry to `path` as JSON, tagged with the current
-  /// scoring-pipeline hash. Atomic: the file is written to a temp name in
-  /// the same directory and rename()d into place, so concurrent workers
-  /// sharing one cache path never observe a torn file. Returns false on
-  /// I/O failure.
-  bool save(const std::string& path) const;
-  /// Merge the entries of a previously saved file into this cache.
-  /// Returns false — loading nothing — when the file is missing, does not
-  /// parse, or was written by a different scoring pipeline (stale cache).
-  bool load(const std::string& path);
+  /// Write every score-layer entry to `path` as JSON, tagged with
+  /// `version` (default: the paper scoring-pipeline hash; pass
+  /// scoring_pipeline_hash(suite) when the cache serves a custom suite).
+  /// Atomic: the file is written to a temp name in the same directory and
+  /// rename()d into place, so concurrent workers sharing one cache path
+  /// never observe a torn file. Returns false on I/O failure.
+  bool save(const std::string& path,
+            std::uint64_t version = scoring_pipeline_hash()) const;
+  /// Like save, but writes only the entries this cache *added* since it
+  /// was constructed or loaded (cache misses scored here, not entries
+  /// merged in via load) — the shard-level cache delta a sweep_worker
+  /// ships alongside its shard file for the fan-in job to fold into a
+  /// published cache (sweep_merge --merge-cache). `entries_written`
+  /// (optional) receives the delta's actual entry count, which can trail
+  /// misses() under racing duplicate scores or LRU eviction.
+  bool save_delta(const std::string& path,
+                  std::uint64_t version = scoring_pipeline_hash(),
+                  std::size_t* entries_written = nullptr) const;
+  /// Merge the entries of a previously saved file (or delta) into this
+  /// cache. Returns false — loading nothing — when the file is missing,
+  /// does not parse, uses an older cache format, or was written under a
+  /// different `version` (stale cache).
+  bool load(const std::string& path,
+            std::uint64_t version = scoring_pipeline_hash());
 
   /// Process-wide instance used by run_task when use_score_cache is set.
   static ScoreCache& global();
@@ -147,8 +203,9 @@ class ScoreCache {
  private:
   static constexpr std::size_t kShards = 16;
   struct Entry {
-    ScoreResult result;
+    StagedScore result;
     std::uint64_t last_used = 0;
+    bool fresh = false;  // added by scoring here (not merged via load)
   };
   struct Shard {
     mutable std::mutex mu;
@@ -156,9 +213,13 @@ class ScoreCache {
   };
 
   std::size_t shard_capacity() const noexcept;
-  void insert_entry(std::uint64_t key, ScoreResult result);
+  void insert_entry(std::uint64_t key, StagedScore result, bool fresh);
+  bool save_entries(const std::string& path, std::uint64_t version,
+                    bool fresh_only,
+                    std::size_t* entries_written = nullptr) const;
 
   std::array<Shard, kShards> shards_;
+  BuildArtifactCache builds_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::uint64_t> clock_{0};

@@ -1,0 +1,381 @@
+#include "eval/pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <iterator>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "buildsim/builder.hpp"
+#include "execsim/driver.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace pareval::eval {
+
+using support::Json;
+
+// --- stable keys ------------------------------------------------------------
+
+const char* stage_key(Stage s) {
+  switch (s) {
+    case Stage::Build: return "build";
+    case Stage::Execute: return "execute";
+    case Stage::Validate: return "validate";
+  }
+  return "?";
+}
+
+bool stage_from_key(const std::string& key, Stage* out) {
+  for (const Stage s : {Stage::Build, Stage::Execute, Stage::Validate}) {
+    if (key == stage_key(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* stage_verdict_key(StageVerdict v) {
+  switch (v) {
+    case StageVerdict::Pass: return "pass";
+    case StageVerdict::Fail: return "fail";
+    case StageVerdict::Skipped: return "skipped";
+  }
+  return "?";
+}
+
+bool stage_verdict_from_key(const std::string& key, StageVerdict* out) {
+  for (const StageVerdict v :
+       {StageVerdict::Pass, StageVerdict::Fail, StageVerdict::Skipped}) {
+    if (key == stage_verdict_key(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* diag_detail_key(minic::DiagCategory c) {
+  using minic::DiagCategory;
+  switch (c) {
+    case DiagCategory::MakefileSyntax: return "makefile-syntax";
+    case DiagCategory::MissingBuildTarget: return "missing-build-target";
+    case DiagCategory::CMakeConfig: return "cmake-config";
+    case DiagCategory::InvalidCompilerFlag: return "invalid-compiler-flag";
+    case DiagCategory::MissingHeader: return "missing-header";
+    case DiagCategory::CodeSyntax: return "code-syntax";
+    case DiagCategory::UndeclaredIdentifier: return "undeclared-identifier";
+    case DiagCategory::ArgTypeMismatch: return "arg-type-mismatch";
+    case DiagCategory::OmpInvalidDirective: return "omp-invalid-directive";
+    case DiagCategory::LinkError: return "link-error";
+    case DiagCategory::RuntimeFault: return "runtime-fault";
+    case DiagCategory::WrongOutput: return "wrong-output";
+    case DiagCategory::WrongExecutionModel: return "wrong-execution-model";
+    case DiagCategory::Other: return "other";
+  }
+  return "?";
+}
+
+bool diag_detail_from_key(const std::string& key,
+                          minic::DiagCategory* out) {
+  using minic::DiagCategory;
+  for (const DiagCategory c :
+       {DiagCategory::MakefileSyntax, DiagCategory::MissingBuildTarget,
+        DiagCategory::CMakeConfig, DiagCategory::InvalidCompilerFlag,
+        DiagCategory::MissingHeader, DiagCategory::CodeSyntax,
+        DiagCategory::UndeclaredIdentifier, DiagCategory::ArgTypeMismatch,
+        DiagCategory::OmpInvalidDirective, DiagCategory::LinkError,
+        DiagCategory::RuntimeFault, DiagCategory::WrongOutput,
+        DiagCategory::WrongExecutionModel, DiagCategory::Other}) {
+    if (key == diag_detail_key(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- StagedScore ------------------------------------------------------------
+
+const StageOutcome* first_failed_stage(
+    const std::vector<StageOutcome>& stages) {
+  for (const StageOutcome& s : stages) {
+    if (s.verdict == StageVerdict::Fail) return &s;
+  }
+  return nullptr;
+}
+
+std::string concat_stage_logs(const std::vector<StageOutcome>& stages) {
+  std::string out;
+  for (const StageOutcome& s : stages) out += s.log;
+  return out;
+}
+
+std::string StagedScore::flat_log() const {
+  return concat_stage_logs(stages);
+}
+
+// --- content hashing --------------------------------------------------------
+
+std::uint64_t repo_content_hash(const vfs::Repo& repo) {
+  // Fold each file's (path, content) hash pair through SplitMix64 so that
+  // "ab"+"c" vs "a"+"bc" and file-boundary shuffles cannot collide
+  // structurally. (64-bit accidental collisions are ~1e-13 at 1e6 repos.)
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, for an asymmetric start
+  repo.for_each_file([&h](const std::string& path,
+                          const std::string& content) {
+    h = support::SplitMix64(h ^ support::stable_hash(path)).next();
+    h = support::SplitMix64(h ^ support::stable_hash(content)).next();
+  });
+  return h;
+}
+
+std::uint64_t build_artifact_key(const apps::AppSpec& app,
+                                 const vfs::Repo& repo) {
+  std::uint64_t key = repo_content_hash(repo);
+  key = support::SplitMix64(key ^ support::stable_hash(app.name)).next();
+  return key;
+}
+
+// --- BuildArtifactCache -----------------------------------------------------
+
+struct BuildArtifactCache::Impl {
+  static constexpr std::size_t kShards = 16;
+  struct Entry {
+    std::shared_ptr<const buildsim::BuildResult> build;
+    std::uint64_t last_used = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> entries;
+  };
+
+  std::size_t shard_capacity() const noexcept {
+    const std::size_t cap = capacity.load(std::memory_order_relaxed);
+    return std::max<std::size_t>(1, cap / kShards);
+  }
+
+  std::array<Shard, kShards> shards;
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> misses{0};
+  std::atomic<std::uint64_t> clock{0};
+  std::atomic<std::size_t> capacity{1 << 12};
+};
+
+BuildArtifactCache::BuildArtifactCache() : impl_(new Impl) {}
+BuildArtifactCache::~BuildArtifactCache() = default;
+
+std::shared_ptr<const buildsim::BuildResult> BuildArtifactCache::lookup(
+    std::uint64_t key) {
+  Impl::Shard& shard = impl_->shards[key % Impl::kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  impl_->hits.fetch_add(1, std::memory_order_relaxed);
+  it->second.last_used =
+      impl_->clock.fetch_add(1, std::memory_order_relaxed) + 1;
+  return it->second.build;
+}
+
+void BuildArtifactCache::insert(
+    std::uint64_t key, std::shared_ptr<const buildsim::BuildResult> build) {
+  Impl::Shard& shard = impl_->shards[key % Impl::kShards];
+  const std::uint64_t now =
+      impl_->clock.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries[key] = Impl::Entry{std::move(build), now};
+  detail::evict_lru_to_bound(shard.entries, impl_->shard_capacity());
+}
+
+std::size_t BuildArtifactCache::hits() const noexcept {
+  return impl_->hits.load();
+}
+std::size_t BuildArtifactCache::misses() const noexcept {
+  return impl_->misses.load();
+}
+
+std::size_t BuildArtifactCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+void BuildArtifactCache::clear() {
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+  impl_->hits.store(0);
+  impl_->misses.store(0);
+}
+
+void BuildArtifactCache::set_capacity(std::size_t max_entries) {
+  impl_->capacity.store(std::max(max_entries, Impl::kShards),
+                        std::memory_order_relaxed);
+}
+
+// --- ScoringPipeline --------------------------------------------------------
+
+std::shared_ptr<const buildsim::BuildResult> ScoringPipeline::build_stage(
+    const apps::AppSpec& app, const vfs::Repo& repo,
+    StageOutcome* outcome) const {
+  std::shared_ptr<const buildsim::BuildResult> build;
+  if (build_cache_ != nullptr) {
+    const std::uint64_t key = build_artifact_key(app, repo);
+    build = build_cache_->lookup(key);
+    if (build == nullptr) {
+      // Two threads racing on one key just perform the same pure build
+      // twice; the second insert benignly replaces the first.
+      build = std::make_shared<buildsim::BuildResult>(
+          buildsim::build_repo(repo));
+      build_cache_->insert(key, build);
+    }
+  } else {
+    build =
+        std::make_shared<buildsim::BuildResult>(buildsim::build_repo(repo));
+  }
+
+  StageOutcome bs;
+  bs.stage = Stage::Build;
+  bs.log = build->log;
+  if (build->ok) {
+    bs.verdict = StageVerdict::Pass;
+  } else {
+    bs.verdict = StageVerdict::Fail;
+    const auto category = build->sole_error_category();
+    if (category.has_value()) {
+      bs.detail = diag_detail_key(*category);
+    } else if (build->diags.has_errors()) {
+      bs.detail = kDetailMixedDiagnostics;  // errors of several categories
+    } else {
+      // Every command ran but nothing linked an executable (e.g. a
+      // compile-only Makefile): a failure with no diagnostic to cite.
+      bs.detail = kDetailNoExecutable;
+    }
+  }
+  *outcome = std::move(bs);
+  return build;
+}
+
+StagedScore ScoringPipeline::score(const apps::AppSpec& app,
+                                   const vfs::Repo& repo,
+                                   apps::Model target) const {
+  StagedScore out;
+  StageOutcome build_outcome;
+  const auto build = build_stage(app, repo, &build_outcome);
+  out.stages.push_back(std::move(build_outcome));
+  if (!build->ok) return out;
+  out.built = true;
+
+  const bool gpu_target = target != apps::Model::OmpThreads;
+  bool all_passed = true;
+  for (std::size_t i = 0; i < app.tests.size(); ++i) {
+    const apps::TestCase& tc = app.tests[i];
+    const auto run = execsim::run_executable(*build->exe, tc.args);
+
+    StageOutcome es;
+    es.stage = Stage::Execute;
+    es.test_case = static_cast<int>(i);
+    if (!run.ok) {
+      es.verdict = StageVerdict::Fail;
+      es.detail = kDetailRunError;
+      es.log = run.stderr_text;
+      out.stages.push_back(std::move(es));
+      all_passed = false;
+      break;
+    }
+    es.verdict = StageVerdict::Pass;
+    out.stages.push_back(std::move(es));
+
+    StageOutcome vs;
+    vs.stage = Stage::Validate;
+    vs.test_case = static_cast<int>(i);
+    if (!apps::outputs_match(run.stdout_text, app.golden(tc),
+                             app.tolerance)) {
+      vs.verdict = StageVerdict::Fail;
+      vs.detail = kDetailOutputMismatch;
+      vs.log = "validation failed: output mismatch\nexpected:\n" +
+               app.golden(tc) + "got:\n" + run.stdout_text;
+      out.stages.push_back(std::move(vs));
+      all_passed = false;
+      break;
+    }
+    if (gpu_target && run.stats.device_kernel_launches == 0) {
+      vs.verdict = StageVerdict::Fail;
+      vs.detail = kDetailNoDeviceLaunch;
+      vs.log =
+          "validation failed: translation did not execute on the GPU "
+          "(no device kernel launches)\n";
+      out.stages.push_back(std::move(vs));
+      all_passed = false;
+      break;
+    }
+    vs.verdict = StageVerdict::Pass;
+    out.stages.push_back(std::move(vs));
+  }
+  out.passed = all_passed;
+  return out;
+}
+
+// --- JSON codecs ------------------------------------------------------------
+
+Json to_json(const StageOutcome& o) {
+  Json j = Json::object();
+  j.set("stage", stage_key(o.stage));
+  j.set("verdict", stage_verdict_key(o.verdict));
+  // Value-dependent fields are omitted when empty/absent so stripped-log
+  // outcomes stay compact; parsing restores the defaults.
+  if (o.test_case >= 0) j.set("test", o.test_case);
+  if (!o.detail.empty()) j.set("detail", o.detail);
+  if (!o.log.empty()) j.set("log", o.log);
+  return j;
+}
+
+bool from_json(const Json& j, StageOutcome* out) {
+  if (!j.is_object() ||
+      !stage_from_key(j["stage"].as_string(), &out->stage) ||
+      !stage_verdict_from_key(j["verdict"].as_string(), &out->verdict)) {
+    return false;
+  }
+  out->test_case =
+      j["test"].is_number() ? static_cast<int>(j["test"].as_int()) : -1;
+  out->detail = j["detail"].as_string();
+  out->log = j["log"].as_string();
+  return true;
+}
+
+Json to_json(const StagedScore& s) {
+  Json j = Json::object();
+  j.set("built", s.built);
+  j.set("passed", s.passed);
+  Json stages = Json::array();
+  for (const StageOutcome& o : s.stages) stages.push_back(to_json(o));
+  j.set("stages", std::move(stages));
+  return j;
+}
+
+bool from_json(const Json& j, StagedScore* out) {
+  if (!j.is_object() || !j["built"].is_bool() || !j["passed"].is_bool()) {
+    return false;
+  }
+  out->built = j["built"].as_bool();
+  out->passed = j["passed"].as_bool();
+  out->stages.clear();
+  for (const Json& o : j["stages"].items()) {
+    StageOutcome outcome;
+    if (!from_json(o, &outcome)) return false;
+    out->stages.push_back(std::move(outcome));
+  }
+  return true;
+}
+
+}  // namespace pareval::eval

@@ -428,4 +428,50 @@ std::string table2_report(const std::vector<TaskResult>& tasks) {
   return table2_report(Suite::paper(), tasks);
 }
 
+std::string stage_breakdown_report(const Suite& suite,
+                                   const SweepSpec& spec,
+                                   const std::vector<TaskResult>& tasks) {
+  std::string out =
+      "== Staged pipeline: where Overall-mode samples stop ==\n";
+  support::TextTable t({"Application", "Samples", "Passed", "Build fail",
+                        "Run error", "Mismatch", "No device", "Exact"});
+  for (const std::string& app : suite_app_names(suite, spec)) {
+    int samples = 0, passed = 0, build_fail = 0, run_error = 0;
+    int mismatch = 0, no_device = 0, exact = 0;
+    for (const TaskResult& task : tasks) {
+      if (task.app != app || !task.ran) continue;
+      for (const SampleOutcome& o : task.outcomes) {
+        ++samples;
+        if (o.passed_overall) {
+          ++passed;
+          continue;
+        }
+        const StageOutcome* failed = first_failed_stage(o.stages);
+        if (failed == nullptr) continue;  // provenance-less failure
+        switch (failed->stage) {
+          case Stage::Build: ++build_fail; break;
+          case Stage::Execute: ++run_error; break;
+          case Stage::Validate:
+            (failed->detail == kDetailNoDeviceLaunch ? no_device
+                                                     : mismatch)++;
+            break;
+        }
+        xlate::DefectKind kind;
+        bool from_provenance = false;
+        if (label_outcome(o, &kind, &from_provenance) && from_provenance) {
+          ++exact;
+        }
+      }
+    }
+    t.add_row({app, std::to_string(samples), std::to_string(passed),
+               std::to_string(build_fail), std::to_string(run_error),
+               std::to_string(mismatch), std::to_string(no_device),
+               std::to_string(exact)});
+  }
+  out += t.render();
+  out += "('Exact' = failures the classifier labels from stage provenance "
+         "alone, no keyword scan)\n";
+  return out;
+}
+
 }  // namespace pareval::eval

@@ -58,4 +58,13 @@ std::string table2_report(const Suite& suite,
                           const std::vector<TaskResult>& tasks);
 std::string table2_report(const std::vector<TaskResult>& tasks);
 
+/// Staged-pipeline view of a sweep's Overall-mode outcomes: per app, how
+/// many samples passed and how many stopped at each stage — build failed,
+/// run error, output mismatch, missed device — straight from the samples'
+/// StageOutcome provenance (no log scraping), plus how many of the
+/// failures the classifier could label exactly from that provenance.
+std::string stage_breakdown_report(const Suite& suite,
+                                   const SweepSpec& spec,
+                                   const std::vector<TaskResult>& tasks);
+
 }  // namespace pareval::eval

@@ -250,25 +250,6 @@ bool sample_run_from_json(const Json& j, SampleRun* out) {
 
 }  // namespace
 
-Json to_json(const ScoreResult& r) {
-  Json j = Json::object();
-  j.set("built", r.built);
-  j.set("passed", r.passed);
-  j.set("log", r.log);
-  return j;
-}
-
-bool from_json(const Json& j, ScoreResult* out) {
-  if (!j["built"].is_bool() || !j["passed"].is_bool() ||
-      !j["log"].is_string()) {
-    return false;
-  }
-  out->built = j["built"].as_bool();
-  out->passed = j["passed"].as_bool();
-  out->log = j["log"].as_string();
-  return true;
-}
-
 Json to_json(const SampleOutcome& o) {
   Json j = Json::object();
   j.set("built_overall", o.built_overall);
@@ -276,7 +257,15 @@ Json to_json(const SampleOutcome& o) {
   j.set("built_codeonly", o.built_codeonly);
   j.set("passed_codeonly", o.passed_codeonly);
   j.set("tokens", o.tokens);
-  j.set("failure_log", o.failure_log);
+  // v2: structured per-stage outcomes replace the flat failure_log blob.
+  // Omitted when empty (passed samples) so shard files don't grow; the
+  // harness's keep_logs policy already decided whether stage outcomes
+  // carry their log slices.
+  if (!o.stages.empty()) {
+    Json stages = Json::array();
+    for (const StageOutcome& s : o.stages) stages.push_back(to_json(s));
+    j.set("stages", std::move(stages));
+  }
   Json defects = Json::array();
   for (const std::string& d : o.defects) defects.push_back(d);
   j.set("defects", std::move(defects));
@@ -293,7 +282,12 @@ bool from_json(const Json& j, SampleOutcome* out) {
   out->built_codeonly = j["built_codeonly"].as_bool();
   out->passed_codeonly = j["passed_codeonly"].as_bool();
   out->tokens = j["tokens"].as_int();
-  out->failure_log = j["failure_log"].as_string();
+  out->stages.clear();
+  for (const Json& s : j["stages"].items()) {
+    StageOutcome stage;
+    if (!from_json(s, &stage)) return false;
+    out->stages.push_back(std::move(stage));
+  }
   out->defects.clear();
   for (const Json& d : j["defects"].items()) {
     out->defects.push_back(d.as_string());
@@ -401,11 +395,17 @@ bool from_json(const Json& j, ShardResult* out) {
 
 namespace {
 constexpr const char* kShardFormat = "pareval-shard";
-}
+// v2: SampleOutcome carries staged outcomes instead of a flat
+// failure_log. The merger needs every shard's outcomes in one format —
+// mixing would break merged-vs-in-process bit-identity — so the parser
+// rejects other versions outright.
+constexpr long long kShardFormatVersion = 2;
+}  // namespace
 
 std::string shard_file_text(const std::vector<ShardResult>& shards) {
   Json root = Json::object();
   root.set("format", kShardFormat);
+  root.set("format_version", kShardFormatVersion);
   Json arr = Json::array();
   for (const ShardResult& s : shards) arr.push_back(to_json(s));
   root.set("shards", std::move(arr));
@@ -422,6 +422,16 @@ bool parse_shard_file(const std::string& text,
   }
   if ((*root)["format"].as_string() != kShardFormat) {
     if (error != nullptr) *error = "not a pareval-shard file";
+    return false;
+  }
+  if (!(*root)["format_version"].is_number() ||
+      (*root)["format_version"].as_int() != kShardFormatVersion) {
+    if (error != nullptr) {
+      *error = support::strfmt(
+          "unsupported shard format version (want %lld) — regenerate the "
+          "shard with this build's sweep_worker",
+          kShardFormatVersion);
+    }
     return false;
   }
   out->clear();

@@ -111,9 +111,6 @@ bool technique_from_name(const std::string& name, llm::Technique* out);
 // to_json is total; from_json returns false (leaving *out unspecified) on
 // missing/mistyped fields so the CLI tools can reject malformed files.
 
-support::Json to_json(const ScoreResult& r);
-bool from_json(const support::Json& j, ScoreResult* out);
-
 support::Json to_json(const SampleOutcome& o);
 bool from_json(const support::Json& j, SampleOutcome* out);
 
@@ -124,8 +121,9 @@ support::Json to_json(const ShardResult& s);
 bool from_json(const support::Json& j, ShardResult* out);
 
 /// File wrapper for sweep_worker output: one or more ShardResults under a
-/// format tag. Each serialized shard embeds its spec and spec_hash;
-/// parsing rejects entries whose stored hash does not match the spec they
+/// format tag and version (v2: staged sample outcomes). Each serialized
+/// shard embeds its spec and spec_hash; parsing rejects other format
+/// versions and entries whose stored hash does not match the spec they
 /// carry (a tampered or corrupted file).
 std::string shard_file_text(const std::vector<ShardResult>& shards);
 /// Parse a shard file; returns false and sets `error` on malformed input.

@@ -10,6 +10,7 @@
 #include "eval/classify.hpp"         // error classification pipeline (§6.3)
 #include "eval/harness.hpp"          // N-sample evaluation harness (§7)
 #include "eval/metrics.hpp"          // pass@k / build@k / Eκ (§6)
+#include "eval/pipeline.hpp"         // staged Build/Execute/Validate scoring
 #include "eval/report.hpp"           // table & figure regeneration (§8)
 #include "eval/shard.hpp"            // distributed sweep sharding + codecs
 #include "eval/spec.hpp"             // declarative sweep specs (--spec)

@@ -258,7 +258,8 @@ TEST(ScoreCache, HitsOnIdenticalArtifacts) {
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(first.built, again.built);
   EXPECT_EQ(first.passed, again.passed);
-  EXPECT_EQ(first.log, again.log);
+  EXPECT_EQ(first.flat_log(), again.flat_log());
+  EXPECT_EQ(first.stages, again.stages);
 
   cache.clear();
   EXPECT_EQ(cache.hits(), 0u);

@@ -131,14 +131,18 @@ TEST(ShardMerge, RejectsMissingAndDuplicateUnits) {
   EXPECT_THROW(pe::merge_shards(pair, reseeded), std::runtime_error);
 }
 
-TEST(ShardJson, ScoreResultRoundTrip) {
-  pe::ScoreResult r;
-  r.built = true;
-  r.passed = false;
-  r.log = "line1\n\"quoted\"\ttab\x01 control\nutf8: \xc3\xa9\n";
-  pe::ScoreResult back;
-  ASSERT_TRUE(pe::from_json(pe::to_json(r), &back));
-  EXPECT_EQ(back, r);
+TEST(ShardJson, StagedScoreRoundTrip) {
+  pe::StagedScore s;
+  s.built = true;
+  s.passed = false;
+  s.stages.push_back(
+      {pe::Stage::Build, pe::StageVerdict::Pass, -1, "",
+       "line1\n\"quoted\"\ttab\x01 control\nutf8: \xc3\xa9\n"});
+  s.stages.push_back({pe::Stage::Execute, pe::StageVerdict::Fail, 1,
+                      pe::kDetailRunError, "runtime error\n"});
+  pe::StagedScore back;
+  ASSERT_TRUE(pe::from_json(pe::to_json(s), &back));
+  EXPECT_EQ(back, s);
 }
 
 TEST(ShardJson, SampleOutcomeRoundTrip) {
@@ -148,11 +152,38 @@ TEST(ShardJson, SampleOutcomeRoundTrip) {
   o.built_codeonly = true;
   o.passed_codeonly = true;
   o.tokens = 123456789;
-  o.failure_log = "error: undeclared identifier 'blockIdx'\n";
+  o.stages.push_back({pe::Stage::Build, pe::StageVerdict::Pass, -1, "",
+                      "g++ -O2 -c main.cpp\nbuild succeeded\n"});
+  o.stages.push_back({pe::Stage::Execute, pe::StageVerdict::Fail, 0,
+                      pe::kDetailRunError,
+                      "error: undeclared identifier 'blockIdx'\n"});
   o.defects = {"cuda_builtin", "makefile_flag"};
   pe::SampleOutcome back;
   ASSERT_TRUE(pe::from_json(pe::to_json(o), &back));
   EXPECT_EQ(back, o);
+  EXPECT_EQ(back.failure_log(),
+            "g++ -O2 -c main.cpp\nbuild succeeded\n"
+            "error: undeclared identifier 'blockIdx'\n");
+}
+
+TEST(ShardJson, StageOutcomeRoundTripAndCompactFields) {
+  // A stripped-log outcome omits the value-dependent fields but round
+  // trips to an equal struct.
+  pe::StageOutcome s;
+  s.stage = pe::Stage::Validate;
+  s.verdict = pe::StageVerdict::Fail;
+  s.test_case = 2;
+  s.detail = pe::kDetailNoDeviceLaunch;
+  const auto j = pe::to_json(s);
+  EXPECT_EQ(j.dump().find("\"log\""), std::string::npos);
+  pe::StageOutcome back;
+  ASSERT_TRUE(pe::from_json(j, &back));
+  EXPECT_EQ(back, s);
+
+  // Unknown stage/verdict keys are rejected, not defaulted.
+  auto bad = pe::to_json(s);
+  bad.set("stage", "link");
+  EXPECT_FALSE(pe::from_json(bad, &back));
 }
 
 TEST(ShardJson, TaskResultRoundTripThroughText) {
@@ -258,15 +289,17 @@ TEST(ScoreCachePersist, CapacityBoundsEntryCount) {
   // Build a valid cache file with many synthetic entries, then load it
   // into a capacity-bounded cache: eviction must keep size <= capacity.
   ps::Json root = ps::Json::object();
-  root.set("format", "pareval-score-cache");
+  root.set("format", "pareval-score-cache-v2");
   root.set("pipeline", ps::u64_to_hex(pe::scoring_pipeline_hash()));
   ps::Json entries = ps::Json::array();
   for (int i = 0; i < 200; ++i) {
-    ps::Json e = ps::Json::object();
+    pe::StagedScore s;
+    s.built = true;
+    s.passed = i % 2 == 0;
+    s.stages.push_back({pe::Stage::Build, pe::StageVerdict::Pass, -1, "",
+                        "synthetic"});
+    ps::Json e = pe::to_json(s);
     e.set("key", ps::u64_to_hex(0x1000ull + static_cast<unsigned>(i)));
-    e.set("built", true);
-    e.set("passed", i % 2 == 0);
-    e.set("log", "synthetic");
     entries.push_back(std::move(e));
   }
   root.set("entries", std::move(entries));
@@ -283,4 +316,172 @@ TEST(ScoreCachePersist, CapacityBoundsEntryCount) {
   cache.set_capacity(16);
   EXPECT_LE(cache.size(), 16u);
   std::remove(path.c_str());
+}
+
+TEST(ScoreCachePersist, PreStagedFormatIsRejected) {
+  // A v1 file (flat logs, no staged outcomes) must cold-start rather than
+  // load entries with missing provenance — warm-vs-cold bit-identity
+  // depends on cached entries carrying exactly what a fresh score would.
+  ps::Json root = ps::Json::object();
+  root.set("format", "pareval-score-cache");
+  root.set("pipeline", ps::u64_to_hex(pe::scoring_pipeline_hash()));
+  ps::Json entries = ps::Json::array();
+  ps::Json e = ps::Json::object();
+  e.set("key", ps::u64_to_hex(0x1234));
+  e.set("built", true);
+  e.set("passed", true);
+  e.set("log", "v1 flat log");
+  entries.push_back(std::move(e));
+  root.set("entries", std::move(entries));
+  const std::string path = temp_path("score_cache_v1.json");
+  write_file(path, root.dump());
+
+  pe::ScoreCache cache;
+  EXPECT_FALSE(cache.load(path));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ScoreCachePersist, SaveDeltaWritesOnlyFreshEntries) {
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+
+  // A "published" cache with one entry...
+  pe::ScoreCache base;
+  base.score(*app, app->repos.at(pareval::apps::Model::Cuda),
+             pareval::apps::Model::Cuda);
+  const std::string published = temp_path("score_cache_published.json");
+  ASSERT_TRUE(base.save(published));
+
+  // ...warm-starts a worker, which then scores one *new* artifact.
+  pe::ScoreCache worker;
+  ASSERT_TRUE(worker.load(published));
+  EXPECT_EQ(worker.size(), 1u);
+  worker.score(*app, app->repos.at(pareval::apps::Model::OmpThreads),
+               pareval::apps::Model::OmpThreads);
+  EXPECT_EQ(worker.size(), 2u);
+
+  // The delta holds only the entry added by this worker's run.
+  const std::string delta = temp_path("score_cache_delta.json");
+  ASSERT_TRUE(worker.save_delta(delta));
+  pe::ScoreCache delta_only;
+  ASSERT_TRUE(delta_only.load(delta));
+  EXPECT_EQ(delta_only.size(), 1u);
+
+  // Folding the delta into the published cache (the sweep_merge
+  // --merge-cache path) yields the union; a delta file is itself a valid
+  // cache file, so the fold is just load + load + save.
+  pe::ScoreCache fold;
+  ASSERT_TRUE(fold.load(published));
+  ASSERT_TRUE(fold.load(delta));
+  EXPECT_EQ(fold.size(), 2u);
+  std::remove(published.c_str());
+  std::remove(delta.c_str());
+}
+
+TEST(ScoreCachePersist, SuiteAwareVersionInvalidatesAcrossSuites) {
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  pe::ScoreCache cache;
+  cache.score(*app, app->repos.at(pareval::apps::Model::Cuda),
+              pareval::apps::Model::Cuda);
+
+  // Persist under a custom suite's pipeline hash: a cache saved for one
+  // suite must not warm-start a sweep of a different one.
+  pe::Suite custom = pe::Suite::paper();
+  pareval::apps::AppSpec tiny;
+  tiny.name = "tinyApp";
+  custom.add_app(std::move(tiny));
+  const std::uint64_t custom_version = pe::scoring_pipeline_hash(custom);
+  ASSERT_NE(custom_version, pe::scoring_pipeline_hash());
+
+  const std::string path = temp_path("score_cache_custom_suite.json");
+  ASSERT_TRUE(cache.save(path, custom_version));
+  pe::ScoreCache paper_reader;
+  EXPECT_FALSE(paper_reader.load(path));  // default = paper hash: stale
+  pe::ScoreCache custom_reader;
+  EXPECT_TRUE(custom_reader.load(path, custom_version));
+  EXPECT_EQ(custom_reader.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ShardFile, RejectsWrongFormatVersion) {
+  pe::HarnessConfig config;
+  config.samples_per_task = 1;
+  const auto shard = pe::run_shard(pareval::llm::all_pairs()[0], 0, 1,
+                                   config);
+  std::string text = pe::shard_file_text({shard});
+  ASSERT_NE(text.find("\"format_version\":2"), std::string::npos);
+  text = ps::replace_all(text, "\"format_version\":2",
+                         "\"format_version\":1");
+  std::vector<pe::ShardResult> parsed;
+  std::string error;
+  EXPECT_FALSE(pe::parse_shard_file(text, &parsed, &error));
+  EXPECT_NE(error.find("format version"), std::string::npos);
+}
+
+TEST(ShardFile, KeepLogsOffStripsStageLogsButKeepsProvenance) {
+  // keep_logs=false must round-trip through a shard file and shrink it:
+  // the structured stage verdicts/details survive, the log slices do not.
+  const Pair pair = pareval::llm::all_pairs()[0];
+  pe::HarnessConfig with_logs;
+  with_logs.samples_per_task = 6;
+  pe::HarnessConfig without_logs = with_logs;
+  without_logs.keep_logs = false;
+
+  const auto full = pe::run_shard(pair, 0, 1, with_logs);
+  const auto lean = pe::run_shard(pair, 0, 1, without_logs);
+
+  // Same verdicts, same provenance shape, no log bytes.
+  ASSERT_EQ(full.records.size(), lean.records.size());
+  bool saw_failure = false;
+  for (std::size_t i = 0; i < full.records.size(); ++i) {
+    const auto& f = full.records[i].run.outcome;
+    const auto& l = lean.records[i].run.outcome;
+    EXPECT_EQ(f.built_overall, l.built_overall);
+    EXPECT_EQ(f.passed_overall, l.passed_overall);
+    ASSERT_EQ(f.stages.size(), l.stages.size());
+    for (std::size_t s = 0; s < f.stages.size(); ++s) {
+      EXPECT_EQ(f.stages[s].stage, l.stages[s].stage);
+      EXPECT_EQ(f.stages[s].verdict, l.stages[s].verdict);
+      EXPECT_EQ(f.stages[s].detail, l.stages[s].detail);
+      EXPECT_TRUE(l.stages[s].log.empty());
+    }
+    if (!f.stages.empty()) saw_failure = true;
+    EXPECT_EQ(l.failure_log(), "");
+  }
+  ASSERT_TRUE(saw_failure) << "corpus produced no failures to strip";
+
+  // Round trip preserves the lean shard exactly, and the file is smaller.
+  const std::string full_text = pe::shard_file_text({full});
+  const std::string lean_text = pe::shard_file_text({lean});
+  EXPECT_LT(lean_text.size(), full_text.size());
+  std::vector<pe::ShardResult> back;
+  std::string error;
+  ASSERT_TRUE(pe::parse_shard_file(lean_text, &back, &error)) << error;
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], lean);
+}
+
+TEST(ShardFile, MaxLogBytesBoundsKeptSlices) {
+  const Pair pair = pareval::llm::all_pairs()[0];
+  pe::HarnessConfig bounded;
+  bounded.samples_per_task = 6;
+  bounded.max_log_bytes = 64;
+  const auto shard = pe::run_shard(pair, 0, 1, bounded);
+  bool saw_log = false;
+  for (const auto& rec : shard.records) {
+    for (const auto& s : rec.run.outcome.stages) {
+      EXPECT_LE(s.log.size(), 64u);
+      if (!s.log.empty()) saw_log = true;
+    }
+  }
+  EXPECT_TRUE(saw_log);
+  // Bounded outcomes round-trip bit-identically too.
+  std::vector<pe::ShardResult> back;
+  std::string error;
+  ASSERT_TRUE(pe::parse_shard_file(pe::shard_file_text({shard}), &back,
+                                   &error))
+      << error;
+  EXPECT_EQ(back[0], shard);
 }

@@ -129,10 +129,15 @@ int main(int argc, char** argv) {
   const std::vector<eval::TaskResult> all =
       eval::run_sweep(suite, spec, config);
   const double sweep_ms = ms_since(t_sweep);
-  std::printf("\nsweep: %.1f ms, score cache %zu hits / %zu misses\n\n",
-              sweep_ms, cache.hits(), cache.misses());
+  std::printf("\nsweep: %.1f ms, score layer %zu hits / %zu misses, "
+              "build layer %zu hits / %zu misses (%zu builds performed)\n\n",
+              sweep_ms, cache.hits(), cache.misses(),
+              cache.builds().hits(), cache.builds().misses(),
+              cache.builds().misses());
 
   const auto t_reports = std::chrono::steady_clock::now();
+  std::printf("%s\n",
+              eval::stage_breakdown_report(suite, spec, all).c_str());
   std::printf("%s\n", eval::figure2_reports(suite, spec, all).c_str());
   const auto classification = eval::classify_failures(all);
   std::printf("%s\n",
@@ -166,6 +171,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(loaded_entries));
   context.set("cache_hits", static_cast<long long>(cache.hits()));
   context.set("cache_misses", static_cast<long long>(cache.misses()));
+  // Lower (build-artifact) layer: misses == builds actually performed, so
+  // the artifact uploaded by the CI bench job records how much build work
+  // the two-layer cache elided.
+  context.set("build_cache_hits",
+              static_cast<long long>(cache.builds().hits()));
+  context.set("build_cache_misses",
+              static_cast<long long>(cache.builds().misses()));
   root.set("context", std::move(context));
   Json benchmarks = Json::array();
   auto bench_entry = [](const char* name, double ms) {

@@ -28,11 +28,21 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--spec spec.json] [--out merged.json] [--report] "
       "[--verify] shard1.json [shard2.json ...]\n"
-      "  --spec FILE  require every shard to match this spec (hash check)\n"
-      "  --out FILE   write the merged sweep (default: merged.json)\n"
-      "  --report     print the figure reports off the merged sweep\n"
-      "  --verify     re-run the sweep in-process and fail unless\n"
-      "               the merged result is bit-identical\n"
+      "  --spec FILE         require every shard to match this spec (hash "
+      "check)\n"
+      "  --out FILE          write the merged sweep (default: merged.json)\n"
+      "  --report            print the figure reports off the merged sweep\n"
+      "  --verify            re-run the sweep in-process — once uncached\n"
+      "                      and once through a fresh staged two-layer\n"
+      "                      cache — and fail unless all three results\n"
+      "                      are bit-identical\n"
+      "  --merge-cache FILE  fold every --delta into FILE (loading FILE's\n"
+      "                      previous contents first) to publish a warm\n"
+      "                      cache for the next run; skipped when --verify\n"
+      "                      fails (pair it with --verify to publish only\n"
+      "                      proven scores)\n"
+      "  --delta FILE        a sweep_worker --cache-delta file (repeat\n"
+      "                      per worker)\n"
       "All shards must come from ONE spec; to cover several pairs in one\n"
       "merge, select them in one spec (or --pair all) instead of merging\n"
       "separate per-pair sweeps.\n",
@@ -45,6 +55,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string out_path = "merged.json";
   std::string spec_path;
+  std::string merge_cache_path;
+  std::vector<std::string> delta_paths;
   bool report = false;
   bool verify = false;
   std::vector<std::string> inputs;
@@ -54,6 +66,10 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--spec" && i + 1 < argc) {
       spec_path = argv[++i];
+    } else if (arg == "--merge-cache" && i + 1 < argc) {
+      merge_cache_path = argv[++i];
+    } else if (arg == "--delta" && i + 1 < argc) {
+      delta_paths.push_back(argv[++i]);
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--verify") {
@@ -65,6 +81,11 @@ int main(int argc, char** argv) {
     }
   }
   if (inputs.empty()) return usage(argv[0]);
+  if (!delta_paths.empty() && merge_cache_path.empty()) {
+    std::fprintf(stderr,
+                 "sweep_merge: --delta requires --merge-cache FILE\n");
+    return 2;
+  }
 
   std::vector<eval::ShardResult> shards;
   for (const std::string& path : inputs) {
@@ -119,12 +140,30 @@ int main(int argc, char** argv) {
 
   int mismatches = 0;
   if (verify) {
-    eval::HarnessConfig config;
-    const auto reference = eval::run_sweep(suite, spec, config);
+    // Two in-process references: one with caching off entirely, one
+    // through a fresh staged two-layer cache. Shards, the uncached run,
+    // and the cached run must all be bit-identical — this is the CI gate
+    // that proves both distribution AND the cache layers are pure
+    // memoization.
+    eval::HarnessConfig uncached;
+    uncached.use_score_cache = false;
+    const auto reference = eval::run_sweep(suite, spec, uncached);
     const bool identical = reference == tasks;
-    std::printf("determinism (merged vs single-process): %s\n",
+    std::printf("determinism (merged vs uncached single-process): %s\n",
                 identical ? "IDENTICAL" : "MISMATCH");
     if (!identical) ++mismatches;
+
+    eval::ScoreCache cache;
+    eval::HarnessConfig cached;
+    cached.score_cache = &cache;
+    const auto cached_reference = eval::run_sweep(suite, spec, cached);
+    const bool cache_identical = cached_reference == reference;
+    std::printf(
+        "determinism (staged-cached vs uncached): %s (score layer %zu "
+        "hits / %zu misses, build layer %zu hits / %zu misses)\n",
+        cache_identical ? "IDENTICAL" : "MISMATCH", cache.hits(),
+        cache.misses(), cache.builds().hits(), cache.builds().misses());
+    if (!cache_identical) ++mismatches;
   }
 
   // Group the merged cells by pair (suite order) for the per-pair figure
@@ -157,6 +196,8 @@ int main(int argc, char** argv) {
   merged.set("pairs", std::move(pairs_json));
 
   if (report) {
+    std::printf("%s\n",
+                eval::stage_breakdown_report(suite, spec, tasks).c_str());
     std::printf("%s", eval::figure2_reports(suite, spec, tasks).c_str());
     // Cross-pair figures off the union of all merged tasks.
     std::printf("%s", eval::figure4_report(suite, spec, tasks).c_str());
@@ -176,6 +217,43 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Fold the workers' cache deltas into a published cache so the next
+  // sweep warm-starts from this run's scores. Existing published entries
+  // survive (load-then-merge); a stale or missing published file just
+  // means the deltas seed a fresh one. Never publish from a run that
+  // failed verification — a divergent sweep's scores must not warm-start
+  // anything.
+  if (!merge_cache_path.empty() && mismatches > 0) {
+    std::fprintf(stderr,
+                 "sweep_merge: verification failed — not publishing %s\n",
+                 merge_cache_path.c_str());
+  }
+  if (!merge_cache_path.empty() && mismatches == 0) {
+    eval::ScoreCache published;
+    const bool had_previous = published.load(merge_cache_path);
+    std::size_t loaded = 0;
+    for (const std::string& delta : delta_paths) {
+      if (published.load(delta)) {
+        ++loaded;
+      } else {
+        std::fprintf(stderr,
+                     "sweep_merge: skipping stale/unreadable cache delta "
+                     "%s\n",
+                     delta.c_str());
+      }
+    }
+    if (!published.save(merge_cache_path)) {
+      std::fprintf(stderr, "sweep_merge: could not write merged cache %s\n",
+                   merge_cache_path.c_str());
+      return 1;
+    }
+    std::printf(
+        "merged %zu/%zu cache deltas into %s (%zu entries%s)\n", loaded,
+        delta_paths.size(), merge_cache_path.c_str(), published.size(),
+        had_previous ? ", on top of the previous published cache" : "");
+  }
+
   if (mismatches > 0) {
     std::fprintf(stderr,
                  "sweep_merge: merged sweep diverged from the "

@@ -51,6 +51,9 @@ int usage(const char* argv0) {
       "  --seed S             base RNG seed (default: 1070)\n"
       "  --threads T          1 = serial; otherwise the global pool\n"
       "  --cache FILE         warm-start/persist the score cache\n"
+      "  --cache-delta FILE   write only the cache entries this run added\n"
+      "                       (ship with the shard for sweep_merge\n"
+      "                       --merge-cache to fold into a published cache)\n"
       "  --out FILE           shard file to write (default: shard.json)\n",
       argv0);
   return 2;
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string out_path = "shard.json";
   std::string cache_path;
+  std::string cache_delta_path;
   bool samples_set = false, seed_set = false;
   eval::HarnessConfig config;
 
@@ -96,6 +100,8 @@ int main(int argc, char** argv) {
       config.threads = static_cast<unsigned>(parsed);
     } else if (arg == "--cache" && (v = value())) {
       cache_path = v;
+    } else if (arg == "--cache-delta" && (v = value())) {
+      cache_delta_path = v;
     } else if (arg == "--out" && (v = value())) {
       out_path = v;
     } else {
@@ -171,16 +177,31 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out_path.c_str());
 
+  eval::ScoreCache& cache = eval::ScoreCache::global();
   if (!cache_path.empty()) {
-    if (eval::ScoreCache::global().save(cache_path)) {
-      std::printf("saved score cache to %s (%zu entries, %zu hits / %zu "
+    if (cache.save(cache_path)) {
+      std::printf("saved score cache to %s (%zu entries, score layer "
+                  "%zu hits / %zu misses, build layer %zu hits / %zu "
                   "misses this run)\n",
-                  cache_path.c_str(), eval::ScoreCache::global().size(),
-                  eval::ScoreCache::global().hits(),
-                  eval::ScoreCache::global().misses());
+                  cache_path.c_str(), cache.size(), cache.hits(),
+                  cache.misses(), cache.builds().hits(),
+                  cache.builds().misses());
     } else {
       std::fprintf(stderr, "sweep_worker: could not save cache to %s\n",
                    cache_path.c_str());
+    }
+  }
+  if (!cache_delta_path.empty()) {
+    std::size_t delta_entries = 0;
+    if (cache.save_delta(cache_delta_path, eval::scoring_pipeline_hash(),
+                         &delta_entries)) {
+      std::printf("saved score-cache delta to %s (%zu entries added this "
+                  "run)\n",
+                  cache_delta_path.c_str(), delta_entries);
+    } else {
+      std::fprintf(stderr, "sweep_worker: could not save cache delta to "
+                   "%s\n",
+                   cache_delta_path.c_str());
     }
   }
   return 0;
