@@ -6,6 +6,7 @@
 #include "buildsim/cmakelite.hpp"
 #include "buildsim/makefile.hpp"
 #include "buildsim/toolchain.hpp"
+#include "buildsim/tucache.hpp"
 #include "support/strings.hpp"
 
 namespace pareval::buildsim {
@@ -36,8 +37,13 @@ Capabilities union_caps(const Capabilities& a, const Capabilities& b) {
 /// Executes planned compiler command lines against the repo.
 class CommandRunner {
  public:
-  CommandRunner(const vfs::Repo& repo, BuildResult& result)
-      : repo_(repo), result_(result) {}
+  CommandRunner(const vfs::Repo& repo, BuildResult& result,
+                TuCompileCache* tu_cache)
+      : repo_(repo), result_(result), tu_cache_(tu_cache) {}
+
+  /// Primary keys of the TU compiles performed, in command order — the
+  /// build's compile-plan digest (only collected when a cache is wired).
+  std::vector<std::uint64_t> take_tu_keys() { return std::move(tu_keys_); }
 
   /// Run one command line. Returns false when the build must stop.
   bool run(const std::string& line) {
@@ -93,7 +99,15 @@ class CommandRunner {
         compile_failed = true;
         continue;
       }
-      auto tu = execsim::compile_tu(repo_, input, inv.caps, inv.defines);
+      std::shared_ptr<minic::TranslationUnit> tu;
+      if (tu_cache_ != nullptr) {
+        std::uint64_t tu_key = 0;
+        tu = tu_cache_->compile(repo_, input, inv.caps, inv.defines,
+                                tool_key(inv.tool), &tu_key);
+        tu_keys_.push_back(tu_key);
+      } else {
+        tu = execsim::compile_tu(repo_, input, inv.caps, inv.defines);
+      }
       if (tu->diags.has_errors()) compile_failed = true;
       append(tu->diags);
       tus.push_back(std::move(tu));
@@ -143,12 +157,15 @@ class CommandRunner {
 
   const vfs::Repo& repo_;
   BuildResult& result_;
+  TuCompileCache* tu_cache_;
+  std::vector<std::uint64_t> tu_keys_;
   std::map<std::string, std::vector<std::shared_ptr<minic::TranslationUnit>>>
       objects_;
 };
 
 void build_with_make(const vfs::Repo& repo, const std::string& target,
-                     BuildResult& result) {
+                     BuildResult& result, TuCompileCache* tu_cache,
+                     std::vector<std::uint64_t>& tu_keys) {
   result.build_system = "make";
   DiagBag parse_diags;
   const auto mk = parse_makefile(repo.at("Makefile"), "Makefile",
@@ -175,13 +192,16 @@ void build_with_make(const vfs::Repo& repo, const std::string& target,
     return;
   }
 
-  CommandRunner runner(repo, result);
+  CommandRunner runner(repo, result, tu_cache);
   for (const auto& cmd : plan) {
-    if (!runner.run(cmd.line)) return;
+    if (!runner.run(cmd.line)) break;
   }
+  tu_keys = runner.take_tu_keys();
 }
 
-void build_with_cmake(const vfs::Repo& repo, BuildResult& result) {
+void build_with_cmake(const vfs::Repo& repo, BuildResult& result,
+                      TuCompileCache* tu_cache,
+                      std::vector<std::uint64_t>& tu_keys) {
   result.build_system = "cmake";
   result.log += "-- Configuring project\n";
   DiagBag cfg_diags;
@@ -197,7 +217,8 @@ void build_with_cmake(const vfs::Repo& repo, BuildResult& result) {
   }
   result.log += "-- Configuring done\n-- Generating done\n";
 
-  CommandRunner runner(repo, result);
+  CommandRunner runner(repo, result, tu_cache);
+  bool stopped = false;
   for (const auto& target : proj->targets) {
     DiagBag gen_diags;
     const auto cmds = generate_commands(*proj, target, gen_diags);
@@ -205,11 +226,16 @@ void build_with_cmake(const vfs::Repo& repo, BuildResult& result) {
       result.diags.add(d);
       result.log += d.render() + "\n";
     }
-    if (gen_diags.has_errors()) return;
+    if (gen_diags.has_errors()) break;
     for (const auto& cmd : cmds) {
-      if (!runner.run(cmd)) return;
+      if (!runner.run(cmd)) {
+        stopped = true;
+        break;
+      }
     }
+    if (stopped) break;
   }
+  tu_keys = runner.take_tu_keys();
 }
 
 }  // namespace
@@ -227,23 +253,41 @@ std::optional<minic::DiagCategory> BuildResult::sole_error_category() const {
   return category;
 }
 
-BuildResult build_repo(const vfs::Repo& repo, const std::string& make_target) {
+BuildResult build_repo(const vfs::Repo& repo, const std::string& make_target,
+                       TuCompileCache* tu_cache,
+                       std::optional<std::uint64_t> repo_hash) {
   BuildResult result;
+  std::uint64_t plan_key = 0;
+  if (tu_cache != nullptr) {
+    // A persisted failed plan reconstructs the whole BuildResult (failed
+    // builds carry no executable) — the entire build is skipped.
+    plan_key = build_plan_key(
+        repo_hash.has_value() ? *repo_hash : repo_content_hash(repo),
+        make_target);
+    if (tu_cache->lookup_failed_plan(plan_key, &result)) return result;
+  }
+  std::vector<std::uint64_t> tu_keys;
   if (repo.exists("CMakeLists.txt")) {
-    build_with_cmake(repo, result);
+    build_with_cmake(repo, result, tu_cache, tu_keys);
   } else if (repo.exists("Makefile")) {
-    build_with_make(repo, make_target, result);
+    build_with_make(repo, make_target, result, tu_cache, tu_keys);
   } else {
     result.diags.error(DiagCategory::MissingBuildTarget,
                        "no Makefile or CMakeLists.txt found in repository",
                        "");
     result.log += "error: no build system found\n";
+    if (tu_cache != nullptr) {
+      tu_cache->record_plan(plan_key, result, {});
+    }
     return result;
   }
   result.ok = !result.diags.has_errors() && result.exe.has_value() &&
               result.exe->ok();
   if (result.ok) {
     result.log += "build succeeded\n";
+  }
+  if (tu_cache != nullptr) {
+    tu_cache->record_plan(plan_key, result, std::move(tu_keys));
   }
   return result;
 }

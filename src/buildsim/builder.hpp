@@ -5,6 +5,7 @@
 // The rendered build log is what the error-classification pipeline
 // (word2vec + DBSCAN, §6.3) consumes.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -13,6 +14,8 @@
 #include "vfs/repo.hpp"
 
 namespace pareval::buildsim {
+
+class TuCompileCache;
 
 struct BuildResult {
   bool ok = false;
@@ -31,7 +34,19 @@ struct BuildResult {
 
 /// Build the repository. `make_target` selects a Makefile goal ("" =
 /// default). CMakeLists.txt takes precedence when both files exist.
+///
+/// With a TuCompileCache, every compiler invocation's TU compiles are
+/// memoized content-addressed (builds differing only in their build file
+/// share every TU), the build's compile-plan digest is recorded, and a
+/// build whose *failed* outcome the cache already holds (persisted from a
+/// previous process) is reconstructed without compiling at all. Cached and
+/// uncached builds are bit-identical. `repo_hash` (optional) is a
+/// precomputed repo_content_hash(repo): the scoring pipeline hands in the
+/// hash it just computed for the build-artifact key so the plan key does
+/// not re-hash the whole repo.
 BuildResult build_repo(const vfs::Repo& repo,
-                       const std::string& make_target = "");
+                       const std::string& make_target = "",
+                       TuCompileCache* tu_cache = nullptr,
+                       std::optional<std::uint64_t> repo_hash = std::nullopt);
 
 }  // namespace pareval::buildsim

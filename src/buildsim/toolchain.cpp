@@ -40,6 +40,16 @@ std::vector<std::string> shell_split(const std::string& line) {
   return out;
 }
 
+const char* tool_key(Tool t) {
+  switch (t) {
+    case Tool::Nvcc: return "nvcc";
+    case Tool::Clang: return "clang";
+    case Tool::Gcc: return "gcc";
+    case Tool::Unknown: return "unknown";
+  }
+  return "unknown";
+}
+
 Tool classify_tool(const std::string& word) {
   const std::string base = vfs::basename(word);
   if (base == "nvcc") return Tool::Nvcc;

@@ -33,6 +33,12 @@ struct Invocation {
   minic::Capabilities caps;        // derived from tool + flags
 };
 
+/// Stable machine key of a tool ("nvcc" / "clang" / "gcc" / "unknown") —
+/// the toolchain-id component of the TU compile cache key. Deliberately
+/// the classified tool, not the spelled command: "clang++-19" and
+/// "clang++" drive the same simulated compiler.
+const char* tool_key(Tool t);
+
 /// Split a shell-ish command line into tokens (quotes honoured, no
 /// globbing or substitution — recipes have been variable-expanded already).
 std::vector<std::string> shell_split(const std::string& line);

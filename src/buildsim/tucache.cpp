@@ -1,0 +1,722 @@
+#include "buildsim/tucache.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "execsim/driver.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace pareval::buildsim {
+
+using minic::Capabilities;
+using minic::Diag;
+using minic::DiagBag;
+using minic::Severity;
+using minic::TranslationUnit;
+using support::Json;
+
+namespace {
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return support::SplitMix64(h ^ v).next();
+}
+
+long long caps_to_bits(const Capabilities& caps) {
+  return (caps.cuda ? 1 : 0) | (caps.openmp ? 2 : 0) |
+         (caps.offload ? 4 : 0) | (caps.kokkos ? 8 : 0) |
+         (caps.curand ? 16 : 0);
+}
+
+Capabilities caps_from_bits(long long bits) {
+  Capabilities caps;
+  caps.cuda = (bits & 1) != 0;
+  caps.openmp = (bits & 2) != 0;
+  caps.offload = (bits & 4) != 0;
+  caps.kokkos = (bits & 8) != 0;
+  caps.curand = (bits & 16) != 0;
+  return caps;
+}
+
+Json diags_to_json(const DiagBag& bag) {
+  Json arr = Json::array();
+  for (const Diag& d : bag.all()) {
+    Json j = Json::object();
+    j.set("category", minic::diag_category_key(d.category));
+    j.set("severity", d.severity == Severity::Error ? "error" : "warning");
+    j.set("message", d.message);
+    if (!d.file.empty()) j.set("file", d.file);
+    if (d.line != 0) j.set("line", d.line);
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+bool diags_from_json(const Json& arr, DiagBag* out) {
+  if (!arr.is_array()) return false;
+  for (const Json& j : arr.items()) {
+    Diag d;
+    if (!j.is_object() ||
+        !minic::diag_category_from_key(j["category"].as_string(),
+                                       &d.category)) {
+      return false;
+    }
+    const std::string& sev = j["severity"].as_string();
+    if (sev == "error") {
+      d.severity = Severity::Error;
+    } else if (sev == "warning") {
+      d.severity = Severity::Warning;
+    } else {
+      return false;
+    }
+    if (!j["message"].is_string()) return false;
+    d.message = j["message"].as_string();
+    d.file = j["file"].as_string();
+    d.line = static_cast<int>(j["line"].as_int());
+    out->add(std::move(d));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t repo_content_hash(const vfs::Repo& repo) {
+  // Fold each file's (path, content) hash pair through SplitMix64 so that
+  // "ab"+"c" vs "a"+"bc" and file-boundary shuffles cannot collide
+  // structurally. (64-bit accidental collisions are ~1e-13 at 1e6 repos.)
+  // The exact algorithm is pinned by the golden scoring-pipeline-hash test
+  // (eval::repo_content_hash forwards here).
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, for an asymmetric start
+  repo.for_each_file([&h](const std::string& path,
+                          const std::string& content) {
+    h = fold(h, support::stable_hash(path));
+    h = fold(h, support::stable_hash(content));
+  });
+  return h;
+}
+
+std::uint64_t tu_primary_key(const std::string& source,
+                             const std::string& source_content,
+                             const Capabilities& caps,
+                             const TuDefines& defines,
+                             std::string_view toolchain_id) {
+  std::uint64_t h = support::stable_hash(std::string("pareval-tu-key-v1"));
+  h = fold(h, support::stable_hash(source));
+  h = fold(h, support::stable_hash(source_content));
+  h = fold(h, static_cast<std::uint64_t>(caps_to_bits(caps)));
+  // Length-delimit the define list so (A,B)+(C) cannot alias (A)+(B,C).
+  h = fold(h, static_cast<std::uint64_t>(defines.size()));
+  for (const auto& [name, value] : defines) {
+    h = fold(h, support::stable_hash(name));
+    h = fold(h, support::stable_hash(value));
+  }
+  h = fold(h, support::stable_hash(
+                  std::span<const char>(toolchain_id.data(),
+                                        toolchain_id.size())));
+  return h;
+}
+
+std::uint64_t build_plan_key(std::uint64_t repo_hash,
+                             const std::string& make_target) {
+  std::uint64_t h =
+      fold(support::stable_hash(std::string("pareval-tu-plan-v1")),
+           repo_hash);
+  return fold(h, support::stable_hash(make_target));
+}
+
+std::uint64_t build_plan_key(const vfs::Repo& repo,
+                             const std::string& make_target) {
+  return build_plan_key(repo_content_hash(repo), make_target);
+}
+
+// --- Impl -------------------------------------------------------------------
+
+struct TuCompileCache::Impl {
+  static constexpr std::size_t kShards = 16;
+
+  struct Dep {
+    std::string path;
+    std::uint64_t hash = 0;
+
+    bool operator==(const Dep&) const = default;
+  };
+
+  /// The repo input set one cached compile depends on. Immutable once
+  /// built and shared by pointer, so lookups can snapshot candidates
+  /// under the shard lock and validate them (content hashing) outside it.
+  struct Manifest {
+    std::vector<Dep> deps;             // resolved repo files, include order
+    std::vector<std::string> missing;  // probed-but-absent repo paths
+
+    bool operator==(const Manifest&) const = default;
+  };
+
+  struct Entry {
+    std::shared_ptr<const Manifest> manifest;
+    /// The live value. nullptr for an outcome-only entry loaded from a
+    /// persisted file: its diags/system_headers below are the payload, and
+    /// a failed one reconstructs a TU on demand (a successful one cannot —
+    /// the AST is not persisted — so its compile re-runs and upgrades it).
+    std::shared_ptr<TranslationUnit> tu;
+    bool ok = true;
+    DiagBag diags;
+    std::vector<std::string> system_headers;
+    std::uint64_t last_used = 0;
+    bool fresh = false;  // added by a compile here (not merged via load)
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> groups;
+    std::size_t count = 0;  // entries across all groups
+  };
+
+  struct Plan {
+    bool ok = false;
+    std::string build_system;
+    Capabilities caps;
+    std::string log;
+    DiagBag diags;
+    std::vector<std::uint64_t> tus;  // compile-plan digest, command order
+    std::uint64_t last_used = 0;
+    bool fresh = false;
+  };
+
+  std::size_t shard_capacity() const noexcept {
+    const std::size_t cap = capacity.load(std::memory_order_relaxed);
+    return std::max<std::size_t>(1, cap / kShards);
+  }
+
+  std::uint64_t tick() noexcept {
+    return clock.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Does `manifest` describe this repo's exact input set? Runs OUTSIDE
+  /// the shard lock (manifests are immutable and pointer-shared);
+  /// contents are hashed by reference, never copied, and `hash_memo`
+  /// (per-lookup, keyed by views into the candidate manifests) dedupes
+  /// hashing of files several candidates share.
+  static bool manifest_valid(
+      const vfs::Repo& repo, const Manifest& manifest,
+      std::unordered_map<std::string_view, std::uint64_t>& hash_memo) {
+    for (const Dep& dep : manifest.deps) {
+      const auto it = hash_memo.find(dep.path);
+      std::uint64_t h = 0;
+      if (it != hash_memo.end()) {
+        h = it->second;
+      } else {
+        if (!repo.exists(dep.path)) return false;
+        h = support::stable_hash(repo.at(dep.path));
+        hash_memo.emplace(dep.path, h);
+      }
+      if (h != dep.hash) return false;
+    }
+    for (const std::string& path : manifest.missing) {
+      if (repo.exists(path)) return false;
+    }
+    return true;
+  }
+
+  /// Evict least-recently-used plans past the capacity bound. Caller
+  /// holds plans_mu.
+  void bound_plans_locked() {
+    const std::size_t bound = std::max<std::size_t>(
+        kShards, capacity.load(std::memory_order_relaxed));
+    while (plans.size() > bound) {
+      auto victim = plans.begin();
+      for (auto it = std::next(victim); it != plans.end(); ++it) {
+        if (it->second.last_used < victim->second.last_used) victim = it;
+      }
+      plans.erase(victim);
+    }
+  }
+
+  static void evict_locked(Shard& shard, std::size_t bound) {
+    while (shard.count > bound) {
+      auto victim_group = shard.groups.end();
+      std::size_t victim_index = 0;
+      for (auto it = shard.groups.begin(); it != shard.groups.end(); ++it) {
+        for (std::size_t i = 0; i < it->second.size(); ++i) {
+          if (victim_group == shard.groups.end() ||
+              it->second[i].last_used <
+                  victim_group->second[victim_index].last_used) {
+            victim_group = it;
+            victim_index = i;
+          }
+        }
+      }
+      if (victim_group == shard.groups.end()) return;
+      victim_group->second.erase(victim_group->second.begin() +
+                                 static_cast<std::ptrdiff_t>(victim_index));
+      if (victim_group->second.empty()) shard.groups.erase(victim_group);
+      --shard.count;
+    }
+  }
+
+  std::array<Shard, kShards> shards;
+  mutable std::mutex plans_mu;
+  std::unordered_map<std::uint64_t, Plan> plans;
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> persisted_hits{0};
+  std::atomic<std::size_t> misses{0};
+  std::atomic<std::size_t> plan_hits{0};
+  std::atomic<std::uint64_t> clock{0};
+  std::atomic<std::size_t> capacity{1 << 14};
+};
+
+TuCompileCache::TuCompileCache() : impl_(new Impl) {}
+TuCompileCache::~TuCompileCache() = default;
+
+std::shared_ptr<TranslationUnit> TuCompileCache::compile(
+    const vfs::Repo& repo, const std::string& source,
+    const Capabilities& caps, const TuDefines& defines,
+    std::string_view toolchain_id, std::uint64_t* key_out) {
+  if (!repo.exists(source)) {
+    // The builder checks existence before compiling; keep the degenerate
+    // path uncached rather than keying on an absent file.
+    if (key_out != nullptr) *key_out = 0;
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    return execsim::compile_tu(repo, source, caps, defines);
+  }
+  const std::uint64_t key =
+      tu_primary_key(source, repo.at(source), caps, defines, toolchain_id);
+  if (key_out != nullptr) *key_out = key;
+  Impl::Shard& shard = impl_->shards[key % Impl::kShards];
+
+  // Phase 1: snapshot the candidate manifests under the lock (cheap
+  // pointer copies — manifests are immutable and shared).
+  std::vector<std::shared_ptr<const Impl::Manifest>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto git = shard.groups.find(key);
+    if (git != shard.groups.end()) {
+      candidates.reserve(git->second.size());
+      for (const Impl::Entry& entry : git->second) {
+        candidates.push_back(entry.manifest);
+      }
+    }
+  }
+
+  // Phase 2: validate outside the lock — content hashing must not
+  // serialize concurrent builds behind a shard mutex. The memo dedupes
+  // hashing of files several candidates share.
+  std::shared_ptr<const Impl::Manifest> valid;
+  {
+    std::unordered_map<std::string_view, std::uint64_t> hash_memo;
+    for (const auto& manifest : candidates) {
+      if (Impl::manifest_valid(repo, *manifest, hash_memo)) {
+        valid = manifest;
+        break;
+      }
+    }
+  }
+
+  // Phase 3: resolve the validated entry (it may have been evicted while
+  // unlocked — then it is simply a miss).
+  if (valid != nullptr) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto git = shard.groups.find(key);
+    Impl::Entry* entry = nullptr;
+    if (git != shard.groups.end()) {
+      for (Impl::Entry& e : git->second) {
+        if (e.manifest == valid) {
+          entry = &e;
+          break;
+        }
+      }
+    }
+    if (entry != nullptr) {
+      if (entry->tu != nullptr) {
+        entry->last_used = impl_->tick();
+        impl_->hits.fetch_add(1, std::memory_order_relaxed);
+        return entry->tu;
+      }
+      if (!entry->ok) {
+        // A persisted *failed* compile: the build stops on its
+        // diagnostics before ever linking, so a TU carrying exactly the
+        // persisted diagnostics is bit-identical downstream — no
+        // recompile needed.
+        auto tu = std::make_shared<TranslationUnit>();
+        tu->path = source;
+        tu->diags = entry->diags;
+        tu->system_headers = entry->system_headers;
+        tu->resolved_files.reserve(entry->manifest->deps.size());
+        for (const Impl::Dep& dep : entry->manifest->deps) {
+          tu->resolved_files.push_back(dep.path);
+        }
+        tu->missing_probes = entry->manifest->missing;
+        entry->tu = tu;  // upgrade: later lookups are plain hits
+        entry->last_used = impl_->tick();
+        impl_->persisted_hits.fetch_add(1, std::memory_order_relaxed);
+        return tu;
+      }
+      // A persisted *successful* compile: the AST is a live program and
+      // is not persisted, so fall through, recompile, and upgrade the
+      // entry in place.
+    }
+  }
+
+  // Compile outside the lock: two threads racing on one key just perform
+  // the same pure compile twice; the second insert below collapses them.
+  auto tu = execsim::compile_tu(repo, source, caps, defines);
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+
+  auto manifest = std::make_shared<Impl::Manifest>();
+  manifest->deps.reserve(tu->resolved_files.size());
+  for (const std::string& path : tu->resolved_files) {
+    // Every resolved file was just read by the preprocessor, so it exists.
+    manifest->deps.push_back({path, support::stable_hash(repo.at(path))});
+  }
+  manifest->missing = tu->missing_probes;
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& group = shard.groups[key];
+  for (Impl::Entry& existing : group) {
+    if (*existing.manifest == *manifest) {
+      // Same manifest (racing compile, or the upgrade of an outcome-only
+      // entry): install the live TU, keep the entry's provenance flag —
+      // a loaded entry's outcome is already persisted, so it is not part
+      // of this run's delta.
+      existing.tu = tu;
+      existing.last_used = impl_->tick();
+      return tu;
+    }
+  }
+  Impl::Entry entry;
+  entry.manifest = std::move(manifest);
+  entry.tu = tu;
+  entry.fresh = true;
+  entry.last_used = impl_->tick();
+  group.push_back(std::move(entry));
+  ++shard.count;
+  Impl::evict_locked(shard, impl_->shard_capacity());
+  return tu;
+}
+
+bool TuCompileCache::lookup_failed_plan(std::uint64_t plan_key,
+                                        BuildResult* out) {
+  std::lock_guard<std::mutex> lock(impl_->plans_mu);
+  const auto it = impl_->plans.find(plan_key);
+  if (it == impl_->plans.end()) return false;
+  Impl::Plan& plan = it->second;
+  plan.last_used = impl_->tick();
+  if (plan.ok) return false;  // live executable required: rebuild
+  BuildResult result;
+  result.ok = false;
+  result.diags = plan.diags;
+  result.log = plan.log;
+  result.caps = plan.caps;
+  result.build_system = plan.build_system;
+  *out = std::move(result);
+  impl_->plan_hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TuCompileCache::record_plan(std::uint64_t plan_key,
+                                 const BuildResult& result,
+                                 std::vector<std::uint64_t> tu_keys) {
+  if (!result.ok && result.exe.has_value()) {
+    // A multi-target build can fail *after* linking an earlier target's
+    // executable. Reconstructing it from a plan would drop that live
+    // executable and break build_repo's cold/warm bit-identity, so such
+    // builds are never recorded — they just rebuild (their TU compiles
+    // still dedupe).
+    return;
+  }
+  std::lock_guard<std::mutex> lock(impl_->plans_mu);
+  const auto it = impl_->plans.find(plan_key);
+  if (it != impl_->plans.end()) {
+    // Builds are pure: a re-recorded plan is identical, so keep the
+    // existing entry (and its delta provenance) and just refresh it.
+    it->second.last_used = impl_->tick();
+    return;
+  }
+  Impl::Plan plan;
+  plan.ok = result.ok;
+  plan.build_system = result.build_system;
+  plan.caps = result.caps;
+  plan.log = result.log;
+  plan.diags = result.diags;
+  plan.tus = std::move(tu_keys);
+  plan.fresh = true;
+  plan.last_used = impl_->tick();
+  impl_->plans.emplace(plan_key, std::move(plan));
+  impl_->bound_plans_locked();
+}
+
+std::size_t TuCompileCache::hits() const noexcept {
+  return impl_->hits.load();
+}
+std::size_t TuCompileCache::persisted_hits() const noexcept {
+  return impl_->persisted_hits.load();
+}
+std::size_t TuCompileCache::misses() const noexcept {
+  return impl_->misses.load();
+}
+std::size_t TuCompileCache::lookups() const noexcept {
+  return hits() + persisted_hits() + misses();
+}
+std::size_t TuCompileCache::plan_hits() const noexcept {
+  return impl_->plan_hits.load();
+}
+
+std::size_t TuCompileCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.count;
+  }
+  return n;
+}
+
+std::size_t TuCompileCache::plan_count() const {
+  std::lock_guard<std::mutex> lock(impl_->plans_mu);
+  return impl_->plans.size();
+}
+
+void TuCompileCache::clear() {
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.groups.clear();
+    shard.count = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->plans_mu);
+    impl_->plans.clear();
+  }
+  impl_->hits.store(0);
+  impl_->persisted_hits.store(0);
+  impl_->misses.store(0);
+  impl_->plan_hits.store(0);
+}
+
+void TuCompileCache::set_capacity(std::size_t max_entries) {
+  impl_->capacity.store(std::max(max_entries, Impl::kShards),
+                        std::memory_order_relaxed);
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Impl::evict_locked(shard, impl_->shard_capacity());
+  }
+  std::lock_guard<std::mutex> lock(impl_->plans_mu);
+  impl_->bound_plans_locked();
+}
+
+// --- persistence ------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kTuCacheFormat = "pareval-tu-cache-v1";
+
+}  // namespace
+
+bool TuCompileCache::save(const std::string& path,
+                          std::uint64_t version) const {
+  return save_impl(path, version, /*fresh_only=*/false, nullptr);
+}
+
+bool TuCompileCache::save_delta(const std::string& path,
+                                std::uint64_t version,
+                                std::size_t* entries_written) const {
+  return save_impl(path, version, true, entries_written);
+}
+
+bool TuCompileCache::save_impl(const std::string& path,
+                               std::uint64_t version, bool fresh_only,
+                               std::size_t* entries_written) const {
+  struct Flat {
+    std::uint64_t key = 0;
+    std::string order;  // manifest tiebreaker for entries sharing a key
+    Json json;
+  };
+  std::vector<Flat> tus;
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, group] : shard.groups) {
+      for (const Impl::Entry& entry : group) {
+        if (fresh_only && !entry.fresh) continue;
+        Json j = Json::object();
+        j.set("key", support::u64_to_hex(key));
+        const bool ok =
+            entry.tu != nullptr ? !entry.tu->diags.has_errors() : entry.ok;
+        j.set("ok", ok);
+        Json deps = Json::array();
+        std::string order;
+        for (const Impl::Dep& dep : entry.manifest->deps) {
+          Json d = Json::object();
+          d.set("path", dep.path);
+          d.set("hash", support::u64_to_hex(dep.hash));
+          deps.push_back(std::move(d));
+          order += dep.path + "\x01" + support::u64_to_hex(dep.hash) +
+                   "\x01";
+        }
+        j.set("deps", std::move(deps));
+        Json missing = Json::array();
+        for (const std::string& m : entry.manifest->missing) {
+          missing.push_back(m);
+          order += "\x02" + m;
+        }
+        j.set("missing", std::move(missing));
+        Json headers = Json::array();
+        const auto& system_headers = entry.tu != nullptr
+                                         ? entry.tu->system_headers
+                                         : entry.system_headers;
+        for (const std::string& h : system_headers) headers.push_back(h);
+        j.set("system_headers", std::move(headers));
+        j.set("diags", diags_to_json(entry.tu != nullptr ? entry.tu->diags
+                                                         : entry.diags));
+        tus.push_back({key, std::move(order), std::move(j)});
+      }
+    }
+  }
+  std::sort(tus.begin(), tus.end(), [](const Flat& a, const Flat& b) {
+    return a.key != b.key ? a.key < b.key : a.order < b.order;
+  });
+
+  std::vector<std::pair<std::uint64_t, Json>> plans;
+  {
+    std::lock_guard<std::mutex> lock(impl_->plans_mu);
+    for (const auto& [key, plan] : impl_->plans) {
+      if (fresh_only && !plan.fresh) continue;
+      Json j = Json::object();
+      j.set("key", support::u64_to_hex(key));
+      j.set("ok", plan.ok);
+      j.set("build_system", plan.build_system);
+      j.set("caps", caps_to_bits(plan.caps));
+      j.set("log", plan.log);
+      Json keys = Json::array();
+      for (const std::uint64_t k : plan.tus) {
+        keys.push_back(support::u64_to_hex(k));
+      }
+      j.set("tus", std::move(keys));
+      j.set("diags", diags_to_json(plan.diags));
+      plans.emplace_back(key, std::move(j));
+    }
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  if (entries_written != nullptr) {
+    *entries_written = tus.size() + plans.size();
+  }
+
+  Json root = Json::object();
+  root.set("format", kTuCacheFormat);
+  root.set("pipeline", support::u64_to_hex(version));
+  Json tus_json = Json::array();
+  for (auto& f : tus) tus_json.push_back(std::move(f.json));
+  root.set("tus", std::move(tus_json));
+  Json plans_json = Json::array();
+  for (auto& [key, j] : plans) plans_json.push_back(std::move(j));
+  root.set("plans", std::move(plans_json));
+
+  return support::atomic_write_file(path, root.dump() + '\n');
+}
+
+bool TuCompileCache::load(const std::string& path, std::uint64_t version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto root = Json::parse(buf.str());
+  if (!root || (*root)["format"].as_string() != kTuCacheFormat) {
+    return false;  // missing, malformed, or an unknown cache format
+  }
+  if ((*root)["pipeline"].as_string() != support::u64_to_hex(version)) {
+    return false;  // stale: written by a different scoring pipeline
+  }
+  for (const Json& j : (*root)["tus"].items()) {
+    std::uint64_t key = 0;
+    if (!support::u64_from_hex(j["key"].as_string(), &key)) continue;
+    if (!j["ok"].is_bool()) continue;
+    Impl::Entry entry;
+    entry.ok = j["ok"].as_bool();
+    auto manifest = std::make_shared<Impl::Manifest>();
+    bool bad = false;
+    for (const Json& d : j["deps"].items()) {
+      std::uint64_t hash = 0;
+      if (!d["path"].is_string() ||
+          !support::u64_from_hex(d["hash"].as_string(), &hash)) {
+        bad = true;
+        break;
+      }
+      manifest->deps.push_back({d["path"].as_string(), hash});
+    }
+    if (bad) continue;
+    for (const Json& m : j["missing"].items()) {
+      if (!m.is_string()) {
+        bad = true;
+        break;
+      }
+      manifest->missing.push_back(m.as_string());
+    }
+    if (bad) continue;
+    for (const Json& h : j["system_headers"].items()) {
+      if (!h.is_string()) {
+        bad = true;
+        break;
+      }
+      entry.system_headers.push_back(h.as_string());
+    }
+    if (bad || !diags_from_json(j["diags"], &entry.diags)) continue;
+    entry.manifest = std::move(manifest);
+    entry.fresh = false;
+    entry.last_used = impl_->tick();
+
+    Impl::Shard& shard = impl_->shards[key % Impl::kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& group = shard.groups[key];
+    bool exists = false;
+    for (const Impl::Entry& existing : group) {
+      if (*existing.manifest == *entry.manifest) {
+        exists = true;  // a live (or previously loaded) entry wins
+        break;
+      }
+    }
+    if (exists) continue;
+    group.push_back(std::move(entry));
+    ++shard.count;
+    Impl::evict_locked(shard, impl_->shard_capacity());
+  }
+  for (const Json& j : (*root)["plans"].items()) {
+    std::uint64_t key = 0;
+    if (!support::u64_from_hex(j["key"].as_string(), &key)) continue;
+    if (!j["ok"].is_bool() || !j["build_system"].is_string() ||
+        !j["caps"].is_number() || !j["log"].is_string()) {
+      continue;
+    }
+    Impl::Plan plan;
+    plan.ok = j["ok"].as_bool();
+    plan.build_system = j["build_system"].as_string();
+    plan.caps = caps_from_bits(j["caps"].as_int());
+    plan.log = j["log"].as_string();
+    bool bad = false;
+    for (const Json& k : j["tus"].items()) {
+      std::uint64_t tu_key = 0;
+      if (!support::u64_from_hex(k.as_string(), &tu_key)) {
+        bad = true;
+        break;
+      }
+      plan.tus.push_back(tu_key);
+    }
+    if (bad || !diags_from_json(j["diags"], &plan.diags)) continue;
+    plan.fresh = false;
+    plan.last_used = impl_->tick();
+    std::lock_guard<std::mutex> lock(impl_->plans_mu);
+    impl_->plans.emplace(key, std::move(plan));  // existing entry wins
+  }
+  {
+    // Loaded plans respect the capacity bound like recorded ones.
+    std::lock_guard<std::mutex> lock(impl_->plans_mu);
+    impl_->bound_plans_locked();
+  }
+  return true;
+}
+
+}  // namespace pareval::buildsim

@@ -1,0 +1,160 @@
+#pragma once
+// Content-addressed TU compile cache: ccache/sccache for the simulated
+// toolchain, sitting *under* the build-artifact layer. The build layer is
+// keyed by whole-repo content, so two candidate artifacts that differ only
+// in their build file (the dominant build-failure defect class) recompile
+// every identical translation unit; this cache memoizes execsim::compile_tu
+// itself, so those builds share every TU compile.
+//
+// The key is exact, not heuristic: the preprocessor reports the repo files
+// it actually opened (TranslationUnit::resolved_files) and the repo paths
+// it probed but found absent (::missing_probes), so an entry is valid for a
+// repo iff the main source, capabilities, defines, and toolchain match AND
+// every resolved dependency has the same content AND every missing probe is
+// still absent. Editing a transitively-included header therefore
+// invalidates exactly the TUs that include it; creating a file a quoted
+// include previously fell past invalidates exactly the TUs that probed it.
+//
+// The cache is also persistable ("pareval-tu-cache-v1", via support/json):
+// TU *outcomes* (diagnostics, system headers, dependency manifest — not the
+// AST, which is a live program) plus a per-build compile-plan digest keyed
+// by (repo content, make target). A failed build carries no executable, so
+// its outcome is fully serializable: on a warm file start, build_repo
+// reconstructs the whole failed BuildResult from the persisted plan without
+// compiling anything, and failed-TU entries reconstruct their
+// TranslationUnit from diagnostics alone. Successful builds must re-link a
+// live executable, so their plans only record the digest; their TU compiles
+// re-run but dedupe through the in-memory layer.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "buildsim/builder.hpp"
+#include "minic/ast.hpp"
+#include "vfs/repo.hpp"
+
+namespace pareval::buildsim {
+
+/// Predefined macros of one compiler invocation (-DNAME=VALUE, in command
+/// order — order is semantic: a later define wins in the preprocessor).
+using TuDefines = std::vector<std::pair<std::string, std::string>>;
+
+/// Stable 64-bit content hash of a repository (paths + contents,
+/// length-delimited by construction: each (path, content) pair is folded
+/// through SplitMix64). eval::repo_content_hash forwards here; the
+/// algorithm is pinned by the golden scoring-pipeline-hash test.
+std::uint64_t repo_content_hash(const vfs::Repo& repo);
+
+/// Primary TU cache key: (source path, source content hash, capabilities,
+/// defines, toolchain id). The header dependencies cannot be part of the
+/// primary key — they are only known after preprocessing — so entries
+/// under one primary key carry a dependency manifest that is re-validated
+/// against the repo on every lookup (the ccache "manifest" scheme, exact
+/// here because the toolchain is simulated and pure).
+std::uint64_t tu_primary_key(const std::string& source,
+                             const std::string& source_content,
+                             const minic::Capabilities& caps,
+                             const TuDefines& defines,
+                             std::string_view toolchain_id);
+
+/// Key of one whole-build compile plan: (repo content hash, make target) —
+/// everything build_repo's outcome depends on. The repo-hash overload is
+/// for callers that already computed repo_content_hash (the scoring
+/// pipeline computes it for the build-artifact key just before building —
+/// hashing the whole repo twice per build would double the hot cold-sweep
+/// hashing cost).
+std::uint64_t build_plan_key(std::uint64_t repo_hash,
+                             const std::string& make_target);
+std::uint64_t build_plan_key(const vfs::Repo& repo,
+                             const std::string& make_target);
+
+/// Thread-safe, sharded, LRU-bounded memoization of execsim::compile_tu,
+/// plus the persisted per-build plan digests described above. Values are
+/// shared TranslationUnits: immutable after sema, so concurrent builds
+/// link the same TU objects (exactly as BuildArtifactCache already shares
+/// whole BuildResults).
+class TuCompileCache {
+ public:
+  TuCompileCache();
+  ~TuCompileCache();
+  TuCompileCache(const TuCompileCache&) = delete;
+  TuCompileCache& operator=(const TuCompileCache&) = delete;
+
+  /// compile_tu with memoization. `key_out` (optional) receives the
+  /// primary key, which is what build plans record as their digest.
+  /// In-memory hits share the originally compiled TU (full fidelity). A
+  /// persisted-hit reconstruction of a *failed* TU carries the identical
+  /// diagnostics, resolved files, and system headers — everything a
+  /// failed build reads before stopping — but NOT the partially-parsed
+  /// AST (functions/globals are empty); downstream BuildResults are
+  /// bit-identical because a failed TU always stops the build before
+  /// link. Callers inspecting the AST of failed TUs should not rely on
+  /// it surviving a warm file start.
+  std::shared_ptr<minic::TranslationUnit> compile(
+      const vfs::Repo& repo, const std::string& source,
+      const minic::Capabilities& caps, const TuDefines& defines,
+      std::string_view toolchain_id, std::uint64_t* key_out = nullptr);
+
+  /// When this cache holds the persisted outcome of a build of exactly
+  /// this plan AND that build failed, reconstruct its BuildResult (failed
+  /// builds have no executable, so the outcome round-trips completely)
+  /// and return true: the caller skips the entire build. Successful plans
+  /// return false — their executables are live programs that must be
+  /// re-linked.
+  bool lookup_failed_plan(std::uint64_t plan_key, BuildResult* out);
+
+  /// Record a finished build's outcome and compile-plan digest (the
+  /// primary keys of the TU compiles its commands performed, in order).
+  /// The digest is provenance: it is persisted but not yet consumed by
+  /// any lookup — it documents which TU entries a plan depends on and is
+  /// the hook for the ROADMAP follow-on that would persist successful
+  /// compiles (AST serialization) keyed by exactly these entries.
+  void record_plan(std::uint64_t plan_key, const BuildResult& result,
+                   std::vector<std::uint64_t> tu_keys);
+
+  /// Counters. misses() counts TU compiles actually performed;
+  /// hits() live in-memory hits; persisted_hits() failed-TU
+  /// reconstructions from a loaded file; plan_hits() whole failed builds
+  /// reconstructed without compiling. lookups() = hits + persisted_hits
+  /// + misses, so the dedupe ratio is (lookups - misses) / lookups.
+  std::size_t hits() const noexcept;
+  std::size_t persisted_hits() const noexcept;
+  std::size_t misses() const noexcept;
+  std::size_t lookups() const noexcept;
+  std::size_t plan_hits() const noexcept;
+
+  /// TU entry count / recorded plan count.
+  std::size_t size() const;
+  std::size_t plan_count() const;
+  void clear();
+  /// Bound the TU entry count (minimum one per shard) and the plan count.
+  void set_capacity(std::size_t max_entries);
+
+  /// Persist every TU outcome + plan digest as "pareval-tu-cache-v1",
+  /// tagged with `version` (pass the suite's scoring_pipeline_hash, like
+  /// ScoreCache). Atomic temp-file + rename, same as ScoreCache::save.
+  bool save(const std::string& path, std::uint64_t version) const;
+  /// Like save, but only entries/plans this cache added since it was
+  /// constructed or loaded — the worker-side delta for the fan-in job.
+  bool save_delta(const std::string& path, std::uint64_t version,
+                  std::size_t* entries_written = nullptr) const;
+  /// Merge a previously saved file (or delta). Returns false — loading
+  /// nothing — on a missing/malformed file, an unknown format tag, or a
+  /// `version` mismatch (stale cache written by a different pipeline).
+  bool load(const std::string& path, std::uint64_t version);
+
+ private:
+  struct Impl;
+
+  bool save_impl(const std::string& path, std::uint64_t version,
+                 bool fresh_only, std::size_t* entries_written) const;
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pareval::buildsim

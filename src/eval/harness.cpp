@@ -1,7 +1,5 @@
 #include "eval/harness.hpp"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -14,6 +12,7 @@
 #include <utility>
 
 #include "buildsim/builder.hpp"
+#include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/par.hpp"
 #include "support/rng.hpp"
@@ -127,10 +126,13 @@ StagedScore ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
   }
   // Score outside the shard lock: builds are the expensive part, and two
   // threads racing on the same key just compute the same pure result
-  // twice. The pipeline consults the lower (build-artifact) layer, so a
+  // twice. The pipeline consults the middle (build-artifact) layer, so a
   // score-layer miss on an already-built artifact skips straight to the
-  // Execute/Validate stages.
-  StagedScore result = ScoringPipeline(&builds_).score(app, repo, target);
+  // Execute/Validate stages; a build-layer miss still dedupes its TU
+  // compiles through the lower (TU) layer.
+  StagedScore result =
+      ScoringPipeline(&builds_, tu_layer_enabled() ? &tus_ : nullptr)
+          .score(app, repo, target);
   misses_.fetch_add(1, std::memory_order_relaxed);
   insert_entry(key, result, /*fresh=*/true);
   return result;
@@ -176,6 +178,7 @@ void ScoreCache::clear() {
     shard.entries.clear();
   }
   builds_.clear();
+  tus_.clear();
   hits_.store(0);
   misses_.store(0);
 }
@@ -221,33 +224,10 @@ bool ScoreCache::save_entries(const std::string& path,
   }
   root.set("entries", std::move(entries));
 
-  // Atomic publish: write a temp file in the same directory, then rename()
-  // over the target. Concurrent savers sharing one cache path — worker
-  // *processes* (pid) or in-process caches/threads (counter) — race
-  // benignly (last rename wins with a complete file) and a reader can
-  // never observe a torn write.
-  static std::atomic<unsigned> save_counter{0};
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
-      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << root.dump() << '\n';
-    // Close before the rename and re-check: the final flush can fail
-    // (ENOSPC) after every operator<< "succeeded" into the buffer, and a
-    // truncated temp must never be published.
-    out.close();
-    if (out.fail()) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  // Atomic publish (temp + rename): concurrent savers sharing one cache
+  // path — worker processes or in-process caches/threads — race benignly
+  // and a reader can never observe a torn write.
+  return support::atomic_write_file(path, root.dump() + '\n');
 }
 
 bool ScoreCache::load(const std::string& path, std::uint64_t version) {

@@ -15,6 +15,7 @@
 
 #include "agents/techniques.hpp"
 #include "apps/app.hpp"
+#include "buildsim/tucache.hpp"
 #include "eval/pipeline.hpp"
 #include "eval/spec.hpp"
 #include "eval/suite.hpp"
@@ -133,28 +134,38 @@ std::uint64_t scoring_pipeline_hash(const Suite& suite);
 /// when scoring semantics actually change.
 std::uint64_t scoring_pipeline_hash();
 
-/// Two-layer memoization of the staged scoring pipeline, sharded to keep
+/// Three-layer memoization of the staged scoring pipeline, sharded to keep
 /// the harness's parallel samples off one lock.
 ///
 /// Upper (score) layer: full StagedScores keyed by (app name, repo content
 /// hash, target model). Code-only re-scores and repeated golden builds of
 /// identical artifacts hit here instead of re-running any stage.
 ///
-/// Lower (build-artifact) layer: a BuildArtifactCache keyed by (app, repo
+/// Middle (build-artifact) layer: a BuildArtifactCache keyed by (app, repo
 /// content hash) — no target — consulted by the pipeline on a score-layer
 /// miss, so scoring one artifact under several targets (or re-validating
 /// after an eviction) shares one build. Per-layer hit/miss counters make
 /// the sharing observable; builds().misses() counts builds performed.
 ///
-/// The score layer is persistent: save()/load() serialize it as JSON
-/// versioned by a scoring-pipeline hash so figure regeneration after a
-/// code-only change warm-starts from the previous run's scores (the build
-/// layer holds live executables and is process-local). Size is bounded:
-/// each shard holds at most capacity/kShards entries and evicts its
-/// least-recently-used entry on overflow.
+/// Lower (TU compile) layer: a buildsim::TuCompileCache, consulted by
+/// every build the middle layer misses. Content-addressed per translation
+/// unit — (source, resolved headers, caps, defines, toolchain) — so two
+/// artifacts that differ only in their build file (the dominant
+/// build-failure defect class) share every TU compile; tus().misses()
+/// counts TU compiles actually performed.
+///
+/// The score and TU layers are persistent: save()/load() serialize the
+/// score layer, tus().save()/load() the TU outcomes + build-plan digests —
+/// both as JSON versioned by a scoring-pipeline hash, so figure
+/// regeneration after a code-only change warm-starts from the previous
+/// run's scores and a warm file start skips Build-stage compile work too
+/// (the build-artifact layer holds live executables and stays
+/// process-local). Size is bounded: each shard holds at most
+/// capacity/kShards entries and evicts its least-recently-used entry on
+/// overflow.
 class ScoreCache {
  public:
-  /// ScoringPipeline::score with two-layer memoization.
+  /// ScoringPipeline::score with three-layer memoization.
   StagedScore score(const apps::AppSpec& app, const vfs::Repo& repo,
                     apps::Model target);
 
@@ -164,9 +175,26 @@ class ScoreCache {
   /// Clears both layers (and all counters).
   void clear();
 
-  /// The lower layer, for per-layer stats and capacity control.
+  /// The middle (build-artifact) layer, for per-layer stats and capacity
+  /// control.
   BuildArtifactCache& builds() noexcept { return builds_; }
   const BuildArtifactCache& builds() const noexcept { return builds_; }
+
+  /// The lower (TU compile) layer: per-layer stats, capacity, and its own
+  /// save/load (file format "pareval-tu-cache-v1").
+  buildsim::TuCompileCache& tus() noexcept { return tus_; }
+  const buildsim::TuCompileCache& tus() const noexcept { return tus_; }
+
+  /// Thread (or stop threading) the TU layer into the scoring pipeline.
+  /// Enabled by default; sweep_merge --verify turns it off for one of its
+  /// reference runs so the staged two-layer and TU-cached configurations
+  /// are gated for bit-identity *independently*.
+  void enable_tu_layer(bool enabled) noexcept {
+    tu_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool tu_layer_enabled() const noexcept {
+    return tu_enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Bound the score-layer entry count (minimum kShards: one entry per
   /// shard). The build layer has its own set_capacity.
@@ -220,6 +248,8 @@ class ScoreCache {
 
   std::array<Shard, kShards> shards_;
   BuildArtifactCache builds_;
+  buildsim::TuCompileCache tus_;
+  std::atomic<bool> tu_enabled_{true};
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::uint64_t> clock_{0};

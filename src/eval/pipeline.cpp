@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "buildsim/builder.hpp"
+#include "buildsim/tucache.hpp"
 #include "execsim/driver.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -59,43 +60,12 @@ bool stage_verdict_from_key(const std::string& key, StageVerdict* out) {
 }
 
 const char* diag_detail_key(minic::DiagCategory c) {
-  using minic::DiagCategory;
-  switch (c) {
-    case DiagCategory::MakefileSyntax: return "makefile-syntax";
-    case DiagCategory::MissingBuildTarget: return "missing-build-target";
-    case DiagCategory::CMakeConfig: return "cmake-config";
-    case DiagCategory::InvalidCompilerFlag: return "invalid-compiler-flag";
-    case DiagCategory::MissingHeader: return "missing-header";
-    case DiagCategory::CodeSyntax: return "code-syntax";
-    case DiagCategory::UndeclaredIdentifier: return "undeclared-identifier";
-    case DiagCategory::ArgTypeMismatch: return "arg-type-mismatch";
-    case DiagCategory::OmpInvalidDirective: return "omp-invalid-directive";
-    case DiagCategory::LinkError: return "link-error";
-    case DiagCategory::RuntimeFault: return "runtime-fault";
-    case DiagCategory::WrongOutput: return "wrong-output";
-    case DiagCategory::WrongExecutionModel: return "wrong-execution-model";
-    case DiagCategory::Other: return "other";
-  }
-  return "?";
+  return minic::diag_category_key(c);
 }
 
 bool diag_detail_from_key(const std::string& key,
                           minic::DiagCategory* out) {
-  using minic::DiagCategory;
-  for (const DiagCategory c :
-       {DiagCategory::MakefileSyntax, DiagCategory::MissingBuildTarget,
-        DiagCategory::CMakeConfig, DiagCategory::InvalidCompilerFlag,
-        DiagCategory::MissingHeader, DiagCategory::CodeSyntax,
-        DiagCategory::UndeclaredIdentifier, DiagCategory::ArgTypeMismatch,
-        DiagCategory::OmpInvalidDirective, DiagCategory::LinkError,
-        DiagCategory::RuntimeFault, DiagCategory::WrongOutput,
-        DiagCategory::WrongExecutionModel, DiagCategory::Other}) {
-    if (key == diag_detail_key(c)) {
-      *out = c;
-      return true;
-    }
-  }
-  return false;
+  return minic::diag_category_from_key(key, out);
 }
 
 // --- StagedScore ------------------------------------------------------------
@@ -121,23 +91,21 @@ std::string StagedScore::flat_log() const {
 // --- content hashing --------------------------------------------------------
 
 std::uint64_t repo_content_hash(const vfs::Repo& repo) {
-  // Fold each file's (path, content) hash pair through SplitMix64 so that
-  // "ab"+"c" vs "a"+"bc" and file-boundary shuffles cannot collide
-  // structurally. (64-bit accidental collisions are ~1e-13 at 1e6 repos.)
-  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, for an asymmetric start
-  repo.for_each_file([&h](const std::string& path,
-                          const std::string& content) {
-    h = support::SplitMix64(h ^ support::stable_hash(path)).next();
-    h = support::SplitMix64(h ^ support::stable_hash(content)).next();
-  });
-  return h;
+  // One definition of "the same artifact" for every cache layer: the
+  // algorithm lives with the TU compile cache (buildsim) so the build
+  // simulator's plan digests and the score/build layers can never drift.
+  return buildsim::repo_content_hash(repo);
+}
+
+std::uint64_t build_artifact_key(const apps::AppSpec& app,
+                                 std::uint64_t repo_hash) {
+  return support::SplitMix64(repo_hash ^ support::stable_hash(app.name))
+      .next();
 }
 
 std::uint64_t build_artifact_key(const apps::AppSpec& app,
                                  const vfs::Repo& repo) {
-  std::uint64_t key = repo_content_hash(repo);
-  key = support::SplitMix64(key ^ support::stable_hash(app.name)).next();
-  return key;
+  return build_artifact_key(app, repo_content_hash(repo));
 }
 
 // --- BuildArtifactCache -----------------------------------------------------
@@ -230,18 +198,22 @@ std::shared_ptr<const buildsim::BuildResult> ScoringPipeline::build_stage(
     StageOutcome* outcome) const {
   std::shared_ptr<const buildsim::BuildResult> build;
   if (build_cache_ != nullptr) {
-    const std::uint64_t key = build_artifact_key(app, repo);
+    // One repo hash serves both the artifact key and (on a miss) the TU
+    // cache's build-plan key — the repo is never hashed twice per build.
+    const std::uint64_t repo_hash = repo_content_hash(repo);
+    const std::uint64_t key = build_artifact_key(app, repo_hash);
     build = build_cache_->lookup(key);
     if (build == nullptr) {
       // Two threads racing on one key just perform the same pure build
-      // twice; the second insert benignly replaces the first.
+      // twice; the second insert benignly replaces the first. The TU
+      // cache dedupes the compile work below the whole-repo key.
       build = std::make_shared<buildsim::BuildResult>(
-          buildsim::build_repo(repo));
+          buildsim::build_repo(repo, "", tu_cache_, repo_hash));
       build_cache_->insert(key, build);
     }
   } else {
-    build =
-        std::make_shared<buildsim::BuildResult>(buildsim::build_repo(repo));
+    build = std::make_shared<buildsim::BuildResult>(
+        buildsim::build_repo(repo, "", tu_cache_));
   }
 
   StageOutcome bs;

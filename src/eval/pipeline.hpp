@@ -35,6 +35,7 @@
 
 namespace pareval::buildsim {
 struct BuildResult;
+class TuCompileCache;
 }  // namespace pareval::buildsim
 
 namespace pareval::eval {
@@ -117,7 +118,11 @@ std::uint64_t repo_content_hash(const vfs::Repo& repo);
 
 /// Build-artifact cache key: (app, repo content hash). Deliberately
 /// excludes the target model — builds are target-independent, so scoring
-/// one artifact for several targets shares one build.
+/// one artifact for several targets shares one build. The repo-hash
+/// overload lets the pipeline hash the repo once and derive both this key
+/// and the TU cache's build-plan key from it.
+std::uint64_t build_artifact_key(const apps::AppSpec& app,
+                                 std::uint64_t repo_hash);
 std::uint64_t build_artifact_key(const apps::AppSpec& app,
                                  const vfs::Repo& repo);
 
@@ -180,8 +185,9 @@ class BuildArtifactCache {
 class ScoringPipeline {
  public:
   ScoringPipeline() = default;
-  explicit ScoringPipeline(BuildArtifactCache* build_cache)
-      : build_cache_(build_cache) {}
+  explicit ScoringPipeline(BuildArtifactCache* build_cache,
+                           buildsim::TuCompileCache* tu_cache = nullptr)
+      : build_cache_(build_cache), tu_cache_(tu_cache) {}
 
   StagedScore score(const apps::AppSpec& app, const vfs::Repo& repo,
                     apps::Model target) const;
@@ -194,6 +200,10 @@ class ScoringPipeline {
 
  private:
   BuildArtifactCache* build_cache_ = nullptr;
+  /// Threaded into buildsim::build_repo on build-artifact misses, so two
+  /// artifacts differing only in their build file share every TU compile
+  /// (and persisted failed plans skip the build entirely).
+  buildsim::TuCompileCache* tu_cache_ = nullptr;
 };
 
 // JSON codecs, shared by shard files and the persisted score cache.

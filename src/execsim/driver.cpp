@@ -29,6 +29,9 @@ std::shared_ptr<minic::TranslationUnit> compile_tu(
   merged.merge(tu->diags);
   tu->diags = std::move(merged);
   for (const auto& h : pp.system_headers) tu->system_headers.push_back(h);
+  tu->resolved_files = std::move(pp.resolved_files);
+  tu->missing_probes.assign(pp.missing_probes.begin(),
+                            pp.missing_probes.end());
 
   minic::SemaOptions sopt;
   sopt.caps = caps;

@@ -240,6 +240,12 @@ struct TranslationUnit {
   std::vector<GlobalVarDecl> globals;
   std::vector<std::string> system_headers;  // resolved <...> includes
   std::vector<std::string> called_functions;  // filled by sema, for the linker
+  /// Repo files the preprocessor opened for this TU (entry first, then
+  /// headers in first-inclusion order) and repo paths it probed but found
+  /// absent — together the exact repo input set of the compile, which the
+  /// TU compile cache (buildsim/tucache) keys on.
+  std::vector<std::string> resolved_files;
+  std::vector<std::string> missing_probes;
   DiagBag diags;
 };
 

@@ -32,6 +32,15 @@ enum class DiagCategory {
 /// Human-readable category label (Figure 3's row names where applicable).
 const char* category_name(DiagCategory c);
 
+/// Stable machine key of a category ("makefile-syntax",
+/// "undeclared-identifier", ...) and its inverse. One spelling shared by
+/// every on-disk artifact that carries a category: stage outcomes in shard
+/// files and the persisted score cache (eval/pipeline's diag_detail_key
+/// forwards here) and serialized diagnostics in the persisted TU compile
+/// cache (buildsim/tucache).
+const char* diag_category_key(DiagCategory c);
+bool diag_category_from_key(const std::string& key, DiagCategory* out);
+
 enum class Severity { Warning, Error };
 
 struct Diag {

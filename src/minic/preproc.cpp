@@ -51,11 +51,13 @@ class Preprocessor {
     if (included_.count(path) > 0) return;  // include-once semantics
     const auto content = repo_.read(path);
     if (!content) {
+      result_.missing_probes.insert(path);
       result_.diags.error(DiagCategory::MissingHeader,
                           "'" + path + "' file not found", from, line);
       return;
     }
     included_.insert(path);
+    result_.resolved_files.push_back(path);
     if (depth_ > 32) {
       result_.diags.error(DiagCategory::MissingHeader,
                           "#include nested too deeply", path, line);
@@ -240,6 +242,7 @@ class Preprocessor {
         include_file(sibling, line, path);
         return;
       }
+      result_.missing_probes.insert(sibling);
       std::string rooted;
       try {
         rooted = vfs::normalize_path(target);
@@ -250,6 +253,7 @@ class Preprocessor {
         include_file(rooted, line, path);
         return;
       }
+      if (!rooted.empty()) result_.missing_probes.insert(rooted);
       // Quoted includes fall back to the system search path.
       if (opt_.available_system_headers.count(target) > 0) {
         result_.system_headers.insert(target);

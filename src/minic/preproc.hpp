@@ -21,6 +21,18 @@ namespace pareval::minic {
 struct PreprocessResult {
   std::vector<codeanal::Token> tokens;   // merged, macro-substituted
   std::set<std::string> system_headers;  // angled headers actually included
+  /// Every repo file the preprocessor actually opened — the entry file
+  /// followed by each resolved repo #include, in first-inclusion order
+  /// (include-once: a file appears at most once). This is the exact input
+  /// set of the compile, which is what makes a content-addressed TU
+  /// compile cache key possible.
+  std::vector<std::string> resolved_files;
+  /// Repo paths probed for a quoted #include but absent at that moment
+  /// (the sibling and root-relative candidates that fell through to the
+  /// system search path or to a missing-header error). A TU cache entry
+  /// must also be invalidated when one of these files *appears*, since
+  /// that changes how the include resolves.
+  std::set<std::string> missing_probes;
   DiagBag diags;
 };
 

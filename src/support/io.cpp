@@ -1,0 +1,34 @@
+#include "support/io.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace pareval::support {
+
+bool atomic_write_file(const std::string& path,
+                       const std::string& content) {
+  static std::atomic<unsigned> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pareval::support

@@ -1,0 +1,17 @@
+#pragma once
+// Small file-I/O helpers shared by the on-disk cache/artifact writers.
+
+#include <string>
+
+namespace pareval::support {
+
+/// Atomically publish `content` at `path`: write to a pid+counter-unique
+/// temp file in the same directory, close, re-check (the final flush can
+/// fail — ENOSPC — after every write "succeeded" into the buffer), then
+/// rename() over the target. Concurrent writers sharing one path race
+/// benignly (last rename wins with a complete file) and a reader can
+/// never observe a torn write. Returns false on any I/O failure, leaving
+/// no temp file behind.
+bool atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace pareval::support

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "buildsim/builder.hpp"
 #include "buildsim/cmakelite.hpp"
 #include "buildsim/makefile.hpp"
 #include "buildsim/toolchain.hpp"
+#include "execsim/driver.hpp"
+#include "minic/preproc.hpp"
 #include "support/strings.hpp"
 
 namespace bs = pareval::buildsim;
@@ -479,4 +483,110 @@ int main() {
   const auto run = run_executable(*result.exe, {});
   EXPECT_TRUE(run.ok);
   EXPECT_EQ(run.stats.device_kernel_launches, 0);  // host fallback
+}
+
+// ------------------------------------------- resolved-file reporting ----
+// The preprocessor reports the exact repo input set of every TU compile
+// (resolved_files + missing_probes) — the TU compile cache keys on it, so
+// these seed-corpus edge cases pin what "the input set" means.
+
+TEST(ResolvedFiles, QuotedIncludeFallbackToSystemHeader) {
+  // A quoted include that misses the repo falls back to the system search
+  // path: it must land in system_headers, NOT in resolved_files, and the
+  // repo paths that were probed must be recorded as missing — if one of
+  // them appears later, the include resolves differently.
+  pareval::vfs::Repo repo;
+  repo.write("src/main.cpp",
+             "#include \"stdio.h\"\n"
+             "int main() { printf(\"x\\n\"); return 0; }\n");
+  pareval::minic::PreprocessOptions opt;
+  opt.available_system_headers = pareval::minic::base_system_headers();
+  const auto pp = pareval::minic::preprocess(repo, "src/main.cpp", opt);
+  ASSERT_FALSE(pp.diags.has_errors()) << pp.diags.render();
+  EXPECT_EQ(pp.resolved_files,
+            std::vector<std::string>{"src/main.cpp"});
+  EXPECT_EQ(pp.system_headers.count("stdio.h"), 1u);
+  // Both quoted-include candidates were probed and absent.
+  EXPECT_EQ(pp.missing_probes.count("src/stdio.h"), 1u);
+  EXPECT_EQ(pp.missing_probes.count("stdio.h"), 1u);
+}
+
+TEST(ResolvedFiles, IncludeOnceListsEachFileOnce) {
+  // util.h is reachable twice (directly and through a.h); include-once
+  // semantics must list it exactly once, in first-inclusion order.
+  pareval::vfs::Repo repo;
+  repo.write("main.cpp",
+             "#include \"a.h\"\n#include \"util.h\"\n"
+             "int main() { return util_value(); }\n");
+  repo.write("a.h", "#include \"util.h\"\n");
+  repo.write("util.h", "int util_value() { return 0; }\n");
+  pareval::minic::PreprocessOptions opt;
+  opt.available_system_headers = pareval::minic::base_system_headers();
+  const auto pp = pareval::minic::preprocess(repo, "main.cpp", opt);
+  ASSERT_FALSE(pp.diags.has_errors()) << pp.diags.render();
+  const std::vector<std::string> want = {"main.cpp", "a.h", "util.h"};
+  EXPECT_EQ(pp.resolved_files, want);
+}
+
+TEST(ResolvedFiles, TransitiveIncludesInFirstInclusionOrder) {
+  pareval::vfs::Repo repo;
+  repo.write("src/main.cpp", "#include \"inc/top.h\"\nint main() { return V; }\n");
+  repo.write("src/inc/top.h", "#include \"deep.h\"\n");
+  repo.write("src/inc/deep.h", "#define V 0\n");
+  pareval::minic::PreprocessOptions opt;
+  opt.available_system_headers = pareval::minic::base_system_headers();
+  const auto pp = pareval::minic::preprocess(repo, "src/main.cpp", opt);
+  ASSERT_FALSE(pp.diags.has_errors()) << pp.diags.render();
+  const std::vector<std::string> want = {"src/main.cpp", "src/inc/top.h",
+                                         "src/inc/deep.h"};
+  EXPECT_EQ(pp.resolved_files, want);
+}
+
+TEST(ResolvedFiles, SurfacedOnTranslationUnits) {
+  // compile_tu copies the preprocessor's report onto the TU, so the
+  // builder (and the TU cache under it) can key without re-preprocessing.
+  pareval::vfs::Repo repo;
+  repo.write("main.cpp",
+             "#include <stdio.h>\n#include \"util.h\"\n"
+             "int main() { printf(\"%d\\n\", util_value()); return 0; }\n");
+  repo.write("util.h", "int util_value() { return 7; }\n");
+  const auto tu = pareval::execsim::compile_tu(
+      repo, "main.cpp", pareval::minic::Capabilities{}, {});
+  ASSERT_FALSE(tu->diags.has_errors()) << tu->diags.render();
+  const std::vector<std::string> want = {"main.cpp", "util.h"};
+  EXPECT_EQ(tu->resolved_files, want);
+  EXPECT_TRUE(tu->missing_probes.empty());
+}
+
+TEST(ResolvedFiles, MixedCompileOnlyPlanReportsPerTuSets) {
+  // A mixed -c + link plan: each object's TU carries its own resolved
+  // set; the linked program exposes them all.
+  pareval::vfs::Repo repo;
+  repo.write("Makefile",
+             "all: app\n"
+             "app: main.o util.o\n"
+             "\tg++ main.o util.o -o app\n"
+             "main.o: main.cpp\n"
+             "\tg++ -c main.cpp -o main.o\n"
+             "util.o: util.cpp\n"
+             "\tg++ -c util.cpp -o util.o\n");
+  repo.write("main.cpp",
+             "#include \"shared.h\"\nint triple(int);\n"
+             "int main() { return triple(SEVEN) - 21; }\n");
+  repo.write("util.cpp",
+             "#include \"shared.h\"\nint triple(int x) { return 3 * x; }\n");
+  repo.write("shared.h", "#define SEVEN 7\n");
+  const auto result = bs::build_repo(repo);
+  ASSERT_TRUE(result.ok) << result.log;
+  ASSERT_EQ(result.exe->program.tus.size(), 2u);
+  std::vector<std::vector<std::string>> sets;
+  for (const auto& tu : result.exe->program.tus) {
+    sets.push_back(tu->resolved_files);
+  }
+  std::sort(sets.begin(), sets.end());
+  const std::vector<std::vector<std::string>> want = {
+      {"main.cpp", "shared.h"}, {"util.cpp", "shared.h"}};
+  auto sorted_want = want;
+  std::sort(sorted_want.begin(), sorted_want.end());
+  EXPECT_EQ(sets, sorted_want);
 }

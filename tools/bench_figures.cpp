@@ -21,6 +21,7 @@
 #include "eval/classify.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
+#include "support/io.hpp"
 #include "support/par.hpp"
 #include "support/strings.hpp"
 
@@ -36,6 +37,11 @@ int usage(const char* argv0) {
       "  --spec FILE        declarative sweep spec (JSON); exclusive with\n"
       "                     --samples/--seed\n"
       "  --cache FILE       load/save the persistent score cache\n"
+      "  --tu-cache FILE    load/save the persistent TU compile cache\n"
+      "                     (pareval-tu-cache-v1)\n"
+      "  --cache-stats FILE write per-layer cache stats (score / build /\n"
+      "                     TU) as JSON with a pinned key order, so CI\n"
+      "                     artifact diffs are stable\n"
       "  --samples N        samples per cell (default: 25)\n"
       "  --seed S           base RNG seed (default: 1070)\n"
       "  --out FILE         timing JSON (default: BENCH_figures.json)\n"
@@ -54,6 +60,8 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   std::string cache_path;
+  std::string tu_cache_path;
+  std::string cache_stats_path;
   std::string spec_path;
   std::string out_path = "BENCH_figures.json";
   int samples = 25;
@@ -70,6 +78,10 @@ int main(int argc, char** argv) {
       spec_path = argv[++i];
     } else if (arg == "--cache" && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (arg == "--tu-cache" && i + 1 < argc) {
+      tu_cache_path = argv[++i];
+    } else if (arg == "--cache-stats" && i + 1 < argc) {
+      cache_stats_path = argv[++i];
     } else if (arg == "--samples" && i + 1 < argc) {
       samples = std::atoi(argv[++i]);
       samples_set = true;
@@ -120,6 +132,14 @@ int main(int argc, char** argv) {
                 preloaded ? "warm-started" : "cold start",
                 loaded_entries);
   }
+  bool tu_preloaded = false;
+  if (!tu_cache_path.empty()) {
+    tu_preloaded =
+        cache.tus().load(tu_cache_path, eval::scoring_pipeline_hash());
+    std::printf("TU compile cache: %s (%zu TUs, %zu plans)\n",
+                tu_preloaded ? "warm-started" : "cold start",
+                cache.tus().size(), cache.tus().plan_count());
+  }
 
   // One sweep over the whole spec; every figure below reads from it.
   const auto t_sweep = std::chrono::steady_clock::now();
@@ -130,10 +150,14 @@ int main(int argc, char** argv) {
       eval::run_sweep(suite, spec, config);
   const double sweep_ms = ms_since(t_sweep);
   std::printf("\nsweep: %.1f ms, score layer %zu hits / %zu misses, "
-              "build layer %zu hits / %zu misses (%zu builds performed)\n\n",
+              "build layer %zu hits / %zu misses (%zu builds performed), "
+              "TU layer %zu+%zu hits / %zu misses (%zu TU compiles, %zu "
+              "plan hits)\n\n",
               sweep_ms, cache.hits(), cache.misses(),
               cache.builds().hits(), cache.builds().misses(),
-              cache.builds().misses());
+              cache.builds().misses(), cache.tus().hits(),
+              cache.tus().persisted_hits(), cache.tus().misses(),
+              cache.tus().misses(), cache.tus().plan_hits());
 
   const auto t_reports = std::chrono::steady_clock::now();
   std::printf("%s\n",
@@ -157,6 +181,17 @@ int main(int argc, char** argv) {
                    cache_path.c_str());
     }
   }
+  if (!tu_cache_path.empty()) {
+    if (cache.tus().save(tu_cache_path, eval::scoring_pipeline_hash())) {
+      std::printf("saved TU compile cache to %s (%zu TUs, %zu plans)\n",
+                  tu_cache_path.c_str(), cache.tus().size(),
+                  cache.tus().plan_count());
+    } else {
+      std::fprintf(stderr,
+                   "bench_figures: could not save TU cache to %s\n",
+                   tu_cache_path.c_str());
+    }
+  }
 
   Json root = Json::object();
   Json context = Json::object();
@@ -171,14 +206,76 @@ int main(int argc, char** argv) {
               static_cast<long long>(loaded_entries));
   context.set("cache_hits", static_cast<long long>(cache.hits()));
   context.set("cache_misses", static_cast<long long>(cache.misses()));
-  // Lower (build-artifact) layer: misses == builds actually performed, so
+  // Middle (build-artifact) layer: misses == builds actually performed, so
   // the artifact uploaded by the CI bench job records how much build work
-  // the two-layer cache elided.
+  // the cache layers elided.
   context.set("build_cache_hits",
               static_cast<long long>(cache.builds().hits()));
   context.set("build_cache_misses",
               static_cast<long long>(cache.builds().misses()));
+  // Lower (TU compile) layer: misses == TU compiles actually performed;
+  // the dedupe ratio is the fraction of TU lookups a compile was elided
+  // for (in-memory sharing across builds + persisted failed-TU hits).
+  context.set("tu_cache_file", tu_cache_path);
+  context.set("tu_cache_preloaded", tu_preloaded);
+  context.set("tu_cache_hits", static_cast<long long>(cache.tus().hits()));
+  context.set("tu_cache_persisted_hits",
+              static_cast<long long>(cache.tus().persisted_hits()));
+  context.set("tu_cache_misses",
+              static_cast<long long>(cache.tus().misses()));
+  context.set("tu_cache_lookups",
+              static_cast<long long>(cache.tus().lookups()));
+  context.set("tu_plan_hits",
+              static_cast<long long>(cache.tus().plan_hits()));
+  const std::size_t tu_lookups = cache.tus().lookups();
+  const double tu_dedupe_ratio =
+      tu_lookups == 0
+          ? 0.0
+          : static_cast<double>(tu_lookups - cache.tus().misses()) /
+                static_cast<double>(tu_lookups);
+  context.set("tu_dedupe_ratio", tu_dedupe_ratio);
   root.set("context", std::move(context));
+
+  if (!cache_stats_path.empty()) {
+    // One stats object per layer, keys in a pinned, documented order (the
+    // Json codec preserves insertion order), so the CACHE_stats.json CI
+    // artifact diffs cleanly run over run instead of shifting with
+    // whatever map-iteration order a JSON post-processor happens to use.
+    Json stats = Json::object();
+    stats.set("cache_file", cache_path);
+    stats.set("cache_preloaded", preloaded);
+    stats.set("tu_cache_file", tu_cache_path);
+    stats.set("tu_cache_preloaded", tu_preloaded);
+    Json score_layer = Json::object();
+    score_layer.set("hits", static_cast<long long>(cache.hits()));
+    score_layer.set("misses", static_cast<long long>(cache.misses()));
+    score_layer.set("entries", static_cast<long long>(cache.size()));
+    stats.set("score", std::move(score_layer));
+    Json build_layer = Json::object();
+    build_layer.set("hits", static_cast<long long>(cache.builds().hits()));
+    build_layer.set("misses",
+                    static_cast<long long>(cache.builds().misses()));
+    stats.set("build", std::move(build_layer));
+    Json tu_layer = Json::object();
+    tu_layer.set("hits", static_cast<long long>(cache.tus().hits()));
+    tu_layer.set("persisted_hits",
+                 static_cast<long long>(cache.tus().persisted_hits()));
+    tu_layer.set("misses", static_cast<long long>(cache.tus().misses()));
+    tu_layer.set("lookups", static_cast<long long>(tu_lookups));
+    tu_layer.set("plan_hits",
+                 static_cast<long long>(cache.tus().plan_hits()));
+    tu_layer.set("dedupe_ratio", tu_dedupe_ratio);
+    stats.set("tu", std::move(tu_layer));
+    // Atomic like the cache files: the CI jq gate reads this artifact, so
+    // a torn or truncated write must never be published.
+    if (!support::atomic_write_file(cache_stats_path,
+                                    stats.dump() + '\n')) {
+      std::fprintf(stderr, "bench_figures: cannot write %s\n",
+                   cache_stats_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cache_stats_path.c_str());
+  }
   Json benchmarks = Json::array();
   auto bench_entry = [](const char* name, double ms) {
     Json b = Json::object();

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "buildsim/tucache.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
 #include "support/strings.hpp"
@@ -32,16 +33,24 @@ int usage(const char* argv0) {
       "check)\n"
       "  --out FILE          write the merged sweep (default: merged.json)\n"
       "  --report            print the figure reports off the merged sweep\n"
-      "  --verify            re-run the sweep in-process — once uncached\n"
-      "                      and once through a fresh staged two-layer\n"
-      "                      cache — and fail unless all three results\n"
-      "                      are bit-identical\n"
+      "  --verify            re-run the sweep in-process five ways —\n"
+      "                      uncached, staged-cached (TU layer off),\n"
+      "                      TU-cached, score-cold/TU-warm-file (Build\n"
+      "                      stages reconstruct from the persisted TU\n"
+      "                      cache), and warm-file-start (score + TU\n"
+      "                      caches reloaded from disk, Build stage\n"
+      "                      skipped) — and fail unless shards and every\n"
+      "                      reference run are bit-identical\n"
       "  --merge-cache FILE  fold every --delta into FILE (loading FILE's\n"
       "                      previous contents first) to publish a warm\n"
       "                      cache for the next run; skipped when --verify\n"
       "                      fails (pair it with --verify to publish only\n"
       "                      proven scores)\n"
       "  --delta FILE        a sweep_worker --cache-delta file (repeat\n"
+      "                      per worker)\n"
+      "  --merge-tu-cache FILE  fold every --tu-delta into FILE (the\n"
+      "                      published pareval-tu-cache-v1 file)\n"
+      "  --tu-delta FILE     a sweep_worker --tu-cache-delta file (repeat\n"
       "                      per worker)\n"
       "All shards must come from ONE spec; to cover several pairs in one\n"
       "merge, select them in one spec (or --pair all) instead of merging\n"
@@ -57,6 +66,8 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string merge_cache_path;
   std::vector<std::string> delta_paths;
+  std::string merge_tu_cache_path;
+  std::vector<std::string> tu_delta_paths;
   bool report = false;
   bool verify = false;
   std::vector<std::string> inputs;
@@ -70,6 +81,10 @@ int main(int argc, char** argv) {
       merge_cache_path = argv[++i];
     } else if (arg == "--delta" && i + 1 < argc) {
       delta_paths.push_back(argv[++i]);
+    } else if (arg == "--merge-tu-cache" && i + 1 < argc) {
+      merge_tu_cache_path = argv[++i];
+    } else if (arg == "--tu-delta" && i + 1 < argc) {
+      tu_delta_paths.push_back(argv[++i]);
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--verify") {
@@ -84,6 +99,11 @@ int main(int argc, char** argv) {
   if (!delta_paths.empty() && merge_cache_path.empty()) {
     std::fprintf(stderr,
                  "sweep_merge: --delta requires --merge-cache FILE\n");
+    return 2;
+  }
+  if (!tu_delta_paths.empty() && merge_tu_cache_path.empty()) {
+    std::fprintf(stderr,
+                 "sweep_merge: --tu-delta requires --merge-tu-cache FILE\n");
     return 2;
   }
 
@@ -140,11 +160,13 @@ int main(int argc, char** argv) {
 
   int mismatches = 0;
   if (verify) {
-    // Two in-process references: one with caching off entirely, one
-    // through a fresh staged two-layer cache. Shards, the uncached run,
-    // and the cached run must all be bit-identical — this is the CI gate
-    // that proves both distribution AND the cache layers are pure
-    // memoization.
+    // Five in-process references: uncached, staged two-layer cache (TU
+    // layer off), TU-cached (all three layers), score-cold/TU-warm-file
+    // (persisted plans/TUs reconstruct during real Build stages), and a
+    // warm *file* start (score + TU caches reloaded; Build skipped).
+    // Shards and all five runs must be bit-identical — the CI gate that
+    // proves distribution AND every cache layer, live or persisted, is
+    // pure memoization.
     eval::HarnessConfig uncached;
     uncached.use_score_cache = false;
     const auto reference = eval::run_sweep(suite, spec, uncached);
@@ -153,17 +175,95 @@ int main(int argc, char** argv) {
                 identical ? "IDENTICAL" : "MISMATCH");
     if (!identical) ++mismatches;
 
-    eval::ScoreCache cache;
+    eval::ScoreCache staged;
+    staged.enable_tu_layer(false);
     eval::HarnessConfig cached;
-    cached.score_cache = &cache;
-    const auto cached_reference = eval::run_sweep(suite, spec, cached);
-    const bool cache_identical = cached_reference == reference;
+    cached.score_cache = &staged;
+    const auto staged_reference = eval::run_sweep(suite, spec, cached);
+    const bool staged_identical = staged_reference == reference;
     std::printf(
         "determinism (staged-cached vs uncached): %s (score layer %zu "
         "hits / %zu misses, build layer %zu hits / %zu misses)\n",
-        cache_identical ? "IDENTICAL" : "MISMATCH", cache.hits(),
-        cache.misses(), cache.builds().hits(), cache.builds().misses());
-    if (!cache_identical) ++mismatches;
+        staged_identical ? "IDENTICAL" : "MISMATCH", staged.hits(),
+        staged.misses(), staged.builds().hits(), staged.builds().misses());
+    if (!staged_identical) ++mismatches;
+
+    eval::ScoreCache tu_cached;
+    cached.score_cache = &tu_cached;
+    const auto tu_reference = eval::run_sweep(suite, spec, cached);
+    const bool tu_identical = tu_reference == reference;
+    std::printf(
+        "determinism (TU-cached vs uncached): %s (TU layer %zu hits / "
+        "%zu misses, %zu plan hits, dedupe %zu/%zu)\n",
+        tu_identical ? "IDENTICAL" : "MISMATCH", tu_cached.tus().hits(),
+        tu_cached.tus().misses(), tu_cached.tus().plan_hits(),
+        tu_cached.tus().lookups() - tu_cached.tus().misses(),
+        tu_cached.tus().lookups());
+    if (!tu_identical) ++mismatches;
+
+    // Warm file start: persist the TU-cached run's score + TU layers,
+    // reload them into a fresh cache, and re-run. Every score must come
+    // from the reloaded file — the Build stage (and with it every TU
+    // compile) is skipped entirely.
+    const std::string verify_score = out_path + ".verify-score-cache.json";
+    const std::string verify_tu = out_path + ".verify-tu-cache.json";
+    const std::uint64_t pipeline_version =
+        eval::scoring_pipeline_hash(suite);
+    if (!tu_cached.save(verify_score, pipeline_version) ||
+        !tu_cached.tus().save(verify_tu, pipeline_version)) {
+      std::fprintf(stderr,
+                   "sweep_merge: could not persist verify caches\n");
+      ++mismatches;
+    } else {
+      // First, a score-cold/TU-warm reference: only the TU file is
+      // reloaded, so Build stages actually run against the persisted
+      // entries — failed plans and failed TUs must reconstruct
+      // bit-identically from disk (the warm-file-start run below skips
+      // Build entirely, so it alone would never exercise this path).
+      eval::ScoreCache tu_warm;
+      if (!tu_warm.tus().load(verify_tu, pipeline_version)) {
+        std::fprintf(stderr,
+                     "sweep_merge: could not reload TU verify cache\n");
+        ++mismatches;
+      } else {
+        cached.score_cache = &tu_warm;
+        const auto tu_warm_reference = eval::run_sweep(suite, spec, cached);
+        const bool tu_warm_identical = tu_warm_reference == reference;
+        std::printf(
+            "determinism (score-cold/TU-warm-file vs uncached): %s (%zu "
+            "plan hits, %zu persisted TU hits, %zu TU compiles)\n",
+            tu_warm_identical ? "IDENTICAL" : "MISMATCH",
+            tu_warm.tus().plan_hits(), tu_warm.tus().persisted_hits(),
+            tu_warm.tus().misses());
+        if (!tu_warm_identical) ++mismatches;
+      }
+
+      eval::ScoreCache warm;
+      if (!warm.load(verify_score, pipeline_version) ||
+          !warm.tus().load(verify_tu, pipeline_version)) {
+        std::fprintf(stderr,
+                     "sweep_merge: could not reload verify caches\n");
+        ++mismatches;
+      } else {
+        cached.score_cache = &warm;
+        const auto warm_reference = eval::run_sweep(suite, spec, cached);
+        const bool warm_identical = warm_reference == reference;
+        // A warm file start must never rebuild: zero build-layer misses
+        // means the Build stage was skipped for every sample.
+        const bool build_skipped =
+            warm.builds().misses() == 0 && warm.tus().misses() == 0;
+        std::printf(
+            "determinism (warm-file-start vs uncached): %s (score layer "
+            "%zu hits / %zu misses; Build stage %s: %zu builds, %zu TU "
+            "compiles)\n",
+            warm_identical ? "IDENTICAL" : "MISMATCH", warm.hits(),
+            warm.misses(), build_skipped ? "SKIPPED" : "NOT SKIPPED",
+            warm.builds().misses(), warm.tus().misses());
+        if (!warm_identical || !build_skipped) ++mismatches;
+      }
+    }
+    std::remove(verify_score.c_str());
+    std::remove(verify_tu.c_str());
   }
 
   // Group the merged cells by pair (suite order) for the per-pair figure
@@ -251,6 +351,39 @@ int main(int argc, char** argv) {
     std::printf(
         "merged %zu/%zu cache deltas into %s (%zu entries%s)\n", loaded,
         delta_paths.size(), merge_cache_path.c_str(), published.size(),
+        had_previous ? ", on top of the previous published cache" : "");
+  }
+  if (!merge_tu_cache_path.empty() && mismatches > 0) {
+    std::fprintf(stderr,
+                 "sweep_merge: verification failed — not publishing %s\n",
+                 merge_tu_cache_path.c_str());
+  }
+  if (!merge_tu_cache_path.empty() && mismatches == 0) {
+    const std::uint64_t pipeline_version = eval::scoring_pipeline_hash();
+    buildsim::TuCompileCache published_tus;
+    const bool had_previous =
+        published_tus.load(merge_tu_cache_path, pipeline_version);
+    std::size_t loaded = 0;
+    for (const std::string& delta : tu_delta_paths) {
+      if (published_tus.load(delta, pipeline_version)) {
+        ++loaded;
+      } else {
+        std::fprintf(stderr,
+                     "sweep_merge: skipping stale/unreadable TU-cache "
+                     "delta %s\n",
+                     delta.c_str());
+      }
+    }
+    if (!published_tus.save(merge_tu_cache_path, pipeline_version)) {
+      std::fprintf(stderr,
+                   "sweep_merge: could not write merged TU cache %s\n",
+                   merge_tu_cache_path.c_str());
+      return 1;
+    }
+    std::printf(
+        "merged %zu/%zu TU-cache deltas into %s (%zu TUs, %zu plans%s)\n",
+        loaded, tu_delta_paths.size(), merge_tu_cache_path.c_str(),
+        published_tus.size(), published_tus.plan_count(),
         had_previous ? ", on top of the previous published cache" : "");
   }
 

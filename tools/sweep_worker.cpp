@@ -54,6 +54,11 @@ int usage(const char* argv0) {
       "  --cache-delta FILE   write only the cache entries this run added\n"
       "                       (ship with the shard for sweep_merge\n"
       "                       --merge-cache to fold into a published cache)\n"
+      "  --tu-cache FILE      warm-start/persist the TU compile cache\n"
+      "                       (pareval-tu-cache-v1: TU outcomes + per-build\n"
+      "                       compile-plan digests)\n"
+      "  --tu-cache-delta FILE  write only the TU entries/plans this run\n"
+      "                       added (for sweep_merge --merge-tu-cache)\n"
       "  --out FILE           shard file to write (default: shard.json)\n",
       argv0);
   return 2;
@@ -69,6 +74,8 @@ int main(int argc, char** argv) {
   std::string out_path = "shard.json";
   std::string cache_path;
   std::string cache_delta_path;
+  std::string tu_cache_path;
+  std::string tu_cache_delta_path;
   bool samples_set = false, seed_set = false;
   eval::HarnessConfig config;
 
@@ -102,6 +109,10 @@ int main(int argc, char** argv) {
       cache_path = v;
     } else if (arg == "--cache-delta" && (v = value())) {
       cache_delta_path = v;
+    } else if (arg == "--tu-cache" && (v = value())) {
+      tu_cache_path = v;
+    } else if (arg == "--tu-cache-delta" && (v = value())) {
+      tu_cache_delta_path = v;
     } else if (arg == "--out" && (v = value())) {
       out_path = v;
     } else {
@@ -155,6 +166,15 @@ int main(int argc, char** argv) {
     std::printf("warm-started score cache from %s (%zu entries)\n",
                 cache_path.c_str(), eval::ScoreCache::global().size());
   }
+  if (!tu_cache_path.empty() &&
+      eval::ScoreCache::global().tus().load(tu_cache_path,
+                                            eval::scoring_pipeline_hash())) {
+    std::printf("warm-started TU compile cache from %s (%zu TUs, %zu "
+                "plans)\n",
+                tu_cache_path.c_str(),
+                eval::ScoreCache::global().tus().size(),
+                eval::ScoreCache::global().tus().plan_count());
+  }
 
   std::printf("shard %d/%d of spec %s (%zu cells, N=%d)...\n", shard_index,
               shard_count,
@@ -182,13 +202,38 @@ int main(int argc, char** argv) {
     if (cache.save(cache_path)) {
       std::printf("saved score cache to %s (%zu entries, score layer "
                   "%zu hits / %zu misses, build layer %zu hits / %zu "
-                  "misses this run)\n",
+                  "misses, TU layer %zu+%zu hits / %zu misses this run)\n",
                   cache_path.c_str(), cache.size(), cache.hits(),
                   cache.misses(), cache.builds().hits(),
-                  cache.builds().misses());
+                  cache.builds().misses(), cache.tus().hits(),
+                  cache.tus().persisted_hits(), cache.tus().misses());
     } else {
       std::fprintf(stderr, "sweep_worker: could not save cache to %s\n",
                    cache_path.c_str());
+    }
+  }
+  if (!tu_cache_path.empty()) {
+    if (cache.tus().save(tu_cache_path, eval::scoring_pipeline_hash())) {
+      std::printf("saved TU compile cache to %s (%zu TUs, %zu plans)\n",
+                  tu_cache_path.c_str(), cache.tus().size(),
+                  cache.tus().plan_count());
+    } else {
+      std::fprintf(stderr, "sweep_worker: could not save TU cache to %s\n",
+                   tu_cache_path.c_str());
+    }
+  }
+  if (!tu_cache_delta_path.empty()) {
+    std::size_t tu_delta_entries = 0;
+    if (cache.tus().save_delta(tu_cache_delta_path,
+                               eval::scoring_pipeline_hash(),
+                               &tu_delta_entries)) {
+      std::printf("saved TU-cache delta to %s (%zu entries added this "
+                  "run)\n",
+                  tu_cache_delta_path.c_str(), tu_delta_entries);
+    } else {
+      std::fprintf(stderr,
+                   "sweep_worker: could not save TU-cache delta to %s\n",
+                   tu_cache_delta_path.c_str());
     }
   }
   if (!cache_delta_path.empty()) {
