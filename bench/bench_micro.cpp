@@ -5,15 +5,20 @@
 // speedup is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "apps/app.hpp"
 #include "buildsim/builder.hpp"
 #include "cluster/dbscan.hpp"
 #include "eval/harness.hpp"
 #include "eval/metrics.hpp"
+#include "execsim/driver.hpp"
+#include "minic/runio.hpp"
 #include "support/par.hpp"
 #include "support/rng.hpp"
 #include "text/word2vec.hpp"
@@ -30,6 +35,18 @@ static void BM_InterpreterNanoXor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InterpreterNanoXor);
+
+static void BM_VmNanoXor(benchmark::State& state) {
+  const auto* app = apps::find_app("nanoXOR");
+  const auto build = buildsim::build_repo(app->repos.at(apps::Model::Cuda));
+  for (auto _ : state) {
+    auto run = execsim::run_executable(*build.exe, {"16", "1"},
+                                       minic::RunLimits{},
+                                       minic::EngineKind::Vm);
+    benchmark::DoNotOptimize(run.stdout_text);
+  }
+}
+BENCHMARK(BM_VmNanoXor);
 
 static void BM_BuildSimXsbench(benchmark::State& state) {
   const auto* app = apps::find_app("XSBench");
@@ -182,6 +199,120 @@ int run_sweep_timing_section() {
   return identical ? 0 : 1;
 }
 
+// ---- Execute-stage engine timing -----------------------------------------
+// Interpreter vs bytecode VM over the hottest shipped (app, model)
+// implementations — ranked by interpreter step count, so the comparison is
+// dominated by real Execute work, not startup. Emits BENCH_vm.json; the CI
+// bench job gates `execute_total.speedup > 1` (the VM must actually beat
+// the tree-walking interpreter) and `context.identical` (outputs must stay
+// bit-identical while doing so).
+
+double time_execute_ms(const buildsim::BuildResult& build,
+                       const apps::AppSpec& app, minic::EngineKind engine) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& tc : app.tests) {
+    auto run = execsim::run_executable(*build.exe, tc.args,
+                                       minic::RunLimits{}, engine);
+    benchmark::DoNotOptimize(run.stdout_text);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int run_vm_timing_section() {
+  struct Target {
+    const apps::AppSpec* app;
+    apps::Model model;
+    buildsim::BuildResult build;
+    std::uint64_t steps = 0;  // interpreter steps across the app's tests
+    double interp_ms = 0, vm_ms = 0;
+  };
+  constexpr std::size_t kHottest = 6;
+  constexpr int kReps = 3;
+
+  // Build every shipped implementation once and rank by Execute heat.
+  std::vector<Target> targets;
+  bool identical = true;
+  for (const apps::AppSpec* app : apps::all_apps()) {
+    for (const apps::Model m : app->available) {
+      Target t{app, m, buildsim::build_repo(app->repos.at(m))};
+      if (!t.build.ok) continue;
+      for (const auto& tc : app->tests) {
+        const auto interp = execsim::run_executable(
+            *t.build.exe, tc.args, minic::RunLimits{},
+            minic::EngineKind::Interp);
+        const auto vm = execsim::run_executable(*t.build.exe, tc.args,
+                                                minic::RunLimits{},
+                                                minic::EngineKind::Vm);
+        t.steps += interp.stats.steps;
+        if (minic::to_json(interp).dump() != minic::to_json(vm).dump()) {
+          identical = false;
+          std::printf("engine MISMATCH: %s / %s\n", app->name.c_str(),
+                      apps::model_key(m));
+        }
+      }
+      targets.push_back(std::move(t));
+    }
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const Target& a, const Target& b) { return a.steps > b.steps; });
+  if (targets.size() > kHottest) targets.resize(kHottest);
+
+  std::printf("\n-- Execute engines: interpreter vs bytecode VM "
+              "(%zu hottest implementations, %d reps) --\n",
+              targets.size(), kReps);
+  double interp_total = 0, vm_total = 0;
+  for (Target& t : targets) {
+    for (int r = 0; r < kReps; ++r) {
+      t.interp_ms += time_execute_ms(t.build, *t.app, //
+                                     minic::EngineKind::Interp);
+      t.vm_ms += time_execute_ms(t.build, *t.app, minic::EngineKind::Vm);
+    }
+    interp_total += t.interp_ms;
+    vm_total += t.vm_ms;
+    std::printf("%-24s %-12s interp %8.1f ms   vm %8.1f ms   (%.2fx, "
+                "%llu steps)\n",
+                t.app->name.c_str(), apps::model_key(t.model), t.interp_ms,
+                t.vm_ms, t.vm_ms > 0 ? t.interp_ms / t.vm_ms : 0.0,
+                static_cast<unsigned long long>(t.steps));
+  }
+  const double speedup = vm_total > 0 ? interp_total / vm_total : 0.0;
+  std::printf("total                                 interp %8.1f ms   vm "
+              "%8.1f ms   (speedup %.2fx)\n"
+              "determinism (interp vs vm, full corpus): %s\n",
+              interp_total, vm_total, speedup,
+              identical ? "IDENTICAL" : "MISMATCH");
+
+  FILE* json = std::fopen("BENCH_vm.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"context\": {\"repetitions\": %d, \"identical\": %s},\n"
+                 "  \"benchmarks\": [\n",
+                 kReps, identical ? "true" : "false");
+    for (const Target& t : targets) {
+      std::fprintf(json,
+                   "    {\"name\": \"execute_%s_%s\", \"interp_ms\": %.3f, "
+                   "\"vm_ms\": %.3f, \"speedup\": %.3f, \"steps\": %llu, "
+                   "\"time_unit\": \"ms\"},\n",
+                   t.app->name.c_str(), apps::model_key(t.model),
+                   t.interp_ms, t.vm_ms,
+                   t.vm_ms > 0 ? t.interp_ms / t.vm_ms : 0.0,
+                   static_cast<unsigned long long>(t.steps));
+    }
+    std::fprintf(json,
+                 "    {\"name\": \"execute_total\", \"interp_ms\": %.3f, "
+                 "\"vm_ms\": %.3f, \"speedup\": %.3f, \"time_unit\": "
+                 "\"ms\"}\n"
+                 "  ]\n"
+                 "}\n",
+                 interp_total, vm_total, speedup);
+    std::fclose(json);
+    std::printf("wrote BENCH_vm.json\n");
+  }
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,5 +320,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return run_sweep_timing_section();
+  const int sweep_rc = run_sweep_timing_section();
+  const int vm_rc = run_vm_timing_section();
+  return sweep_rc != 0 ? sweep_rc : vm_rc;
 }

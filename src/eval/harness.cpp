@@ -109,7 +109,7 @@ std::uint64_t scoring_pipeline_hash() {
 }
 
 StagedScore ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
-                              apps::Model target) {
+                              apps::Model target, minic::EngineKind engine) {
   std::uint64_t key = repo_content_hash(repo);
   key = support::SplitMix64(key ^ support::stable_hash(app.name)).next();
   key = support::SplitMix64(key ^ static_cast<std::uint64_t>(target)).next();
@@ -130,9 +130,9 @@ StagedScore ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
   // score-layer miss on an already-built artifact skips straight to the
   // Execute/Validate stages; a build-layer miss still dedupes its TU
   // compiles through the lower (TU) layer.
-  StagedScore result =
-      ScoringPipeline(&builds_, tu_layer_enabled() ? &tus_ : nullptr)
-          .score(app, repo, target);
+  ScoringPipeline pipeline(&builds_, tu_layer_enabled() ? &tus_ : nullptr);
+  pipeline.set_engine(engine);
+  StagedScore result = pipeline.score(app, repo, target);
   misses_.fetch_add(1, std::memory_order_relaxed);
   insert_entry(key, result, /*fresh=*/true);
   return result;
@@ -336,8 +336,12 @@ SampleRun run_cell_sample(const Suite& suite, const SweepCell& cell,
                           : (config.use_score_cache ? &ScoreCache::global()
                                                     : nullptr);
   auto score = [&](const vfs::Repo& repo) {
-    return cache != nullptr ? cache->score(app, repo, pair.to)
-                            : ScoringPipeline().score(app, repo, pair.to);
+    if (cache != nullptr) {
+      return cache->score(app, repo, pair.to, config.engine);
+    }
+    ScoringPipeline pipeline;
+    pipeline.set_engine(config.engine);
+    return pipeline.score(app, repo, pair.to);
   };
   const StagedScore overall = score(gen.repo);
   run.outcome.built_overall = overall.built;

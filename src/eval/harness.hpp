@@ -98,6 +98,11 @@ struct HarnessConfig {
   /// Schedule this work on the pool's High lane so it drains before any
   /// Normal-priority tasks (figure-critical cells in bench_figures).
   bool high_priority = false;
+  /// Execution engine for the scoring pipeline's Execute stage. Engines
+  /// are bit-identical in every observable (enforced by sweep_merge
+  /// --verify and the differential VM tests), so this only changes
+  /// Execute wall time — scores, logs, and cache contents are invariant.
+  minic::EngineKind engine = minic::EngineKind::Interp;
 };
 
 /// The legacy flat scoring verdict: built/passed plus one log blob. Kept
@@ -165,9 +170,13 @@ std::uint64_t scoring_pipeline_hash();
 /// overflow.
 class ScoreCache {
  public:
-  /// ScoringPipeline::score with three-layer memoization.
+  /// ScoringPipeline::score with three-layer memoization. `engine` picks
+  /// the Execute-stage backend on a miss; it is deliberately NOT part of
+  /// the cache key because engines are bit-identical by contract (a hit
+  /// scored under one engine is byte-equal to a re-score under the other).
   StagedScore score(const apps::AppSpec& app, const vfs::Repo& repo,
-                    apps::Model target);
+                    apps::Model target,
+                    minic::EngineKind engine = minic::EngineKind::Interp);
 
   std::size_t hits() const noexcept { return hits_.load(); }
   std::size_t misses() const noexcept { return misses_.load(); }

@@ -252,7 +252,8 @@ StagedScore ScoringPipeline::score(const apps::AppSpec& app,
   bool all_passed = true;
   for (std::size_t i = 0; i < app.tests.size(); ++i) {
     const apps::TestCase& tc = app.tests[i];
-    const auto run = execsim::run_executable(*build->exe, tc.args);
+    const auto run = execsim::run_executable(*build->exe, tc.args,
+                                             minic::RunLimits{}, engine_);
 
     StageOutcome es;
     es.stage = Stage::Execute;

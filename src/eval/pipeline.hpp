@@ -30,6 +30,7 @@
 
 #include "apps/app.hpp"
 #include "minic/diag.hpp"
+#include "minic/engine.hpp"
 #include "support/json.hpp"
 #include "vfs/repo.hpp"
 
@@ -189,6 +190,12 @@ class ScoringPipeline {
                            buildsim::TuCompileCache* tu_cache = nullptr)
       : build_cache_(build_cache), tu_cache_(tu_cache) {}
 
+  /// Select the engine the Execute stage runs under. Engines are
+  /// bit-identical in every observable, so this never changes a score —
+  /// only Execute wall time. Not part of any cache key for that reason.
+  void set_engine(minic::EngineKind engine) { engine_ = engine; }
+  minic::EngineKind engine() const { return engine_; }
+
   StagedScore score(const apps::AppSpec& app, const vfs::Repo& repo,
                     apps::Model target) const;
 
@@ -204,6 +211,7 @@ class ScoringPipeline {
   /// artifacts differing only in their build file share every TU compile
   /// (and persisted failed plans skip the build entirely).
   buildsim::TuCompileCache* tu_cache_ = nullptr;
+  minic::EngineKind engine_ = minic::EngineKind::Interp;
 };
 
 // JSON codecs, shared by shard files and the persisted score cache.

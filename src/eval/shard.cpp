@@ -54,6 +54,7 @@ ShardResult run_shard(const Suite& suite, const SweepSpec& spec,
   ShardResult out;
   out.spec = spec;
   out.suite_fingerprint = suite.fingerprint();
+  out.engine = eff.engine;
   out.shard_index = shard_index;
   out.shard_count = shard_count;
   out.records.reserve(plan.units.size());
@@ -124,6 +125,17 @@ std::vector<TaskResult> merge_shards(const Suite& suite,
       throw std::runtime_error(support::strfmt(
           "merge_shards: shard %d disagrees on shard_count (%d vs %d)",
           s.shard_index, s.shard_count, shard_count));
+    }
+    if (s.engine != shards.front().engine) {
+      // Scores are engine-invariant, but a mixed-engine shard set means
+      // the worker fleet was misconfigured — refuse rather than publish a
+      // sweep whose provenance claims an engine half the units never ran.
+      throw std::runtime_error(support::strfmt(
+          "merge_shards: shard %d ran under engine '%s' but shard %d ran "
+          "under '%s' — all shards of one sweep must use the same engine",
+          s.shard_index, minic::engine_key(s.engine),
+          shards.front().shard_index,
+          minic::engine_key(shards.front().engine)));
     }
   }
 
@@ -349,6 +361,9 @@ Json to_json(const ShardResult& s) {
   // hash and rejects entries where the two disagree, and the merger
   // compares hashes across shards (and against any --spec file).
   j.set("spec_hash", u64_to_json(spec_hash(s.spec)));
+  // Engine provenance, next to the spec hash: which Execute backend
+  // produced these records. The merger rejects mixed-engine shard sets.
+  j.set("engine", minic::engine_key(s.engine));
   j.set("suite_fingerprint", u64_to_json(s.suite_fingerprint));
   j.set("shard_index", s.shard_index);
   j.set("shard_count", s.shard_count);
@@ -371,6 +386,9 @@ bool from_json(const Json& j, ShardResult* out) {
       stored_hash != spec_hash(out->spec)) {
     return false;  // spec and its recorded hash disagree: reject the shard
   }
+  const auto engine = minic::engine_from_key(j["engine"].as_string());
+  if (!engine.has_value()) return false;
+  out->engine = *engine;
   if (!u64_from_json(j["suite_fingerprint"], &out->suite_fingerprint)) {
     return false;
   }
@@ -399,7 +417,9 @@ constexpr const char* kShardFormat = "pareval-shard";
 // failure_log. The merger needs every shard's outcomes in one format —
 // mixing would break merged-vs-in-process bit-identity — so the parser
 // rejects other versions outright.
-constexpr long long kShardFormatVersion = 2;
+// v3: every shard records the execution engine ("interp" / "vm") its
+// Execute stages ran under, and the merger rejects mixed-engine sets.
+constexpr long long kShardFormatVersion = 3;
 }  // namespace
 
 std::string shard_file_text(const std::vector<ShardResult>& shards) {

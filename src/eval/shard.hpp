@@ -62,6 +62,12 @@ struct ShardResult {
   /// cell indices are only meaningful against that suite's registration
   /// order, so the merger checks it alongside the spec hash.
   std::uint64_t suite_fingerprint = 0;
+  /// Execution engine the shard's Execute stages ran under. Scores are
+  /// engine-invariant by contract, so this is provenance, not a result
+  /// input — but the merger still refuses mixed-engine shard sets: a mix
+  /// means the worker fleet was not configured uniformly, and the
+  /// invariance claim for this sweep was never actually exercised.
+  minic::EngineKind engine = minic::EngineKind::Interp;
   int shard_index = 0;
   int shard_count = 1;
   std::vector<SampleRecord> records;  // in plan (ascending unit) order

@@ -66,7 +66,8 @@ Executable compile_repo(
 
 minic::RunResult run_executable(const Executable& exe,
                                 const std::vector<std::string>& args,
-                                minic::RunLimits limits) {
+                                minic::RunLimits limits,
+                                minic::EngineKind engine) {
   minic::RunResult result;
   if (!exe.ok()) {
     result.ok = false;
@@ -75,8 +76,8 @@ minic::RunResult run_executable(const Executable& exe,
                        "cannot run: executable has compile errors");
     return result;
   }
-  minic::Interpreter interp(exe.program, exe.builtins, limits);
-  return interp.run(args);
+  return minic::make_engine(engine, exe.program, exe.builtins, limits)
+      ->run(args);
 }
 
 }  // namespace pareval::execsim

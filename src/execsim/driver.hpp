@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "execsim/registry.hpp"
-#include "minic/interp.hpp"
+#include "minic/engine.hpp"
 #include "minic/program.hpp"
 #include "vfs/repo.hpp"
 
@@ -29,11 +29,14 @@ Executable compile_repo(
     const minic::Capabilities& caps,
     const std::vector<std::pair<std::string, std::string>>& defines = {});
 
-/// Run a compiled executable. Returns a failed RunResult with a diagnostic
-/// if the executable has compile errors.
-minic::RunResult run_executable(const Executable& exe,
-                                const std::vector<std::string>& args,
-                                minic::RunLimits limits = {});
+/// Run a compiled executable under the chosen execution engine (tree
+/// interpreter by default, bytecode VM opt-in — both produce bit-identical
+/// results). Returns a failed RunResult with a diagnostic if the
+/// executable has compile errors.
+minic::RunResult run_executable(
+    const Executable& exe, const std::vector<std::string>& args,
+    minic::RunLimits limits = {},
+    minic::EngineKind engine = minic::EngineKind::Interp);
 
 /// Compile a single translation unit under its own capability set (the
 /// build simulator compiles each source with the flags of its own compiler

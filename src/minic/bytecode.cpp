@@ -1,0 +1,751 @@
+#include "minic/bytecode.hpp"
+
+#include "minic/machine.hpp"
+
+namespace pareval::minic {
+
+namespace {
+
+/// Single-pass AST -> bytecode compiler with stack-discipline register
+/// allocation and fused fuel accounting (see bytecode.hpp for the
+/// contract). Forward jump targets go through a label/fixup table.
+struct Compiler {
+  const LinkedProgram& prog;
+  const BuiltinTable& builtins;
+  Chunk& ch;
+
+  int rtop = 0;         // next free register
+  int pending = 0;      // fuel charges not yet attached to an instruction
+  int pending_line = 0;
+  int depth = 0;        // compiled scope depth (PushScope minus PopScope)
+
+  struct LoopCtx {
+    int cont_label = -1;
+    int break_label = -1;
+    int depth = 0;  // scope depth just inside the loop
+  };
+  std::vector<LoopCtx> loops;
+
+  std::vector<int> labels;  // label id -> code index (-1 until bound)
+  struct Fixup {
+    std::size_t code_index;
+    int label;
+    bool imm2;  // patch imm2 instead of imm
+  };
+  std::vector<Fixup> fixups;
+
+  // --------------------------------------------------------- plumbing --
+  int alloc_reg() {
+    const int r = rtop++;
+    if (rtop > ch.num_regs) ch.num_regs = rtop;
+    return r;
+  }
+
+  int add_const(Value v) {
+    ch.consts.push_back(std::move(v));
+    return static_cast<int>(ch.consts.size() - 1);
+  }
+  int add_name(const std::string& n) {
+    for (std::size_t i = 0; i < ch.names.size(); ++i) {
+      if (ch.names[i] == n) return static_cast<int>(i);
+    }
+    ch.names.push_back(n);
+    return static_cast<int>(ch.names.size() - 1);
+  }
+  int add_type(const Type& t) {
+    ch.types.push_back(t);
+    return static_cast<int>(ch.types.size() - 1);
+  }
+
+  /// Replay one interpreter step() charge. Same-line charges fuse; a line
+  /// change flushes so a fuel-exhaustion trap reports the exact line the
+  /// tree-walker would.
+  void charge(int line) {
+    if (pending > 0 && pending_line != line) flush_step();
+    ++pending;
+    pending_line = line;
+  }
+
+  void flush_step() {
+    if (pending == 0) return;
+    Instr in;
+    in.op = Op::Step;
+    in.fuel = pending;
+    in.fuel_line = pending_line;
+    in.line = pending_line;
+    pending = 0;
+    ch.code.push_back(in);
+  }
+
+  void emit(Instr in) {
+    in.fuel = pending;
+    in.fuel_line = pending_line;
+    pending = 0;
+    ch.code.push_back(in);
+  }
+
+  int new_label() {
+    labels.push_back(-1);
+    return static_cast<int>(labels.size() - 1);
+  }
+  /// Bind a label here. Flushes pending fuel first: charges made before a
+  /// jump target must not be re-burned when a back-edge lands on it.
+  void bind(int label) {
+    flush_step();
+    labels[label] = static_cast<int>(ch.code.size());
+  }
+
+  void emit_jump(Op op, int reg, int label, int line) {
+    Instr in;
+    in.op = op;
+    in.a = static_cast<unsigned short>(reg < 0 ? 0 : reg);
+    in.line = line;
+    emit(std::move(in));
+    fixups.push_back({ch.code.size() - 1, label, false});
+  }
+
+  /// Attach the enclosing compiled loop's break/continue targets to a
+  /// tree-fallback instruction so BreakSig/ContinueSig thrown from the
+  /// tree-walker land exactly where the interpreter's per-iteration
+  /// catch blocks would put them.
+  void set_loop_ctx(Instr& in) {
+    if (loops.empty()) return;
+    const LoopCtx& lc = loops.back();
+    in.b = static_cast<unsigned short>(depth - lc.depth);  // break pops
+    in.c = static_cast<unsigned short>(depth - lc.depth);  // continue pops
+    in.imm = -2;   // patched below
+    in.imm2 = -2;
+    fixups.push_back({ch.code.size(), lc.break_label, false});
+    fixups.push_back({ch.code.size(), lc.cont_label, true});
+  }
+
+  void tree_eval(const Expr& e, int dst) {
+    Instr in;
+    in.op = Op::TreeEval;
+    in.a = static_cast<unsigned short>(dst);
+    in.line = e.line;
+    in.node = &e;
+    set_loop_ctx(in);
+    emit(std::move(in));
+  }
+
+  void tree_stmt(const Stmt& s) {
+    Instr in;
+    in.op = Op::TreeStmt;
+    in.line = s.line;
+    in.node = &s;
+    set_loop_ctx(in);
+    emit(std::move(in));
+  }
+
+  // ------------------------------------------------------ expressions --
+  static bool can_compile_lvalue(const Expr& e) {
+    return e.kind == ExprKind::Ident ||
+           (e.kind == ExprKind::Unary && e.text == "*") ||
+           e.kind == ExprKind::Index;
+  }
+
+  /// Mirror resolve_lvalue for the compilable subset; pushes one entry on
+  /// the runtime lvalue stack. Pre: can_compile_lvalue(e).
+  void compile_lvalue(const Expr& e) {
+    charge(e.line);  // resolve_lvalue entry step
+    if (e.kind == ExprKind::Ident) {
+      Instr in;
+      in.op = Op::CheckVar;
+      in.imm = add_name(e.text);
+      in.line = e.line;
+      emit(std::move(in));
+      return;
+    }
+    const int save = rtop;
+    if (e.kind == ExprKind::Unary) {  // *p
+      const int r = alloc_reg();
+      compile_expr(*e.kids[0], r);
+      Instr in;
+      in.op = Op::CheckDeref;
+      in.a = static_cast<unsigned short>(r);
+      in.flag = false;
+      in.line = e.line;
+      emit(std::move(in));
+    } else {  // p[i]
+      const int rb = alloc_reg();
+      compile_expr(*e.kids[0], rb);
+      const int ri = alloc_reg();
+      compile_expr(*e.kids[1], ri);
+      Instr in;
+      in.op = Op::CheckDeref;
+      in.a = static_cast<unsigned short>(rb);
+      in.b = static_cast<unsigned short>(ri);
+      in.flag = true;
+      in.line = e.line;
+      emit(std::move(in));
+    }
+    rtop = save;
+  }
+
+  void compile_expr(const Expr& e, int dst) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::CharLit: {
+        charge(e.line);
+        emit_load_const(Value::make_int(e.int_value), dst, e.line);
+        return;
+      }
+      case ExprKind::FloatLit:
+        charge(e.line);
+        emit_load_const(Value::make_real(e.float_value), dst, e.line);
+        return;
+      case ExprKind::StringLit:
+        charge(e.line);
+        emit_load_const(Value::make_str(e.text), dst, e.line);
+        return;
+      case ExprKind::SizeofType:
+        charge(e.line);
+        emit_load_const(Value::make_int(type_size(e.type)), dst, e.line);
+        return;
+      case ExprKind::Ident: {
+        charge(e.line);
+        Instr in;
+        in.op = Op::LoadVar;
+        in.a = static_cast<unsigned short>(dst);
+        in.imm = add_name(e.text);
+        in.line = e.line;
+        emit(std::move(in));
+        return;
+      }
+      case ExprKind::Unary:
+        compile_unary(e, dst);
+        return;
+      case ExprKind::Binary:
+        compile_binary(e, dst);
+        return;
+      case ExprKind::Assign:
+        compile_assign(e, dst);
+        return;
+      case ExprKind::Ternary: {
+        charge(e.line);
+        const int l_else = new_label();
+        const int l_end = new_label();
+        compile_expr(*e.kids[0], dst);
+        emit_jump(Op::Jz, dst, l_else, e.line);
+        compile_expr(*e.kids[1], dst);
+        emit_jump(Op::Jmp, -1, l_end, e.line);
+        bind(l_else);
+        compile_expr(*e.kids[2], dst);
+        bind(l_end);
+        return;
+      }
+      case ExprKind::Index: {
+        // eval() entry + resolve_lvalue() entry: two charges, same line.
+        charge(e.line);
+        charge(e.line);
+        const int save = rtop;
+        const int rb = alloc_reg();
+        compile_expr(*e.kids[0], rb);
+        const int ri = alloc_reg();
+        compile_expr(*e.kids[1], ri);
+        Instr chk;
+        chk.op = Op::CheckDeref;
+        chk.a = static_cast<unsigned short>(rb);
+        chk.b = static_cast<unsigned short>(ri);
+        chk.flag = true;
+        chk.line = e.line;
+        emit(std::move(chk));
+        rtop = save;
+        Instr ld;
+        ld.op = Op::LoadLv;
+        ld.a = static_cast<unsigned short>(dst);
+        ld.line = e.line;
+        emit(std::move(ld));
+        return;
+      }
+      case ExprKind::Member: {
+        charge(e.line);  // eval() entry; eval_member_body charges the rest
+        Instr in;
+        in.op = Op::Member;
+        in.a = static_cast<unsigned short>(dst);
+        in.line = e.line;
+        in.node = &e;
+        emit(std::move(in));
+        return;
+      }
+      case ExprKind::Cast: {
+        charge(e.line);
+        const int save = rtop;
+        const int r = alloc_reg();
+        compile_expr(*e.kids[0], r);
+        Instr in;
+        in.op = Op::Cast;
+        in.a = static_cast<unsigned short>(dst);
+        in.b = static_cast<unsigned short>(r);
+        in.imm = add_type(e.type);
+        in.line = e.line;
+        emit(std::move(in));
+        rtop = save;
+        return;
+      }
+      case ExprKind::Call:
+        compile_call(e, dst);
+        return;
+      default:
+        // InitList, LambdaExpr: tree-walk (eval charges its own entry).
+        tree_eval(e, dst);
+        return;
+    }
+  }
+
+  void emit_load_const(Value v, int dst, int line) {
+    Instr in;
+    in.op = Op::LoadConst;
+    in.a = static_cast<unsigned short>(dst);
+    in.imm = add_const(std::move(v));
+    in.line = line;
+    emit(std::move(in));
+  }
+
+  void compile_unary(const Expr& e, int dst) {
+    const std::string& op = e.text;
+    if (op == "++" || op == "--") {
+      if (!can_compile_lvalue(*e.kids[0])) {
+        tree_eval(e, dst);
+        return;
+      }
+      charge(e.line);
+      compile_lvalue(*e.kids[0]);
+      Instr in;
+      in.op = Op::IncDecLv;
+      in.a = static_cast<unsigned short>(dst);
+      in.imm = op == "++" ? 1 : -1;
+      in.flag = e.postfix;
+      in.line = e.line;
+      emit(std::move(in));
+      return;
+    }
+    if (op == "*") {
+      charge(e.line);
+      const int save = rtop;
+      const int r = alloc_reg();
+      compile_expr(*e.kids[0], r);
+      Instr in;
+      in.op = Op::Deref;
+      in.a = static_cast<unsigned short>(dst);
+      in.b = static_cast<unsigned short>(r);
+      in.line = e.line;
+      emit(std::move(in));
+      rtop = save;
+      return;
+    }
+    if (op == "&") {
+      if (e.kids[0]->kind == ExprKind::Ident) {
+        charge(e.line);
+        Instr in;
+        in.op = Op::AddrVar;
+        in.a = static_cast<unsigned short>(dst);
+        in.imm = add_name(e.kids[0]->text);
+        in.line = e.line;
+        emit(std::move(in));
+        return;
+      }
+      if (can_compile_lvalue(*e.kids[0])) {
+        charge(e.line);
+        compile_lvalue(*e.kids[0]);
+        Instr in;
+        in.op = Op::AddrLv;
+        in.a = static_cast<unsigned short>(dst);
+        in.line = e.line;
+        emit(std::move(in));
+        return;
+      }
+      tree_eval(e, dst);
+      return;
+    }
+    if (op == "-" || op == "!" || op == "~") {
+      charge(e.line);
+      const int save = rtop;
+      const int r = alloc_reg();
+      compile_expr(*e.kids[0], r);
+      Instr in;
+      in.op = op == "-" ? Op::Neg : op == "!" ? Op::Not : Op::BNot;
+      in.a = static_cast<unsigned short>(dst);
+      in.b = static_cast<unsigned short>(r);
+      in.line = e.line;
+      emit(std::move(in));
+      rtop = save;
+      return;
+    }
+    tree_eval(e, dst);  // unknown unary operator: eval traps
+  }
+
+  void compile_binary(const Expr& e, int dst) {
+    const std::string& op = e.text;
+    if (op == "&&" || op == "||") {
+      charge(e.line);
+      const int l_short = new_label();
+      compile_expr(*e.kids[0], dst);
+      emit_jump(op == "&&" ? Op::Jz : Op::Jnz, dst, l_short, e.line);
+      compile_expr(*e.kids[1], dst);
+      bind(l_short);
+      Instr in;
+      in.op = Op::Boolize;
+      in.a = static_cast<unsigned short>(dst);
+      in.line = e.line;
+      emit(std::move(in));
+      return;
+    }
+    const auto bop = binop_from_text(op);
+    if (!bop) {
+      tree_eval(e, dst);  // unknown operator: eval traps with exact message
+      return;
+    }
+    charge(e.line);
+    const int save = rtop;
+    compile_expr(*e.kids[0], dst);
+    const int r2 = alloc_reg();
+    compile_expr(*e.kids[1], r2);
+    Instr in;
+    in.op = Op::Binop;
+    in.a = static_cast<unsigned short>(dst);
+    in.b = static_cast<unsigned short>(dst);
+    in.c = static_cast<unsigned short>(r2);
+    in.binop = static_cast<signed char>(*bop);
+    in.line = e.line;
+    emit(std::move(in));
+    rtop = save;
+  }
+
+  void compile_assign(const Expr& e, int dst) {
+    const Expr& target = *e.kids[0];
+    if (!can_compile_lvalue(target)) {
+      tree_eval(e, dst);  // Member/view targets: tree-walk the whole node
+      return;
+    }
+    signed char bop = -1;
+    if (e.text != "=") {
+      const auto b = binop_from_text(e.text.substr(0, e.text.size() - 1));
+      if (!b) {
+        tree_eval(e, dst);
+        return;
+      }
+      bop = static_cast<signed char>(*b);
+    }
+    charge(e.line);
+    compile_lvalue(target);  // lvalue FIRST: its traps fire before the rhs
+    compile_expr(*e.kids[1], dst);
+    Instr in;
+    in.op = bop < 0 ? Op::StoreLv : Op::CompoundLv;
+    in.a = static_cast<unsigned short>(dst);
+    in.binop = bop;
+    in.line = e.line;
+    emit(std::move(in));
+  }
+
+  void compile_call(const Expr& e, int dst) {
+    if (e.launch_grid) {
+      tree_eval(e, dst);  // kernel launch: launch_kernel via the walker
+      return;
+    }
+    const auto fit = prog.functions.find(e.text);
+    const FunctionDecl* fn =
+        fit != prog.functions.end() ? fit->second : nullptr;
+    const BuiltinDef* bd = fn ? nullptr : builtins.find(e.text);
+    if (fn == nullptr && (bd == nullptr || !bd->impl)) {
+      tree_eval(e, dst);  // undeclared (or var-only) call: walker handles
+      return;
+    }
+    charge(e.line);
+    const int l_after = new_label();
+    {
+      // A local view/lambda variable shadows the function name at runtime;
+      // the interpreter checks that first, so must we.
+      Instr in;
+      in.op = Op::CallGuard;
+      in.a = static_cast<unsigned short>(dst);
+      in.line = e.line;
+      in.node = &e;
+      emit(std::move(in));
+      fixups.push_back({ch.code.size() - 1, l_after, false});
+    }
+    const int base = rtop;
+    const int nargs = static_cast<int>(e.kids.size());
+    if (fn != nullptr) {
+      for (const auto& k : e.kids) {
+        const int r = alloc_reg();
+        compile_expr(*k, r);
+      }
+      Instr in;
+      in.op = Op::CallFn;
+      in.a = static_cast<unsigned short>(dst);
+      in.b = static_cast<unsigned short>(base);
+      in.c = static_cast<unsigned short>(nargs);
+      in.line = e.line;
+      in.node = fn;
+      emit(std::move(in));
+    } else {
+      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        const int r = alloc_reg();
+        const bool wants_ref = i < bd->arg_classes.size() &&
+                               bd->arg_classes[i] == ArgClass::PtrOut &&
+                               e.kids[i]->kind == ExprKind::Ident;
+        if (wants_ref) {
+          // Declared variable -> Ref without evaluating; else evaluate.
+          const int l_skip = new_label();
+          Instr ra;
+          ra.op = Op::RefArg;
+          ra.a = static_cast<unsigned short>(r);
+          ra.imm = add_name(e.kids[i]->text);
+          ra.line = e.kids[i]->line;
+          emit(std::move(ra));
+          fixups.push_back({ch.code.size() - 1, l_skip, true});
+          compile_expr(*e.kids[i], r);
+          bind(l_skip);
+        } else {
+          compile_expr(*e.kids[i], r);
+        }
+      }
+      Instr in;
+      in.op = Op::Builtin;
+      in.a = static_cast<unsigned short>(dst);
+      in.b = static_cast<unsigned short>(base);
+      in.c = static_cast<unsigned short>(nargs);
+      in.line = e.line;
+      in.node = bd;
+      emit(std::move(in));
+    }
+    rtop = base;
+    bind(l_after);
+  }
+
+  // ------------------------------------------------------- statements --
+  static bool simple_decl(const VarDecl& v) {
+    if (v.array_size) return false;
+    switch (v.type.base) {
+      case BaseType::View:
+      case BaseType::Dim3:
+      case BaseType::Struct:
+      case BaseType::CurandState:
+        return false;
+      default:
+        return true;
+    }
+  }
+
+  void compile_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Block: {
+        charge(s.line);
+        Instr push;
+        push.op = Op::PushScope;
+        push.line = s.line;
+        emit(std::move(push));
+        ++depth;
+        for (const auto& child : s.body) compile_stmt(*child);
+        Instr pop;
+        pop.op = Op::PopScope;
+        pop.line = s.line;
+        emit(std::move(pop));
+        --depth;
+        return;
+      }
+      case StmtKind::ExprStmt: {
+        charge(s.line);
+        if (s.expr) {
+          const int save = rtop;
+          const int r = alloc_reg();
+          compile_expr(*s.expr, r);
+          rtop = save;
+        }
+        return;
+      }
+      case StmtKind::Decl: {
+        for (const auto& v : s.decls) {
+          if (!simple_decl(v)) {
+            tree_stmt(s);  // any complex decl: walk the whole statement
+            return;
+          }
+        }
+        charge(s.line);
+        for (const auto& v : s.decls) {
+          const int save = rtop;
+          Instr in;
+          in.op = Op::DeclVar;
+          in.imm = add_name(v.name);
+          in.imm2 = add_type(v.type);
+          in.line = v.line;
+          if (v.init) {
+            const int r = alloc_reg();
+            compile_expr(*v.init, r);
+            in.a = static_cast<unsigned short>(r);
+            in.flag = true;
+          }
+          emit(std::move(in));
+          rtop = save;
+        }
+        return;
+      }
+      case StmtKind::If: {
+        charge(s.line);
+        const int l_end = new_label();
+        const int l_else = s.else_branch ? new_label() : l_end;
+        {
+          const int save = rtop;
+          const int r = alloc_reg();
+          compile_expr(*s.expr, r);
+          emit_jump(Op::Jz, r, l_else, s.line);
+          rtop = save;
+        }
+        compile_stmt(*s.then_branch);
+        if (s.else_branch) {
+          emit_jump(Op::Jmp, -1, l_end, s.line);
+          bind(l_else);
+          compile_stmt(*s.else_branch);
+        }
+        bind(l_end);
+        return;
+      }
+      case StmtKind::While: {
+        charge(s.line);  // exec() entry: once, outside the loop
+        const int l_cond = new_label();
+        const int l_end = new_label();
+        bind(l_cond);
+        {
+          const int save = rtop;
+          const int r = alloc_reg();
+          compile_expr(*s.expr, r);
+          emit_jump(Op::Jz, r, l_end, s.line);
+          rtop = save;
+        }
+        loops.push_back({l_cond, l_end, depth});
+        compile_stmt(*s.loop_body);
+        loops.pop_back();
+        emit_jump(Op::Jmp, -1, l_cond, s.line);
+        bind(l_end);
+        return;
+      }
+      case StmtKind::DoWhile: {
+        charge(s.line);
+        const int l_top = new_label();
+        const int l_cond = new_label();
+        const int l_end = new_label();
+        bind(l_top);
+        loops.push_back({l_cond, l_end, depth});
+        compile_stmt(*s.loop_body);
+        loops.pop_back();
+        bind(l_cond);
+        {
+          const int save = rtop;
+          const int r = alloc_reg();
+          compile_expr(*s.expr, r);
+          emit_jump(Op::Jnz, r, l_top, s.line);
+          rtop = save;
+        }
+        bind(l_end);
+        return;
+      }
+      case StmtKind::For: {
+        charge(s.line);
+        Instr push;
+        push.op = Op::PushScope;
+        push.line = s.line;
+        emit(std::move(push));
+        ++depth;
+        if (s.for_init) compile_stmt(*s.for_init);
+        const int l_cond = new_label();
+        const int l_cont = new_label();
+        const int l_end = new_label();
+        bind(l_cond);
+        if (s.expr) {
+          const int save = rtop;
+          const int r = alloc_reg();
+          compile_expr(*s.expr, r);
+          emit_jump(Op::Jz, r, l_end, s.line);
+          rtop = save;
+        }
+        loops.push_back({l_cont, l_end, depth});
+        compile_stmt(*s.loop_body);
+        loops.pop_back();
+        bind(l_cont);
+        if (s.for_inc) {
+          const int save = rtop;
+          const int r = alloc_reg();
+          compile_expr(*s.for_inc, r);
+          rtop = save;
+        }
+        emit_jump(Op::Jmp, -1, l_cond, s.line);
+        bind(l_end);
+        Instr pop;
+        pop.op = Op::PopScope;
+        pop.line = s.line;
+        emit(std::move(pop));
+        --depth;
+        return;
+      }
+      case StmtKind::Return: {
+        charge(s.line);
+        if (s.expr) {
+          const int save = rtop;
+          const int r = alloc_reg();
+          compile_expr(*s.expr, r);
+          Instr in;
+          in.op = Op::Ret;
+          in.a = static_cast<unsigned short>(r);
+          in.line = s.line;
+          emit(std::move(in));
+          rtop = save;
+        } else {
+          Instr in;
+          in.op = Op::RetVoid;
+          in.line = s.line;
+          emit(std::move(in));
+        }
+        return;
+      }
+      case StmtKind::Break:
+      case StmtKind::Continue: {
+        if (loops.empty()) {
+          tree_stmt(s);  // stray break/continue: signal escapes, as before
+          return;
+        }
+        charge(s.line);
+        const LoopCtx& lc = loops.back();
+        Instr in;
+        in.op = Op::PopJump;
+        in.b = static_cast<unsigned short>(depth - lc.depth);
+        in.line = s.line;
+        emit(std::move(in));
+        fixups.push_back({ch.code.size() - 1,
+                          s.kind == StmtKind::Break ? lc.break_label
+                                                    : lc.cont_label,
+                          false});
+        return;
+      }
+      case StmtKind::Omp:
+        tree_stmt(s);  // OpenMP semantics live in the machine's walker
+        return;
+    }
+    tree_stmt(s);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Chunk> compile_function(const FunctionDecl& fn,
+                                        const LinkedProgram& prog,
+                                        const BuiltinTable& builtins) {
+  auto ch = std::make_unique<Chunk>();
+  ch->fn = &fn;
+  Compiler c{prog, builtins, *ch};
+  c.compile_stmt(*fn.body);
+  {
+    Instr end;
+    end.op = Op::End;
+    c.emit(std::move(end));  // carries any trailing fuel
+  }
+  for (const Compiler::Fixup& f : c.fixups) {
+    const int target = c.labels[static_cast<std::size_t>(f.label)];
+    Instr& in = ch->code[f.code_index];
+    (f.imm2 ? in.imm2 : in.imm) = target;
+  }
+  return ch;
+}
+
+}  // namespace pareval::minic

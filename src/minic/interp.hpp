@@ -1,80 +1,38 @@
 #pragma once
-// The MiniC interpreter: executes a linked program against the simulated
-// host/device machine. This is the reproduction's stand-in for the paper's
-// evaluation GPU (an NVIDIA A100 on Zaratan): translated applications are
-// genuinely *run* and their output compared with golden references, and the
-// run statistics record whether compute actually happened in device context
-// (the paper requires translations to "execute on the hardware specified").
+// The MiniC tree-walking interpreter: executes a linked program against the
+// simulated host/device machine. This is the reproduction's stand-in for the
+// paper's evaluation GPU (an NVIDIA A100 on Zaratan): translated applications
+// are genuinely *run* and their output compared with golden references, and
+// the run statistics record whether compute actually happened in device
+// context (the paper requires translations to "execute on the hardware
+// specified").
+//
+// The interpreter is the reference semantics; the bytecode `Vm`
+// (minic/vm.hpp) must match it bit-for-bit. Both drive the shared `Machine`
+// runtime — this class is a thin ExecEngine shell over it.
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "minic/builtins.hpp"
-#include "minic/program.hpp"
-#include "minic/value.hpp"
+#include "minic/engine.hpp"
 
 namespace pareval::minic {
 
-struct RunLimits {
-  long long max_steps = 200'000'000;      // interpreter fuel
-  std::size_t max_output_bytes = 1 << 20; // stdout+stderr cap
-  long long max_cells = 32'000'000;       // total allocated cells
-};
+class Machine;
 
-struct RunStats {
-  long long steps = 0;
-  long long device_kernel_launches = 0;  // CUDA launches, target loops,
-                                         // Kokkos parallel dispatches
-  long long host_parallel_regions = 0;   // OpenMP CPU parallel loops
-  long long target_regions = 0;          // offloaded target regions entered
-  long long h2d_copies = 0;
-  long long d2h_copies = 0;
-  bool read_uninitialized = false;       // poisoned data reached the program
-};
-
-struct RunResult {
-  bool ok = false;      // ran to completion with exit code 0
-  int exit_code = 0;
-  std::string stdout_text;
-  std::string stderr_text;
-  DiagBag diags;        // runtime faults land here
-  RunStats stats;
-};
-
-class Interpreter final : public InterpCtx {
+class Interpreter final : public ExecEngine {
  public:
   Interpreter(const LinkedProgram& prog, const BuiltinTable& builtins,
               RunLimits limits = {});
   ~Interpreter() override;
 
   /// Run main() with the given command-line arguments (argv[1..]).
-  RunResult run(const std::vector<std::string>& args);
-
-  // ----- InterpCtx ----------------------------------------------------
-  int alloc_block(MemSpace space, long long cells, int elem_size,
-                  std::string origin) override;
-  void free_block(int block, int line) override;
-  MemBlock& block(int id) override;
-  Value load(const MemRef& ref, int line) override;
-  void store(const MemRef& ref, Value v, int line) override;
-  void copy_cells(int dst_block, long long dst_off, int src_block,
-                  long long src_off, long long count, int line) override;
-  void call_closure(const Value& lambda, std::vector<Value> args,
-                    std::vector<VarSlot*> ref_slots, bool on_device,
-                    int line) override;
-  bool on_device() const override;
-  void print(const std::string& text, bool to_stderr) override;
-  [[noreturn]] void raise(DiagCategory cat, const std::string& msg,
-                          int line) override;
-  [[noreturn]] void exit_program(int code) override;
-  void count_device_launch() override;
-  void count_host_parallel() override;
-  double sim_time_seconds() override;
-  long long& rand_state() override;
+  RunResult run(const std::vector<std::string>& args) override;
+  EngineKind kind() const override { return EngineKind::Interp; }
 
  private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<Machine> machine_;
 };
 
 }  // namespace pareval::minic

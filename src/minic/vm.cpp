@@ -1,0 +1,467 @@
+#include "minic/vm.hpp"
+
+#include <map>
+
+#include "minic/bytecode.hpp"
+#include "minic/machine.hpp"
+
+namespace pareval::minic {
+
+// Direct-threaded dispatch (computed goto) where available; a plain
+// switch loop otherwise. Both variants share the op bodies below.
+#if defined(__GNUC__) || defined(__clang__)
+#define PAREVAL_VM_CGOTO 1
+#endif
+
+struct Vm::Impl final : Machine {
+  using Machine::Machine;
+
+  std::map<const FunctionDecl*, std::unique_ptr<Chunk>> chunks;
+
+  const Chunk& chunk_for(const FunctionDecl& fn) {
+    auto it = chunks.find(&fn);
+    if (it == chunks.end()) {
+      it = chunks.emplace(&fn, compile_function(fn, prog, builtins)).first;
+    }
+    return *it->second;
+  }
+
+  /// Mirrors Machine::call_function exactly, but runs the function's
+  /// compiled chunk. Because every call site in the machine (kernel
+  /// launches, builtins, tree fallbacks) goes through this virtual,
+  /// compiling here covers them all.
+  Value call_function(const FunctionDecl& fn, std::vector<Value> args,
+                      int line) override {
+    if (frames.size() > 200) {
+      trap(DiagCategory::RuntimeFault,
+           "stack overflow (call depth exceeded) in '" + fn.name + "'",
+           line);
+    }
+    if (args.size() != fn.params.size()) {
+      trap(DiagCategory::RuntimeFault,
+           "call to '" + fn.name + "' with wrong number of arguments", line);
+    }
+    const Chunk& ch = chunk_for(fn);
+    frames.emplace_back();
+    frames.back().scopes.push_back(Scope{next_scope_id++, {}});
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      VarSlot slot;
+      slot.type = fn.params[i].type;
+      slot.v = coerce_to_type(std::move(args[i]), slot.type);
+      declare(fn.params[i].name, std::move(slot));
+    }
+    Value ret;
+    try {
+      ret = execute(ch);
+    } catch (ReturnSig& r) {
+      // A Return inside a tree-walked region (OpenMP body, lambda-free
+      // closure) surfaces as the signal; compiled returns come back as
+      // the plain (already coerced) value.
+      ret = coerce_to_type(std::move(r.v), fn.return_type);
+    } catch (...) {
+      // Mirror Machine::call_function: pop the frame before propagating
+      // so enclosing Block handlers pop scopes from their own frame.
+      frames.pop_back();
+      throw;
+    }
+    frames.pop_back();
+    return ret;
+  }
+
+  Value execute(const Chunk& ch);
+};
+
+Value Vm::Impl::execute(const Chunk& ch) {
+  std::vector<Value> regs(static_cast<std::size_t>(ch.num_regs));
+  std::vector<LValue> lvs;
+  const Instr* const code = ch.code.data();
+  std::size_t ip = 0;
+
+#ifdef PAREVAL_VM_CGOTO
+  // Table order must match enum class Op exactly.
+  static const void* const kJump[] = {
+      &&L_Step,      &&L_LoadConst, &&L_LoadVar,  &&L_Move,
+      &&L_Member,    &&L_CheckVar,  &&L_CheckDeref, &&L_StoreLv,
+      &&L_CompoundLv, &&L_IncDecLv, &&L_LoadLv,   &&L_Deref,
+      &&L_AddrVar,   &&L_AddrLv,    &&L_Neg,      &&L_Not,
+      &&L_BNot,      &&L_Binop,     &&L_Boolize,  &&L_Cast,
+      &&L_Jmp,       &&L_Jz,        &&L_Jnz,      &&L_PopJump,
+      &&L_PushScope, &&L_PopScope,  &&L_DeclVar,  &&L_CallGuard,
+      &&L_CallFn,    &&L_Builtin,   &&L_RefArg,   &&L_TreeEval,
+      &&L_TreeStmt,  &&L_Ret,       &&L_RetVoid,  &&L_End,
+  };
+#define VM_CASE(name) L_##name
+#define VM_DISPATCH()                                              \
+  do {                                                             \
+    const Instr& D = code[ip];                                     \
+    if (D.fuel != 0) step_n(D.fuel, D.fuel_line);                  \
+    goto* kJump[static_cast<unsigned char>(D.op)];                 \
+  } while (0)
+#define VM_NEXT()   \
+  do {              \
+    ++ip;           \
+    VM_DISPATCH();  \
+  } while (0)
+#define VM_JUMP(target)                     \
+  do {                                      \
+    ip = static_cast<std::size_t>(target);  \
+    VM_DISPATCH();                          \
+  } while (0)
+  VM_DISPATCH();
+#else
+#define VM_CASE(name) case Op::name
+#define VM_NEXT() \
+  {               \
+    ++ip;         \
+    break;        \
+  }
+#define VM_JUMP(target)                    \
+  {                                        \
+    ip = static_cast<std::size_t>(target); \
+    break;                                 \
+  }
+  for (;;) {
+    {
+      const Instr& D = code[ip];
+      if (D.fuel != 0) step_n(D.fuel, D.fuel_line);
+    }
+    switch (code[ip].op) {
+#endif
+
+      VM_CASE(Step) : { VM_NEXT(); }
+
+      VM_CASE(LoadConst) : {
+        const Instr& I = code[ip];
+        regs[I.a] = ch.consts[static_cast<std::size_t>(I.imm)];
+        VM_NEXT();
+      }
+
+      VM_CASE(LoadVar) : {
+        const Instr& I = code[ip];
+        regs[I.a] =
+            ident_value(ch.names[static_cast<std::size_t>(I.imm)], I.line);
+        VM_NEXT();
+      }
+
+      VM_CASE(Move) : {
+        const Instr& I = code[ip];
+        regs[I.a] = regs[I.b];
+        VM_NEXT();
+      }
+
+      VM_CASE(Member) : {
+        const Instr& I = code[ip];
+        regs[I.a] = eval_member_body(*static_cast<const Expr*>(I.node));
+        VM_NEXT();
+      }
+
+      VM_CASE(CheckVar) : {
+        const Instr& I = code[ip];
+        lvs.push_back(lvalue_ident(
+            ch.names[static_cast<std::size_t>(I.imm)], I.line));
+        VM_NEXT();
+      }
+
+      VM_CASE(CheckDeref) : {
+        const Instr& I = code[ip];
+        const Value& p = regs[I.a];
+        LValue lv;
+        if (I.flag) {  // p[i]
+          if (p.kind != Value::Kind::Ptr) {
+            trap(DiagCategory::RuntimeFault,
+                 "subscript of a non-pointer value", I.line);
+          }
+          lv.kind = LValue::Kind::Cell;
+          lv.cell = p.ptr;
+          lv.cell.offset += regs[I.b].as_int();
+        } else {  // *p
+          if (p.kind == Value::Kind::Ref && p.ref != nullptr) {
+            lv.kind = LValue::Kind::Var;
+            lv.var = Found{p.ref, next_scope_id};  // local: never shadowed
+          } else if (p.kind != Value::Kind::Ptr) {
+            trap(DiagCategory::RuntimeFault,
+                 "indirection through a non-pointer value", I.line);
+          } else {
+            lv.kind = LValue::Kind::Cell;
+            lv.cell = p.ptr;
+          }
+        }
+        lvs.push_back(std::move(lv));
+        VM_NEXT();
+      }
+
+      VM_CASE(StoreLv) : {
+        const Instr& I = code[ip];
+        lv_store(lvs.back(), regs[I.a], I.line);  // reg keeps the result
+        lvs.pop_back();
+        VM_NEXT();
+      }
+
+      VM_CASE(CompoundLv) : {
+        const Instr& I = code[ip];
+        const LValue lv = std::move(lvs.back());
+        lvs.pop_back();
+        const Value cur = lv_load(lv, I.line);
+        Value comb = compound_combine(static_cast<BinOp>(I.binop), cur,
+                                      regs[I.a], I.line);
+        lv_store(lv, comb, I.line);
+        regs[I.a] = std::move(comb);
+        VM_NEXT();
+      }
+
+      VM_CASE(IncDecLv) : {
+        const Instr& I = code[ip];
+        regs[I.a] = incdec_apply(lvs.back(), I.imm, I.flag, I.line);
+        lvs.pop_back();
+        VM_NEXT();
+      }
+
+      VM_CASE(LoadLv) : {
+        const Instr& I = code[ip];
+        regs[I.a] = lv_load(lvs.back(), I.line);
+        lvs.pop_back();
+        VM_NEXT();
+      }
+
+      VM_CASE(Deref) : {
+        const Instr& I = code[ip];
+        regs[I.a] = load_deref(regs[I.b], I.line);
+        VM_NEXT();
+      }
+
+      VM_CASE(AddrVar) : {
+        const Instr& I = code[ip];
+        const Found f =
+            find_var(ch.names[static_cast<std::size_t>(I.imm)]);
+        if (!f.slot) {
+          trap(DiagCategory::UndeclaredIdentifier,
+               "use of undeclared identifier '" +
+                   ch.names[static_cast<std::size_t>(I.imm)] + "'",
+               I.line);
+        }
+        Value out;
+        out.kind = Value::Kind::Ref;
+        out.ref = f.slot;
+        regs[I.a] = std::move(out);
+        VM_NEXT();
+      }
+
+      VM_CASE(AddrLv) : {
+        const Instr& I = code[ip];
+        const LValue lv = std::move(lvs.back());
+        lvs.pop_back();
+        if (lv.kind != LValue::Kind::Cell) {
+          trap(DiagCategory::RuntimeFault,
+               "cannot take the address of this expression", I.line);
+        }
+        regs[I.a] = Value::make_ptr(lv.cell);
+        VM_NEXT();
+      }
+
+      VM_CASE(Neg) : {
+        const Instr& I = code[ip];
+        const Value& v = regs[I.b];
+        regs[I.a] = v.kind == Value::Kind::Real
+                        ? Value::make_real(-v.d)
+                        : Value::make_int(-v.as_int());
+        VM_NEXT();
+      }
+
+      VM_CASE(Not) : {
+        const Instr& I = code[ip];
+        regs[I.a] = Value::make_int(regs[I.b].truthy() ? 0 : 1);
+        VM_NEXT();
+      }
+
+      VM_CASE(BNot) : {
+        const Instr& I = code[ip];
+        regs[I.a] = Value::make_int(~regs[I.b].as_int());
+        VM_NEXT();
+      }
+
+      VM_CASE(Binop) : {
+        const Instr& I = code[ip];
+        regs[I.a] = apply_binop(static_cast<BinOp>(I.binop), regs[I.b],
+                                regs[I.c], I.line);
+        VM_NEXT();
+      }
+
+      VM_CASE(Boolize) : {
+        const Instr& I = code[ip];
+        regs[I.a] = Value::make_int(regs[I.a].truthy() ? 1 : 0);
+        VM_NEXT();
+      }
+
+      VM_CASE(Cast) : {
+        const Instr& I = code[ip];
+        regs[I.a] = cast_value(std::move(regs[I.b]),
+                               ch.types[static_cast<std::size_t>(I.imm)],
+                               I.line);
+        VM_NEXT();
+      }
+
+      VM_CASE(Jmp) : {
+        const Instr& I = code[ip];
+        VM_JUMP(I.imm);
+      }
+
+      VM_CASE(Jz) : {
+        const Instr& I = code[ip];
+        if (!regs[I.a].truthy()) VM_JUMP(I.imm);
+        VM_NEXT();
+      }
+
+      VM_CASE(Jnz) : {
+        const Instr& I = code[ip];
+        if (regs[I.a].truthy()) VM_JUMP(I.imm);
+        VM_NEXT();
+      }
+
+      VM_CASE(PopJump) : {
+        const Instr& I = code[ip];
+        for (unsigned short i = 0; i < I.b; ++i) pop_scope();
+        VM_JUMP(I.imm);
+      }
+
+      VM_CASE(PushScope) : {
+        push_scope();
+        VM_NEXT();
+      }
+
+      VM_CASE(PopScope) : {
+        pop_scope();
+        VM_NEXT();
+      }
+
+      VM_CASE(DeclVar) : {
+        const Instr& I = code[ip];
+        VarSlot slot;
+        slot.type = ch.types[static_cast<std::size_t>(I.imm2)];
+        if (I.flag) {
+          slot.v = coerce_to_type(std::move(regs[I.a]), slot.type);
+        }
+        declare(ch.names[static_cast<std::size_t>(I.imm)],
+                std::move(slot));
+        VM_NEXT();
+      }
+
+      VM_CASE(CallGuard) : {
+        const Instr& I = code[ip];
+        Value out;
+        if (try_call_var(*static_cast<const Expr*>(I.node), &out)) {
+          regs[I.a] = std::move(out);
+          VM_JUMP(I.imm);
+        }
+        VM_NEXT();
+      }
+
+      VM_CASE(CallFn) : {
+        const Instr& I = code[ip];
+        std::vector<Value> args;
+        args.reserve(I.c);
+        for (unsigned short i = 0; i < I.c; ++i) {
+          args.push_back(std::move(regs[I.b + i]));
+        }
+        regs[I.a] = call_function(*static_cast<const FunctionDecl*>(I.node),
+                                  std::move(args), I.line);
+        VM_NEXT();
+      }
+
+      VM_CASE(Builtin) : {
+        const Instr& I = code[ip];
+        std::vector<Value> args;
+        args.reserve(I.c);
+        for (unsigned short i = 0; i < I.c; ++i) {
+          args.push_back(std::move(regs[I.b + i]));
+        }
+        const BuiltinDef* bd = static_cast<const BuiltinDef*>(I.node);
+        regs[I.a] = bd->impl(*this, args, I.line);
+        VM_NEXT();
+      }
+
+      VM_CASE(RefArg) : {
+        const Instr& I = code[ip];
+        const Found f =
+            find_var(ch.names[static_cast<std::size_t>(I.imm)]);
+        if (f.slot) {
+          Value r;
+          r.kind = Value::Kind::Ref;
+          r.ref = f.slot;
+          regs[I.a] = std::move(r);
+          VM_JUMP(I.imm2);
+        }
+        VM_NEXT();
+      }
+
+      VM_CASE(TreeEval) : {
+        const Instr& I = code[ip];
+        int jump_to = -1;
+        try {
+          regs[I.a] = eval(*static_cast<const Expr*>(I.node));
+        } catch (BreakSig&) {
+          if (I.imm < 0) throw;
+          for (unsigned short i = 0; i < I.b; ++i) pop_scope();
+          jump_to = I.imm;
+        } catch (ContinueSig&) {
+          if (I.imm2 < 0) throw;
+          for (unsigned short i = 0; i < I.c; ++i) pop_scope();
+          jump_to = I.imm2;
+        }
+        if (jump_to >= 0) VM_JUMP(jump_to);
+        VM_NEXT();
+      }
+
+      VM_CASE(TreeStmt) : {
+        const Instr& I = code[ip];
+        int jump_to = -1;
+        try {
+          exec(*static_cast<const Stmt*>(I.node));
+        } catch (BreakSig&) {
+          if (I.imm < 0) throw;
+          for (unsigned short i = 0; i < I.b; ++i) pop_scope();
+          jump_to = I.imm;
+        } catch (ContinueSig&) {
+          if (I.imm2 < 0) throw;
+          for (unsigned short i = 0; i < I.c; ++i) pop_scope();
+          jump_to = I.imm2;
+        }
+        if (jump_to >= 0) VM_JUMP(jump_to);
+        VM_NEXT();
+      }
+
+      VM_CASE(Ret) : {
+        const Instr& I = code[ip];
+        return coerce_to_type(std::move(regs[I.a]), ch.fn->return_type);
+      }
+
+      VM_CASE(RetVoid) : {
+        return coerce_to_type(Value{}, ch.fn->return_type);
+      }
+
+      VM_CASE(End) : { return Value{}; }
+
+#ifndef PAREVAL_VM_CGOTO
+    }
+  }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_JUMP
+#ifdef PAREVAL_VM_CGOTO
+#undef VM_DISPATCH
+#endif
+}
+
+// ----------------------------------------------------------- interface --
+
+Vm::Vm(const LinkedProgram& prog, const BuiltinTable& builtins,
+       RunLimits limits)
+    : impl_(std::make_unique<Impl>(prog, builtins, limits)) {}
+
+Vm::~Vm() = default;
+
+RunResult Vm::run(const std::vector<std::string>& args) {
+  return impl_->run(args);
+}
+
+}  // namespace pareval::minic

@@ -1,0 +1,36 @@
+#pragma once
+// The MiniC bytecode VM: compiles each function of a linked program to
+// compact register bytecode on first call and executes it with a
+// direct-threaded dispatch loop (computed goto where the compiler supports
+// it, a switch otherwise). Semantics — memory model, builtins, device
+// context, diagnostics, and the fuel (`steps`) accounting — come from the
+// shared `Machine` runtime, so results are bit-identical to the
+// tree-walking `Interpreter`; the VM only removes the per-node dispatch
+// overhead of the Execute stage. Constructs without a bytecode lowering
+// (OpenMP directives, lambdas, struct declarations, ...) fall back to the
+// machine's tree-walker per-instruction.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/engine.hpp"
+
+namespace pareval::minic {
+
+class Vm final : public ExecEngine {
+ public:
+  Vm(const LinkedProgram& prog, const BuiltinTable& builtins,
+     RunLimits limits = {});
+  ~Vm() override;
+
+  /// Run main() with the given command-line arguments (argv[1..]).
+  RunResult run(const std::vector<std::string>& args) override;
+  EngineKind kind() const override { return EngineKind::Vm; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pareval::minic

@@ -131,6 +131,32 @@ TEST(ShardMerge, RejectsMissingAndDuplicateUnits) {
   EXPECT_THROW(pe::merge_shards(pair, reseeded), std::runtime_error);
 }
 
+TEST(ShardMerge, RejectsMixedEngineShards) {
+  // Engines are bit-identical by contract, so a mixed set is not a score
+  // problem — it means the worker fleet was misconfigured, and the merge
+  // must refuse rather than paper over it.
+  const Pair& pair = pareval::llm::all_pairs()[0];
+  pe::HarnessConfig interp_config;
+  interp_config.samples_per_task = 2;
+  pe::HarnessConfig vm_config = interp_config;
+  vm_config.engine = pareval::minic::EngineKind::Vm;
+
+  const auto interp_shard = pe::run_shard(pair, 0, 2, interp_config);
+  const auto vm_shard = pe::run_shard(pair, 1, 2, vm_config);
+  EXPECT_EQ(interp_shard.engine, pareval::minic::EngineKind::Interp);
+  EXPECT_EQ(vm_shard.engine, pareval::minic::EngineKind::Vm);
+  EXPECT_THROW(pe::merge_shards(pair, {interp_shard, vm_shard}),
+               std::runtime_error);
+
+  // A uniform VM fleet merges fine — and bit-identically to interp.
+  const auto vm_other = pe::run_shard(pair, 0, 2, vm_config);
+  const auto vm_merged = pe::merge_shards(pair, {vm_other, vm_shard});
+  const auto interp_other = pe::run_shard(pair, 1, 2, interp_config);
+  const auto interp_merged =
+      pe::merge_shards(pair, {interp_shard, interp_other});
+  EXPECT_EQ(vm_merged, interp_merged);
+}
+
 TEST(ShardJson, StagedScoreRoundTrip) {
   pe::StagedScore s;
   s.built = true;
@@ -411,9 +437,9 @@ TEST(ShardFile, RejectsWrongFormatVersion) {
   const auto shard = pe::run_shard(pareval::llm::all_pairs()[0], 0, 1,
                                    config);
   std::string text = pe::shard_file_text({shard});
-  ASSERT_NE(text.find("\"format_version\":2"), std::string::npos);
-  text = ps::replace_all(text, "\"format_version\":2",
-                         "\"format_version\":1");
+  ASSERT_NE(text.find("\"format_version\":3"), std::string::npos);
+  text = ps::replace_all(text, "\"format_version\":3",
+                         "\"format_version\":2");
   std::vector<pe::ShardResult> parsed;
   std::string error;
   EXPECT_FALSE(pe::parse_shard_file(text, &parsed, &error));

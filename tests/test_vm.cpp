@@ -1,0 +1,413 @@
+// Differential tests for the bytecode VM (minic/vm.hpp): the VM and the
+// tree-walking interpreter must be bit-identical in every observable —
+// exit code, stdout/stderr, diagnostics, and RunStats including the fuel
+// (`steps`) counter — across the whole seed application corpus, targeted
+// language features, and runtime-fault paths. This is the contract that
+// lets the harness treat the engine as a pure speed knob (and lets the
+// score cache omit it from its key).
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "buildsim/builder.hpp"
+#include "eval/harness.hpp"
+#include "eval/pipeline.hpp"
+#include "execsim/driver.hpp"
+#include "minic/engine.hpp"
+#include "support/par.hpp"
+
+namespace pa = pareval::apps;
+namespace bs = pareval::buildsim;
+namespace pe = pareval::eval;
+using pareval::execsim::Executable;
+using pareval::execsim::compile_repo;
+using pareval::minic::Capabilities;
+using pareval::minic::DiagCategory;
+using pareval::minic::EngineKind;
+using pareval::minic::RunLimits;
+using pareval::minic::RunResult;
+using pareval::minic::make_engine;
+using pareval::vfs::Repo;
+
+namespace {
+
+Capabilities cuda_caps() {
+  Capabilities c;
+  c.cuda = true;
+  c.curand = true;
+  return c;
+}
+Capabilities omp_caps(bool offload = true) {
+  Capabilities c;
+  c.openmp = true;
+  c.offload = offload;
+  return c;
+}
+
+Executable compile_one(const std::string& src, Capabilities caps) {
+  Repo repo;
+  repo.write("main.cpp", src);
+  return compile_repo(repo, {"main.cpp"}, caps);
+}
+
+RunResult run_engine(const Executable& exe, EngineKind kind,
+                     const std::vector<std::string>& args = {},
+                     RunLimits limits = {}) {
+  return make_engine(kind, exe.program, exe.builtins, limits)->run(args);
+}
+
+/// The full observable surface of a run, via the shared JSON codec.
+std::string fingerprint(const RunResult& r) {
+  return pareval::minic::to_json(r).dump();
+}
+
+/// Compile `src`, run it under both engines, require byte-identical
+/// results, and return the (interpreter) result for further checks.
+RunResult run_both(const std::string& src, Capabilities caps,
+                   std::vector<std::string> args = {},
+                   RunLimits limits = {}) {
+  Executable exe = compile_one(src, caps);
+  EXPECT_TRUE(exe.ok()) << exe.diags.render();
+  const RunResult interp = run_engine(exe, EngineKind::Interp, args, limits);
+  const RunResult vm = run_engine(exe, EngineKind::Vm, args, limits);
+  EXPECT_EQ(fingerprint(interp), fingerprint(vm)) << src;
+  return interp;
+}
+
+bool has_runtime_fault(const pareval::minic::DiagBag& bag) {
+  for (const auto& d : bag.all()) {
+    if (d.category == DiagCategory::RuntimeFault &&
+        d.severity == pareval::minic::Severity::Error) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ------------------------------------------------- seed app corpus ----
+
+namespace {
+
+struct AppModelCase {
+  const pa::AppSpec* app;
+  pa::Model model;
+};
+
+std::vector<AppModelCase> shipped_cases() {
+  std::vector<AppModelCase> out;
+  for (const pa::AppSpec* app : pa::all_apps()) {
+    for (const pa::Model m : app->available) {
+      out.push_back({app, m});
+    }
+  }
+  return out;
+}
+
+std::string case_name(const testing::TestParamInfo<AppModelCase>& info) {
+  std::string name =
+      info.param.app->name + "_" + pa::model_name(info.param.model);
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+class VmDiff : public testing::TestWithParam<AppModelCase> {};
+
+// Every shipped implementation of every app, every test case: the VM's
+// RunResult (exit code, stdout, stderr, diags, stats) must be
+// byte-identical to the interpreter's.
+TEST_P(VmDiff, SeedCorpusBitIdentical) {
+  const auto& [app, model] = GetParam();
+  const auto build = bs::build_repo(app->repos.at(model));
+  ASSERT_TRUE(build.ok) << build.log;
+  for (const auto& tc : app->tests) {
+    const RunResult interp =
+        run_engine(*build.exe, EngineKind::Interp, tc.args);
+    const RunResult vm = run_engine(*build.exe, EngineKind::Vm, tc.args);
+    EXPECT_EQ(fingerprint(interp), fingerprint(vm))
+        << app->name << " / " << pa::model_name(model);
+    EXPECT_EQ(interp.stats, vm.stats);
+  }
+}
+
+// The staged scoring pipeline with engine=Vm must produce the exact
+// StagedScore — stage verdicts, details, and log slices — of the
+// interpreter-backed pipeline.
+TEST_P(VmDiff, StagedScoresBitIdentical) {
+  const auto& [app, model] = GetParam();
+  pe::ScoringPipeline interp_pipe;
+  pe::ScoringPipeline vm_pipe;
+  vm_pipe.set_engine(EngineKind::Vm);
+  const pe::StagedScore a = interp_pipe.score(*app, app->repos.at(model), model);
+  const pe::StagedScore b = vm_pipe.score(*app, app->repos.at(model), model);
+  EXPECT_EQ(a, b) << app->name << " / " << pa::model_name(model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, VmDiff, testing::ValuesIn(shipped_cases()),
+                         case_name);
+
+// --------------------------------------------- language feature diffs ----
+
+TEST(VmLang, ControlFlowAndCompoundOps) {
+  const RunResult r = run_both(R"(
+#include <stdio.h>
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 20; i++) {
+    if (i % 3 == 0) continue;
+    if (i > 15) break;
+    sum += i;
+  }
+  int j = 0;
+  while (j < 10) { j += 2; }
+  do { j--; } while (j > 5);
+  int k = 7;
+  k *= 3; k -= 4; k /= 2; k %= 6; k <<= 2; k >>= 1; k |= 8; k &= 14; k ^= 5;
+  int pre = ++k, post = k++;
+  printf("%d %d %d %d %d\n", sum, j, k, pre, post);
+  return 0;
+}
+)",
+                               Capabilities{});
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(VmLang, PointersAndArrays) {
+  const RunResult r = run_both(R"(
+#include <stdio.h>
+#include <stdlib.h>
+int main() {
+  int a[5];
+  for (int i = 0; i < 5; i++) a[i] = i * i;
+  int* p = a;
+  int* q = p + 3;
+  printf("%d %d %ld %d\n", *p, *q, q - p, p < q ? 1 : 0);
+  double* d = (double*)malloc(4 * sizeof(double));
+  d[0] = 1.5; d[1] = d[0] * 2.0;
+  int x = 41;
+  int* px = &x;
+  *px += 1;
+  printf("%d %.1f\n", x, d[1]);
+  free(d);
+  return 0;
+}
+)",
+                               Capabilities{});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.stdout_text, "0 9 3 1\n42 3.0\n");
+}
+
+TEST(VmLang, ShortCircuitAndTernary) {
+  run_both(R"(
+#include <stdio.h>
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+  int a = 0 && bump();
+  int b = 1 || bump();
+  int c = 1 && bump();
+  printf("%d %d %d %d %d\n", a, b, c, calls, calls > 0 ? 10 : 20);
+  return 0;
+}
+)",
+           Capabilities{});
+}
+
+TEST(VmLang, RecursionAndFunctionCalls) {
+  const RunResult r = run_both(R"(
+#include <stdio.h>
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main() { printf("%d\n", fib(18)); return 0; }
+)",
+                               Capabilities{});
+  EXPECT_EQ(r.stdout_text, "2584\n");
+}
+
+TEST(VmLang, KokkosLambdaFallback) {
+  // Lambdas and View declarations have no bytecode lowering: they run
+  // through the TreeEval/TreeStmt fallback and the closure machinery
+  // while the rest of main stays compiled.
+  Capabilities caps;
+  caps.kokkos = true;
+  const RunResult r = run_both(R"(
+#include <Kokkos_Core.hpp>
+#include <stdio.h>
+int main() {
+  Kokkos::initialize();
+  {
+    int n = 16;
+    Kokkos::View<double*> a("a", n);
+    Kokkos::parallel_for("fill", n, KOKKOS_LAMBDA(int i) {
+      a(i) = 3.0 * i;
+    });
+    Kokkos::fence();
+    double total = 0.0;
+    Kokkos::parallel_reduce(n, KOKKOS_LAMBDA(int i, double& sum) {
+      sum += a(i);
+    }, total);
+    printf("%.0f\n", total);
+  }
+  Kokkos::finalize();
+  return 0;
+}
+)",
+                               caps);
+  EXPECT_TRUE(r.ok) << r.stderr_text;
+  EXPECT_EQ(r.stdout_text, "360\n");
+}
+
+TEST(VmLang, CudaKernelLaunch) {
+  const RunResult r = run_both(R"(
+#include <stdio.h>
+#include <cuda_runtime.h>
+__global__ void scale(int* v, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) v[i] = v[i] * 2;
+}
+int main() {
+  int h[8];
+  for (int i = 0; i < 8; i++) h[i] = i;
+  int* d;
+  cudaMalloc(&d, 8 * sizeof(int));
+  cudaMemcpy(d, h, 8 * sizeof(int), cudaMemcpyHostToDevice);
+  scale<<<2, 4>>>(d, 8);
+  cudaDeviceSynchronize();
+  cudaMemcpy(h, d, 8 * sizeof(int), cudaMemcpyDeviceToHost);
+  int sum = 0;
+  for (int i = 0; i < 8; i++) sum += h[i];
+  printf("%d\n", sum);
+  return 0;
+}
+)",
+                               cuda_caps());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.stats.device_kernel_launches, 1);
+}
+
+TEST(VmLang, OmpOffloadFallback) {
+  // OpenMP directives are tree-fallback statements; the surrounding code
+  // compiles. Device-context stats must still match exactly.
+  const RunResult r = run_both(R"(
+#include <stdio.h>
+#include <omp.h>
+int main() {
+  int n = 64;
+  double sum = 0.0;
+  double v[64];
+  for (int i = 0; i < n; i++) v[i] = i * 0.5;
+  #pragma omp target teams distribute parallel for reduction(+:sum) map(to: v[0:n])
+  for (int i = 0; i < n; i++) sum += v[i];
+  printf("%.1f\n", sum);
+  return 0;
+}
+)",
+                               omp_caps());
+  EXPECT_TRUE(r.ok);
+  EXPECT_GE(r.stats.target_regions, 1);
+}
+
+// ------------------------------------------------- runtime fault diffs ----
+
+TEST(VmFault, OutOfBoundsAccess) {
+  const RunResult r = run_both(R"(
+#include <stdlib.h>
+int main() {
+  int* p = (int*)malloc(4 * sizeof(int));
+  p[10] = 3;
+  return 0;
+}
+)",
+                               Capabilities{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_runtime_fault(r.diags)) << fingerprint(r);
+}
+
+TEST(VmFault, UninitializedRead) {
+  const RunResult r = run_both(R"(
+#include <stdio.h>
+int main() {
+  int x;
+  int y = x + 1;
+  printf("%d\n", y);
+  return 0;
+}
+)",
+                               Capabilities{});
+  EXPECT_EQ(r.stats.read_uninitialized, 1);
+}
+
+TEST(VmFault, FuelExhaustion) {
+  RunLimits limits;
+  limits.max_steps = 5000;
+  const RunResult r = run_both(R"(
+int main() {
+  int i = 0;
+  while (1) { i++; }
+  return i;
+}
+)",
+                               Capabilities{}, {}, limits);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_runtime_fault(r.diags));
+  // Fuel accounting is the one shared definition (minic/runio.hpp): both
+  // engines clamp to exactly max_steps + 1.
+  EXPECT_EQ(r.stats.steps, limits.max_steps + 1);
+  EXPECT_NE(r.stderr_text.find("instruction budget"), std::string::npos);
+}
+
+TEST(VmFault, StackOverflow) {
+  const RunResult r = run_both(R"(
+int boom(int n) { return boom(n + 1); }
+int main() { return boom(0); }
+)",
+                               Capabilities{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.stderr_text.find("stack overflow"), std::string::npos);
+}
+
+TEST(VmFault, DivisionByZero) {
+  const RunResult r = run_both(R"(
+#include <stdio.h>
+int main() {
+  int a = 7, b = 0;
+  printf("%d\n", a / b);
+  return 0;
+}
+)",
+                               Capabilities{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_runtime_fault(r.diags));
+}
+
+// ------------------------------------------------ harness invariance ----
+
+// The harness with engine=Vm is deterministic across thread counts and
+// produces the exact TaskResult of the interpreter-backed harness.
+TEST(VmHarness, RunTaskEngineAndThreadInvariant) {
+  const auto* app = pa::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  const auto& pair = pareval::llm::all_pairs()[0];
+  const auto& profile = pareval::llm::all_profiles()[0];
+  const auto technique = pareval::llm::Technique::NonAgentic;
+
+  pe::HarnessConfig interp_cfg;
+  interp_cfg.samples_per_task = 6;
+  interp_cfg.threads = 1;
+  interp_cfg.use_score_cache = false;
+
+  pe::HarnessConfig vm_serial = interp_cfg;
+  vm_serial.engine = EngineKind::Vm;
+  pe::HarnessConfig vm_parallel = vm_serial;
+  vm_parallel.threads = pareval::support::hardware_threads();
+
+  const auto a = pe::run_task(*app, technique, profile, pair, interp_cfg);
+  const auto b = pe::run_task(*app, technique, profile, pair, vm_serial);
+  const auto c = pe::run_task(*app, technique, profile, pair, vm_parallel);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}

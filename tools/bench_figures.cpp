@@ -21,6 +21,7 @@
 #include "eval/classify.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
+#include "minic/engine.hpp"
 #include "support/io.hpp"
 #include "support/par.hpp"
 #include "support/strings.hpp"
@@ -44,6 +45,9 @@ int usage(const char* argv0) {
       "                     artifact diffs are stable\n"
       "  --samples N        samples per cell (default: 25)\n"
       "  --seed S           base RNG seed (default: 1070)\n"
+      "  --engine E         Execute-stage engine: interp (default) or vm\n"
+      "                     (bytecode; bit-identical figures, faster).\n"
+      "                     Recorded in the timing JSON's context\n"
       "  --out FILE         timing JSON (default: BENCH_figures.json)\n"
       "  --print-cache-key  print the scoring-pipeline hash and exit\n",
       argv0);
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_figures.json";
   int samples = 25;
   std::uint64_t seed = 1070;
+  minic::EngineKind engine = minic::EngineKind::Interp;
   bool samples_set = false, seed_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +93,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
       seed_set = true;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const auto kind = minic::engine_from_key(argv[++i]);
+      if (!kind.has_value()) {
+        std::fprintf(stderr,
+                     "bench_figures: --engine must be 'interp' or 'vm'\n");
+        return 2;
+      }
+      engine = *kind;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
@@ -121,6 +134,7 @@ int main(int argc, char** argv) {
   eval::ScoreCache cache;
   eval::HarnessConfig config;
   config.score_cache = &cache;
+  config.engine = engine;
   config.high_priority = true;  // figure-critical cells drain first
 
   bool preloaded = false;
@@ -143,9 +157,10 @@ int main(int argc, char** argv) {
 
   // One sweep over the whole spec; every figure below reads from it.
   const auto t_sweep = std::chrono::steady_clock::now();
-  std::printf("sweeping spec %s (%zu cells, N=%d)...\n",
+  std::printf("sweeping spec %s (%zu cells, N=%d, engine %s)...\n",
               support::u64_to_hex(eval::spec_hash(spec)).c_str(),
-              eval::sweep_cells(suite, spec).size(), spec.samples_per_task);
+              eval::sweep_cells(suite, spec).size(), spec.samples_per_task,
+              minic::engine_key(engine));
   const std::vector<eval::TaskResult> all =
       eval::run_sweep(suite, spec, config);
   const double sweep_ms = ms_since(t_sweep);
@@ -198,6 +213,7 @@ int main(int argc, char** argv) {
   context.set("samples_per_task", spec.samples_per_task);
   context.set("spec_hash", support::u64_to_hex(eval::spec_hash(spec)));
   context.set("spec_file", spec_path);
+  context.set("engine", minic::engine_key(engine));
   context.set("threads",
               static_cast<long long>(support::hardware_threads()));
   context.set("cache_file", cache_path);

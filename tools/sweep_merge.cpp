@@ -17,6 +17,7 @@
 #include "buildsim/tucache.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
+#include "minic/engine.hpp"
 #include "support/strings.hpp"
 
 using namespace pareval;
@@ -31,16 +32,20 @@ int usage(const char* argv0) {
       "[--verify] shard1.json [shard2.json ...]\n"
       "  --spec FILE         require every shard to match this spec (hash "
       "check)\n"
+      "  --engine E          require every shard to have run under this\n"
+      "                      Execute-stage engine ('interp' or 'vm');\n"
+      "                      without it any uniform engine is accepted\n"
       "  --out FILE          write the merged sweep (default: merged.json)\n"
       "  --report            print the figure reports off the merged sweep\n"
-      "  --verify            re-run the sweep in-process five ways —\n"
+      "  --verify            re-run the sweep in-process six ways —\n"
       "                      uncached, staged-cached (TU layer off),\n"
       "                      TU-cached, score-cold/TU-warm-file (Build\n"
       "                      stages reconstruct from the persisted TU\n"
-      "                      cache), and warm-file-start (score + TU\n"
-      "                      caches reloaded from disk, Build stage\n"
-      "                      skipped) — and fail unless shards and every\n"
-      "                      reference run are bit-identical\n"
+      "                      cache), warm-file-start (score + TU caches\n"
+      "                      reloaded from disk, Build stage skipped), and\n"
+      "                      uncached under the bytecode-VM engine — and\n"
+      "                      fail unless shards and every reference run\n"
+      "                      are bit-identical\n"
       "  --merge-cache FILE  fold every --delta into FILE (loading FILE's\n"
       "                      previous contents first) to publish a warm\n"
       "                      cache for the next run; skipped when --verify\n"
@@ -64,6 +69,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string out_path = "merged.json";
   std::string spec_path;
+  std::string engine_arg;
   std::string merge_cache_path;
   std::vector<std::string> delta_paths;
   std::string merge_tu_cache_path;
@@ -77,6 +83,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--spec" && i + 1 < argc) {
       spec_path = argv[++i];
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine_arg = argv[++i];
     } else if (arg == "--merge-cache" && i + 1 < argc) {
       merge_cache_path = argv[++i];
     } else if (arg == "--delta" && i + 1 < argc) {
@@ -126,6 +134,28 @@ int main(int argc, char** argv) {
     for (auto& shard : parsed) shards.push_back(std::move(shard));
   }
 
+  // --engine pins the fleet's engine explicitly; merge_shards separately
+  // rejects any *mixed* set even without the flag.
+  if (!engine_arg.empty()) {
+    const auto required = minic::engine_from_key(engine_arg);
+    if (!required.has_value()) {
+      std::fprintf(stderr,
+                   "sweep_merge: --engine must be 'interp' or 'vm'\n");
+      return 2;
+    }
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].engine != *required) {
+        std::fprintf(stderr,
+                     "sweep_merge: shard %d ran under engine '%s' but "
+                     "--engine %s was required\n",
+                     shards[i].shard_index,
+                     minic::engine_key(shards[i].engine),
+                     minic::engine_key(*required));
+        return 1;
+      }
+    }
+  }
+
   // The authoritative spec: --spec FILE when given, else the first
   // shard's embedded copy. merge_shards rejects any shard whose hash
   // disagrees with it.
@@ -160,13 +190,14 @@ int main(int argc, char** argv) {
 
   int mismatches = 0;
   if (verify) {
-    // Five in-process references: uncached, staged two-layer cache (TU
+    // Six in-process references: uncached, staged two-layer cache (TU
     // layer off), TU-cached (all three layers), score-cold/TU-warm-file
-    // (persisted plans/TUs reconstruct during real Build stages), and a
-    // warm *file* start (score + TU caches reloaded; Build skipped).
-    // Shards and all five runs must be bit-identical — the CI gate that
-    // proves distribution AND every cache layer, live or persisted, is
-    // pure memoization.
+    // (persisted plans/TUs reconstruct during real Build stages), a
+    // warm *file* start (score + TU caches reloaded; Build skipped), and
+    // an uncached run under the bytecode-VM engine. Shards and all six
+    // runs must be bit-identical — the CI gate that proves distribution,
+    // every cache layer (live or persisted), and the alternate execution
+    // engine are all pure memoization / pure reimplementation.
     eval::HarnessConfig uncached;
     uncached.use_score_cache = false;
     const auto reference = eval::run_sweep(suite, spec, uncached);
@@ -264,6 +295,21 @@ int main(int argc, char** argv) {
     }
     std::remove(verify_score.c_str());
     std::remove(verify_tu.c_str());
+
+    // Engine cross-check: the same sweep, uncached, but with every
+    // Execute stage run by the bytecode VM instead of the tree-walking
+    // interpreter. The two engines are required to be bit-identical on
+    // scores, diags, and run stats, so any divergence is a VM (or
+    // interpreter) bug, not noise.
+    eval::HarnessConfig vm_uncached;
+    vm_uncached.use_score_cache = false;
+    vm_uncached.engine = minic::EngineKind::Vm;
+    const auto vm_reference = eval::run_sweep(suite, spec, vm_uncached);
+    const bool vm_identical = vm_reference == reference;
+    std::printf("determinism (vm engine vs interpreter, both uncached): "
+                "%s\n",
+                vm_identical ? "IDENTICAL" : "MISMATCH");
+    if (!vm_identical) ++mismatches;
   }
 
   // Group the merged cells by pair (suite order) for the per-pair figure

@@ -50,6 +50,10 @@ int usage(const char* argv0) {
       "  --samples N          samples per cell (default: 25)\n"
       "  --seed S             base RNG seed (default: 1070)\n"
       "  --threads T          1 = serial; otherwise the global pool\n"
+      "  --engine E           Execute-stage engine: interp (default) or\n"
+      "                       vm (bytecode; bit-identical scores, faster).\n"
+      "                       Recorded in the shard file; sweep_merge\n"
+      "                       refuses to combine mixed-engine shards\n"
       "  --cache FILE         warm-start/persist the score cache\n"
       "  --cache-delta FILE   write only the cache entries this run added\n"
       "                       (ship with the shard for sweep_merge\n"
@@ -105,6 +109,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" && (v = value()) &&
                parse_int(v, &parsed) && parsed >= 0) {
       config.threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--engine" && (v = value())) {
+      const auto kind = minic::engine_from_key(v);
+      if (!kind.has_value()) {
+        std::fprintf(stderr,
+                     "sweep_worker: --engine must be 'interp' or 'vm'\n");
+        return 2;
+      }
+      config.engine = *kind;
     } else if (arg == "--cache" && (v = value())) {
       cache_path = v;
     } else if (arg == "--cache-delta" && (v = value())) {
@@ -176,10 +188,11 @@ int main(int argc, char** argv) {
                 eval::ScoreCache::global().tus().plan_count());
   }
 
-  std::printf("shard %d/%d of spec %s (%zu cells, N=%d)...\n", shard_index,
-              shard_count,
+  std::printf("shard %d/%d of spec %s (%zu cells, N=%d, engine %s)...\n",
+              shard_index, shard_count,
               support::u64_to_hex(eval::spec_hash(spec)).c_str(),
-              eval::sweep_cells(suite, spec).size(), spec.samples_per_task);
+              eval::sweep_cells(suite, spec).size(), spec.samples_per_task,
+              minic::engine_key(config.engine));
   const eval::ShardResult shard =
       eval::run_shard(suite, spec, shard_index, shard_count, config);
   std::printf("  %zu sample records\n", shard.records.size());
