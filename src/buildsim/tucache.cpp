@@ -170,6 +170,7 @@ struct TuCompileCache::Impl {
     std::vector<std::string> system_headers;
     std::uint64_t last_used = 0;
     bool fresh = false;  // added by a compile here (not merged via load)
+    bool published = false;  // already in the attached store's journal
   };
 
   struct Shard {
@@ -187,6 +188,7 @@ struct TuCompileCache::Impl {
     std::vector<std::uint64_t> tus;  // compile-plan digest, command order
     std::uint64_t last_used = 0;
     bool fresh = false;
+    bool published = false;
   };
 
   std::size_t shard_capacity() const noexcept {
@@ -238,6 +240,138 @@ struct TuCompileCache::Impl {
     }
   }
 
+  /// The TU layer's record codec, shared by the legacy single-file
+  /// format and the journaled store. `order_out` (optional) receives the
+  /// manifest tiebreaker string used to sort entries sharing a key.
+  static Json entry_json(std::uint64_t key, const Entry& entry,
+                         std::string* order_out) {
+    Json j = Json::object();
+    j.set("key", support::u64_to_hex(key));
+    const bool ok =
+        entry.tu != nullptr ? !entry.tu->diags.has_errors() : entry.ok;
+    j.set("ok", ok);
+    Json deps = Json::array();
+    std::string order;
+    for (const Dep& dep : entry.manifest->deps) {
+      Json d = Json::object();
+      d.set("path", dep.path);
+      d.set("hash", support::u64_to_hex(dep.hash));
+      deps.push_back(std::move(d));
+      order += dep.path + "\x01" + support::u64_to_hex(dep.hash) + "\x01";
+    }
+    j.set("deps", std::move(deps));
+    Json missing = Json::array();
+    for (const std::string& m : entry.manifest->missing) {
+      missing.push_back(m);
+      order += "\x02" + m;
+    }
+    j.set("missing", std::move(missing));
+    Json headers = Json::array();
+    const auto& system_headers = entry.tu != nullptr
+                                     ? entry.tu->system_headers
+                                     : entry.system_headers;
+    for (const std::string& h : system_headers) headers.push_back(h);
+    j.set("system_headers", std::move(headers));
+    j.set("diags", diags_to_json(entry.tu != nullptr ? entry.tu->diags
+                                                     : entry.diags));
+    if (order_out != nullptr) *order_out = std::move(order);
+    return j;
+  }
+
+  /// Parse one TU record into an outcome-only entry (tu == nullptr).
+  /// false on any malformed field: the record is skipped whole.
+  static bool parse_entry(const Json& j, std::uint64_t* key, Entry* out) {
+    if (!support::u64_from_hex(j["key"].as_string(), key)) return false;
+    if (!j["ok"].is_bool()) return false;
+    Entry entry;
+    entry.ok = j["ok"].as_bool();
+    auto manifest = std::make_shared<Manifest>();
+    for (const Json& d : j["deps"].items()) {
+      std::uint64_t hash = 0;
+      if (!d["path"].is_string() ||
+          !support::u64_from_hex(d["hash"].as_string(), &hash)) {
+        return false;
+      }
+      manifest->deps.push_back({d["path"].as_string(), hash});
+    }
+    for (const Json& m : j["missing"].items()) {
+      if (!m.is_string()) return false;
+      manifest->missing.push_back(m.as_string());
+    }
+    for (const Json& h : j["system_headers"].items()) {
+      if (!h.is_string()) return false;
+      entry.system_headers.push_back(h.as_string());
+    }
+    if (!diags_from_json(j["diags"], &entry.diags)) return false;
+    entry.manifest = std::move(manifest);
+    *out = std::move(entry);
+    return true;
+  }
+
+  static Json plan_json(std::uint64_t key, const Plan& plan) {
+    Json j = Json::object();
+    j.set("key", support::u64_to_hex(key));
+    j.set("ok", plan.ok);
+    j.set("build_system", plan.build_system);
+    j.set("caps", caps_to_bits(plan.caps));
+    j.set("log", plan.log);
+    Json keys = Json::array();
+    for (const std::uint64_t k : plan.tus) {
+      keys.push_back(support::u64_to_hex(k));
+    }
+    j.set("tus", std::move(keys));
+    j.set("diags", diags_to_json(plan.diags));
+    return j;
+  }
+
+  static bool parse_plan(const Json& j, std::uint64_t* key, Plan* out) {
+    if (!support::u64_from_hex(j["key"].as_string(), key)) return false;
+    if (!j["ok"].is_bool() || !j["build_system"].is_string() ||
+        !j["caps"].is_number() || !j["log"].is_string()) {
+      return false;
+    }
+    Plan plan;
+    plan.ok = j["ok"].as_bool();
+    plan.build_system = j["build_system"].as_string();
+    plan.caps = caps_from_bits(j["caps"].as_int());
+    plan.log = j["log"].as_string();
+    for (const Json& k : j["tus"].items()) {
+      std::uint64_t tu_key = 0;
+      if (!support::u64_from_hex(k.as_string(), &tu_key)) return false;
+      plan.tus.push_back(tu_key);
+    }
+    if (!diags_from_json(j["diags"], &plan.diags)) return false;
+    *out = std::move(plan);
+    return true;
+  }
+
+  /// Insert a deserialized outcome-only entry; an entry already present
+  /// for the same (key, manifest) wins — compiles are pure, so it holds
+  /// the same outcome (and possibly a live TU).
+  void insert_loaded_entry(std::uint64_t key, Entry entry, bool published) {
+    entry.fresh = false;
+    entry.published = published;
+    entry.last_used = tick();
+    Shard& shard = shards[key % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& group = shard.groups[key];
+    for (const Entry& existing : group) {
+      if (*existing.manifest == *entry.manifest) return;
+    }
+    group.push_back(std::move(entry));
+    ++shard.count;
+    evict_locked(shard, shard_capacity());
+  }
+
+  void insert_loaded_plan(std::uint64_t key, Plan plan, bool published) {
+    plan.fresh = false;
+    plan.published = published;
+    plan.last_used = tick();
+    std::lock_guard<std::mutex> lock(plans_mu);
+    plans.emplace(key, std::move(plan));  // existing entry wins
+    bound_plans_locked();
+  }
+
   static void evict_locked(Shard& shard, std::size_t bound) {
     while (shard.count > bound) {
       auto victim_group = shard.groups.end();
@@ -269,6 +403,8 @@ struct TuCompileCache::Impl {
   std::atomic<std::size_t> plan_hits{0};
   std::atomic<std::uint64_t> clock{0};
   std::atomic<std::size_t> capacity{1 << 14};
+  cache::Store* store = nullptr;  // attached journal store (optional)
+  std::uint64_t store_version = 0;
 };
 
 TuCompileCache::TuCompileCache() : impl_(new Impl) {}
@@ -541,36 +677,8 @@ bool TuCompileCache::save_impl(const std::string& path,
     for (const auto& [key, group] : shard.groups) {
       for (const Impl::Entry& entry : group) {
         if (fresh_only && !entry.fresh) continue;
-        Json j = Json::object();
-        j.set("key", support::u64_to_hex(key));
-        const bool ok =
-            entry.tu != nullptr ? !entry.tu->diags.has_errors() : entry.ok;
-        j.set("ok", ok);
-        Json deps = Json::array();
         std::string order;
-        for (const Impl::Dep& dep : entry.manifest->deps) {
-          Json d = Json::object();
-          d.set("path", dep.path);
-          d.set("hash", support::u64_to_hex(dep.hash));
-          deps.push_back(std::move(d));
-          order += dep.path + "\x01" + support::u64_to_hex(dep.hash) +
-                   "\x01";
-        }
-        j.set("deps", std::move(deps));
-        Json missing = Json::array();
-        for (const std::string& m : entry.manifest->missing) {
-          missing.push_back(m);
-          order += "\x02" + m;
-        }
-        j.set("missing", std::move(missing));
-        Json headers = Json::array();
-        const auto& system_headers = entry.tu != nullptr
-                                         ? entry.tu->system_headers
-                                         : entry.system_headers;
-        for (const std::string& h : system_headers) headers.push_back(h);
-        j.set("system_headers", std::move(headers));
-        j.set("diags", diags_to_json(entry.tu != nullptr ? entry.tu->diags
-                                                         : entry.diags));
+        Json j = Impl::entry_json(key, entry, &order);
         tus.push_back({key, std::move(order), std::move(j)});
       }
     }
@@ -584,19 +692,7 @@ bool TuCompileCache::save_impl(const std::string& path,
     std::lock_guard<std::mutex> lock(impl_->plans_mu);
     for (const auto& [key, plan] : impl_->plans) {
       if (fresh_only && !plan.fresh) continue;
-      Json j = Json::object();
-      j.set("key", support::u64_to_hex(key));
-      j.set("ok", plan.ok);
-      j.set("build_system", plan.build_system);
-      j.set("caps", caps_to_bits(plan.caps));
-      j.set("log", plan.log);
-      Json keys = Json::array();
-      for (const std::uint64_t k : plan.tus) {
-        keys.push_back(support::u64_to_hex(k));
-      }
-      j.set("tus", std::move(keys));
-      j.set("diags", diags_to_json(plan.diags));
-      plans.emplace_back(key, std::move(j));
+      plans.emplace_back(key, Impl::plan_json(key, plan));
     }
   }
   std::sort(plans.begin(), plans.end(),
@@ -606,117 +702,158 @@ bool TuCompileCache::save_impl(const std::string& path,
     *entries_written = tus.size() + plans.size();
   }
 
-  Json root = Json::object();
-  root.set("format", kTuCacheFormat);
-  root.set("pipeline", support::u64_to_hex(version));
   Json tus_json = Json::array();
   for (auto& f : tus) tus_json.push_back(std::move(f.json));
-  root.set("tus", std::move(tus_json));
   Json plans_json = Json::array();
   for (auto& [key, j] : plans) plans_json.push_back(std::move(j));
-  root.set("plans", std::move(plans_json));
-
-  return support::atomic_write_file(path, root.dump() + '\n');
+  return cache::write_versioned_file(path, kTuCacheFormat, version,
+                                     {{"tus", std::move(tus_json)},
+                                      {"plans", std::move(plans_json)}});
 }
 
 bool TuCompileCache::load(const std::string& path, std::uint64_t version) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const auto root = Json::parse(buf.str());
-  if (!root || (*root)["format"].as_string() != kTuCacheFormat) {
-    return false;  // missing, malformed, or an unknown cache format
-  }
-  if ((*root)["pipeline"].as_string() != support::u64_to_hex(version)) {
-    return false;  // stale: written by a different scoring pipeline
-  }
+  const auto root =
+      cache::read_versioned_file(path, kTuCacheFormat, version);
+  if (!root) return false;
   for (const Json& j : (*root)["tus"].items()) {
     std::uint64_t key = 0;
-    if (!support::u64_from_hex(j["key"].as_string(), &key)) continue;
-    if (!j["ok"].is_bool()) continue;
     Impl::Entry entry;
-    entry.ok = j["ok"].as_bool();
-    auto manifest = std::make_shared<Impl::Manifest>();
-    bool bad = false;
-    for (const Json& d : j["deps"].items()) {
-      std::uint64_t hash = 0;
-      if (!d["path"].is_string() ||
-          !support::u64_from_hex(d["hash"].as_string(), &hash)) {
-        bad = true;
-        break;
-      }
-      manifest->deps.push_back({d["path"].as_string(), hash});
-    }
-    if (bad) continue;
-    for (const Json& m : j["missing"].items()) {
-      if (!m.is_string()) {
-        bad = true;
-        break;
-      }
-      manifest->missing.push_back(m.as_string());
-    }
-    if (bad) continue;
-    for (const Json& h : j["system_headers"].items()) {
-      if (!h.is_string()) {
-        bad = true;
-        break;
-      }
-      entry.system_headers.push_back(h.as_string());
-    }
-    if (bad || !diags_from_json(j["diags"], &entry.diags)) continue;
-    entry.manifest = std::move(manifest);
-    entry.fresh = false;
-    entry.last_used = impl_->tick();
-
-    Impl::Shard& shard = impl_->shards[key % Impl::kShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto& group = shard.groups[key];
-    bool exists = false;
-    for (const Impl::Entry& existing : group) {
-      if (*existing.manifest == *entry.manifest) {
-        exists = true;  // a live (or previously loaded) entry wins
-        break;
-      }
-    }
-    if (exists) continue;
-    group.push_back(std::move(entry));
-    ++shard.count;
-    Impl::evict_locked(shard, impl_->shard_capacity());
+    if (!Impl::parse_entry(j, &key, &entry)) continue;
+    impl_->insert_loaded_entry(key, std::move(entry), /*published=*/true);
   }
   for (const Json& j : (*root)["plans"].items()) {
     std::uint64_t key = 0;
-    if (!support::u64_from_hex(j["key"].as_string(), &key)) continue;
-    if (!j["ok"].is_bool() || !j["build_system"].is_string() ||
-        !j["caps"].is_number() || !j["log"].is_string()) {
-      continue;
-    }
     Impl::Plan plan;
-    plan.ok = j["ok"].as_bool();
-    plan.build_system = j["build_system"].as_string();
-    plan.caps = caps_from_bits(j["caps"].as_int());
-    plan.log = j["log"].as_string();
-    bool bad = false;
-    for (const Json& k : j["tus"].items()) {
-      std::uint64_t tu_key = 0;
-      if (!support::u64_from_hex(k.as_string(), &tu_key)) {
-        bad = true;
-        break;
-      }
-      plan.tus.push_back(tu_key);
-    }
-    if (bad || !diags_from_json(j["diags"], &plan.diags)) continue;
-    plan.fresh = false;
-    plan.last_used = impl_->tick();
-    std::lock_guard<std::mutex> lock(impl_->plans_mu);
-    impl_->plans.emplace(key, std::move(plan));  // existing entry wins
-  }
-  {
-    // Loaded plans respect the capacity bound like recorded ones.
-    std::lock_guard<std::mutex> lock(impl_->plans_mu);
-    impl_->bound_plans_locked();
+    if (!Impl::parse_plan(j, &key, &plan)) continue;
+    impl_->insert_loaded_plan(key, std::move(plan), /*published=*/true);
   }
   return true;
+}
+
+bool TuCompileCache::load_records(cache::Store& store,
+                                  std::uint64_t version, bool published) {
+  const bool tu_ok =
+      store.replay(kTuStream, version, [this, published](const Json& j) {
+        std::uint64_t key = 0;
+        Impl::Entry entry;
+        if (!Impl::parse_entry(j, &key, &entry)) return;
+        impl_->insert_loaded_entry(key, std::move(entry), published);
+      });
+  const bool plan_ok =
+      store.replay(kPlanStream, version, [this, published](const Json& j) {
+        std::uint64_t key = 0;
+        Impl::Plan plan;
+        if (!Impl::parse_plan(j, &key, &plan)) return;
+        impl_->insert_loaded_plan(key, std::move(plan), published);
+      });
+  return tu_ok && plan_ok;
+}
+
+bool TuCompileCache::attach(cache::Store& store, std::uint64_t version) {
+  impl_->store = &store;
+  impl_->store_version = version;
+  return load_records(store, version, /*published=*/true);
+}
+
+bool TuCompileCache::import_store(cache::Store& store,
+                                  std::uint64_t version) {
+  return load_records(store, version, /*published=*/false);
+}
+
+std::size_t TuCompileCache::flush() {
+  Impl& impl = *impl_;
+  if (impl.store == nullptr) return 0;
+  // Everything the attached store has not seen, in the same deterministic
+  // order the single-file format uses. The manifest pointer identifies
+  // each entry again after the append (entries are never mutated in
+  // place, only evicted).
+  struct Pending {
+    std::uint64_t key = 0;
+    std::string order;
+    Json json;
+    std::shared_ptr<const Impl::Manifest> manifest;
+  };
+  std::vector<Pending> tus;
+  for (auto& shard : impl.shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [key, group] : shard.groups) {
+      for (Impl::Entry& entry : group) {
+        if (entry.published) continue;
+        std::string order;
+        Json j = Impl::entry_json(key, entry, &order);
+        tus.push_back(
+            {key, std::move(order), std::move(j), entry.manifest});
+      }
+    }
+  }
+  std::sort(tus.begin(), tus.end(), [](const Pending& a, const Pending& b) {
+    return a.key != b.key ? a.key < b.key : a.order < b.order;
+  });
+
+  std::vector<std::pair<std::uint64_t, Json>> plans;
+  {
+    std::lock_guard<std::mutex> lock(impl.plans_mu);
+    for (const auto& [key, plan] : impl.plans) {
+      if (plan.published) continue;
+      plans.emplace_back(key, Impl::plan_json(key, plan));
+    }
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<Json> tu_records;
+  tu_records.reserve(tus.size());
+  for (auto& p : tus) tu_records.push_back(std::move(p.json));
+  std::vector<Json> plan_records;
+  plan_records.reserve(plans.size());
+  for (auto& [key, j] : plans) plan_records.push_back(std::move(j));
+
+  // Empty batches still stamp the stream index, so a first flush seeds
+  // the store under the right pipeline version either way.
+  if (!impl.store->append_batch(kTuStream, impl.store_version,
+                                tu_records)) {
+    return 0;
+  }
+  if (!impl.store->append_batch(kPlanStream, impl.store_version,
+                                plan_records)) {
+    return 0;
+  }
+
+  for (const Pending& p : tus) {
+    Impl::Shard& shard = impl.shards[p.key % Impl::kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto git = shard.groups.find(p.key);
+    if (git == shard.groups.end()) continue;
+    for (Impl::Entry& entry : git->second) {
+      if (entry.manifest == p.manifest) {
+        entry.published = true;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl.plans_mu);
+    for (const auto& [key, j] : plans) {
+      const auto it = impl.plans.find(key);
+      if (it != impl.plans.end()) it->second.published = true;
+    }
+  }
+
+  impl.store->maybe_compact(kTuStream, impl.store_version);
+  impl.store->maybe_compact(kPlanStream, impl.store_version);
+  return tus.size() + plans.size();
+}
+
+Json TuCompileCache::stats() const {
+  Json j = Json::object();
+  j.set("hits", static_cast<long long>(hits()));
+  j.set("persisted_hits", static_cast<long long>(persisted_hits()));
+  j.set("misses", static_cast<long long>(misses()));
+  j.set("lookups", static_cast<long long>(lookups()));
+  j.set("plan_hits", static_cast<long long>(plan_hits()));
+  j.set("entries", static_cast<long long>(size()));
+  j.set("plans", static_cast<long long>(plan_count()));
+  return j;
 }
 
 }  // namespace pareval::buildsim

@@ -36,6 +36,8 @@
 
 #include "buildsim/builder.hpp"
 #include "minic/ast.hpp"
+#include "support/cachestore.hpp"
+#include "support/json.hpp"
 #include "vfs/repo.hpp"
 
 namespace pareval::buildsim {
@@ -148,11 +150,40 @@ class TuCompileCache {
   /// `version` mismatch (stale cache written by a different pipeline).
   bool load(const std::string& path, std::uint64_t version);
 
+  /// Journaled-store streams: TU outcomes and plan digests live in
+  /// separate streams so both keep their legacy per-record JSON shape
+  /// (no discriminator field, so the single-file format stays
+  /// byte-identical).
+  static constexpr const char* kTuStream = "tu";
+  static constexpr const char* kPlanStream = "tuplan";
+
+  /// Bind this cache to a shared cache::Store and replay its "tu" and
+  /// "tuplan" streams into memory (entries already here win — outcomes
+  /// are pure). flush() appends to the attached store from then on.
+  /// Returns false iff the store's streams are absent or stale (the
+  /// cache still works; flush() will seed them).
+  bool attach(cache::Store& store, std::uint64_t version);
+  /// Replay another store's streams into memory WITHOUT binding to it:
+  /// imported records are not marked as published in the attached store,
+  /// so a later flush() forwards them — the fan-in merge primitive.
+  bool import_store(cache::Store& store, std::uint64_t version);
+  /// Append every TU outcome and plan the attached store has not seen
+  /// (compiled/recorded here, or folded in via import_store), as one
+  /// locked batch per stream, then compact if past the byte threshold.
+  /// Returns the number of records appended (0 when detached).
+  std::size_t flush();
+  /// Counters as a JSON object with pinned key order (hits,
+  /// persisted_hits, misses, lookups, plan_hits, entries, plans) — the
+  /// uniform layer-stats surface CACHE_stats.json composes.
+  support::Json stats() const;
+
  private:
   struct Impl;
 
   bool save_impl(const std::string& path, std::uint64_t version,
                  bool fresh_only, std::size_t* entries_written) const;
+  bool load_records(cache::Store& store, std::uint64_t version,
+                    bool published);
 
   std::unique_ptr<Impl> impl_;
 };

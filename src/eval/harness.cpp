@@ -134,7 +134,7 @@ StagedScore ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
   pipeline.set_engine(engine);
   StagedScore result = pipeline.score(app, repo, target);
   misses_.fetch_add(1, std::memory_order_relaxed);
-  insert_entry(key, result, /*fresh=*/true);
+  insert_entry(key, result, /*fresh=*/true, /*published=*/false);
   return result;
 }
 
@@ -144,12 +144,19 @@ std::size_t ScoreCache::shard_capacity() const noexcept {
 }
 
 void ScoreCache::insert_entry(std::uint64_t key, StagedScore result,
-                              bool fresh) {
+                              bool fresh, bool published,
+                              bool keep_existing) {
   Shard& shard = shards_[key % kShards];
   const std::uint64_t now =
       clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.entries[key] = Entry{std::move(result), now, fresh};
+  if (keep_existing && shard.entries.count(key) != 0) {
+    // Fan-in import: an entry already here (attached-store replay or a
+    // score computed in-process) wins — scores are pure, so the values
+    // are identical and only the publish-pending flag differs.
+    return;
+  }
+  shard.entries[key] = Entry{std::move(result), now, fresh, published};
   detail::evict_lru_to_bound(shard.entries, shard_capacity());
 }
 
@@ -193,6 +200,31 @@ bool ScoreCache::save_delta(const std::string& path, std::uint64_t version,
   return save_entries(path, version, /*fresh_only=*/true, entries_written);
 }
 
+namespace {
+
+// v2: entries carry staged outcomes instead of one flat log. The format
+// tag is bumped so a restored v1 file cold-starts instead of loading
+// entries with missing provenance (which would break the cold-vs-warm
+// bit-identity guarantee).
+constexpr const char* kScoreCacheFormat = "pareval-score-cache-v2";
+
+/// The score layer's record codec, shared by the legacy whole-file
+/// format and the journaled store: one StagedScore entry, key last (the
+/// v2 field order, so files round-trip byte-identically).
+Json score_record(std::uint64_t key, const StagedScore& result) {
+  Json e = to_json(result);
+  e.set("key", support::u64_to_hex(key));
+  return e;
+}
+
+bool parse_score_record(const Json& e, std::uint64_t* key,
+                        StagedScore* out) {
+  return support::u64_from_hex(e["key"].as_string(), key) &&
+         from_json(e, out);
+}
+
+}  // namespace
+
 bool ScoreCache::save_entries(const std::string& path,
                               std::uint64_t version, bool fresh_only,
                               std::size_t* entries_written) const {
@@ -209,47 +241,87 @@ bool ScoreCache::save_entries(const std::string& path,
             [](const auto& a, const auto& b) { return a.first < b.first; });
   if (entries_written != nullptr) *entries_written = all.size();
 
-  Json root = Json::object();
-  // v2: entries carry staged outcomes instead of one flat log. The format
-  // tag is bumped so a restored v1 file cold-starts instead of loading
-  // entries with missing provenance (which would break the cold-vs-warm
-  // bit-identity guarantee).
-  root.set("format", "pareval-score-cache-v2");
-  root.set("pipeline", support::u64_to_hex(version));
   Json entries = Json::array();
   for (const auto& [key, entry] : all) {
-    Json e = to_json(entry.result);
-    e.set("key", support::u64_to_hex(key));
-    entries.push_back(std::move(e));
+    entries.push_back(score_record(key, entry.result));
   }
-  root.set("entries", std::move(entries));
-
-  // Atomic publish (temp + rename): concurrent savers sharing one cache
-  // path — worker processes or in-process caches/threads — race benignly
-  // and a reader can never observe a torn write.
-  return support::atomic_write_file(path, root.dump() + '\n');
+  return cache::write_versioned_file(path, kScoreCacheFormat, version,
+                                     {{"entries", std::move(entries)}});
 }
 
 bool ScoreCache::load(const std::string& path, std::uint64_t version) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const auto root = Json::parse(buf.str());
-  if (!root || (*root)["format"].as_string() != "pareval-score-cache-v2") {
-    return false;  // missing, malformed, or a pre-staged-pipeline format
-  }
-  if ((*root)["pipeline"].as_string() != support::u64_to_hex(version)) {
-    return false;  // stale: written by a different scoring pipeline
-  }
+  const auto root =
+      cache::read_versioned_file(path, kScoreCacheFormat, version);
+  if (!root) return false;
   for (const Json& e : (*root)["entries"].items()) {
     std::uint64_t key = 0;
-    if (!support::u64_from_hex(e["key"].as_string(), &key)) continue;
     StagedScore r;
-    if (!from_json(e, &r)) continue;
-    insert_entry(key, std::move(r), /*fresh=*/false);
+    if (!parse_score_record(e, &key, &r)) continue;
+    insert_entry(key, std::move(r), /*fresh=*/false, /*published=*/true);
   }
   return true;
+}
+
+bool ScoreCache::load_records(cache::Store& store, std::uint64_t version,
+                              bool published) {
+  return store.replay(kStream, version, [this, published](const Json& e) {
+    std::uint64_t key = 0;
+    StagedScore r;
+    if (!parse_score_record(e, &key, &r)) return;
+    // Journal replay never clobbers what is already here: records are
+    // append-only, so a later duplicate (another worker scoring the same
+    // key) carries the identical pure score.
+    insert_entry(key, std::move(r), /*fresh=*/false, published,
+                 /*keep_existing=*/true);
+  });
+}
+
+bool ScoreCache::attach(cache::Store& store, std::uint64_t version) {
+  store_ = &store;
+  store_version_ = version;
+  return load_records(store, version, /*published=*/true);
+}
+
+bool ScoreCache::import_store(cache::Store& store, std::uint64_t version) {
+  return load_records(store, version, /*published=*/false);
+}
+
+std::size_t ScoreCache::flush() {
+  if (store_ == nullptr) return 0;
+  // Everything the attached store has not seen: scored here since
+  // attach(), or folded in via import_store(). Key order makes the batch
+  // deterministic.
+  std::vector<std::pair<std::uint64_t, StagedScore>> pending;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      if (!entry.published) pending.emplace_back(key, entry.result);
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Json> records;
+  records.reserve(pending.size());
+  for (const auto& [key, result] : pending) {
+    records.push_back(score_record(key, result));
+  }
+  if (!store_->append_batch(kStream, store_version_, records)) return 0;
+  for (const auto& [key, result] : pending) {
+    Shard& shard = shards_[key % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) it->second.published = true;
+  }
+  store_->maybe_compact(kStream, store_version_);
+  return pending.size();
+}
+
+Json ScoreCache::stats() const {
+  Json j = Json::object();
+  j.set("hits", static_cast<long long>(hits()));
+  j.set("misses", static_cast<long long>(misses()));
+  j.set("entries", static_cast<long long>(size()));
+  return j;
 }
 
 ScoreCache& ScoreCache::global() {

@@ -21,6 +21,7 @@
 #include "eval/suite.hpp"
 #include "llm/calibration.hpp"
 #include "llm/profiles.hpp"
+#include "support/cachestore.hpp"
 
 namespace pareval::eval {
 
@@ -159,15 +160,20 @@ std::uint64_t scoring_pipeline_hash();
 /// build-failure defect class) share every TU compile; tus().misses()
 /// counts TU compiles actually performed.
 ///
-/// The score and TU layers are persistent: save()/load() serialize the
-/// score layer, tus().save()/load() the TU outcomes + build-plan digests —
-/// both as JSON versioned by a scoring-pipeline hash, so figure
-/// regeneration after a code-only change warm-starts from the previous
-/// run's scores and a warm file start skips Build-stage compile work too
-/// (the build-artifact layer holds live executables and stays
-/// process-local). Size is bounded: each shard holds at most
-/// capacity/kShards entries and evicts its least-recently-used entry on
-/// overflow.
+/// The score and TU layers are persistent, both through one uniform
+/// surface over the journaled cache::Store — attach() warm-replays the
+/// layer's record stream and binds the store, flush() appends what this
+/// process computed since (one locked batch; N workers sharing one store
+/// directory need no merge step), import_store() folds another store's
+/// records in for fan-in replay — and through the legacy whole-file
+/// formats: save()/load() serialize the score layer, tus().save()/load()
+/// the TU outcomes + build-plan digests, both as JSON versioned by a
+/// scoring-pipeline hash. Either way, figure regeneration after a
+/// code-only change warm-starts from the previous run's scores and a warm
+/// start skips Build-stage compile work too (the build-artifact layer
+/// holds live executables and stays process-local). Size is bounded: each
+/// shard holds at most capacity/kShards entries and evicts its
+/// least-recently-used entry on overflow.
 class ScoreCache {
  public:
   /// ScoringPipeline::score with three-layer memoization. `engine` picks
@@ -209,6 +215,33 @@ class ScoreCache {
   /// shard). The build layer has its own set_capacity.
   void set_capacity(std::size_t max_entries);
 
+  /// The journal stream name this layer reads/appends in a cache::Store.
+  static constexpr const char* kStream = "score";
+
+  /// Bind this cache to a journaled store and warm-replay its "score"
+  /// stream (entries marked published: flush() will not re-append them).
+  /// Returns false — binding anyway, loading nothing — when the stream is
+  /// absent or was written under a different `version` (stale journal).
+  bool attach(cache::Store& store,
+              std::uint64_t version = scoring_pipeline_hash());
+  /// Replay another store's "score" stream into this cache WITHOUT
+  /// binding it: records insert if absent and are marked unpublished, so
+  /// a following flush() appends them to the attached store — the fan-in
+  /// "replay all worker journals into one published store" step.
+  bool import_store(cache::Store& store,
+                    std::uint64_t version = scoring_pipeline_hash());
+  /// Append every entry not yet in the attached store (scored here since
+  /// attach, or folded in via import_store) as one locked journal batch,
+  /// then compact the stream if its journal outgrew the store's
+  /// threshold. Entries append in key order, so two flushes of the same
+  /// state write byte-identical batches. Returns the number of records
+  /// appended (0 when detached or nothing is pending).
+  std::size_t flush();
+
+  /// Score-layer counters as JSON with a pinned key order (hits, misses,
+  /// entries) — the "score" block of CACHE_stats.json.
+  support::Json stats() const;
+
   /// Write every score-layer entry to `path` as JSON, tagged with
   /// `version` (default: the paper scoring-pipeline hash; pass
   /// scoring_pipeline_hash(suite) when the cache serves a custom suite).
@@ -242,7 +275,8 @@ class ScoreCache {
   struct Entry {
     StagedScore result;
     std::uint64_t last_used = 0;
-    bool fresh = false;  // added by scoring here (not merged via load)
+    bool fresh = false;      // added by scoring here (not merged via load)
+    bool published = false;  // already present in the attached store
   };
   struct Shard {
     mutable std::mutex mu;
@@ -250,11 +284,16 @@ class ScoreCache {
   };
 
   std::size_t shard_capacity() const noexcept;
-  void insert_entry(std::uint64_t key, StagedScore result, bool fresh);
+  void insert_entry(std::uint64_t key, StagedScore result, bool fresh,
+                    bool published, bool keep_existing = false);
+  bool load_records(cache::Store& store, std::uint64_t version,
+                    bool published);
   bool save_entries(const std::string& path, std::uint64_t version,
                     bool fresh_only,
                     std::size_t* entries_written = nullptr) const;
 
+  cache::Store* store_ = nullptr;
+  std::uint64_t store_version_ = 0;
   std::array<Shard, kShards> shards_;
   BuildArtifactCache builds_;
   buildsim::TuCompileCache tus_;

@@ -1,10 +1,17 @@
 #include "support/io.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <system_error>
 
 namespace pareval::support {
 
@@ -29,6 +36,65 @@ bool atomic_write_file(const std::string& path,
     return false;
   }
   return true;
+}
+
+bool append_file(const std::string& path, std::string_view data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buf.str();
+}
+
+std::size_t file_size(const std::string& path) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(n);
+}
+
+bool make_dirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return false;
+  return std::filesystem::is_directory(path, ec);
+}
+
+FileLock::FileLock(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return;
+  while (::flock(fd_, LOCK_EX) != 0) {
+    if (errno == EINTR) continue;
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
 }
 
 }  // namespace pareval::support

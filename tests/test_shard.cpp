@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "eval/shard.hpp"
+#include "support/cachestore.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
 
@@ -309,6 +311,108 @@ TEST(ScoreCachePersist, LoadOfMissingFileFails) {
   pe::ScoreCache cache;
   EXPECT_FALSE(cache.load(temp_path("score_cache_nonexistent.json")));
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScoreCachePersist, JournalStoreRoundTripServesHits) {
+  const auto* app = pareval::apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  const auto& repo = app->repos.at(pareval::apps::Model::Cuda);
+
+  const std::string dir = temp_path("score_cache_store");
+  std::filesystem::remove_all(dir);
+  pareval::cache::Store store(dir);
+  ASSERT_TRUE(store.open());
+
+  pe::ScoreCache cache;
+  EXPECT_FALSE(cache.attach(store));  // nothing journaled yet
+  const auto first = cache.score(*app, repo, pareval::apps::Model::Cuda);
+  EXPECT_EQ(cache.flush(), 1u);
+  EXPECT_EQ(cache.flush(), 0u);  // idempotent: already published
+
+  // A fresh process (separate Store instance) replays the journal and
+  // serves the score without re-scoring — also across a compaction.
+  pareval::cache::Store reader(dir);
+  pe::ScoreCache reloaded;
+  EXPECT_TRUE(reloaded.attach(reader));
+  EXPECT_EQ(reloaded.size(), 1u);
+  const auto again = reloaded.score(*app, repo, pareval::apps::Model::Cuda);
+  EXPECT_EQ(reloaded.hits(), 1u);
+  EXPECT_EQ(reloaded.misses(), 0u);
+  EXPECT_EQ(again, first);
+
+  ASSERT_TRUE(reader.compact(pe::ScoreCache::kStream,
+                             pe::scoring_pipeline_hash()));
+  pe::ScoreCache compacted;
+  EXPECT_TRUE(compacted.attach(reader));
+  EXPECT_EQ(compacted.size(), 1u);
+
+  // A different pipeline version cold-starts, like a stale file.
+  pe::ScoreCache stale;
+  EXPECT_FALSE(stale.attach(reader, /*version=*/0xdeadbeef));
+  EXPECT_EQ(stale.size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScoreCachePersist, ImportStoreForwardsRecordsOnFlush) {
+  // The fan-in primitive: two workers flushed into separate journal
+  // dirs; the merge attaches a shared target, imports both, and flushes
+  // — the target then warm-starts a fresh cache with both scores.
+  const auto* nano = pareval::apps::find_app("nanoXOR");
+  const auto* micro = pareval::apps::find_app("microXOR");
+  ASSERT_NE(nano, nullptr);
+  ASSERT_NE(micro, nullptr);
+
+  const std::string dir_a = temp_path("score_store_worker_a");
+  const std::string dir_b = temp_path("score_store_worker_b");
+  const std::string dir_t = temp_path("score_store_target");
+  for (const auto& d : {dir_a, dir_b, dir_t}) {
+    std::filesystem::remove_all(d);
+  }
+
+  {
+    pareval::cache::Store store_a(dir_a);
+    ASSERT_TRUE(store_a.open());
+    pe::ScoreCache worker_a;
+    worker_a.attach(store_a);
+    worker_a.score(*nano, nano->repos.at(pareval::apps::Model::Cuda),
+                   pareval::apps::Model::Cuda);
+    EXPECT_EQ(worker_a.flush(), 1u);
+
+    pareval::cache::Store store_b(dir_b);
+    ASSERT_TRUE(store_b.open());
+    pe::ScoreCache worker_b;
+    worker_b.attach(store_b);
+    worker_b.score(*micro, micro->repos.at(pareval::apps::Model::Cuda),
+                   pareval::apps::Model::Cuda);
+    EXPECT_EQ(worker_b.flush(), 1u);
+  }
+
+  {
+    pareval::cache::Store target(dir_t);
+    ASSERT_TRUE(target.open());
+    pe::ScoreCache fold;
+    fold.attach(target);
+    pareval::cache::Store source_a(dir_a);
+    pareval::cache::Store source_b(dir_b);
+    EXPECT_TRUE(fold.import_store(source_a));
+    EXPECT_TRUE(fold.import_store(source_b));
+    EXPECT_EQ(fold.flush(), 2u);  // imported records forward to target
+    EXPECT_EQ(fold.flush(), 0u);
+  }
+
+  pareval::cache::Store target(dir_t);
+  pe::ScoreCache warm;
+  EXPECT_TRUE(warm.attach(target));
+  EXPECT_EQ(warm.size(), 2u);
+  warm.score(*nano, nano->repos.at(pareval::apps::Model::Cuda),
+             pareval::apps::Model::Cuda);
+  warm.score(*micro, micro->repos.at(pareval::apps::Model::Cuda),
+             pareval::apps::Model::Cuda);
+  EXPECT_EQ(warm.hits(), 2u);
+  EXPECT_EQ(warm.misses(), 0u);
+  for (const auto& d : {dir_a, dir_b, dir_t}) {
+    std::filesystem::remove_all(d);
+  }
 }
 
 TEST(ScoreCachePersist, CapacityBoundsEntryCount) {

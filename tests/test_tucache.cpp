@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -22,6 +23,7 @@
 #include "buildsim/tucache.hpp"
 #include "eval/harness.hpp"
 #include "execsim/driver.hpp"
+#include "support/cachestore.hpp"
 #include "support/strings.hpp"
 
 using namespace pareval;
@@ -407,6 +409,60 @@ TEST(TuCache, PersistRoundTripAndVersionMismatchColdStart) {
 
   std::remove(path.c_str());
   std::remove(path2.c_str());
+}
+
+TEST(TuCache, JournalStoreRoundTripReconstructsFailedPlans) {
+  const std::string dir =
+      ::testing::TempDir() + "tucache_journal_roundtrip_store";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  cache::Store store(dir);
+  ASSERT_TRUE(store.open());
+
+  TuCompileCache cold;
+  EXPECT_FALSE(cold.attach(store, 1234));  // empty store starts cold
+  const Repo good = two_tu_repo();
+  const Repo bad = failing_makefile_repo();
+  ASSERT_TRUE(buildsim::build_repo(good, "", &cold).ok);
+  ASSERT_FALSE(buildsim::build_repo(bad, "", &cold).ok);
+  EXPECT_GT(cold.flush(), 0u);
+  EXPECT_EQ(cold.flush(), 0u);  // idempotent: everything already published
+
+  // Compaction must not change what a fresh reader reconstructs.
+  ASSERT_TRUE(store.compact(TuCompileCache::kTuStream, 1234));
+  ASSERT_TRUE(store.compact(TuCompileCache::kPlanStream, 1234));
+
+  cache::Store reader(dir);
+  ASSERT_TRUE(reader.open());
+  TuCompileCache warm;
+  EXPECT_TRUE(warm.attach(reader, 1234));
+  EXPECT_EQ(warm.size(), 2u);        // a.cpp, b.cpp
+  EXPECT_EQ(warm.plan_count(), 2u);  // one ok plan, one failed plan
+
+  // The replayed failed plan short-circuits a rebuild of the broken repo.
+  ASSERT_FALSE(buildsim::build_repo(bad, "", &warm).ok);
+  EXPECT_EQ(warm.plan_hits(), 1u);
+
+  // Journal replay and legacy files agree byte for byte.
+  const std::string file_a = "tu_cache_journal_cold.json";
+  const std::string file_b = "tu_cache_journal_warm.json";
+  ASSERT_TRUE(cold.save(file_a, 1234));
+  ASSERT_TRUE(warm.save(file_b, 1234));
+  std::ifstream f1(file_a), f2(file_b);
+  std::stringstream s1, s2;
+  s1 << f1.rdbuf();
+  s2 << f2.rdbuf();
+  EXPECT_EQ(s1.str(), s2.str());
+
+  TuCompileCache stale;
+  EXPECT_FALSE(stale.attach(reader, 999));  // stale pipeline cold-starts
+  EXPECT_EQ(stale.size(), 0u);
+  EXPECT_EQ(stale.plan_count(), 0u);
+
+  std::remove(file_a.c_str());
+  std::remove(file_b.c_str());
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(TuCache, DeltaContainsOnlyFreshEntries) {

@@ -15,13 +15,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "buildsim/tucache.hpp"
 #include "eval/classify.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
 #include "minic/engine.hpp"
+#include "support/cachestore.hpp"
 #include "support/io.hpp"
 #include "support/par.hpp"
 #include "support/strings.hpp"
@@ -37,12 +40,18 @@ int usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --spec FILE        declarative sweep spec (JSON); exclusive with\n"
       "                     --samples/--seed\n"
-      "  --cache FILE       load/save the persistent score cache\n"
-      "  --tu-cache FILE    load/save the persistent TU compile cache\n"
+      "  --cache-dir DIR    warm-start from and publish to a journaled\n"
+      "                     cache directory (cache::Store) shared with\n"
+      "                     sweep_worker/sweep_merge\n"
+      "  --cache FILE       [deprecated: use --cache-dir]\n"
+      "                     load/save the persistent score cache\n"
+      "  --tu-cache FILE    [deprecated: use --cache-dir]\n"
+      "                     load/save the persistent TU compile cache\n"
       "                     (pareval-tu-cache-v1)\n"
       "  --cache-stats FILE write per-layer cache stats (score / build /\n"
-      "                     TU) as JSON with a pinned key order, so CI\n"
-      "                     artifact diffs are stable\n"
+      "                     TU, plus per-stream journal counters when\n"
+      "                     --cache-dir is given) as JSON with a pinned\n"
+      "                     key order, so CI artifact diffs are stable\n"
       "  --samples N        samples per cell (default: 25)\n"
       "  --seed S           base RNG seed (default: 1070)\n"
       "  --engine E         Execute-stage engine: interp (default) or vm\n"
@@ -63,6 +72,7 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string cache_dir;
   std::string cache_path;
   std::string tu_cache_path;
   std::string cache_stats_path;
@@ -81,9 +91,17 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--spec" && i + 1 < argc) {
       spec_path = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
     } else if (arg == "--cache" && i + 1 < argc) {
+      std::fprintf(stderr,
+                   "bench_figures: --cache is deprecated; prefer "
+                   "--cache-dir DIR (journaled multi-writer store)\n");
       cache_path = argv[++i];
     } else if (arg == "--tu-cache" && i + 1 < argc) {
+      std::fprintf(stderr,
+                   "bench_figures: --tu-cache is deprecated; prefer "
+                   "--cache-dir DIR (journaled multi-writer store)\n");
       tu_cache_path = argv[++i];
     } else if (arg == "--cache-stats" && i + 1 < argc) {
       cache_stats_path = argv[++i];
@@ -114,6 +132,13 @@ int main(int argc, char** argv) {
                  "(the spec declares them)\n");
     return 2;
   }
+  if (!cache_dir.empty() &&
+      (!cache_path.empty() || !tu_cache_path.empty())) {
+    std::fprintf(stderr,
+                 "bench_figures: --cache-dir is exclusive with the legacy "
+                 "--cache/--tu-cache flags\n");
+    return 2;
+  }
 
   const eval::Suite& suite = eval::Suite::paper();
   eval::SweepSpec spec;
@@ -139,6 +164,17 @@ int main(int argc, char** argv) {
 
   bool preloaded = false;
   std::size_t loaded_entries = 0;
+  std::optional<cache::Store> store;
+  if (!cache_dir.empty()) {
+    store.emplace(cache_dir);
+    if (!store->open()) {
+      std::fprintf(stderr, "bench_figures: cannot create cache dir %s\n",
+                   cache_dir.c_str());
+      return 1;
+    }
+    preloaded = cache.attach(*store);
+    loaded_entries = preloaded ? cache.size() : 0;
+  }
   if (!cache_path.empty()) {
     preloaded = cache.load(cache_path);
     loaded_entries = preloaded ? cache.size() : 0;
@@ -147,6 +183,15 @@ int main(int argc, char** argv) {
                 loaded_entries);
   }
   bool tu_preloaded = false;
+  if (store.has_value()) {
+    tu_preloaded =
+        cache.tus().attach(*store, eval::scoring_pipeline_hash());
+    std::printf("cache dir %s: score stream %s (%zu entries), TU streams "
+                "%s (%zu TUs, %zu plans)\n",
+                cache_dir.c_str(), preloaded ? "warm" : "cold",
+                loaded_entries, tu_preloaded ? "warm" : "cold",
+                cache.tus().size(), cache.tus().plan_count());
+  }
   if (!tu_cache_path.empty()) {
     tu_preloaded =
         cache.tus().load(tu_cache_path, eval::scoring_pipeline_hash());
@@ -187,6 +232,16 @@ int main(int argc, char** argv) {
   std::printf("%s\n", eval::table2_report(suite, all).c_str());
   const double reports_ms = ms_since(t_reports);
 
+  if (store.has_value()) {
+    const std::size_t score_records = cache.flush();
+    const std::size_t tu_records = cache.tus().flush();
+    std::printf("flushed %zu score + %zu TU/plan records to %s (score "
+                "journal gen %llu / %zu bytes)\n",
+                score_records, tu_records, cache_dir.c_str(),
+                static_cast<unsigned long long>(
+                    store->stats(eval::ScoreCache::kStream).generation),
+                store->journal_bytes(eval::ScoreCache::kStream));
+  }
   if (!cache_path.empty()) {
     if (cache.save(cache_path)) {
       std::printf("saved score cache to %s (%zu entries)\n",
@@ -216,6 +271,7 @@ int main(int argc, char** argv) {
   context.set("engine", minic::engine_key(engine));
   context.set("threads",
               static_cast<long long>(support::hardware_threads()));
+  context.set("cache_dir", cache_dir);
   context.set("cache_file", cache_path);
   context.set("cache_preloaded", preloaded);
   context.set("cache_entries_loaded",
@@ -258,29 +314,36 @@ int main(int argc, char** argv) {
     // artifact diffs cleanly run over run instead of shifting with
     // whatever map-iteration order a JSON post-processor happens to use.
     Json stats = Json::object();
+    stats.set("cache_dir", cache_dir);
     stats.set("cache_file", cache_path);
     stats.set("cache_preloaded", preloaded);
     stats.set("tu_cache_file", tu_cache_path);
     stats.set("tu_cache_preloaded", tu_preloaded);
-    Json score_layer = Json::object();
-    score_layer.set("hits", static_cast<long long>(cache.hits()));
-    score_layer.set("misses", static_cast<long long>(cache.misses()));
-    score_layer.set("entries", static_cast<long long>(cache.size()));
+    // Per-layer blocks come from the layers' own stats() (the uniform
+    // persistence surface), so this artifact and any future sweep_server
+    // endpoint report identical shapes. With --cache-dir each layer also
+    // carries its journal counters (generation, appends, torn/CRC drops,
+    // compactions, bytes) from the attached store.
+    Json score_layer = cache.stats();
+    if (store.has_value()) {
+      score_layer.set("journal",
+                      store->stats_json(eval::ScoreCache::kStream));
+    }
     stats.set("score", std::move(score_layer));
     Json build_layer = Json::object();
     build_layer.set("hits", static_cast<long long>(cache.builds().hits()));
     build_layer.set("misses",
                     static_cast<long long>(cache.builds().misses()));
     stats.set("build", std::move(build_layer));
-    Json tu_layer = Json::object();
-    tu_layer.set("hits", static_cast<long long>(cache.tus().hits()));
-    tu_layer.set("persisted_hits",
-                 static_cast<long long>(cache.tus().persisted_hits()));
-    tu_layer.set("misses", static_cast<long long>(cache.tus().misses()));
-    tu_layer.set("lookups", static_cast<long long>(tu_lookups));
-    tu_layer.set("plan_hits",
-                 static_cast<long long>(cache.tus().plan_hits()));
+    Json tu_layer = cache.tus().stats();
     tu_layer.set("dedupe_ratio", tu_dedupe_ratio);
+    if (store.has_value()) {
+      tu_layer.set("journal",
+                   store->stats_json(buildsim::TuCompileCache::kTuStream));
+      tu_layer.set(
+          "plan_journal",
+          store->stats_json(buildsim::TuCompileCache::kPlanStream));
+    }
     stats.set("tu", std::move(tu_layer));
     // Atomic like the cache files: the CI jq gate reads this artifact, so
     // a torn or truncated write must never be published.

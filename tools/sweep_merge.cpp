@@ -8,6 +8,7 @@
 // must agree on that hash (and on --spec FILE when given) or the merge is
 // refused — shards of different sweeps can never be silently recombined.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
 #include "minic/engine.hpp"
+#include "support/cachestore.hpp"
 #include "support/strings.hpp"
 
 using namespace pareval;
@@ -37,23 +39,36 @@ int usage(const char* argv0) {
       "                      without it any uniform engine is accepted\n"
       "  --out FILE          write the merged sweep (default: merged.json)\n"
       "  --report            print the figure reports off the merged sweep\n"
-      "  --verify            re-run the sweep in-process six ways —\n"
+      "  --verify            re-run the sweep in-process seven ways —\n"
       "                      uncached, staged-cached (TU layer off),\n"
       "                      TU-cached, score-cold/TU-warm-file (Build\n"
       "                      stages reconstruct from the persisted TU\n"
       "                      cache), warm-file-start (score + TU caches\n"
-      "                      reloaded from disk, Build stage skipped), and\n"
+      "                      reloaded from disk, Build stage skipped),\n"
+      "                      journal-warm (both layers flushed to a\n"
+      "                      cache::Store, compacted, and replayed into a\n"
+      "                      fresh cache, Build stage skipped), and\n"
       "                      uncached under the bytecode-VM engine — and\n"
       "                      fail unless shards and every reference run\n"
-      "                      are bit-identical\n"
-      "  --merge-cache FILE  fold every --delta into FILE (loading FILE's\n"
+      "                      are bit-identical. With --cache-dir, an\n"
+      "                      eighth store-warm reference replays the\n"
+      "                      shared directory the workers wrote\n"
+      "  --cache-dir DIR     the shared journaled cache directory\n"
+      "                      (cache::Store) this merge verifies against\n"
+      "                      and publishes to; skipped when --verify fails\n"
+      "  --import-cache-dir DIR  fold another store's streams (e.g. a\n"
+      "                      per-worker journal dir) into --cache-dir\n"
+      "                      (repeat per worker)\n"
+      "  --merge-cache FILE  [deprecated: use --cache-dir]\n"
+      "                      fold every --delta into FILE (loading FILE's\n"
       "                      previous contents first) to publish a warm\n"
       "                      cache for the next run; skipped when --verify\n"
       "                      fails (pair it with --verify to publish only\n"
       "                      proven scores)\n"
       "  --delta FILE        a sweep_worker --cache-delta file (repeat\n"
       "                      per worker)\n"
-      "  --merge-tu-cache FILE  fold every --tu-delta into FILE (the\n"
+      "  --merge-tu-cache FILE  [deprecated: use --cache-dir]\n"
+      "                      fold every --tu-delta into FILE (the\n"
       "                      published pareval-tu-cache-v1 file)\n"
       "  --tu-delta FILE     a sweep_worker --tu-cache-delta file (repeat\n"
       "                      per worker)\n"
@@ -64,12 +79,24 @@ int usage(const char* argv0) {
   return 2;
 }
 
+void warn_deprecated(const char* flag) {
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "sweep_merge: %s is deprecated; prefer --cache-dir DIR "
+               "(journaled multi-writer cache store)\n",
+               flag);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "merged.json";
   std::string spec_path;
   std::string engine_arg;
+  std::string cache_dir;
+  std::vector<std::string> import_dirs;
   std::string merge_cache_path;
   std::vector<std::string> delta_paths;
   std::string merge_tu_cache_path;
@@ -85,11 +112,17 @@ int main(int argc, char** argv) {
       spec_path = argv[++i];
     } else if (arg == "--engine" && i + 1 < argc) {
       engine_arg = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (arg == "--import-cache-dir" && i + 1 < argc) {
+      import_dirs.push_back(argv[++i]);
     } else if (arg == "--merge-cache" && i + 1 < argc) {
+      warn_deprecated("--merge-cache");
       merge_cache_path = argv[++i];
     } else if (arg == "--delta" && i + 1 < argc) {
       delta_paths.push_back(argv[++i]);
     } else if (arg == "--merge-tu-cache" && i + 1 < argc) {
+      warn_deprecated("--merge-tu-cache");
       merge_tu_cache_path = argv[++i];
     } else if (arg == "--tu-delta" && i + 1 < argc) {
       tu_delta_paths.push_back(argv[++i]);
@@ -112,6 +145,12 @@ int main(int argc, char** argv) {
   if (!tu_delta_paths.empty() && merge_tu_cache_path.empty()) {
     std::fprintf(stderr,
                  "sweep_merge: --tu-delta requires --merge-tu-cache FILE\n");
+    return 2;
+  }
+  if (!import_dirs.empty() && cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "sweep_merge: --import-cache-dir requires --cache-dir "
+                 "DIR\n");
     return 2;
   }
 
@@ -190,14 +229,17 @@ int main(int argc, char** argv) {
 
   int mismatches = 0;
   if (verify) {
-    // Six in-process references: uncached, staged two-layer cache (TU
+    // Seven in-process references: uncached, staged two-layer cache (TU
     // layer off), TU-cached (all three layers), score-cold/TU-warm-file
     // (persisted plans/TUs reconstruct during real Build stages), a
-    // warm *file* start (score + TU caches reloaded; Build skipped), and
-    // an uncached run under the bytecode-VM engine. Shards and all six
+    // warm *file* start (score + TU caches reloaded; Build skipped), a
+    // journal-warm start (both layers flushed to a cache::Store,
+    // compacted, and replayed into a fresh cache; Build skipped), and
+    // an uncached run under the bytecode-VM engine. Shards and all seven
     // runs must be bit-identical — the CI gate that proves distribution,
-    // every cache layer (live or persisted), and the alternate execution
-    // engine are all pure memoization / pure reimplementation.
+    // every cache layer (live, persisted, or journaled), and the
+    // alternate execution engine are all pure memoization / pure
+    // reimplementation.
     eval::HarnessConfig uncached;
     uncached.use_score_cache = false;
     const auto reference = eval::run_sweep(suite, spec, uncached);
@@ -295,6 +337,94 @@ int main(int argc, char** argv) {
     }
     std::remove(verify_score.c_str());
     std::remove(verify_tu.c_str());
+
+    // Journal-warm reference: flush the TU-cached run's score + TU layers
+    // into a throwaway cache::Store, compact every stream (so the replay
+    // crosses a generation bump), and replay the store into a fresh cache
+    // through a separate Store instance — the multi-writer analogue of
+    // the warm-file-start reference. Must be bit-identical with the Build
+    // stage skipped, proving journaled persistence round-trips exactly
+    // like the legacy files.
+    {
+      const std::string store_dir = out_path + ".verify-store";
+      std::error_code ec;
+      std::filesystem::remove_all(store_dir, ec);
+      cache::Store writer(store_dir);
+      bool store_built = writer.open();
+      if (store_built) {
+        tu_cached.attach(writer, pipeline_version);
+        tu_cached.tus().attach(writer, pipeline_version);
+        tu_cached.flush();
+        tu_cached.tus().flush();
+        store_built =
+            writer.compact(eval::ScoreCache::kStream, pipeline_version) &&
+            writer.compact(buildsim::TuCompileCache::kTuStream,
+                           pipeline_version) &&
+            writer.compact(buildsim::TuCompileCache::kPlanStream,
+                           pipeline_version);
+      }
+      if (!store_built) {
+        std::fprintf(stderr,
+                     "sweep_merge: could not build the journal-warm "
+                     "verify store\n");
+        ++mismatches;
+      } else {
+        cache::Store reader(store_dir);
+        eval::ScoreCache journal_warm;
+        if (!journal_warm.attach(reader, pipeline_version) ||
+            !journal_warm.tus().attach(reader, pipeline_version)) {
+          std::fprintf(stderr,
+                       "sweep_merge: could not replay the journal-warm "
+                       "verify store\n");
+          ++mismatches;
+        } else {
+          cached.score_cache = &journal_warm;
+          const auto journal_reference =
+              eval::run_sweep(suite, spec, cached);
+          const bool journal_identical = journal_reference == reference;
+          const bool build_skipped =
+              journal_warm.builds().misses() == 0 &&
+              journal_warm.tus().misses() == 0;
+          std::printf(
+              "determinism (journal-warm-store vs uncached): %s (score "
+              "layer %zu hits / %zu misses; Build stage %s: %zu builds, "
+              "%zu TU compiles; score stream gen %llu)\n",
+              journal_identical ? "IDENTICAL" : "MISMATCH",
+              journal_warm.hits(), journal_warm.misses(),
+              build_skipped ? "SKIPPED" : "NOT SKIPPED",
+              journal_warm.builds().misses(), journal_warm.tus().misses(),
+              static_cast<unsigned long long>(
+                  reader.stats(eval::ScoreCache::kStream).generation));
+          if (!journal_identical || !build_skipped) ++mismatches;
+        }
+      }
+      std::filesystem::remove_all(store_dir, ec);
+    }
+
+    // Store-warm reference: when this merge verifies a shared cache
+    // directory the workers published into, replay it into a fresh cache
+    // and re-run — the end-to-end proof that N concurrent writers plus a
+    // journal-warm start stay bit-identical to the single-process
+    // uncached sweep.
+    if (!cache_dir.empty()) {
+      cache::Store shared(cache_dir);
+      eval::ScoreCache store_warm;
+      const bool warm_scores = store_warm.attach(shared, pipeline_version);
+      const bool warm_tus =
+          store_warm.tus().attach(shared, pipeline_version);
+      cached.score_cache = &store_warm;
+      const auto store_reference = eval::run_sweep(suite, spec, cached);
+      const bool store_identical = store_reference == reference;
+      std::printf(
+          "determinism (store-warm %s vs uncached): %s (score stream %s "
+          "with %zu entries, TU streams %s; score layer %zu hits / %zu "
+          "misses)\n",
+          cache_dir.c_str(), store_identical ? "IDENTICAL" : "MISMATCH",
+          warm_scores ? "warm" : "cold", store_warm.size(),
+          warm_tus ? "warm" : "cold", store_warm.hits(),
+          store_warm.misses());
+      if (!store_identical) ++mismatches;
+    }
 
     // Engine cross-check: the same sweep, uncached, but with every
     // Execute stage run by the bytecode VM instead of the tree-walking
@@ -431,6 +561,51 @@ int main(int argc, char** argv) {
         loaded, tu_delta_paths.size(), merge_tu_cache_path.c_str(),
         published_tus.size(), published_tus.plan_count(),
         had_previous ? ", on top of the previous published cache" : "");
+  }
+
+  // Fold per-worker journal dirs into the shared store. With one shared
+  // --cache-dir the workers already appended directly and this is a
+  // cheap no-op pass (import finds nothing unpublished); with per-worker
+  // dirs (artifact fan-in) it replays each worker's streams and appends
+  // only the records the shared store does not hold yet. Never publish
+  // from a run that failed verification.
+  if (!cache_dir.empty() && mismatches > 0) {
+    std::fprintf(stderr,
+                 "sweep_merge: verification failed — not publishing %s\n",
+                 cache_dir.c_str());
+  }
+  if (!cache_dir.empty() && mismatches == 0) {
+    const std::uint64_t pipeline_version = eval::scoring_pipeline_hash();
+    cache::Store target(cache_dir);
+    if (!target.open()) {
+      std::fprintf(stderr, "sweep_merge: cannot create cache dir %s\n",
+                   cache_dir.c_str());
+      return 1;
+    }
+    eval::ScoreCache fold;
+    fold.attach(target, pipeline_version);
+    fold.tus().attach(target, pipeline_version);
+    std::size_t imported = 0;
+    for (const std::string& dir : import_dirs) {
+      cache::Store source(dir);
+      const bool scores_ok = fold.import_store(source, pipeline_version);
+      const bool tus_ok =
+          fold.tus().import_store(source, pipeline_version);
+      if (scores_ok || tus_ok) {
+        ++imported;
+      } else {
+        std::fprintf(stderr,
+                     "sweep_merge: skipping stale/unreadable cache dir "
+                     "%s\n",
+                     dir.c_str());
+      }
+    }
+    const std::size_t appended = fold.flush() + fold.tus().flush();
+    std::printf(
+        "folded %zu/%zu worker cache dirs into %s (%zu new records; %zu "
+        "scores, %zu TUs, %zu plans total)\n",
+        imported, import_dirs.size(), cache_dir.c_str(), appended,
+        fold.size(), fold.tus().size(), fold.tus().plan_count());
   }
 
   if (mismatches > 0) {

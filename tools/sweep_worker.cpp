@@ -17,10 +17,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "buildsim/tucache.hpp"
 #include "eval/shard.hpp"
+#include "support/cachestore.hpp"
 #include "support/strings.hpp"
 
 using namespace pareval;
@@ -54,18 +57,39 @@ int usage(const char* argv0) {
       "                       vm (bytecode; bit-identical scores, faster).\n"
       "                       Recorded in the shard file; sweep_merge\n"
       "                       refuses to combine mixed-engine shards\n"
-      "  --cache FILE         warm-start/persist the score cache\n"
-      "  --cache-delta FILE   write only the cache entries this run added\n"
+      "  --cache-dir DIR      warm-start from and publish to a shared\n"
+      "                       journaled cache directory (cache::Store).\n"
+      "                       Any number of workers may share one DIR\n"
+      "                       concurrently; no merge step is needed\n"
+      "  --cache FILE         [deprecated: use --cache-dir]\n"
+      "                       warm-start/persist the score cache\n"
+      "  --cache-delta FILE   [deprecated: use --cache-dir]\n"
+      "                       write only the cache entries this run added\n"
       "                       (ship with the shard for sweep_merge\n"
       "                       --merge-cache to fold into a published cache)\n"
-      "  --tu-cache FILE      warm-start/persist the TU compile cache\n"
+      "  --tu-cache FILE      [deprecated: use --cache-dir]\n"
+      "                       warm-start/persist the TU compile cache\n"
       "                       (pareval-tu-cache-v1: TU outcomes + per-build\n"
       "                       compile-plan digests)\n"
-      "  --tu-cache-delta FILE  write only the TU entries/plans this run\n"
+      "  --tu-cache-delta FILE  [deprecated: use --cache-dir]\n"
+      "                       write only the TU entries/plans this run\n"
       "                       added (for sweep_merge --merge-tu-cache)\n"
       "  --out FILE           shard file to write (default: shard.json)\n",
       argv0);
   return 2;
+}
+
+/// Legacy per-file cache flags still work, but each process warns once:
+/// the journaled --cache-dir store subsumes them without the delta/merge
+/// choreography.
+void warn_deprecated(const char* tool, const char* flag) {
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "%s: %s is deprecated; prefer --cache-dir DIR (journaled "
+               "multi-writer cache store)\n",
+               tool, flag);
 }
 
 }  // namespace
@@ -76,6 +100,7 @@ int main(int argc, char** argv) {
   std::string pair_arg;
   std::string spec_path;
   std::string out_path = "shard.json";
+  std::string cache_dir;
   std::string cache_path;
   std::string cache_delta_path;
   std::string tu_cache_path;
@@ -117,13 +142,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.engine = *kind;
+    } else if (arg == "--cache-dir" && (v = value())) {
+      cache_dir = v;
     } else if (arg == "--cache" && (v = value())) {
+      warn_deprecated("sweep_worker", "--cache");
       cache_path = v;
     } else if (arg == "--cache-delta" && (v = value())) {
+      warn_deprecated("sweep_worker", "--cache-delta");
       cache_delta_path = v;
     } else if (arg == "--tu-cache" && (v = value())) {
+      warn_deprecated("sweep_worker", "--tu-cache");
       tu_cache_path = v;
     } else if (arg == "--tu-cache-delta" && (v = value())) {
+      warn_deprecated("sweep_worker", "--tu-cache-delta");
       tu_cache_delta_path = v;
     } else if (arg == "--out" && (v = value())) {
       out_path = v;
@@ -139,6 +170,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "sweep_worker: --spec is exclusive with --pair/--samples/"
                  "--seed (the spec declares them)\n");
+    return 2;
+  }
+  if (!cache_dir.empty() &&
+      (!cache_path.empty() || !cache_delta_path.empty() ||
+       !tu_cache_path.empty() || !tu_cache_delta_path.empty())) {
+    std::fprintf(stderr,
+                 "sweep_worker: --cache-dir is exclusive with the legacy "
+                 "--cache/--cache-delta/--tu-cache/--tu-cache-delta flags\n");
     return 2;
   }
 
@@ -174,6 +213,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::optional<cache::Store> store;
+  if (!cache_dir.empty()) {
+    store.emplace(cache_dir);
+    if (!store->open()) {
+      std::fprintf(stderr, "sweep_worker: cannot create cache dir %s\n",
+                   cache_dir.c_str());
+      return 1;
+    }
+    eval::ScoreCache& cache = eval::ScoreCache::global();
+    const bool warm_scores = cache.attach(*store);
+    const bool warm_tus =
+        cache.tus().attach(*store, eval::scoring_pipeline_hash());
+    std::printf("cache dir %s: score stream %s (%zu entries), TU streams "
+                "%s (%zu TUs, %zu plans)\n",
+                cache_dir.c_str(), warm_scores ? "warm" : "cold",
+                cache.size(), warm_tus ? "warm" : "cold",
+                cache.tus().size(), cache.tus().plan_count());
+  }
   if (!cache_path.empty() && eval::ScoreCache::global().load(cache_path)) {
     std::printf("warm-started score cache from %s (%zu entries)\n",
                 cache_path.c_str(), eval::ScoreCache::global().size());
@@ -211,6 +268,26 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
 
   eval::ScoreCache& cache = eval::ScoreCache::global();
+  if (store.has_value()) {
+    const std::size_t score_records = cache.flush();
+    const std::size_t tu_records = cache.tus().flush();
+    const auto score_stats = store->stats(eval::ScoreCache::kStream);
+    const auto tu_stats =
+        store->stats(buildsim::TuCompileCache::kTuStream);
+    std::printf(
+        "flushed %zu score + %zu TU/plan records to %s (score journal "
+        "gen %llu / %zu bytes, TU journal gen %llu / %zu bytes; score "
+        "layer %zu hits / %zu misses, build layer %zu hits / %zu misses, "
+        "TU layer %zu+%zu hits / %zu misses this run)\n",
+        score_records, tu_records, cache_dir.c_str(),
+        static_cast<unsigned long long>(score_stats.generation),
+        score_stats.journal_bytes,
+        static_cast<unsigned long long>(tu_stats.generation),
+        tu_stats.journal_bytes, cache.hits(), cache.misses(),
+        cache.builds().hits(), cache.builds().misses(),
+        cache.tus().hits(), cache.tus().persisted_hits(),
+        cache.tus().misses());
+  }
   if (!cache_path.empty()) {
     if (cache.save(cache_path)) {
       std::printf("saved score cache to %s (%zu entries, score layer "
