@@ -473,7 +473,7 @@ TaskResult aggregate_samples(const AppSpec& app, Technique technique,
 }
 
 TaskResult run_task(const Suite& suite, const SweepCell& cell,
-                    const HarnessConfig& config) {
+                    const HarnessConfig& config, int cell_index) {
   const auto priority = config.high_priority
                             ? support::TaskPriority::High
                             : support::TaskPriority::Normal;
@@ -482,6 +482,7 @@ TaskResult run_task(const Suite& suite, const SweepCell& cell,
   if (config.threads == 1) {
     for (int i = 0; i < config.samples_per_task; ++i) {
       runs.push_back(run_cell_sample(suite, cell, config, i));
+      if (config.on_sample) config.on_sample({cell_index, i, runs.back()});
       if (!runs.back().generated) break;  // aborted cell: stop sampling
     }
   } else {
@@ -499,11 +500,12 @@ TaskResult run_task(const Suite& suite, const SweepCell& cell,
     std::vector<std::future<SampleRun>> futures;
     futures.reserve(config.samples_per_task);
     for (int i = 0; i < config.samples_per_task; ++i) {
-      futures.push_back(
-          pool.submit(priority, [&suite, cell, config, abort_floor, i] {
+      futures.push_back(pool.submit(
+          priority, [&suite, cell, config, abort_floor, cell_index, i] {
             if (i > abort_floor->load(std::memory_order_acquire)) {
               return SampleRun{};  // past an abort; aggregation never gets
-                                   // here
+                                   // here (and on_sample never sees a
+                                   // sample that did not run)
             }
             SampleRun run = run_cell_sample(suite, cell, config, i);
             if (!run.generated) {
@@ -512,6 +514,7 @@ TaskResult run_task(const Suite& suite, const SweepCell& cell,
                                     cur, i, std::memory_order_release)) {
               }
             }
+            if (config.on_sample) config.on_sample({cell_index, i, run});
             return run;
           }));
     }
@@ -579,8 +582,8 @@ std::vector<TaskResult> run_sweep(const Suite& suite, const SweepSpec& spec,
   std::vector<TaskResult> out;
   out.reserve(cells.size());
   if (eff.threads == 1) {
-    for (const SweepCell& cell : cells) {
-      out.push_back(run_task(suite, cell, eff));
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out.push_back(run_task(suite, cells[i], eff, static_cast<int>(i)));
     }
     return out;
   }
@@ -591,9 +594,12 @@ std::vector<TaskResult> run_sweep(const Suite& suite, const SweepSpec& spec,
   ThreadPool& pool = ThreadPool::global();
   std::vector<std::future<TaskResult>> futures;
   futures.reserve(cells.size());
-  for (const SweepCell& cell : cells) {
-    futures.push_back(pool.submit(
-        priority, [&suite, cell, eff] { return run_task(suite, cell, eff); }));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    futures.push_back(
+        pool.submit(priority, [&suite, cell, eff, i] {
+          return run_task(suite, cell, eff, static_cast<int>(i));
+        }));
   }
   for (auto& f : futures) out.push_back(pool.await(f));
   return out;

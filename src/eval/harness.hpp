@@ -8,6 +8,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -70,6 +71,17 @@ struct TaskResult {
   bool operator==(const TaskResult&) const = default;
 };
 
+struct SampleRecord;
+
+/// Incremental progress hook: invoked once per *completed* sample with
+/// its coordinate-tagged record, at completion time (not collection
+/// time), from whichever thread ran the sample — so pooled sweeps invoke
+/// it concurrently and the callee must synchronize. Samples skipped past
+/// a cell's abort floor never ran and are not reported. The sweep
+/// server's result streaming and the CLI tools' progress meters both
+/// ride this instead of parsing anything.
+using SampleProgressFn = std::function<void(const SampleRecord&)>;
+
 struct HarnessConfig {
   int samples_per_task = 25;  // the paper's N (scores are multiples of 0.04)
   std::uint64_t seed = 1070;
@@ -104,6 +116,9 @@ struct HarnessConfig {
   /// --verify and the differential VM tests), so this only changes
   /// Execute wall time — scores, logs, and cache contents are invariant.
   minic::EngineKind engine = minic::EngineKind::Interp;
+  /// Per-completed-sample streaming hook (see SampleProgressFn). Purely
+  /// observational: results are bit-identical with or without it.
+  SampleProgressFn on_sample;
 };
 
 /// The legacy flat scoring verdict: built/passed plus one log blob. Kept
@@ -313,6 +328,17 @@ struct SampleRun {
   bool operator==(const SampleRun&) const = default;
 };
 
+/// One (cell, sample) unit of a sweep, tagged with its coordinates so
+/// shards (and streamed server results) can be recombined without any
+/// ordering assumptions. `cell` indexes sweep_cells(suite, spec).
+struct SampleRecord {
+  int cell = 0;    // index into sweep_cells(suite, spec)
+  int sample = 0;  // sample index within the cell
+  SampleRun run;
+
+  bool operator==(const SampleRecord&) const = default;
+};
+
 /// One (app, technique, LLM, pair) cell of a sweep.
 struct SweepCell {
   const apps::AppSpec* app = nullptr;
@@ -360,9 +386,12 @@ std::vector<SweepCell> sweep_cells(const Suite& suite,
 std::vector<SweepCell> sweep_cells(const llm::Pair& pair);
 
 /// Run one cell against `suite`'s calibration. samples_per_task and seed
-/// come from `config`.
+/// come from `config`. `cell_index` is only the coordinate stamped on
+/// records streamed through config.on_sample (run_sweep passes the cell's
+/// index in its enumeration; direct single-cell callers can leave the
+/// default).
 TaskResult run_task(const Suite& suite, const SweepCell& cell,
-                    const HarnessConfig& config = {});
+                    const HarnessConfig& config = {}, int cell_index = 0);
 
 /// Run one cell of the paper suite.
 TaskResult run_task(const apps::AppSpec& app, llm::Technique technique,

@@ -63,11 +63,14 @@ ShardResult run_shard(const Suite& suite, const SweepSpec& spec,
     for (const auto& [cell, sample] : plan.units) {
       out.records.push_back(
           {cell, sample, run_cell_sample(suite, cells[cell], eff, sample)});
+      if (eff.on_sample) eff.on_sample(out.records.back());
     }
     return out;
   }
   // Every unit is an independent pool task; collection order is plan
-  // order, independent of completion order.
+  // order, independent of completion order. The progress callback fires
+  // inside the task — at completion time, possibly concurrently — not at
+  // collection time, so streaming consumers see units as they finish.
   const auto priority = eff.high_priority ? support::TaskPriority::High
                                           : support::TaskPriority::Normal;
   ThreadPool& pool = ThreadPool::global();
@@ -75,9 +78,12 @@ ShardResult run_shard(const Suite& suite, const SweepSpec& spec,
   futures.reserve(plan.units.size());
   for (const auto& [cell, sample] : plan.units) {
     const SweepCell& c = cells[cell];
-    futures.push_back(pool.submit(priority, [&suite, c, eff, sample = sample] {
-      return run_cell_sample(suite, c, eff, sample);
-    }));
+    futures.push_back(pool.submit(
+        priority, [&suite, c, eff, cell = cell, sample = sample] {
+          SampleRun run = run_cell_sample(suite, c, eff, sample);
+          if (eff.on_sample) eff.on_sample({cell, sample, run});
+          return run;
+        }));
   }
   for (std::size_t i = 0; i < plan.units.size(); ++i) {
     out.records.push_back(
@@ -238,7 +244,9 @@ bool u64_from_json(const Json& j, std::uint64_t* out) {
   return support::u64_from_hex(j.as_string(), out);
 }
 
-Json sample_run_to_json(const SampleRun& r) {
+}  // namespace
+
+Json to_json(const SampleRun& r) {
   Json j = Json::object();
   j.set("generated", r.generated);
   if (!r.generated) {
@@ -249,7 +257,7 @@ Json sample_run_to_json(const SampleRun& r) {
   return j;
 }
 
-bool sample_run_from_json(const Json& j, SampleRun* out) {
+bool from_json(const Json& j, SampleRun* out) {
   if (!j["generated"].is_bool()) return false;
   out->generated = j["generated"].as_bool();
   if (!out->generated) {
@@ -260,7 +268,22 @@ bool sample_run_from_json(const Json& j, SampleRun* out) {
   return from_json(j["outcome"], &out->outcome);
 }
 
-}  // namespace
+Json to_json(const SampleRecord& r) {
+  Json j = Json::object();
+  j.set("cell", r.cell);
+  j.set("sample", r.sample);
+  j.set("run", to_json(r.run));
+  return j;
+}
+
+bool from_json(const Json& j, SampleRecord* out) {
+  if (!j.is_object() || !j["cell"].is_number() || !j["sample"].is_number()) {
+    return false;
+  }
+  out->cell = static_cast<int>(j["cell"].as_int());
+  out->sample = static_cast<int>(j["sample"].as_int());
+  return from_json(j["run"], &out->run);
+}
 
 Json to_json(const SampleOutcome& o) {
   Json j = Json::object();
@@ -368,13 +391,7 @@ Json to_json(const ShardResult& s) {
   j.set("shard_index", s.shard_index);
   j.set("shard_count", s.shard_count);
   Json records = Json::array();
-  for (const SampleRecord& rec : s.records) {
-    Json r = Json::object();
-    r.set("cell", rec.cell);
-    r.set("sample", rec.sample);
-    r.set("run", sample_run_to_json(rec.run));
-    records.push_back(std::move(r));
-  }
+  for (const SampleRecord& rec : s.records) records.push_back(to_json(rec));
   j.set("records", std::move(records));
   return j;
 }
@@ -400,13 +417,37 @@ bool from_json(const Json& j, ShardResult* out) {
   out->records.clear();
   for (const Json& r : j["records"].items()) {
     SampleRecord rec;
-    if (!r["cell"].is_number() || !r["sample"].is_number()) return false;
-    rec.cell = static_cast<int>(r["cell"].as_int());
-    rec.sample = static_cast<int>(r["sample"].as_int());
-    if (!sample_run_from_json(r["run"], &rec.run)) return false;
+    if (!from_json(r, &rec)) return false;
     out->records.push_back(std::move(rec));
   }
   return true;
+}
+
+// --- merged-sweep document --------------------------------------------------
+
+Json merged_sweep_json(const Suite& suite, const SweepSpec& spec,
+                       int shard_count,
+                       const std::vector<TaskResult>& tasks) {
+  Json merged = Json::object();
+  merged.set("format", "pareval-sweep");
+  merged.set("spec", to_json(spec));
+  merged.set("spec_hash", support::u64_to_hex(spec_hash(spec)));
+  merged.set("shard_count", shard_count);
+  Json pairs_json = Json::array();
+  for (const llm::Pair& pair : suite.pairs()) {
+    if (!spec.selects_pair(pair)) continue;
+    Json tasks_json = Json::array();
+    for (const TaskResult& t : tasks) {
+      if (t.pair == pair) tasks_json.push_back(to_json(t));
+    }
+    if (tasks_json.size() == 0) continue;
+    Json entry = Json::object();
+    entry.set("pair", pair_to_json(pair));
+    entry.set("tasks", std::move(tasks_json));
+    pairs_json.push_back(std::move(entry));
+  }
+  merged.set("pairs", std::move(pairs_json));
+  return merged;
 }
 
 // --- shard files ------------------------------------------------------------

@@ -28,15 +28,9 @@
 
 namespace pareval::eval {
 
-/// One (cell, sample) unit of a sweep, tagged with its coordinates so
-/// shards can be recombined without any ordering assumptions.
-struct SampleRecord {
-  int cell = 0;    // index into sweep_cells(suite, spec)
-  int sample = 0;  // sample index within the cell
-  SampleRun run;
-
-  bool operator==(const SampleRecord&) const = default;
-};
+// SampleRecord lives in eval/harness.hpp now (the streaming progress
+// callback carries it), re-exported here for the shard subsystem's
+// historical spelling.
 
 /// The units one shard owns: global unit index g = cell * samples_per_task
 /// + sample is assigned to shard g % shard_count. Interleaving balances
@@ -120,11 +114,26 @@ bool technique_from_name(const std::string& name, llm::Technique* out);
 support::Json to_json(const SampleOutcome& o);
 bool from_json(const support::Json& j, SampleOutcome* out);
 
+support::Json to_json(const SampleRun& r);
+bool from_json(const support::Json& j, SampleRun* out);
+
+support::Json to_json(const SampleRecord& r);
+bool from_json(const support::Json& j, SampleRecord* out);
+
 support::Json to_json(const TaskResult& t);
 bool from_json(const support::Json& j, TaskResult* out);
 
 support::Json to_json(const ShardResult& s);
 bool from_json(const support::Json& j, ShardResult* out);
+
+/// The merged-sweep document ("format": "pareval-sweep"): spec + hash +
+/// shard_count, then per-pair task groups in suite order. One builder
+/// shared by sweep_merge and the sweep service's client-side fold, so a
+/// server-streamed job written to disk is byte-identical to the batch
+/// fan-in's merged.json — the acceptance gate CI compares with cmp.
+support::Json merged_sweep_json(const Suite& suite, const SweepSpec& spec,
+                                int shard_count,
+                                const std::vector<TaskResult>& tasks);
 
 /// File wrapper for sweep_worker output: one or more ShardResults under a
 /// format tag and version (v2: staged sample outcomes). Each serialized

@@ -1,0 +1,207 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pareval::serve {
+
+using support::Json;
+
+bool Client::connect(const std::string& endpoint, std::string* error) {
+  auto fail = [&](std::string why) {
+    sock_.close();
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  const auto ep = support::Endpoint::parse(endpoint, error);
+  if (!ep.has_value()) return false;
+  sock_ = support::connect_endpoint(*ep, error);
+  if (!sock_.valid()) return false;
+  Json greeting;
+  if (!read_message(&greeting, error)) return false;
+  if (!HelloMsg::decode(greeting, &hello_)) {
+    return fail("malformed server greeting");
+  }
+  if (hello_.protocol != kProtocolVersion) {
+    return fail("protocol version mismatch: server speaks " +
+                std::to_string(hello_.protocol) + ", this client " +
+                std::to_string(kProtocolVersion));
+  }
+  return true;
+}
+
+bool Client::send(const Json& msg, std::string* error) {
+  if (!sock_.valid() || !sock_.send_all(frame_message(msg))) {
+    if (error != nullptr) *error = "connection to server lost";
+    return false;
+  }
+  return true;
+}
+
+bool Client::read_message(Json* out, std::string* error) {
+  auto fail = [&](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  while (true) {
+    if (auto msg = decoder_.next()) {
+      *out = std::move(*msg);
+      return true;
+    }
+    if (decoder_.corrupt()) {
+      return fail("corrupt frame from server: " + decoder_.corrupt_reason());
+    }
+    std::string chunk;
+    const int n = sock_.recv_some(&chunk);
+    if (n <= 0) return fail("connection to server lost");
+    decoder_.feed(chunk);
+  }
+}
+
+bool Client::submit(const eval::SweepSpec& spec, const SubmitOptions& opts,
+                    JobOutcome* out, std::string* error,
+                    const eval::SampleProgressFn& on_sample) {
+  SubmitRequest req;
+  req.spec = spec;
+  req.engine = opts.engine;
+  req.high_priority = opts.high_priority;
+  req.keep_logs = opts.keep_logs;
+  if (!send(req.encode(), error)) return false;
+
+  *out = JobOutcome{};
+  bool acked = false;
+  bool done_seen = false;
+  // The ack, the samples, and even the `done` can arrive in any order
+  // relative to each other: the server acks after scheduling, and a
+  // fully warm job can settle (and stream everything) before the ack
+  // frame is written. The loop ends only when both the ack and the done
+  // have been seen.
+  while (true) {
+    Json msg;
+    if (!read_message(&msg, error)) return false;
+    const std::string type = message_type(msg);
+    if (type == "error") {
+      ErrorMsg err;
+      if (ErrorMsg::decode(msg, &err) && error != nullptr) {
+        *error = "server rejected submit: " + err.message;
+      }
+      return false;
+    }
+    if (type == "accepted") {
+      SubmitAck ack;
+      if (!SubmitAck::decode(msg, &ack)) {
+        if (error != nullptr) *error = "malformed submit ack";
+        return false;
+      }
+      out->job = ack.job;
+      out->cells = ack.cells;
+      out->units = ack.units;
+      acked = true;
+      if (done_seen) return true;
+      continue;
+    }
+    if (type == "sample") {
+      SampleMsg sample;
+      if (!SampleMsg::decode(msg, &sample)) {
+        if (error != nullptr) *error = "malformed sample message";
+        return false;
+      }
+      out->records.push_back(sample.record);
+      if (on_sample) on_sample(out->records.back());
+      continue;
+    }
+    if (type == "done") {
+      JobDoneMsg done;
+      if (!JobDoneMsg::decode(msg, &done)) {
+        if (error != nullptr) *error = "malformed done message";
+        return false;
+      }
+      out->cancelled = done.cancelled;
+      if (acked) return true;
+      done_seen = true;  // ack is still in flight behind the stream
+      continue;
+    }
+    if (error != nullptr) {
+      *error = "unexpected message '" + type + "' during submit stream";
+    }
+    return false;
+  }
+}
+
+bool Client::status(Json* body, std::string* error) {
+  if (!send(StatusRequest{}.encode(), error)) return false;
+  Json msg;
+  if (!read_message(&msg, error)) return false;
+  StatusReply reply;
+  if (!StatusReply::decode(msg, &reply)) {
+    if (error != nullptr) *error = "malformed status reply";
+    return false;
+  }
+  *body = std::move(reply.body);
+  return true;
+}
+
+bool Client::cancel(int job, CancelReply* reply, std::string* error) {
+  CancelRequest req;
+  req.job = job;
+  if (!send(req.encode(), error)) return false;
+  Json msg;
+  if (!read_message(&msg, error)) return false;
+  if (!CancelReply::decode(msg, reply)) {
+    if (error != nullptr) *error = "malformed cancel reply";
+    return false;
+  }
+  return true;
+}
+
+bool Client::fold(const std::string& dir, FoldReply* reply,
+                  std::string* error) {
+  FoldRequest req;
+  req.dir = dir;
+  if (!send(req.encode(), error)) return false;
+  Json msg;
+  if (!read_message(&msg, error)) return false;
+  if (FoldReply::decode(msg, reply)) return true;
+  ErrorMsg err;
+  if (ErrorMsg::decode(msg, &err) && error != nullptr) {
+    *error = "server rejected fold: " + err.message;
+  } else if (error != nullptr) {
+    *error = "malformed fold reply";
+  }
+  return false;
+}
+
+bool Client::shutdown(std::string* error) {
+  if (!send(ShutdownRequest{}.encode(), error)) return false;
+  Json msg;
+  if (!read_message(&msg, error)) return false;
+  ShutdownReply reply;
+  if (!ShutdownReply::decode(msg, &reply)) {
+    if (error != nullptr) *error = "malformed shutdown reply";
+    return false;
+  }
+  return true;
+}
+
+std::vector<eval::TaskResult> fold_records(
+    const eval::Suite& suite, const eval::SweepSpec& spec,
+    minic::EngineKind engine, std::vector<eval::SampleRecord> records) {
+  // Arrival order is scheduler order — meaningless. Plan order for the
+  // 1-shard plan is ascending (cell, sample), which is what run_shard
+  // would have produced.
+  std::sort(records.begin(), records.end(),
+            [](const eval::SampleRecord& a, const eval::SampleRecord& b) {
+              return a.cell != b.cell ? a.cell < b.cell
+                                      : a.sample < b.sample;
+            });
+  eval::ShardResult shard;
+  shard.spec = spec;
+  shard.suite_fingerprint = suite.fingerprint();
+  shard.engine = engine;
+  shard.shard_index = 0;
+  shard.shard_count = 1;
+  shard.records = std::move(records);
+  return eval::merge_shards(suite, spec, {std::move(shard)});
+}
+
+}  // namespace pareval::serve

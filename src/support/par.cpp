@@ -69,6 +69,20 @@ ThreadPool::~ThreadPool() {
   }
   state_->wake.notify_all();
   for (auto& w : state_->workers) w.join();
+  // A worker exits when it observes `stopping` with nothing pending, but a
+  // still-running task on ANOTHER worker may submit after that
+  // observation; if its own worker also happens to have exited by the
+  // time the push lands, the task would sit in a deque forever. Sweep the
+  // queues from the destroying thread so every task whose submit()
+  // returned gets executed (tasks those tasks submit included).
+  while (run_pending_task()) {
+  }
+}
+
+void ThreadPool::drain() {
+  help_until([this] {
+    return state_->pending.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ThreadPool::push(std::function<void()> task, TaskPriority priority) {

@@ -38,7 +38,11 @@ class ThreadPool {
  public:
   /// `threads == 0` means hardware_threads().
   explicit ThreadPool(unsigned threads = 0);
-  /// Drains every already-submitted task, then joins the workers.
+  /// Drains every already-submitted task, then joins the workers. Tasks
+  /// that land during teardown (a draining task submitting a follow-up)
+  /// are executed too: after the workers join, the destroying thread
+  /// sweeps the queues until they are empty, so a task whose submit()
+  /// returned can never be silently dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -67,6 +71,15 @@ class ThreadPool {
   /// Execute one pending task if any is available (own deque first, then
   /// steal). Returns false when every deque is empty. Safe from any thread.
   bool run_pending_task();
+
+  /// Complete every queued-but-unstarted task, helping from the calling
+  /// thread, and return once the queues are empty (tasks a drained task
+  /// submitted are drained too). Does NOT wait for tasks already popped
+  /// by a worker and still executing — pair with await() on their futures
+  /// for that. The pool stays fully usable afterwards: a long-lived
+  /// server calls drain() between jobs or before a graceful exit without
+  /// tearing the workers down.
+  void drain();
 
   /// Wait for `fut`, executing pending pool tasks in the meantime, then
   /// return its value (rethrowing the task's exception, if any).

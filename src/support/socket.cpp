@@ -1,0 +1,286 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace pareval::support {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+bool parse_port(std::string_view text, int* out) {
+  if (text.empty() || text.size() > 5) return false;
+  int port = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + (c - '0');
+  }
+  if (port < 1 || port > 65535) return false;
+  *out = port;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Endpoint> Endpoint::parse(std::string_view text,
+                                        std::string* error) {
+  if (text.empty()) {
+    set_error(error, "empty endpoint");
+    return std::nullopt;
+  }
+  Endpoint ep;
+  if (text.rfind("tcp:", 0) == 0) {
+    ep.tcp = true;
+    const std::string_view rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    std::string_view host = "127.0.0.1";
+    std::string_view port_text = rest;
+    if (colon != std::string_view::npos) {
+      host = rest.substr(0, colon);
+      port_text = rest.substr(colon + 1);
+    }
+    if (host.empty() || !parse_port(port_text, &ep.port)) {
+      set_error(error,
+                strfmt("malformed tcp endpoint '%.*s' (want tcp:host:port "
+                       "or tcp:port)",
+                       static_cast<int>(text.size()), text.data()));
+      return std::nullopt;
+    }
+    ep.host = std::string(host);
+    return ep;
+  }
+  const std::string_view path =
+      text.rfind("unix:", 0) == 0 ? text.substr(5) : text;
+  if (path.empty()) {
+    set_error(error, "empty unix socket path");
+    return std::nullopt;
+  }
+  // sun_path is a fixed ~108-byte array; reject rather than truncate.
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    set_error(error, strfmt("unix socket path too long (%zu bytes, max %zu)",
+                            path.size(), sizeof(sockaddr_un{}.sun_path) - 1));
+    return std::nullopt;
+  }
+  ep.path = std::string(path);
+  return ep;
+}
+
+std::string Endpoint::describe() const {
+  return tcp ? strfmt("tcp:%s:%d", host.c_str(), port) : "unix:" + path;
+}
+
+// --- Socket -----------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(std::string_view data) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int Socket::recv_some(std::string* out, std::size_t max, int timeout_ms) {
+  if (fd_ < 0) return -1;
+  if (timeout_ms >= 0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return -1;
+    if (rc == 0) return -2;  // timeout, connection healthy
+  }
+  std::string buf(max, '\0');
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buf.data(), buf.size(), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  out->append(buf.data(), static_cast<std::size_t>(n));
+  return static_cast<int>(n);
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), unlink_path_(std::move(other.unlink_path_)) {
+  other.fd_ = -1;
+  other.unlink_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    unlink_path_ = std::move(other.unlink_path_);
+    other.fd_ = -1;
+    other.unlink_path_.clear();
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+bool Listener::open(const Endpoint& ep, std::string* error) {
+  close();
+  if (ep.tcp) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      set_error(error, strfmt("socket: %s", std::strerror(errno)));
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+      set_error(error, strfmt("bad tcp host '%s' (IPv4 address expected)",
+                              ep.host.c_str()));
+      close();
+      return false;
+    }
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      set_error(error, strfmt("bind %s: %s", ep.describe().c_str(),
+                              std::strerror(errno)));
+      close();
+      return false;
+    }
+  } else {
+    ::unlink(ep.path.c_str());  // stale socket file from a crashed owner
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      set_error(error, strfmt("socket: %s", std::strerror(errno)));
+      return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      set_error(error, strfmt("bind %s: %s", ep.describe().c_str(),
+                              std::strerror(errno)));
+      close();
+      return false;
+    }
+    unlink_path_ = ep.path;
+  }
+  if (::listen(fd_, 64) != 0) {
+    set_error(error, strfmt("listen %s: %s", ep.describe().c_str(),
+                            std::strerror(errno)));
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return std::nullopt;
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) return std::nullopt;
+  return Socket(client);
+}
+
+Socket connect_endpoint(const Endpoint& ep, std::string* error) {
+  int fd = -1;
+  if (ep.tcp) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      set_error(error, strfmt("socket: %s", std::strerror(errno)));
+      return Socket();
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+      set_error(error, strfmt("bad tcp host '%s' (IPv4 address expected)",
+                              ep.host.c_str()));
+      ::close(fd);
+      return Socket();
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      set_error(error, strfmt("connect %s: %s", ep.describe().c_str(),
+                              std::strerror(errno)));
+      ::close(fd);
+      return Socket();
+    }
+  } else {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      set_error(error, strfmt("socket: %s", std::strerror(errno)));
+      return Socket();
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      set_error(error, strfmt("connect %s: %s", ep.describe().c_str(),
+                              std::strerror(errno)));
+      ::close(fd);
+      return Socket();
+    }
+  }
+  return Socket(fd);
+}
+
+}  // namespace pareval::support

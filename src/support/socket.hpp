@@ -1,0 +1,111 @@
+#pragma once
+// Minimal blocking-socket helpers for the sweep service: RAII descriptor
+// ownership, whole-buffer send, poll-gated accept/receive, and one
+// endpoint spelling shared by the server and client tools.
+//
+// Endpoints are strings:
+//   "unix:/path/to.sock"  (or a bare path — anything without a known
+//                          scheme is a Unix-domain socket path)
+//   "tcp:host:port"       (IPv4; "tcp:7070" listens/connects on
+//                          127.0.0.1)
+//
+// Deliberately small: the sweep protocol is length-prefixed frames over
+// one ordered byte stream, so all the server needs is listen/accept/
+// connect, send_all, recv_some with a timeout, and clean shutdown. No
+// non-blocking state machines — each connection is owned by one thread.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pareval::support {
+
+/// A parsed endpoint string. `tcp == false` means a Unix-domain socket at
+/// `path` (host/port unused).
+struct Endpoint {
+  bool tcp = false;
+  std::string path;  // unix: filesystem path of the socket
+  std::string host;  // tcp: dotted quad or name resolved by inet_pton
+  int port = 0;      // tcp
+
+  /// Parse the endpoint spelling above. nullopt (with `error` set when
+  /// non-null) on an empty string, a malformed tcp triple, or a port
+  /// outside [1, 65535].
+  static std::optional<Endpoint> parse(std::string_view text,
+                                       std::string* error = nullptr);
+
+  /// The canonical string form ("unix:/path" / "tcp:host:port").
+  std::string describe() const;
+};
+
+/// Move-only owner of one connected socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close();
+
+  /// Write all of `data`, retrying on short writes and EINTR. False on
+  /// any error (including the peer closing); SIGPIPE is suppressed via
+  /// MSG_NOSIGNAL, so a dead peer is a return value, not a signal.
+  bool send_all(std::string_view data);
+
+  /// Receive up to `max` bytes, appending to `*out`. Returns the byte
+  /// count (> 0), 0 on orderly peer close, and -1 on error. When
+  /// `timeout_ms >= 0` the call polls first and returns -2 if no data
+  /// arrives in time (the connection is still healthy).
+  int recv_some(std::string* out, std::size_t max = 64 * 1024,
+                int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Move-only owner of a listening socket. For Unix endpoints the socket
+/// file is unlinked on close (best effort), so a drained server leaves no
+/// stale socket behind.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen on `ep`. A pre-existing Unix socket file at the path
+  /// is unlinked first (the previous owner crashed or leaked it; a live
+  /// server would still hold the listen socket, and two servers on one
+  /// path is an operator error this cannot detect). False + `error` on
+  /// failure.
+  bool open(const Endpoint& ep, std::string* error = nullptr);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close();
+
+  /// Accept one connection, waiting at most `timeout_ms` (-1 = forever).
+  /// nullopt on timeout or a transient accept error — the caller's loop
+  /// just comes back around (and checks its own stop flag, which is the
+  /// point of the timeout).
+  std::optional<Socket> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::string unlink_path_;  // non-empty: unlink on close (unix sockets)
+};
+
+/// Connect to `ep`. An invalid Socket (with `error` set when non-null)
+/// on failure.
+Socket connect_endpoint(const Endpoint& ep, std::string* error = nullptr);
+
+}  // namespace pareval::support

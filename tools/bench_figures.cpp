@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "buildsim/tucache.hpp"
+#include "common.hpp"
 #include "eval/classify.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
@@ -94,31 +95,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache-dir" && i + 1 < argc) {
       cache_dir = argv[++i];
     } else if (arg == "--cache" && i + 1 < argc) {
-      std::fprintf(stderr,
-                   "bench_figures: --cache is deprecated; prefer "
-                   "--cache-dir DIR (journaled multi-writer store)\n");
+      tools::warn_deprecated("bench_figures", "--cache");
       cache_path = argv[++i];
     } else if (arg == "--tu-cache" && i + 1 < argc) {
-      std::fprintf(stderr,
-                   "bench_figures: --tu-cache is deprecated; prefer "
-                   "--cache-dir DIR (journaled multi-writer store)\n");
+      tools::warn_deprecated("bench_figures", "--tu-cache");
       tu_cache_path = argv[++i];
     } else if (arg == "--cache-stats" && i + 1 < argc) {
       cache_stats_path = argv[++i];
     } else if (arg == "--samples" && i + 1 < argc) {
-      samples = std::atoi(argv[++i]);
+      if (!tools::parse_int(argv[++i], &samples)) return usage(argv[0]);
       samples_set = true;
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
       seed_set = true;
     } else if (arg == "--engine" && i + 1 < argc) {
-      const auto kind = minic::engine_from_key(argv[++i]);
-      if (!kind.has_value()) {
-        std::fprintf(stderr,
-                     "bench_figures: --engine must be 'interp' or 'vm'\n");
+      if (!tools::parse_engine_flag("bench_figures", argv[++i], &engine)) {
         return 2;
       }
-      engine = *kind;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
@@ -143,9 +136,7 @@ int main(int argc, char** argv) {
   const eval::Suite& suite = eval::Suite::paper();
   eval::SweepSpec spec;
   if (!spec_path.empty()) {
-    std::string error;
-    if (!eval::load_and_validate_spec(spec_path, suite, &spec, &error)) {
-      std::fprintf(stderr, "bench_figures: %s\n", error.c_str());
+    if (!tools::load_spec_flag("bench_figures", spec_path, suite, &spec)) {
       return 2;
     }
   } else {
@@ -163,16 +154,15 @@ int main(int argc, char** argv) {
   config.high_priority = true;  // figure-critical cells drain first
 
   bool preloaded = false;
+  bool tu_preloaded = false;
   std::size_t loaded_entries = 0;
   std::optional<cache::Store> store;
   if (!cache_dir.empty()) {
-    store.emplace(cache_dir);
-    if (!store->open()) {
-      std::fprintf(stderr, "bench_figures: cannot create cache dir %s\n",
-                   cache_dir.c_str());
-      return 1;
-    }
-    preloaded = cache.attach(*store);
+    if (!tools::open_cache_dir("bench_figures", cache_dir, store)) return 1;
+    const tools::CacheAttach attached = tools::attach_cache_layers(
+        *store, cache, eval::scoring_pipeline_hash());
+    preloaded = attached.warm_scores;
+    tu_preloaded = attached.warm_tus;
     loaded_entries = preloaded ? cache.size() : 0;
   }
   if (!cache_path.empty()) {
@@ -181,16 +171,6 @@ int main(int argc, char** argv) {
     std::printf("score cache: %s (%zu entries)\n",
                 preloaded ? "warm-started" : "cold start",
                 loaded_entries);
-  }
-  bool tu_preloaded = false;
-  if (store.has_value()) {
-    tu_preloaded =
-        cache.tus().attach(*store, eval::scoring_pipeline_hash());
-    std::printf("cache dir %s: score stream %s (%zu entries), TU streams "
-                "%s (%zu TUs, %zu plans)\n",
-                cache_dir.c_str(), preloaded ? "warm" : "cold",
-                loaded_entries, tu_preloaded ? "warm" : "cold",
-                cache.tus().size(), cache.tus().plan_count());
   }
   if (!tu_cache_path.empty()) {
     tu_preloaded =

@@ -1,0 +1,142 @@
+#pragma once
+// Shared flag-parsing and cache-wiring helpers for the CLI tools
+// (sweep_worker, sweep_merge, bench_figures, sweep_server, sweep_client).
+// Each tool used to hand-roll these — strict int parsing, the --engine
+// spelling, --spec load + validation, --cache-dir open/attach and its
+// banner, the deprecation warning for the legacy per-file cache flags —
+// with drift between the copies. Header-only because the build globs
+// every tools/*.cpp into its own executable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+#include <climits>
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "eval/harness.hpp"
+#include "eval/spec.hpp"
+#include "minic/engine.hpp"
+#include "support/cachestore.hpp"
+
+namespace pareval::tools {
+
+/// Strict base-10 int parse: the whole token, no overflow. atoi would
+/// turn a typo like "--pair cuda" into pair 0 silently.
+inline bool parse_int(const char* text, int* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < INT_MIN ||
+      v > INT_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// Legacy per-file cache flags still work, but each process warns once:
+/// the journaled --cache-dir store subsumes them without the delta/merge
+/// choreography.
+inline void warn_deprecated(const char* tool, const char* flag) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  std::fprintf(stderr,
+               "%s: %s is deprecated; prefer --cache-dir DIR (journaled "
+               "multi-writer cache store)\n",
+               tool, flag);
+}
+
+/// Parse an --engine value ("interp" / "vm"), printing the usage error
+/// itself so every tool rejects the flag with one spelling.
+inline bool parse_engine_flag(const char* tool, const char* value,
+                              minic::EngineKind* out) {
+  const auto kind = minic::engine_from_key(value);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "%s: --engine must be 'interp' or 'vm'\n", tool);
+    return false;
+  }
+  *out = *kind;
+  return true;
+}
+
+/// The --spec front door: load + parse + validate against `suite`,
+/// printing the failure. False = the tool should exit nonzero.
+inline bool load_spec_flag(const char* tool, const std::string& path,
+                           const eval::Suite& suite, eval::SweepSpec* out) {
+  std::string error;
+  if (!eval::load_and_validate_spec(path, suite, out, &error)) {
+    std::fprintf(stderr, "%s: %s\n", tool, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Open (mkdir -p) a --cache-dir store, printing the failure.
+inline bool open_cache_dir(const char* tool, const std::string& dir,
+                           std::optional<cache::Store>& store) {
+  store.emplace(dir);
+  if (!store->open()) {
+    std::fprintf(stderr, "%s: cannot create cache dir %s\n", tool,
+                 dir.c_str());
+    store.reset();
+    return false;
+  }
+  return true;
+}
+
+/// Warm flags of one attach_cache_layers call.
+struct CacheAttach {
+  bool warm_scores = false;
+  bool warm_tus = false;
+};
+
+/// Attach `cache`'s score + TU layers to a --cache-dir store and print
+/// the uniform warm/cold banner every tool used to format by hand.
+inline CacheAttach attach_cache_layers(cache::Store& store,
+                                       eval::ScoreCache& cache,
+                                       std::uint64_t version,
+                                       bool banner = true) {
+  CacheAttach out;
+  out.warm_scores = cache.attach(store, version);
+  out.warm_tus = cache.tus().attach(store, version);
+  if (banner) {
+    std::printf("cache dir %s: score stream %s (%zu entries), TU streams "
+                "%s (%zu TUs, %zu plans)\n",
+                store.dir().c_str(), out.warm_scores ? "warm" : "cold",
+                cache.size(), out.warm_tus ? "warm" : "cold",
+                cache.tus().size(), cache.tus().plan_count());
+  }
+  return out;
+}
+
+/// Thread-safe completed/total meter for streamed sweeps, designed to
+/// ride eval::SampleProgressFn / the sweep client's per-sample hook.
+/// Prints to stderr (results go to stdout) every `stride` ticks and at
+/// completion; stride 0 picks ~1% of the total.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(std::size_t total, std::size_t stride = 0)
+      : total_(total),
+        stride_(stride != 0 ? stride
+                            : (total / 100 != 0 ? total / 100 : 1)) {}
+
+  void tick() {
+    const std::size_t done = done_.fetch_add(1) + 1;
+    if (done % stride_ == 0 || done == total_) {
+      std::fprintf(stderr, "\r  %zu/%zu samples", done, total_);
+      if (done == total_) std::fprintf(stderr, "\n");
+    }
+  }
+
+  std::size_t done() const noexcept { return done_.load(); }
+
+ private:
+  std::size_t total_;
+  std::size_t stride_;
+  std::atomic<std::size_t> done_{0};
+};
+
+}  // namespace pareval::tools

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "buildsim/tucache.hpp"
+#include "common.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
 #include "minic/engine.hpp"
@@ -80,13 +81,7 @@ int usage(const char* argv0) {
 }
 
 void warn_deprecated(const char* flag) {
-  static bool warned = false;
-  if (warned) return;
-  warned = true;
-  std::fprintf(stderr,
-               "sweep_merge: %s is deprecated; prefer --cache-dir DIR "
-               "(journaled multi-writer cache store)\n",
-               flag);
+  tools::warn_deprecated("sweep_merge", flag);
 }
 
 }  // namespace
@@ -176,12 +171,12 @@ int main(int argc, char** argv) {
   // --engine pins the fleet's engine explicitly; merge_shards separately
   // rejects any *mixed* set even without the flag.
   if (!engine_arg.empty()) {
-    const auto required = minic::engine_from_key(engine_arg);
-    if (!required.has_value()) {
-      std::fprintf(stderr,
-                   "sweep_merge: --engine must be 'interp' or 'vm'\n");
+    minic::EngineKind required_kind = minic::EngineKind::Interp;
+    if (!tools::parse_engine_flag("sweep_merge", engine_arg.c_str(),
+                                  &required_kind)) {
       return 2;
     }
+    const std::optional<minic::EngineKind> required = required_kind;
     for (std::size_t i = 0; i < shards.size(); ++i) {
       if (shards[i].engine != *required) {
         std::fprintf(stderr,
@@ -201,9 +196,7 @@ int main(int argc, char** argv) {
   const eval::Suite& suite = eval::Suite::paper();
   eval::SweepSpec spec;
   if (!spec_path.empty()) {
-    std::string error;
-    if (!eval::load_and_validate_spec(spec_path, suite, &spec, &error)) {
-      std::fprintf(stderr, "sweep_merge: %s\n", error.c_str());
+    if (!tools::load_spec_flag("sweep_merge", spec_path, suite, &spec)) {
       return 1;
     }
   } else {
@@ -442,34 +435,11 @@ int main(int argc, char** argv) {
     if (!vm_identical) ++mismatches;
   }
 
-  // Group the merged cells by pair (suite order) for the per-pair figure
-  // reports and the merged-sweep JSON layout.
-  Json merged = Json::object();
-  merged.set("format", "pareval-sweep");
-  merged.set("spec", eval::to_json(spec));
-  merged.set("spec_hash",
-             support::u64_to_hex(eval::spec_hash(spec)));
-  merged.set("shard_count",
-             shards.empty() ? 0 : shards.front().shard_count);
-  Json pairs_json = Json::array();
-  for (const llm::Pair& pair : suite.pairs()) {
-    if (!spec.selects_pair(pair)) continue;
-    std::vector<eval::TaskResult> pair_tasks;
-    for (const auto& t : tasks) {
-      if (t.pair == pair) pair_tasks.push_back(t);
-    }
-    if (pair_tasks.empty()) continue;
-    Json entry = Json::object();
-    Json pair_json = Json::object();
-    pair_json.set("from", eval::model_key(pair.from));
-    pair_json.set("to", eval::model_key(pair.to));
-    entry.set("pair", std::move(pair_json));
-    Json tasks_json = Json::array();
-    for (const auto& t : pair_tasks) tasks_json.push_back(eval::to_json(t));
-    entry.set("tasks", std::move(tasks_json));
-    pairs_json.push_back(std::move(entry));
-  }
-  merged.set("pairs", std::move(pairs_json));
+  // The shared merged-sweep builder — the same document the sweep
+  // client folds a server job into, which is what makes the two paths
+  // byte-comparable with cmp.
+  const Json merged = eval::merged_sweep_json(
+      suite, spec, shards.empty() ? 0 : shards.front().shard_count, tasks);
 
   if (report) {
     std::printf("%s\n",

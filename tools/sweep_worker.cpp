@@ -11,37 +11,23 @@
 //
 // Without --spec, the classic flags (--pair/--samples/--seed) build the
 // paper's default spec, optionally restricted to one pair.
-#include <cerrno>
-#include <climits>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "buildsim/tucache.hpp"
+#include "common.hpp"
 #include "eval/shard.hpp"
 #include "support/cachestore.hpp"
 #include "support/strings.hpp"
 
 using namespace pareval;
+using tools::parse_int;
 
 namespace {
-
-bool parse_int(const char* text, int* out) {
-  // atoi would turn a typo like "--pair cuda" into pair 0 silently.
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || v < INT_MIN ||
-      v > INT_MAX) {
-    return false;
-  }
-  *out = static_cast<int>(v);
-  return true;
-}
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -77,19 +63,6 @@ int usage(const char* argv0) {
       "  --out FILE           shard file to write (default: shard.json)\n",
       argv0);
   return 2;
-}
-
-/// Legacy per-file cache flags still work, but each process warns once:
-/// the journaled --cache-dir store subsumes them without the delta/merge
-/// choreography.
-void warn_deprecated(const char* tool, const char* flag) {
-  static bool warned = false;
-  if (warned) return;
-  warned = true;
-  std::fprintf(stderr,
-               "%s: %s is deprecated; prefer --cache-dir DIR (journaled "
-               "multi-writer cache store)\n",
-               tool, flag);
 }
 
 }  // namespace
@@ -135,26 +108,22 @@ int main(int argc, char** argv) {
                parse_int(v, &parsed) && parsed >= 0) {
       config.threads = static_cast<unsigned>(parsed);
     } else if (arg == "--engine" && (v = value())) {
-      const auto kind = minic::engine_from_key(v);
-      if (!kind.has_value()) {
-        std::fprintf(stderr,
-                     "sweep_worker: --engine must be 'interp' or 'vm'\n");
+      if (!tools::parse_engine_flag("sweep_worker", v, &config.engine)) {
         return 2;
       }
-      config.engine = *kind;
     } else if (arg == "--cache-dir" && (v = value())) {
       cache_dir = v;
     } else if (arg == "--cache" && (v = value())) {
-      warn_deprecated("sweep_worker", "--cache");
+      tools::warn_deprecated("sweep_worker", "--cache");
       cache_path = v;
     } else if (arg == "--cache-delta" && (v = value())) {
-      warn_deprecated("sweep_worker", "--cache-delta");
+      tools::warn_deprecated("sweep_worker", "--cache-delta");
       cache_delta_path = v;
     } else if (arg == "--tu-cache" && (v = value())) {
-      warn_deprecated("sweep_worker", "--tu-cache");
+      tools::warn_deprecated("sweep_worker", "--tu-cache");
       tu_cache_path = v;
     } else if (arg == "--tu-cache-delta" && (v = value())) {
-      warn_deprecated("sweep_worker", "--tu-cache-delta");
+      tools::warn_deprecated("sweep_worker", "--tu-cache-delta");
       tu_cache_delta_path = v;
     } else if (arg == "--out" && (v = value())) {
       out_path = v;
@@ -184,9 +153,7 @@ int main(int argc, char** argv) {
   const eval::Suite& suite = eval::Suite::paper();
   eval::SweepSpec spec;
   if (!spec_path.empty()) {
-    std::string error;
-    if (!eval::load_and_validate_spec(spec_path, suite, &spec, &error)) {
-      std::fprintf(stderr, "sweep_worker: %s\n", error.c_str());
+    if (!tools::load_spec_flag("sweep_worker", spec_path, suite, &spec)) {
       return 2;
     }
   } else {
@@ -215,21 +182,9 @@ int main(int argc, char** argv) {
 
   std::optional<cache::Store> store;
   if (!cache_dir.empty()) {
-    store.emplace(cache_dir);
-    if (!store->open()) {
-      std::fprintf(stderr, "sweep_worker: cannot create cache dir %s\n",
-                   cache_dir.c_str());
-      return 1;
-    }
-    eval::ScoreCache& cache = eval::ScoreCache::global();
-    const bool warm_scores = cache.attach(*store);
-    const bool warm_tus =
-        cache.tus().attach(*store, eval::scoring_pipeline_hash());
-    std::printf("cache dir %s: score stream %s (%zu entries), TU streams "
-                "%s (%zu TUs, %zu plans)\n",
-                cache_dir.c_str(), warm_scores ? "warm" : "cold",
-                cache.size(), warm_tus ? "warm" : "cold",
-                cache.tus().size(), cache.tus().plan_count());
+    if (!tools::open_cache_dir("sweep_worker", cache_dir, store)) return 1;
+    tools::attach_cache_layers(*store, eval::ScoreCache::global(),
+                               eval::scoring_pipeline_hash());
   }
   if (!cache_path.empty() && eval::ScoreCache::global().load(cache_path)) {
     std::printf("warm-started score cache from %s (%zu entries)\n",
