@@ -18,6 +18,9 @@
 #include "eval/harness.hpp"
 #include "eval/metrics.hpp"
 #include "execsim/driver.hpp"
+#include "execsim/registry.hpp"
+#include "minic/bytecode.hpp"
+#include "minic/objcodec.hpp"
 #include "minic/runio.hpp"
 #include "support/par.hpp"
 #include "support/rng.hpp"
@@ -57,6 +60,130 @@ static void BM_BuildSimXsbench(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildSimXsbench);
+
+// ---- warm-object codec throughput ----------------------------------------
+// The persistence half of the warm-object store: serialize/deserialize
+// post-sema TUs and compiled bytecode chunks, benched against the work a
+// warm decode elides (parsing the source, compiling chunks from the AST).
+// A decode that is not clearly cheaper than the front-end work it skips
+// would make the object layer pure overhead.
+
+static const buildsim::BuildResult& xsbench_build() {
+  static const buildsim::BuildResult build = buildsim::build_repo(
+      apps::find_app("XSBench")->repos.at(apps::Model::Cuda));
+  return build;
+}
+
+static void BM_TuSerialize(benchmark::State& state) {
+  const auto& tu = *xsbench_build().exe->program.tus.front();
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    const std::string payload = minic::encode_tu(tu);
+    bytes = static_cast<std::int64_t>(payload.size());
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_TuSerialize);
+
+static void BM_TuDeserialize(benchmark::State& state) {
+  const std::string payload =
+      minic::encode_tu(*xsbench_build().exe->program.tus.front());
+  for (auto _ : state) {
+    auto tu = minic::decode_tu(payload);
+    benchmark::DoNotOptimize(tu.get());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_TuDeserialize);
+
+static void BM_TuParseCompile(benchmark::State& state) {
+  // The work BM_TuDeserialize replaces: front-end parse + sema of the
+  // same source the serialized TU came from.
+  const auto* app = apps::find_app("XSBench");
+  const auto& repo = app->repos.at(apps::Model::Cuda);
+  std::string source;
+  for (const auto& path : repo.paths()) {
+    const std::string ext = vfs::extension(path);
+    if (ext == ".cu" || ext == ".c" || ext == ".cpp") {
+      source = path;
+      break;
+    }
+  }
+  const minic::Capabilities caps = xsbench_build().caps;
+  for (auto _ : state) {
+    auto tu = execsim::compile_tu(repo, source, caps);
+    benchmark::DoNotOptimize(tu.get());
+  }
+}
+BENCHMARK(BM_TuParseCompile);
+
+static void BM_ChunkCompile(benchmark::State& state) {
+  // Baseline for the chunk codec: compile every function's bytecode from
+  // the linked AST (what a VM run pays on a cold ChunkPack).
+  const auto& exe = *xsbench_build().exe;
+  const minic::BuiltinTable builtins =
+      execsim::make_builtin_table(exe.program.caps);
+  for (auto _ : state) {
+    minic::ChunkPack pack;
+    for (const auto& [name, fn] : exe.program.functions) {
+      benchmark::DoNotOptimize(
+          &pack.get_or_compile(*fn, exe.program, builtins));
+    }
+    benchmark::DoNotOptimize(pack.size());
+  }
+}
+BENCHMARK(BM_ChunkCompile);
+
+static void BM_ChunkSerialize(benchmark::State& state) {
+  const auto& exe = *xsbench_build().exe;
+  const minic::BuiltinTable builtins =
+      execsim::make_builtin_table(exe.program.caps);
+  const minic::NodeTable nodes = minic::NodeTable::build(exe.program.tus);
+  minic::ChunkPack pack;
+  for (const auto& [name, fn] : exe.program.functions) {
+    pack.get_or_compile(*fn, exe.program, builtins);
+  }
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    minic::BinWriter w;
+    for (const auto& [name, fn] : exe.program.functions) {
+      minic::encode_chunk(*pack.get(fn), nodes, w);
+    }
+    bytes = static_cast<std::int64_t>(w.bytes().size());
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_ChunkSerialize);
+
+static void BM_ChunkDeserialize(benchmark::State& state) {
+  const auto& exe = *xsbench_build().exe;
+  const minic::BuiltinTable builtins =
+      execsim::make_builtin_table(exe.program.caps);
+  const minic::NodeTable nodes = minic::NodeTable::build(exe.program.tus);
+  minic::ChunkPack pack;
+  std::size_t count = 0;
+  minic::BinWriter w;
+  for (const auto& [name, fn] : exe.program.functions) {
+    minic::encode_chunk(pack.get_or_compile(*fn, exe.program, builtins),
+                        nodes, w);
+    ++count;
+  }
+  const std::string payload = w.bytes();
+  for (auto _ : state) {
+    minic::BinReader r(payload);
+    for (std::size_t i = 0; i < count; ++i) {
+      minic::Chunk chunk;
+      minic::decode_chunk(r, nodes, builtins, &chunk);
+      benchmark::DoNotOptimize(chunk.code.size());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_ChunkDeserialize);
 
 static void BM_TranspileCudaToOmp(benchmark::State& state) {
   const auto* app = apps::find_app("SimpleMOC-kernel");

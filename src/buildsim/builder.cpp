@@ -4,6 +4,7 @@
 #include <set>
 
 #include "buildsim/cmakelite.hpp"
+#include "buildsim/linkcache.hpp"
 #include "buildsim/makefile.hpp"
 #include "buildsim/toolchain.hpp"
 #include "buildsim/tucache.hpp"
@@ -38,8 +39,9 @@ Capabilities union_caps(const Capabilities& a, const Capabilities& b) {
 class CommandRunner {
  public:
   CommandRunner(const vfs::Repo& repo, BuildResult& result,
-                TuCompileCache* tu_cache)
-      : repo_(repo), result_(result), tu_cache_(tu_cache) {}
+                TuCompileCache* tu_cache, LinkCache* link_cache)
+      : repo_(repo), result_(result), tu_cache_(tu_cache),
+        link_cache_(link_cache) {}
 
   /// Primary keys of the TU compiles performed, in command order — the
   /// build's compile-plan digest (only collected when a cache is wired).
@@ -73,8 +75,9 @@ class CommandRunner {
     }
     result_.caps = union_caps(result_.caps, inv.caps);
 
-    // Compile the source inputs; gather objects for .o inputs.
-    std::vector<std::shared_ptr<minic::TranslationUnit>> tus;
+    // Compile the source inputs; gather objects for .o inputs. Each TU
+    // travels with its content key (0 = unkeyed) for the link cache.
+    std::vector<Object> tus;
     bool compile_failed = false;
     for (const auto& input : inv.inputs) {
       const std::string ext = vfs::extension(input);
@@ -88,7 +91,7 @@ class CommandRunner {
           compile_failed = true;
           continue;
         }
-        for (const auto& tu : hit->second) tus.push_back(tu);
+        for (const auto& obj : hit->second) tus.push_back(obj);
         continue;
       }
       if (!repo_.exists(input)) {
@@ -100,17 +103,18 @@ class CommandRunner {
         continue;
       }
       std::shared_ptr<minic::TranslationUnit> tu;
+      std::uint64_t obj_key = 0;
       if (tu_cache_ != nullptr) {
         std::uint64_t tu_key = 0;
         tu = tu_cache_->compile(repo_, input, inv.caps, inv.defines,
-                                tool_key(inv.tool), &tu_key);
+                                tool_key(inv.tool), &tu_key, &obj_key);
         tu_keys_.push_back(tu_key);
       } else {
         tu = execsim::compile_tu(repo_, input, inv.caps, inv.defines);
       }
       if (tu->diags.has_errors()) compile_failed = true;
       append(tu->diags);
-      tus.push_back(std::move(tu));
+      tus.push_back({std::move(tu), obj_key});
     }
     if (compile_failed) return false;
 
@@ -134,8 +138,30 @@ class CommandRunner {
         return false;
       }
     }
-    execsim::Executable exe =
-        execsim::link_tus(std::move(tus), result_.caps);
+    std::vector<std::shared_ptr<minic::TranslationUnit>> link_inputs;
+    std::vector<std::uint64_t> link_keys;
+    link_inputs.reserve(tus.size());
+    link_keys.reserve(tus.size());
+    bool keyed = link_cache_ != nullptr && !tus.empty();
+    for (auto& obj : tus) {
+      if (obj.key == 0) keyed = false;
+      link_keys.push_back(obj.key);
+      link_inputs.push_back(std::move(obj.tu));
+    }
+    std::uint64_t link_key = 0;
+    execsim::Executable exe;
+    bool linked_warm = false;
+    if (keyed) {
+      link_key = LinkCache::link_key(link_keys, result_.caps);
+      if (auto cached =
+              link_cache_->lookup(link_key, link_inputs, result_.caps)) {
+        exe = std::move(*cached);
+        linked_warm = true;
+      }
+    }
+    if (!linked_warm) {
+      exe = execsim::link_tus(std::move(link_inputs), result_.caps);
+    }
     // TU diagnostics were already appended above; keep only new link ones.
     DiagBag link_only;
     for (const auto& d : exe.diags.all()) {
@@ -143,11 +169,19 @@ class CommandRunner {
     }
     append(link_only);
     if (link_only.has_errors()) return false;
+    if (keyed && !linked_warm) link_cache_->record(link_key, exe);
     result_.exe = std::move(exe);
     return true;
   }
 
  private:
+  /// A compiled TU plus its content key (0 when compiled without the TU
+  /// cache) — what a .o name resolves to at link time.
+  struct Object {
+    std::shared_ptr<minic::TranslationUnit> tu;
+    std::uint64_t key = 0;
+  };
+
   void append(const DiagBag& diags) {
     for (const auto& d : diags.all()) {
       result_.diags.add(d);
@@ -158,13 +192,14 @@ class CommandRunner {
   const vfs::Repo& repo_;
   BuildResult& result_;
   TuCompileCache* tu_cache_;
+  LinkCache* link_cache_;
   std::vector<std::uint64_t> tu_keys_;
-  std::map<std::string, std::vector<std::shared_ptr<minic::TranslationUnit>>>
-      objects_;
+  std::map<std::string, std::vector<Object>> objects_;
 };
 
 void build_with_make(const vfs::Repo& repo, const std::string& target,
                      BuildResult& result, TuCompileCache* tu_cache,
+                     LinkCache* link_cache,
                      std::vector<std::uint64_t>& tu_keys) {
   result.build_system = "make";
   DiagBag parse_diags;
@@ -192,7 +227,7 @@ void build_with_make(const vfs::Repo& repo, const std::string& target,
     return;
   }
 
-  CommandRunner runner(repo, result, tu_cache);
+  CommandRunner runner(repo, result, tu_cache, link_cache);
   for (const auto& cmd : plan) {
     if (!runner.run(cmd.line)) break;
   }
@@ -200,7 +235,7 @@ void build_with_make(const vfs::Repo& repo, const std::string& target,
 }
 
 void build_with_cmake(const vfs::Repo& repo, BuildResult& result,
-                      TuCompileCache* tu_cache,
+                      TuCompileCache* tu_cache, LinkCache* link_cache,
                       std::vector<std::uint64_t>& tu_keys) {
   result.build_system = "cmake";
   result.log += "-- Configuring project\n";
@@ -217,7 +252,7 @@ void build_with_cmake(const vfs::Repo& repo, BuildResult& result,
   }
   result.log += "-- Configuring done\n-- Generating done\n";
 
-  CommandRunner runner(repo, result, tu_cache);
+  CommandRunner runner(repo, result, tu_cache, link_cache);
   bool stopped = false;
   for (const auto& target : proj->targets) {
     DiagBag gen_diags;
@@ -255,7 +290,8 @@ std::optional<minic::DiagCategory> BuildResult::sole_error_category() const {
 
 BuildResult build_repo(const vfs::Repo& repo, const std::string& make_target,
                        TuCompileCache* tu_cache,
-                       std::optional<std::uint64_t> repo_hash) {
+                       std::optional<std::uint64_t> repo_hash,
+                       LinkCache* link_cache) {
   BuildResult result;
   std::uint64_t plan_key = 0;
   if (tu_cache != nullptr) {
@@ -268,9 +304,9 @@ BuildResult build_repo(const vfs::Repo& repo, const std::string& make_target,
   }
   std::vector<std::uint64_t> tu_keys;
   if (repo.exists("CMakeLists.txt")) {
-    build_with_cmake(repo, result, tu_cache, tu_keys);
+    build_with_cmake(repo, result, tu_cache, link_cache, tu_keys);
   } else if (repo.exists("Makefile")) {
-    build_with_make(repo, make_target, result, tu_cache, tu_keys);
+    build_with_make(repo, make_target, result, tu_cache, link_cache, tu_keys);
   } else {
     result.diags.error(DiagCategory::MissingBuildTarget,
                        "no Makefile or CMakeLists.txt found in repository",

@@ -16,6 +16,7 @@
 namespace pareval::buildsim {
 
 class TuCompileCache;
+class LinkCache;
 
 struct BuildResult {
   bool ok = false;
@@ -44,9 +45,15 @@ struct BuildResult {
 /// precomputed repo_content_hash(repo): the scoring pipeline hands in the
 /// hash it just computed for the build-artifact key so the plan key does
 /// not re-hash the whole repo.
+///
+/// With a LinkCache as well (requires the TU cache — link keys are built
+/// from TU content keys), each link step's outcome is memoized
+/// content-addressed: a warm hit reconstructs the Executable with
+/// pre-compiled bytecode instead of running link_units.
 BuildResult build_repo(const vfs::Repo& repo,
                        const std::string& make_target = "",
                        TuCompileCache* tu_cache = nullptr,
-                       std::optional<std::uint64_t> repo_hash = std::nullopt);
+                       std::optional<std::uint64_t> repo_hash = std::nullopt,
+                       LinkCache* link_cache = nullptr);
 
 }  // namespace pareval::buildsim

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "execsim/driver.hpp"
+#include "minic/objcodec.hpp"
 #include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -168,9 +169,15 @@ struct TuCompileCache::Impl {
     bool ok = true;
     DiagBag diags;
     std::vector<std::string> system_headers;
+    /// Serialized post-sema TU (minic::encode_tu) for a successful
+    /// compile — empty until flush() encodes the live TU, or filled by
+    /// replaying an "obj1" record. Never part of the legacy single-file
+    /// format.
+    std::string obj;
     std::uint64_t last_used = 0;
     bool fresh = false;  // added by a compile here (not merged via load)
     bool published = false;  // already in the attached store's journal
+    bool obj_published = false;  // obj payload already in the "obj1" stream
   };
 
   struct Shard {
@@ -238,6 +245,24 @@ struct TuCompileCache::Impl {
       }
       plans.erase(victim);
     }
+  }
+
+  /// Exactly the `order` string entry_json emits — the manifest's
+  /// serialized identity (and sort tiebreaker for entries sharing a key).
+  static std::string manifest_order(const Manifest& manifest) {
+    std::string order;
+    for (const Dep& dep : manifest.deps) {
+      order += dep.path + "\x01" + support::u64_to_hex(dep.hash) + "\x01";
+    }
+    for (const std::string& m : manifest.missing) order += "\x02" + m;
+    return order;
+  }
+
+  /// The manifest's identity hash in the persisted format, so "obj1"
+  /// records can name the (key, manifest) entry their payload extends
+  /// without repeating the dependency list.
+  static std::uint64_t manifest_digest(const Manifest& manifest) {
+    return support::stable_hash(manifest_order(manifest));
   }
 
   /// The TU layer's record codec, shared by the legacy single-file
@@ -399,8 +424,10 @@ struct TuCompileCache::Impl {
   std::unordered_map<std::uint64_t, Plan> plans;
   std::atomic<std::size_t> hits{0};
   std::atomic<std::size_t> persisted_hits{0};
+  std::atomic<std::size_t> obj_hits{0};
   std::atomic<std::size_t> misses{0};
   std::atomic<std::size_t> plan_hits{0};
+  std::atomic<bool> object_layer{true};
   std::atomic<std::uint64_t> clock{0};
   std::atomic<std::size_t> capacity{1 << 14};
   cache::Store* store = nullptr;  // attached journal store (optional)
@@ -413,11 +440,13 @@ TuCompileCache::~TuCompileCache() = default;
 std::shared_ptr<TranslationUnit> TuCompileCache::compile(
     const vfs::Repo& repo, const std::string& source,
     const Capabilities& caps, const TuDefines& defines,
-    std::string_view toolchain_id, std::uint64_t* key_out) {
+    std::string_view toolchain_id, std::uint64_t* key_out,
+    std::uint64_t* obj_key_out) {
   if (!repo.exists(source)) {
     // The builder checks existence before compiling; keep the degenerate
     // path uncached rather than keying on an absent file.
     if (key_out != nullptr) *key_out = 0;
+    if (obj_key_out != nullptr) *obj_key_out = 0;
     impl_->misses.fetch_add(1, std::memory_order_relaxed);
     return execsim::compile_tu(repo, source, caps, defines);
   }
@@ -469,6 +498,9 @@ std::shared_ptr<TranslationUnit> TuCompileCache::compile(
       }
     }
     if (entry != nullptr) {
+      if (obj_key_out != nullptr) {
+        *obj_key_out = fold(key, Impl::manifest_digest(*entry->manifest));
+      }
       if (entry->tu != nullptr) {
         entry->last_used = impl_->tick();
         impl_->hits.fetch_add(1, std::memory_order_relaxed);
@@ -493,9 +525,22 @@ std::shared_ptr<TranslationUnit> TuCompileCache::compile(
         impl_->persisted_hits.fetch_add(1, std::memory_order_relaxed);
         return tu;
       }
-      // A persisted *successful* compile: the AST is a live program and
-      // is not persisted, so fall through, recompile, and upgrade the
-      // entry in place.
+      // A persisted *successful* compile: deserialize its warm object if
+      // the store replayed one — the decoded TU is the full post-sema
+      // AST, so nothing re-runs. A corrupt, truncated, or version-bumped
+      // payload decodes to nullptr and falls through to a plain
+      // recompile (which upgrades the entry in place), as does an entry
+      // persisted before the object layer existed.
+      if (impl_->object_layer.load(std::memory_order_relaxed) &&
+          !entry->obj.empty()) {
+        if (auto tu = minic::decode_tu(entry->obj)) {
+          entry->tu = tu;
+          entry->last_used = impl_->tick();
+          impl_->persisted_hits.fetch_add(1, std::memory_order_relaxed);
+          impl_->obj_hits.fetch_add(1, std::memory_order_relaxed);
+          return tu;
+        }
+      }
     }
   }
 
@@ -511,6 +556,9 @@ std::shared_ptr<TranslationUnit> TuCompileCache::compile(
     manifest->deps.push_back({path, support::stable_hash(repo.at(path))});
   }
   manifest->missing = tu->missing_probes;
+  if (obj_key_out != nullptr) {
+    *obj_key_out = fold(key, Impl::manifest_digest(*manifest));
+  }
 
   std::lock_guard<std::mutex> lock(shard.mu);
   auto& group = shard.groups[key];
@@ -593,6 +641,9 @@ std::size_t TuCompileCache::hits() const noexcept {
 std::size_t TuCompileCache::persisted_hits() const noexcept {
   return impl_->persisted_hits.load();
 }
+std::size_t TuCompileCache::obj_hits() const noexcept {
+  return impl_->obj_hits.load();
+}
 std::size_t TuCompileCache::misses() const noexcept {
   return impl_->misses.load();
 }
@@ -629,6 +680,7 @@ void TuCompileCache::clear() {
   }
   impl_->hits.store(0);
   impl_->persisted_hits.store(0);
+  impl_->obj_hits.store(0);
   impl_->misses.store(0);
   impl_->plan_hits.store(0);
 }
@@ -642,6 +694,13 @@ void TuCompileCache::set_capacity(std::size_t max_entries) {
   }
   std::lock_guard<std::mutex> lock(impl_->plans_mu);
   impl_->bound_plans_locked();
+}
+
+void TuCompileCache::set_object_layer(bool on) noexcept {
+  impl_->object_layer.store(on, std::memory_order_relaxed);
+}
+bool TuCompileCache::object_layer() const noexcept {
+  return impl_->object_layer.load(std::memory_order_relaxed);
 }
 
 // --- persistence ------------------------------------------------------------
@@ -746,7 +805,35 @@ bool TuCompileCache::load_records(cache::Store& store,
         if (!Impl::parse_plan(j, &key, &plan)) return;
         impl_->insert_loaded_plan(key, std::move(plan), published);
       });
-  return tu_ok && plan_ok;
+  // Warm objects replay after the TU stream they extend: each record
+  // names its entry by (key, manifest digest) and attaches the payload
+  // to it. The payload stays serialized until the entry actually hits —
+  // validation against the repo happens through the manifest exactly as
+  // before, and decode failures degrade to a recompile.
+  const bool obj_ok = store.replay(
+      kObjStream, minic::obj_stream_version(version),
+      [this, published](const Json& j) {
+        std::uint64_t key = 0;
+        std::uint64_t digest = 0;
+        if (!support::u64_from_hex(j["key"].as_string(), &key)) return;
+        if (!support::u64_from_hex(j["mf"].as_string(), &digest)) return;
+        std::string payload;
+        if (!j["payload"].is_string() ||
+            !support::base64_decode(j["payload"].as_string(), &payload)) {
+          return;
+        }
+        Impl::Shard& shard = impl_->shards[key % Impl::kShards];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto git = shard.groups.find(key);
+        if (git == shard.groups.end()) return;
+        for (Impl::Entry& entry : git->second) {
+          if (Impl::manifest_digest(*entry.manifest) != digest) continue;
+          entry.obj = std::move(payload);  // journal replay: last wins
+          entry.obj_published = published;
+          break;
+        }
+      });
+  return tu_ok && plan_ok && obj_ok;
 }
 
 bool TuCompileCache::attach(cache::Store& store, std::uint64_t version) {
@@ -801,6 +888,51 @@ std::size_t TuCompileCache::flush() {
   std::sort(plans.begin(), plans.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
+  // Warm objects for successful TUs the "obj1" stream has not seen:
+  // compiled live here, or replayed from another store via import_store
+  // (their payload forwards verbatim). Serialization runs outside the
+  // shard locks — TUs are immutable after sema.
+  struct PendingObj {
+    std::uint64_t key = 0;
+    std::string order;
+    std::string payload;                       // pre-serialized, if any
+    std::shared_ptr<const TranslationUnit> tu;  // encode this otherwise
+    std::shared_ptr<const Impl::Manifest> manifest;
+  };
+  std::vector<PendingObj> objs;
+  for (auto& shard : impl.shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [key, group] : shard.groups) {
+      for (Impl::Entry& entry : group) {
+        if (entry.obj_published) continue;
+        const bool live_ok =
+            entry.tu != nullptr && !entry.tu->diags.has_errors();
+        if (entry.obj.empty() && !live_ok) continue;
+        PendingObj p;
+        p.key = key;
+        p.order = Impl::manifest_order(*entry.manifest);
+        p.payload = entry.obj;
+        if (p.payload.empty()) p.tu = entry.tu;
+        p.manifest = entry.manifest;
+        objs.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(objs.begin(), objs.end(),
+            [](const PendingObj& a, const PendingObj& b) {
+              return a.key != b.key ? a.key < b.key : a.order < b.order;
+            });
+  std::vector<Json> obj_records;
+  obj_records.reserve(objs.size());
+  for (PendingObj& p : objs) {
+    if (p.payload.empty()) p.payload = minic::encode_tu(*p.tu);
+    Json j = Json::object();
+    j.set("key", support::u64_to_hex(p.key));
+    j.set("mf", support::u64_to_hex(support::stable_hash(p.order)));
+    j.set("payload", support::base64_encode(p.payload));
+    obj_records.push_back(std::move(j));
+  }
+
   std::vector<Json> tu_records;
   tu_records.reserve(tus.size());
   for (auto& p : tus) tu_records.push_back(std::move(p.json));
@@ -816,6 +948,11 @@ std::size_t TuCompileCache::flush() {
   }
   if (!impl.store->append_batch(kPlanStream, impl.store_version,
                                 plan_records)) {
+    return 0;
+  }
+  const std::uint64_t obj_version =
+      minic::obj_stream_version(impl.store_version);
+  if (!impl.store->append_batch(kObjStream, obj_version, obj_records)) {
     return 0;
   }
 
@@ -838,16 +975,30 @@ std::size_t TuCompileCache::flush() {
       if (it != impl.plans.end()) it->second.published = true;
     }
   }
+  for (const PendingObj& p : objs) {
+    Impl::Shard& shard = impl.shards[p.key % Impl::kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto git = shard.groups.find(p.key);
+    if (git == shard.groups.end()) continue;
+    for (Impl::Entry& entry : git->second) {
+      if (entry.manifest == p.manifest) {
+        entry.obj_published = true;
+        break;
+      }
+    }
+  }
 
   impl.store->maybe_compact(kTuStream, impl.store_version);
   impl.store->maybe_compact(kPlanStream, impl.store_version);
-  return tus.size() + plans.size();
+  impl.store->maybe_compact(kObjStream, obj_version);
+  return tus.size() + plans.size() + objs.size();
 }
 
 Json TuCompileCache::stats() const {
   Json j = Json::object();
   j.set("hits", static_cast<long long>(hits()));
   j.set("persisted_hits", static_cast<long long>(persisted_hits()));
+  j.set("obj_hits", static_cast<long long>(obj_hits()));
   j.set("misses", static_cast<long long>(misses()));
   j.set("lookups", static_cast<long long>(lookups()));
   j.set("plan_hits", static_cast<long long>(plan_hits()));

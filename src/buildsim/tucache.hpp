@@ -22,9 +22,15 @@
 // its outcome is fully serializable: on a warm file start, build_repo
 // reconstructs the whole failed BuildResult from the persisted plan without
 // compiling anything, and failed-TU entries reconstruct their
-// TranslationUnit from diagnostics alone. Successful builds must re-link a
-// live executable, so their plans only record the digest; their TU compiles
-// re-run but dedupe through the in-memory layer.
+// TranslationUnit from diagnostics alone.
+//
+// Successful compiles additionally persist a *warm object* — the full
+// post-sema AST, serialized by minic/objcodec — in the journaled store's
+// "obj1" stream (never in the legacy single file, whose byte format is
+// frozen). On a warm store start a successful entry deserializes its
+// object instead of re-running the preprocessor/parser/sema, revalidated
+// by the same dependency manifest; a corrupt or version-bumped payload is
+// a clean miss that just recompiles.
 
 #include <cstddef>
 #include <cstdint>
@@ -97,10 +103,17 @@ class TuCompileCache {
   /// bit-identical because a failed TU always stops the build before
   /// link. Callers inspecting the AST of failed TUs should not rely on
   /// it surviving a warm file start.
+  ///
+  /// `obj_key_out` (optional) receives the TU's *content* key — the
+  /// primary key folded with the validated dependency manifest's digest,
+  /// so it changes whenever any input of the compile changes. This is
+  /// what the link cache keys on (the primary key alone does not pin
+  /// header contents). 0 for the uncacheable missing-source path.
   std::shared_ptr<minic::TranslationUnit> compile(
       const vfs::Repo& repo, const std::string& source,
       const minic::Capabilities& caps, const TuDefines& defines,
-      std::string_view toolchain_id, std::uint64_t* key_out = nullptr);
+      std::string_view toolchain_id, std::uint64_t* key_out = nullptr,
+      std::uint64_t* obj_key_out = nullptr);
 
   /// When this cache holds the persisted outcome of a build of exactly
   /// this plan AND that build failed, reconstruct its BuildResult (failed
@@ -120,12 +133,15 @@ class TuCompileCache {
                    std::vector<std::uint64_t> tu_keys);
 
   /// Counters. misses() counts TU compiles actually performed;
-  /// hits() live in-memory hits; persisted_hits() failed-TU
-  /// reconstructions from a loaded file; plan_hits() whole failed builds
-  /// reconstructed without compiling. lookups() = hits + persisted_hits
-  /// + misses, so the dedupe ratio is (lookups - misses) / lookups.
+  /// hits() live in-memory hits; persisted_hits() TU reconstructions
+  /// from persisted state (failed-TU outcomes and warm-object decodes —
+  /// obj_hits() counts the warm-object subset); plan_hits() whole failed
+  /// builds reconstructed without compiling. lookups() = hits +
+  /// persisted_hits + misses, so the dedupe ratio is
+  /// (lookups - misses) / lookups.
   std::size_t hits() const noexcept;
   std::size_t persisted_hits() const noexcept;
+  std::size_t obj_hits() const noexcept;
   std::size_t misses() const noexcept;
   std::size_t lookups() const noexcept;
   std::size_t plan_hits() const noexcept;
@@ -136,6 +152,14 @@ class TuCompileCache {
   void clear();
   /// Bound the TU entry count (minimum one per shard) and the plan count.
   void set_capacity(std::size_t max_entries);
+
+  /// Toggle the warm-object layer (default on): when on, flush() appends
+  /// each successful TU's serialized AST to the "obj1" stream and a warm
+  /// start deserializes it instead of recompiling. Off restores the
+  /// outcome-only behaviour — successful persisted entries recompile —
+  /// which is what the bench's TU-warm pass measures against.
+  void set_object_layer(bool on) noexcept;
+  bool object_layer() const noexcept;
 
   /// Persist every TU outcome + plan digest as "pareval-tu-cache-v1",
   /// tagged with `version` (pass the suite's scoring_pipeline_hash, like
@@ -156,6 +180,12 @@ class TuCompileCache {
   /// byte-identical).
   static constexpr const char* kTuStream = "tu";
   static constexpr const char* kPlanStream = "tuplan";
+  /// Warm objects: serialized post-sema TUs for successful compiles,
+  /// keyed by (primary key, manifest digest). A third stream so the
+  /// legacy "tu"/"tuplan" record shapes stay byte-identical; written
+  /// under minic::obj_stream_version(version), so a codec format bump
+  /// cold-starts exactly this stream.
+  static constexpr const char* kObjStream = "obj1";
 
   /// Bind this cache to a shared cache::Store and replay its "tu" and
   /// "tuplan" streams into memory (entries already here win — outcomes
@@ -173,8 +203,8 @@ class TuCompileCache {
   /// Returns the number of records appended (0 when detached).
   std::size_t flush();
   /// Counters as a JSON object with pinned key order (hits,
-  /// persisted_hits, misses, lookups, plan_hits, entries, plans) — the
-  /// uniform layer-stats surface CACHE_stats.json composes.
+  /// persisted_hits, obj_hits, misses, lookups, plan_hits, entries,
+  /// plans) — the uniform layer-stats surface CACHE_stats.json composes.
   support::Json stats() const;
 
  private:

@@ -130,7 +130,10 @@ StagedScore ScoreCache::score(const AppSpec& app, const vfs::Repo& repo,
   // score-layer miss on an already-built artifact skips straight to the
   // Execute/Validate stages; a build-layer miss still dedupes its TU
   // compiles through the lower (TU) layer.
-  ScoringPipeline pipeline(&builds_, tu_layer_enabled() ? &tus_ : nullptr);
+  const bool tu_layer = tu_layer_enabled();
+  ScoringPipeline pipeline(
+      &builds_, tu_layer ? &tus_ : nullptr,
+      tu_layer && object_layer_enabled() ? &links_ : nullptr);
   pipeline.set_engine(engine);
   StagedScore result = pipeline.score(app, repo, target);
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -186,6 +189,7 @@ void ScoreCache::clear() {
   }
   builds_.clear();
   tus_.clear();
+  links_.clear();
   hits_.store(0);
   misses_.store(0);
 }

@@ -16,6 +16,7 @@
 
 #include "agents/techniques.hpp"
 #include "apps/app.hpp"
+#include "buildsim/linkcache.hpp"
 #include "buildsim/tucache.hpp"
 #include "eval/pipeline.hpp"
 #include "eval/spec.hpp"
@@ -215,6 +216,12 @@ class ScoreCache {
   buildsim::TuCompileCache& tus() noexcept { return tus_; }
   const buildsim::TuCompileCache& tus() const noexcept { return tus_; }
 
+  /// The link layer of the warm-object store: content-addressed link
+  /// outcomes with pre-compiled bytecode, consulted by every link the
+  /// layers above miss. Shares the TU layer's attach/flush lifecycle.
+  buildsim::LinkCache& links() noexcept { return links_; }
+  const buildsim::LinkCache& links() const noexcept { return links_; }
+
   /// Thread (or stop threading) the TU layer into the scoring pipeline.
   /// Enabled by default; sweep_merge --verify turns it off for one of its
   /// reference runs so the staged two-layer and TU-cached configurations
@@ -224,6 +231,21 @@ class ScoreCache {
   }
   bool tu_layer_enabled() const noexcept {
     return tu_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Thread (or stop threading) the warm-object layers — the TU layer's
+  /// serialized objects and the link cache — into the pipeline. Enabled
+  /// by default; the bench's TU-warm pass and one sweep_merge --verify
+  /// reference run turn it off so object-warm and outcome-only
+  /// configurations are gated for bit-identity independently. Requires
+  /// the TU layer (object keys come from it); with the TU layer off this
+  /// flag is inert.
+  void enable_object_layer(bool enabled) noexcept {
+    object_enabled_.store(enabled, std::memory_order_relaxed);
+    tus_.set_object_layer(enabled);
+  }
+  bool object_layer_enabled() const noexcept {
+    return object_enabled_.load(std::memory_order_relaxed);
   }
 
   /// Bound the score-layer entry count (minimum kShards: one entry per
@@ -312,7 +334,9 @@ class ScoreCache {
   std::array<Shard, kShards> shards_;
   BuildArtifactCache builds_;
   buildsim::TuCompileCache tus_;
+  buildsim::LinkCache links_;
   std::atomic<bool> tu_enabled_{true};
+  std::atomic<bool> object_enabled_{true};
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::uint64_t> clock_{0};

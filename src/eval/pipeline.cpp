@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <iterator>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "buildsim/builder.hpp"
+#include "buildsim/linkcache.hpp"
 #include "buildsim/tucache.hpp"
 #include "execsim/driver.hpp"
 #include "support/rng.hpp"
@@ -193,9 +195,18 @@ void BuildArtifactCache::set_capacity(std::size_t max_entries) {
 
 // --- ScoringPipeline --------------------------------------------------------
 
+namespace {
+std::atomic<std::uint64_t> g_build_stage_nanos{0};
+}  // namespace
+
+std::uint64_t build_stage_nanos() {
+  return g_build_stage_nanos.load(std::memory_order_relaxed);
+}
+
 std::shared_ptr<const buildsim::BuildResult> ScoringPipeline::build_stage(
     const apps::AppSpec& app, const vfs::Repo& repo,
     StageOutcome* outcome) const {
+  const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<const buildsim::BuildResult> build;
   if (build_cache_ != nullptr) {
     // One repo hash serves both the artifact key and (on a miss) the TU
@@ -208,13 +219,21 @@ std::shared_ptr<const buildsim::BuildResult> ScoringPipeline::build_stage(
       // twice; the second insert benignly replaces the first. The TU
       // cache dedupes the compile work below the whole-repo key.
       build = std::make_shared<buildsim::BuildResult>(
-          buildsim::build_repo(repo, "", tu_cache_, repo_hash));
+          buildsim::build_repo(repo, "", tu_cache_, repo_hash,
+                               link_cache_));
       build_cache_->insert(key, build);
     }
   } else {
     build = std::make_shared<buildsim::BuildResult>(
-        buildsim::build_repo(repo, "", tu_cache_));
+        buildsim::build_repo(repo, "", tu_cache_, std::nullopt,
+                             link_cache_));
   }
+  g_build_stage_nanos.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
 
   StageOutcome bs;
   bs.stage = Stage::Build;

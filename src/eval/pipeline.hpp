@@ -37,6 +37,7 @@
 namespace pareval::buildsim {
 struct BuildResult;
 class TuCompileCache;
+class LinkCache;
 }  // namespace pareval::buildsim
 
 namespace pareval::eval {
@@ -187,8 +188,10 @@ class ScoringPipeline {
  public:
   ScoringPipeline() = default;
   explicit ScoringPipeline(BuildArtifactCache* build_cache,
-                           buildsim::TuCompileCache* tu_cache = nullptr)
-      : build_cache_(build_cache), tu_cache_(tu_cache) {}
+                           buildsim::TuCompileCache* tu_cache = nullptr,
+                           buildsim::LinkCache* link_cache = nullptr)
+      : build_cache_(build_cache), tu_cache_(tu_cache),
+        link_cache_(link_cache) {}
 
   /// Select the engine the Execute stage runs under. Engines are
   /// bit-identical in every observable, so this never changes a score —
@@ -211,8 +214,18 @@ class ScoringPipeline {
   /// artifacts differing only in their build file share every TU compile
   /// (and persisted failed plans skip the build entirely).
   buildsim::TuCompileCache* tu_cache_ = nullptr;
+  /// The warm-object layer's link cache, likewise threaded into
+  /// build_repo: a hit replaces link_units with a deserialized,
+  /// pre-compiled executable.
+  buildsim::LinkCache* link_cache_ = nullptr;
   minic::EngineKind engine_ = minic::EngineKind::Interp;
 };
+
+/// Process-wide wall time spent inside ScoringPipeline::build_stage, in
+/// nanoseconds — the bench's per-pass "Build stage cost" measurement (the
+/// object-warm CI gate compares this across cold / TU-warm / object-warm
+/// runs, where scores themselves are bit-identical by construction).
+std::uint64_t build_stage_nanos();
 
 // JSON codecs, shared by shard files and the persisted score cache.
 // from_json returns false on missing/mistyped fields or unknown keys.

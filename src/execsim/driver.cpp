@@ -1,15 +1,31 @@
 #include "execsim/driver.hpp"
 
+#include <atomic>
+
+#include "minic/bytecode.hpp"
 #include "minic/parser.hpp"
 #include "minic/preproc.hpp"
 #include "minic/sema.hpp"
 
 namespace pareval::execsim {
 
+namespace {
+std::atomic<std::uint64_t> g_parses{0};
+std::atomic<std::uint64_t> g_links{0};
+}  // namespace
+
+DriverCounters driver_counters() {
+  DriverCounters c;
+  c.parses = g_parses.load(std::memory_order_relaxed);
+  c.links = g_links.load(std::memory_order_relaxed);
+  return c;
+}
+
 std::shared_ptr<minic::TranslationUnit> compile_tu(
     const vfs::Repo& repo, const std::string& source,
     const minic::Capabilities& caps,
     const std::vector<std::pair<std::string, std::string>>& defines) {
+  g_parses.fetch_add(1, std::memory_order_relaxed);
   const minic::BuiltinTable builtins = make_builtin_table(caps);
 
   minic::PreprocessOptions ppopt;
@@ -45,8 +61,11 @@ std::shared_ptr<minic::TranslationUnit> compile_tu(
 
 Executable link_tus(std::vector<std::shared_ptr<minic::TranslationUnit>> tus,
                     const minic::Capabilities& caps) {
+  g_links.fetch_add(1, std::memory_order_relaxed);
   Executable exe;
-  exe.builtins = make_builtin_table(caps);
+  exe.builtins =
+      std::make_shared<minic::BuiltinTable>(make_builtin_table(caps));
+  exe.chunks = std::make_shared<minic::ChunkPack>();
   for (const auto& tu : tus) exe.diags.merge(tu->diags);
   exe.program = minic::link_units(std::move(tus), caps, exe.diags);
   return exe;
@@ -76,7 +95,8 @@ minic::RunResult run_executable(const Executable& exe,
                        "cannot run: executable has compile errors");
     return result;
   }
-  return minic::make_engine(engine, exe.program, exe.builtins, limits)
+  return minic::make_engine(engine, exe.program, *exe.builtins, limits,
+                            exe.chunks)
       ->run(args);
 }
 

@@ -4,6 +4,8 @@
 // under the simulated toolchains (nvcc / clang+offload / g++ + Kokkos) and
 // the test suites.
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,15 +14,36 @@
 #include "minic/program.hpp"
 #include "vfs/repo.hpp"
 
+namespace pareval::minic {
+class ChunkPack;
+}
+
 namespace pareval::execsim {
 
 struct Executable {
   minic::LinkedProgram program;
-  minic::BuiltinTable builtins;
+  // Shared, not owned per-copy: compiled Chunks reference BuiltinDefs by
+  // pointer, so every copy of an executable (build cache, link cache)
+  // must see the one table those pointers resolve into.
+  std::shared_ptr<const minic::BuiltinTable> builtins;
   minic::DiagBag diags;  // compile + link diagnostics
+  // Shared compiled-bytecode cache for the VM engine. Created (empty) by
+  // link_tus, pre-filled by a warm link-cache hit; every run of this
+  // executable reuses it, so a function compiles at most once per link.
+  std::shared_ptr<minic::ChunkPack> chunks;
 
   bool ok() const { return !diags.has_errors(); }
 };
+
+/// Process-wide front-end work counters: how many TU parses (compile_tu)
+/// and links (link_tus) actually ran. A fully object-warm start must leave
+/// both untouched — the CI warm gates and the sweep_merge --verify
+/// object-warm reference assert zero deltas across a whole sweep.
+struct DriverCounters {
+  std::uint64_t parses = 0;
+  std::uint64_t links = 0;
+};
+DriverCounters driver_counters();
 
 /// Compile `sources` (translation units) from `repo` with the given
 /// capabilities. Extra predefined macros may be injected (-DNAME=V).

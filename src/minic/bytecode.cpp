@@ -1,6 +1,7 @@
 #include "minic/bytecode.hpp"
 
 #include "minic/machine.hpp"
+#include "minic/objcodec.hpp"
 
 namespace pareval::minic {
 
@@ -746,6 +747,165 @@ std::unique_ptr<Chunk> compile_function(const FunctionDecl& fn,
     (f.imm2 ? in.imm2 : in.imm) = target;
   }
   return ch;
+}
+
+// --- ChunkPack --------------------------------------------------------------
+
+std::shared_ptr<const Chunk> ChunkPack::get(const FunctionDecl* fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find(fn);
+  return it == chunks_.end() ? nullptr : it->second;
+}
+
+const Chunk& ChunkPack::get_or_compile(const FunctionDecl& fn,
+                                       const LinkedProgram& prog,
+                                       const BuiltinTable& builtins) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = chunks_.find(&fn);
+    if (it != chunks_.end()) return *it->second;
+  }
+  // Compile outside the lock: compilation is pure, so two racing threads
+  // just produce identical chunks and the first insert wins.
+  std::shared_ptr<const Chunk> fresh = compile_function(fn, prog, builtins);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = chunks_.emplace(&fn, std::move(fresh));
+  return *it->second;
+}
+
+void ChunkPack::put(const FunctionDecl* fn,
+                    std::shared_ptr<const Chunk> chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chunks_.emplace(fn, std::move(chunk));  // existing entry wins
+}
+
+std::size_t ChunkPack::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.size();
+}
+
+// --- binary chunk codec -----------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kMaxOp = static_cast<std::uint8_t>(Op::End);
+
+/// Ops whose `node` payload is an Expr / Stmt / FunctionDecl. Every other
+/// op ignores the field (it must be null).
+bool node_is_expr(Op op) {
+  return op == Op::TreeEval || op == Op::Member || op == Op::CallGuard;
+}
+
+}  // namespace
+
+bool encode_chunk(const Chunk& chunk, const NodeTable& nodes, BinWriter& w) {
+  const std::int32_t fn_index = nodes.index_of(chunk.fn);
+  if (fn_index < 0) return false;
+  w.i32(fn_index);
+  w.i32(chunk.num_regs);
+  w.u32(static_cast<std::uint32_t>(chunk.consts.size()));
+  for (const Value& v : chunk.consts) {
+    if (!encode_value(v, w)) return false;
+  }
+  w.u32(static_cast<std::uint32_t>(chunk.names.size()));
+  for (const std::string& n : chunk.names) w.str(n);
+  w.u32(static_cast<std::uint32_t>(chunk.types.size()));
+  for (const Type& t : chunk.types) encode_type(t, w);
+  w.u32(static_cast<std::uint32_t>(chunk.code.size()));
+  for (const Instr& in : chunk.code) {
+    w.u8(static_cast<std::uint8_t>(in.op));
+    w.u16(in.a);
+    w.u16(in.b);
+    w.u16(in.c);
+    w.u8(static_cast<std::uint8_t>(in.binop));
+    w.boolean(in.flag);
+    w.i32(in.imm);
+    w.i32(in.imm2);
+    w.i32(in.fuel);
+    w.i32(in.fuel_line);
+    w.i32(in.line);
+    if (in.op == Op::Builtin) {
+      // The BuiltinDef lives in the build configuration's table, not the
+      // AST: serialize by name and re-resolve on decode.
+      if (in.node == nullptr) return false;
+      w.str(static_cast<const BuiltinDef*>(in.node)->name);
+    } else if (node_is_expr(in.op) || in.op == Op::TreeStmt ||
+               in.op == Op::CallFn) {
+      const std::int32_t idx = nodes.index_of(in.node);
+      if (idx < 0) return false;
+      w.i32(idx);
+    }
+  }
+  return true;
+}
+
+bool decode_chunk(BinReader& r, const NodeTable& nodes,
+                  const BuiltinTable& builtins, Chunk* out) {
+  const std::int32_t fn_index = r.i32();
+  out->fn = static_cast<const FunctionDecl*>(nodes.at(
+      static_cast<std::uint32_t>(fn_index), NodeTable::Kind::Function));
+  if (out->fn == nullptr) {
+    r.fail();
+    return false;
+  }
+  out->num_regs = r.i32();
+  const std::uint32_t nconsts = r.u32();
+  for (std::uint32_t i = 0; r.ok() && i < nconsts; ++i) {
+    Value v;
+    if (!decode_value(r, &v)) return false;
+    out->consts.push_back(std::move(v));
+  }
+  const std::uint32_t nnames = r.u32();
+  for (std::uint32_t i = 0; r.ok() && i < nnames; ++i) {
+    out->names.push_back(r.str());
+  }
+  const std::uint32_t ntypes = r.u32();
+  for (std::uint32_t i = 0; r.ok() && i < ntypes; ++i) {
+    Type t;
+    if (!decode_type(r, &t)) return false;
+    out->types.push_back(std::move(t));
+  }
+  const std::uint32_t ncode = r.u32();
+  for (std::uint32_t i = 0; r.ok() && i < ncode; ++i) {
+    Instr in;
+    const std::uint8_t op = r.u8();
+    if (op > kMaxOp) {
+      r.fail();
+      return false;
+    }
+    in.op = static_cast<Op>(op);
+    in.a = r.u16();
+    in.b = r.u16();
+    in.c = r.u16();
+    in.binop = static_cast<signed char>(r.u8());
+    in.flag = r.boolean();
+    in.imm = r.i32();
+    in.imm2 = r.i32();
+    in.fuel = r.i32();
+    in.fuel_line = r.i32();
+    in.line = r.i32();
+    if (in.op == Op::Builtin) {
+      in.node = builtins.find(r.str());
+    } else if (node_is_expr(in.op)) {
+      in.node = nodes.at(static_cast<std::uint32_t>(r.i32()),
+                         NodeTable::Kind::Expr);
+    } else if (in.op == Op::TreeStmt) {
+      in.node = nodes.at(static_cast<std::uint32_t>(r.i32()),
+                         NodeTable::Kind::Stmt);
+    } else if (in.op == Op::CallFn) {
+      in.node = nodes.at(static_cast<std::uint32_t>(r.i32()),
+                         NodeTable::Kind::Function);
+    } else {
+      out->code.push_back(in);
+      continue;
+    }
+    if (in.node == nullptr) {
+      r.fail();
+      return false;
+    }
+    out->code.push_back(in);
+  }
+  return r.ok();
 }
 
 }  // namespace pareval::minic

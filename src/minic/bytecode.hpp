@@ -15,7 +15,9 @@
 // number of steps as the tree-walker for the same execution path, which is
 // what keeps `RunStats::steps` and the simulated clock engine-invariant.
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,10 @@
 #include "minic/value.hpp"
 
 namespace pareval::minic {
+
+class BinReader;
+class BinWriter;
+class NodeTable;
 
 enum class Op : unsigned char {
   Step,        // burn fuel only (fused charges at a jump target)
@@ -95,5 +101,46 @@ struct Chunk {
 std::unique_ptr<Chunk> compile_function(const FunctionDecl& fn,
                                         const LinkedProgram& prog,
                                         const BuiltinTable& builtins);
+
+/// Thread-safe per-executable chunk cache, shared by every engine instance
+/// running one linked program: first call compiles (or a warm link-cache
+/// hit pre-fills), every later call — across samples, targets, and threads
+/// — reuses the immutable Chunk. Entries are never evicted, so a returned
+/// reference stays valid for the pack's lifetime.
+class ChunkPack {
+ public:
+  /// nullptr when `fn` has no chunk yet.
+  std::shared_ptr<const Chunk> get(const FunctionDecl* fn) const;
+  /// The cached chunk, compiling it on first request. Racing compilers
+  /// produce identical chunks; the first insert wins.
+  const Chunk& get_or_compile(const FunctionDecl& fn,
+                              const LinkedProgram& prog,
+                              const BuiltinTable& builtins);
+  void put(const FunctionDecl* fn, std::shared_ptr<const Chunk> chunk);
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<const FunctionDecl*, std::shared_ptr<const Chunk>> chunks_;
+};
+
+// --- binary chunk codec (warm-object persistence) ---------------------------
+//
+// Instruction `node` pointers are relocated through a NodeTable
+// (minic/objcodec.hpp) built identically over the original and the
+// decoded program; Builtin instructions serialize the builtin's name and
+// re-resolve against the BuiltinTable of the decoding build. The payload
+// framing (magic/format version/content hash) is the link cache's job —
+// these encode raw chunk bodies into an already-sealed stream.
+
+/// Append `chunk` to `w`. False when a referenced node is not enumerated
+/// in `nodes` or a pooled constant has an unexpected kind — the caller
+/// must skip persisting that program rather than write a partial record.
+bool encode_chunk(const Chunk& chunk, const NodeTable& nodes, BinWriter& w);
+
+/// Decode one chunk (including its owning function reference). False on
+/// any malformed field; `out` is unusable then.
+bool decode_chunk(BinReader& r, const NodeTable& nodes,
+                  const BuiltinTable& builtins, Chunk* out);
 
 }  // namespace pareval::minic

@@ -22,10 +22,11 @@ std::optional<EngineKind> engine_from_key(std::string_view key) {
 std::unique_ptr<ExecEngine> make_engine(EngineKind kind,
                                         const LinkedProgram& prog,
                                         const BuiltinTable& builtins,
-                                        RunLimits limits) {
+                                        RunLimits limits,
+                                        std::shared_ptr<ChunkPack> chunks) {
   switch (kind) {
     case EngineKind::Vm:
-      return std::make_unique<Vm>(prog, builtins, limits);
+      return std::make_unique<Vm>(prog, builtins, limits, std::move(chunks));
     case EngineKind::Interp:
       break;
   }

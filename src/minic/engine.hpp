@@ -40,10 +40,17 @@ class ExecEngine {
   virtual EngineKind kind() const = 0;
 };
 
+class ChunkPack;
+
 /// Engine factory: the one place that maps EngineKind to a concrete class.
+/// `chunks` (optional) is a shared compiled-chunk cache for the Vm backend
+/// — pre-filled by a warm link-cache hit, reused across runs; the
+/// tree-walker ignores it.
 std::unique_ptr<ExecEngine> make_engine(EngineKind kind,
                                         const LinkedProgram& prog,
                                         const BuiltinTable& builtins,
-                                        RunLimits limits = {});
+                                        RunLimits limits = {},
+                                        std::shared_ptr<ChunkPack> chunks =
+                                            nullptr);
 
 }  // namespace pareval::minic

@@ -16,14 +16,12 @@ namespace pareval::minic {
 struct Vm::Impl final : Machine {
   using Machine::Machine;
 
-  std::map<const FunctionDecl*, std::unique_ptr<Chunk>> chunks;
+  /// Shared (or private) cache of compiled functions. Entries are never
+  /// evicted, so the references chunk_for returns outlive the run.
+  std::shared_ptr<ChunkPack> chunks;
 
   const Chunk& chunk_for(const FunctionDecl& fn) {
-    auto it = chunks.find(&fn);
-    if (it == chunks.end()) {
-      it = chunks.emplace(&fn, compile_function(fn, prog, builtins)).first;
-    }
-    return *it->second;
+    return chunks->get_or_compile(fn, prog, builtins);
   }
 
   /// Mirrors Machine::call_function exactly, but runs the function's
@@ -455,8 +453,11 @@ Value Vm::Impl::execute(const Chunk& ch) {
 // ----------------------------------------------------------- interface --
 
 Vm::Vm(const LinkedProgram& prog, const BuiltinTable& builtins,
-       RunLimits limits)
-    : impl_(std::make_unique<Impl>(prog, builtins, limits)) {}
+       RunLimits limits, std::shared_ptr<ChunkPack> chunks)
+    : impl_(std::make_unique<Impl>(prog, builtins, limits)) {
+  impl_->chunks =
+      chunks != nullptr ? std::move(chunks) : std::make_shared<ChunkPack>();
+}
 
 Vm::~Vm() = default;
 

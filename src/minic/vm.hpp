@@ -18,10 +18,15 @@
 
 namespace pareval::minic {
 
+class ChunkPack;
+
 class Vm final : public ExecEngine {
  public:
+  /// `chunks` (optional) is a shared per-program chunk cache: compiled
+  /// functions are reused across Vm instances (and pre-filled by a warm
+  /// link-cache hit). Without one the Vm keeps a private pack.
   Vm(const LinkedProgram& prog, const BuiltinTable& builtins,
-     RunLimits limits = {});
+     RunLimits limits = {}, std::shared_ptr<ChunkPack> chunks = nullptr);
   ~Vm() override;
 
   /// Run main() with the given command-line arguments (argv[1..]).

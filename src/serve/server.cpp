@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "execsim/driver.hpp"
 #include "serve/protocol.hpp"
 #include "support/strings.hpp"
 
@@ -42,6 +43,7 @@ bool SweepServer::start(std::string* error) {
     // seeds it. Either way the layers are bound now.
     cache_.attach(*store_, version_);
     cache_.tus().attach(*store_, version_);
+    cache_.links().attach(*store_, version_);
   }
   queue_ = std::make_unique<JobQueue>(suite_, config_.max_inflight);
   if (!listener_.open(endpoint_, error)) return false;
@@ -60,6 +62,7 @@ void SweepServer::wait() {
   queue_->wait_idle();
   cache_.flush();
   cache_.tus().flush();
+  cache_.links().flush();
   // Handler threads notice the drain on their next receive timeout and
   // close their connections after their last job's `done` went out.
   for (auto& t : handlers_) t.join();
@@ -300,6 +303,12 @@ Json SweepServer::status_body() const {
   builds.set("entries", static_cast<long long>(cache_.builds().size()));
   cache.set("builds", builds);
   cache.set("tu", cache_.tus().stats());
+  cache.set("link", cache_.links().stats());
+  const execsim::DriverCounters drv = execsim::driver_counters();
+  Json driver = Json::object();
+  driver.set("parses", static_cast<long long>(drv.parses));
+  driver.set("links", static_cast<long long>(drv.links));
+  cache.set("driver", driver);
   body.set("cache", cache);
 
   if (store_.has_value()) {
@@ -310,6 +319,9 @@ Json SweepServer::status_body() const {
               store_->stats_json(buildsim::TuCompileCache::kTuStream));
     store.set("tuplan",
               store_->stats_json(buildsim::TuCompileCache::kPlanStream));
+    store.set("obj",
+              store_->stats_json(buildsim::TuCompileCache::kObjStream));
+    store.set("lnk", store_->stats_json(buildsim::LinkCache::kStream));
     body.set("store", store);
   }
   return body;
@@ -320,7 +332,8 @@ Json SweepServer::fold_store(const std::string& dir) {
   cache::Store other(dir);
   const bool scores = cache_.import_store(other, version_);
   const bool tus = cache_.tus().import_store(other, version_);
-  if (!scores && !tus) {
+  const bool links = cache_.links().import_store(other, version_);
+  if (!scores && !tus && !links) {
     reply.ok = false;
     reply.error = "no score or TU streams at " + dir +
                   " (missing store, or a different pipeline version)";
@@ -331,7 +344,8 @@ Json SweepServer::fold_store(const std::string& dir) {
   // attached store — the fan-in step. Without a store the import still
   // warmed the in-memory layers; 0 records were appended anywhere.
   reply.score_records = static_cast<long long>(cache_.flush());
-  reply.tu_records = static_cast<long long>(cache_.tus().flush());
+  reply.tu_records = static_cast<long long>(cache_.tus().flush() +
+                                            cache_.links().flush());
   return reply.encode();
 }
 

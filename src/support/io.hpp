@@ -11,17 +11,18 @@
 
 namespace pareval::support {
 
-/// Atomically publish `content` at `path`: write to a pid+counter-unique
-/// temp file in the same directory, close, re-check (the final flush can
-/// fail — ENOSPC — after every write "succeeded" into the buffer), then
-/// rename() over the target. Concurrent writers sharing one path race
-/// benignly (last rename wins with a complete file) and a reader can
-/// never observe a torn write. Returns false on any I/O failure, leaving
-/// no temp file behind.
+/// Atomically AND durably publish `content` at `path`: write to a
+/// pid+counter-unique temp file in the same directory, fsync it, then
+/// rename() over the target and fsync the directory entry — so neither a
+/// concurrent reader nor a crash right after the rename can observe a
+/// torn, empty, or stale file. Concurrent writers sharing one path race
+/// benignly (last rename wins with a complete file). Returns false on
+/// any I/O failure, leaving no temp file behind.
 bool atomic_write_file(const std::string& path, const std::string& content);
 
 /// Append `data` to `path` (creating it if absent) through one O_APPEND
-/// write() call. Returns false on any I/O failure or a short write.
+/// write() call, fsync'd before returning — an acknowledged record
+/// survives a crash. Returns false on any I/O failure or a short write.
 /// Callers that need multi-writer atomicity should serialize through a
 /// FileLock — O_APPEND alone only guarantees the kernel picks the offset,
 /// not that a large record lands in one piece on every filesystem.

@@ -134,6 +134,80 @@ bool u64_from_hex(std::string_view hex, std::uint64_t* out) {
   return true;
 }
 
+namespace {
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const unsigned v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                       (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                       static_cast<unsigned char>(bytes[i + 2]);
+    out += kB64Alphabet[(v >> 18) & 63];
+    out += kB64Alphabet[(v >> 12) & 63];
+    out += kB64Alphabet[(v >> 6) & 63];
+    out += kB64Alphabet[v & 63];
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const unsigned v = static_cast<unsigned char>(bytes[i]) << 16;
+    out += kB64Alphabet[(v >> 18) & 63];
+    out += kB64Alphabet[(v >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const unsigned v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                       (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out += kB64Alphabet[(v >> 18) & 63];
+    out += kB64Alphabet[(v >> 12) & 63];
+    out += kB64Alphabet[(v >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+bool base64_decode(std::string_view text, std::string* out) {
+  if (text.size() % 4 != 0) return false;
+  out->clear();
+  out->reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    if (last && text[i + 3] == '=') pad = text[i + 2] == '=' ? 2 : 1;
+    int vals[4] = {0, 0, 0, 0};
+    for (int k = 0; k < 4 - pad; ++k) {
+      vals[k] = b64_value(text[i + static_cast<std::size_t>(k)]);
+      if (vals[k] < 0) return false;
+    }
+    const unsigned v = (static_cast<unsigned>(vals[0]) << 18) |
+                       (static_cast<unsigned>(vals[1]) << 12) |
+                       (static_cast<unsigned>(vals[2]) << 6) |
+                       static_cast<unsigned>(vals[3]);
+    // Stray low bits mean this was not produced by encode: reject rather
+    // than silently truncate.
+    if (pad == 2 && (v & 0xffff) != 0) return false;
+    if (pad == 1 && (v & 0xff) != 0) return false;
+    out->push_back(static_cast<char>((v >> 16) & 0xff));
+    if (pad < 2) out->push_back(static_cast<char>((v >> 8) & 0xff));
+    if (pad < 1) out->push_back(static_cast<char>(v & 0xff));
+  }
+  return true;
+}
+
 std::string strfmt(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

@@ -53,7 +53,7 @@ Executable compile_one(const std::string& src, Capabilities caps) {
 RunResult run_engine(const Executable& exe, EngineKind kind,
                      const std::vector<std::string>& args = {},
                      RunLimits limits = {}) {
-  return make_engine(kind, exe.program, exe.builtins, limits)->run(args);
+  return make_engine(kind, exe.program, *exe.builtins, limits)->run(args);
 }
 
 /// The full observable surface of a run, via the shared JSON codec.

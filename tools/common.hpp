@@ -91,10 +91,13 @@ inline bool open_cache_dir(const char* tool, const std::string& dir,
 struct CacheAttach {
   bool warm_scores = false;
   bool warm_tus = false;
+  bool warm_links = false;
 };
 
-/// Attach `cache`'s score + TU layers to a --cache-dir store and print
-/// the uniform warm/cold banner every tool used to format by hand.
+/// Attach `cache`'s score + TU + link layers to a --cache-dir store and
+/// print the uniform warm/cold banner every tool used to format by hand.
+/// (The TU attach also replays the obj1 warm-object stream; warm_tus
+/// covers both.)
 inline CacheAttach attach_cache_layers(cache::Store& store,
                                        eval::ScoreCache& cache,
                                        std::uint64_t version,
@@ -102,12 +105,14 @@ inline CacheAttach attach_cache_layers(cache::Store& store,
   CacheAttach out;
   out.warm_scores = cache.attach(store, version);
   out.warm_tus = cache.tus().attach(store, version);
+  out.warm_links = cache.links().attach(store, version);
   if (banner) {
     std::printf("cache dir %s: score stream %s (%zu entries), TU streams "
-                "%s (%zu TUs, %zu plans)\n",
+                "%s (%zu TUs, %zu plans), link stream %s (%zu links)\n",
                 store.dir().c_str(), out.warm_scores ? "warm" : "cold",
                 cache.size(), out.warm_tus ? "warm" : "cold",
-                cache.tus().size(), cache.tus().plan_count());
+                cache.tus().size(), cache.tus().plan_count(),
+                out.warm_links ? "warm" : "cold", cache.links().size());
   }
   return out;
 }

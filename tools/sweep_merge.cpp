@@ -15,11 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "buildsim/linkcache.hpp"
 #include "buildsim/tucache.hpp"
 #include "common.hpp"
+#include "execsim/driver.hpp"
 #include "eval/report.hpp"
 #include "eval/shard.hpp"
 #include "minic/engine.hpp"
+#include "minic/objcodec.hpp"
 #include "support/cachestore.hpp"
 #include "support/strings.hpp"
 
@@ -40,7 +43,7 @@ int usage(const char* argv0) {
       "                      without it any uniform engine is accepted\n"
       "  --out FILE          write the merged sweep (default: merged.json)\n"
       "  --report            print the figure reports off the merged sweep\n"
-      "  --verify            re-run the sweep in-process seven ways —\n"
+      "  --verify            re-run the sweep in-process eight ways —\n"
       "                      uncached, staged-cached (TU layer off),\n"
       "                      TU-cached, score-cold/TU-warm-file (Build\n"
       "                      stages reconstruct from the persisted TU\n"
@@ -48,12 +51,16 @@ int usage(const char* argv0) {
       "                      reloaded from disk, Build stage skipped),\n"
       "                      journal-warm (both layers flushed to a\n"
       "                      cache::Store, compacted, and replayed into a\n"
-      "                      fresh cache, Build stage skipped), and\n"
-      "                      uncached under the bytecode-VM engine — and\n"
-      "                      fail unless shards and every reference run\n"
-      "                      are bit-identical. With --cache-dir, an\n"
-      "                      eighth store-warm reference replays the\n"
-      "                      shared directory the workers wrote\n"
+      "                      fresh cache, Build stage skipped),\n"
+      "                      object-warm (only the TU-object + link\n"
+      "                      streams replayed — every sample re-scores\n"
+      "                      but zero sources are parsed and zero\n"
+      "                      programs linked), and uncached under the\n"
+      "                      bytecode-VM engine — and fail unless shards\n"
+      "                      and every reference run are bit-identical.\n"
+      "                      With --cache-dir, a ninth store-warm\n"
+      "                      reference replays the shared directory the\n"
+      "                      workers wrote\n"
       "  --cache-dir DIR     the shared journaled cache directory\n"
       "                      (cache::Store) this merge verifies against\n"
       "                      and publishes to; skipped when --verify fails\n"
@@ -222,16 +229,19 @@ int main(int argc, char** argv) {
 
   int mismatches = 0;
   if (verify) {
-    // Seven in-process references: uncached, staged two-layer cache (TU
+    // Eight in-process references: uncached, staged two-layer cache (TU
     // layer off), TU-cached (all three layers), score-cold/TU-warm-file
     // (persisted plans/TUs reconstruct during real Build stages), a
     // warm *file* start (score + TU caches reloaded; Build skipped), a
     // journal-warm start (both layers flushed to a cache::Store,
-    // compacted, and replayed into a fresh cache; Build skipped), and
-    // an uncached run under the bytecode-VM engine. Shards and all seven
-    // runs must be bit-identical — the CI gate that proves distribution,
-    // every cache layer (live, persisted, or journaled), and the
-    // alternate execution engine are all pure memoization / pure
+    // compacted, and replayed into a fresh cache; Build skipped), an
+    // object-warm start (only the TU-object + link streams replayed —
+    // every sample re-scores, but the warm-object store must satisfy
+    // every Build with zero parses and zero links), and an uncached run
+    // under the bytecode-VM engine. Shards and all eight runs must be
+    // bit-identical — the CI gate that proves distribution, every cache
+    // layer (live, persisted, journaled, or serialized objects), and
+    // the alternate execution engine are all pure memoization / pure
     // reimplementation.
     eval::HarnessConfig uncached;
     uncached.use_score_cache = false;
@@ -347,14 +357,23 @@ int main(int argc, char** argv) {
       if (store_built) {
         tu_cached.attach(writer, pipeline_version);
         tu_cached.tus().attach(writer, pipeline_version);
+        tu_cached.links().attach(writer, pipeline_version);
         tu_cached.flush();
         tu_cached.tus().flush();
+        tu_cached.links().flush();
         store_built =
             writer.compact(eval::ScoreCache::kStream, pipeline_version) &&
             writer.compact(buildsim::TuCompileCache::kTuStream,
                            pipeline_version) &&
             writer.compact(buildsim::TuCompileCache::kPlanStream,
-                           pipeline_version);
+                           pipeline_version) &&
+            // The object streams version-fold the codec format version,
+            // so a codec bump cold-starts them without touching the
+            // legacy streams.
+            writer.compact(buildsim::TuCompileCache::kObjStream,
+                           minic::obj_stream_version(pipeline_version)) &&
+            writer.compact(buildsim::LinkCache::kStream,
+                           minic::obj_stream_version(pipeline_version));
       }
       if (!store_built) {
         std::fprintf(stderr,
@@ -389,6 +408,45 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   reader.stats(eval::ScoreCache::kStream).generation));
           if (!journal_identical || !build_skipped) ++mismatches;
+        }
+
+        // Object-warm reference: replay ONLY the build-side streams —
+        // TU objects (+ plans) and the link cache; the score stream is
+        // deliberately withheld. Every sample re-scores through a real
+        // Build stage, but the warm-object store must satisfy all of it:
+        // zero fresh TU compiles, zero source parses, zero link_tus
+        // calls (measured by the process-wide driver counters).
+        cache::Store obj_reader(store_dir);
+        eval::ScoreCache object_warm;
+        if (!object_warm.tus().attach(obj_reader, pipeline_version) ||
+            !object_warm.links().attach(obj_reader, pipeline_version)) {
+          std::fprintf(stderr,
+                       "sweep_merge: could not replay the object-warm "
+                       "verify store\n");
+          ++mismatches;
+        } else {
+          const execsim::DriverCounters before = execsim::driver_counters();
+          cached.score_cache = &object_warm;
+          const auto object_reference = eval::run_sweep(suite, spec, cached);
+          const execsim::DriverCounters after = execsim::driver_counters();
+          const bool object_identical = object_reference == reference;
+          const std::uint64_t parses = after.parses - before.parses;
+          const std::uint64_t links = after.links - before.links;
+          const bool build_warm = object_warm.tus().misses() == 0 &&
+                                  parses == 0 && links == 0;
+          std::printf(
+              "determinism (object-warm-store vs uncached): %s (Build "
+              "stage %s: %zu TU compiles, %llu parses, %llu links; %zu "
+              "object hits, %zu link-cache hits)\n",
+              object_identical ? "IDENTICAL" : "MISMATCH",
+              build_warm ? "OBJECT-WARM" : "NOT OBJECT-WARM",
+              object_warm.tus().misses(),
+              static_cast<unsigned long long>(parses),
+              static_cast<unsigned long long>(links),
+              object_warm.tus().obj_hits(),
+              object_warm.links().hits() +
+                  object_warm.links().persisted_hits());
+          if (!object_identical || !build_warm) ++mismatches;
         }
       }
       std::filesystem::remove_all(store_dir, ec);
