@@ -352,6 +352,7 @@ int run_vm_timing_section() {
     apps::Model model;
     buildsim::BuildResult build;
     std::uint64_t steps = 0;  // interpreter steps across the app's tests
+    std::uint64_t tree_fallbacks = 0;  // VM fallback instrs across the reps
     double interp_ms = 0, vm_ms = 0;
   };
   constexpr std::size_t kHottest = 6;
@@ -389,19 +390,25 @@ int run_vm_timing_section() {
               "(%zu hottest implementations, %d reps) --\n",
               targets.size(), kReps);
   double interp_total = 0, vm_total = 0;
+  std::uint64_t fallback_total = 0;
   for (Target& t : targets) {
+    const std::uint64_t fb_before =
+        execsim::driver_counters().tree_fallbacks;
     for (int r = 0; r < kReps; ++r) {
       t.interp_ms += time_execute_ms(t.build, *t.app, //
                                      minic::EngineKind::Interp);
       t.vm_ms += time_execute_ms(t.build, *t.app, minic::EngineKind::Vm);
     }
+    t.tree_fallbacks = execsim::driver_counters().tree_fallbacks - fb_before;
     interp_total += t.interp_ms;
     vm_total += t.vm_ms;
+    fallback_total += t.tree_fallbacks;
     std::printf("%-24s %-12s interp %8.1f ms   vm %8.1f ms   (%.2fx, "
-                "%llu steps)\n",
+                "%llu steps, %llu fallbacks)\n",
                 t.app->name.c_str(), apps::model_key(t.model), t.interp_ms,
                 t.vm_ms, t.vm_ms > 0 ? t.interp_ms / t.vm_ms : 0.0,
-                static_cast<unsigned long long>(t.steps));
+                static_cast<unsigned long long>(t.steps),
+                static_cast<unsigned long long>(t.tree_fallbacks));
   }
   const double speedup = vm_total > 0 ? interp_total / vm_total : 0.0;
   std::printf("total                                 interp %8.1f ms   vm "
@@ -421,19 +428,21 @@ int run_vm_timing_section() {
       std::fprintf(json,
                    "    {\"name\": \"execute_%s_%s\", \"interp_ms\": %.3f, "
                    "\"vm_ms\": %.3f, \"speedup\": %.3f, \"steps\": %llu, "
-                   "\"time_unit\": \"ms\"},\n",
+                   "\"tree_fallbacks\": %llu, \"time_unit\": \"ms\"},\n",
                    t.app->name.c_str(), apps::model_key(t.model),
                    t.interp_ms, t.vm_ms,
                    t.vm_ms > 0 ? t.interp_ms / t.vm_ms : 0.0,
-                   static_cast<unsigned long long>(t.steps));
+                   static_cast<unsigned long long>(t.steps),
+                   static_cast<unsigned long long>(t.tree_fallbacks));
     }
     std::fprintf(json,
                  "    {\"name\": \"execute_total\", \"interp_ms\": %.3f, "
-                 "\"vm_ms\": %.3f, \"speedup\": %.3f, \"time_unit\": "
-                 "\"ms\"}\n"
+                 "\"vm_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"tree_fallbacks\": %llu, \"time_unit\": \"ms\"}\n"
                  "  ]\n"
                  "}\n",
-                 interp_total, vm_total, speedup);
+                 interp_total, vm_total, speedup,
+                 static_cast<unsigned long long>(fallback_total));
     std::fclose(json);
     std::printf("wrote BENCH_vm.json\n");
   }

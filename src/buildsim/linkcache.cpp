@@ -44,6 +44,41 @@ void encode_diag(const Diag& d, minic::BinWriter& w) {
   w.i32(d.line);
 }
 
+// Pre-order lambda-body collection over a function body: the bodies feed
+// the link payload's lambda-chunk section in a deterministic order
+// (name-ordered functions, source order within each). Mirrors the
+// NodeTable walk, so every collected body has a relocation index.
+void collect_lambda_bodies(const minic::Expr* e,
+                           std::vector<const minic::Stmt*>* out);
+void collect_lambda_bodies(const minic::Stmt* s,
+                           std::vector<const minic::Stmt*>* out) {
+  if (s == nullptr) return;
+  for (const auto& child : s->body) collect_lambda_bodies(child.get(), out);
+  collect_lambda_bodies(s->expr.get(), out);
+  for (const auto& d : s->decls) {
+    collect_lambda_bodies(d.init.get(), out);
+    for (const auto& a : d.ctor_args) collect_lambda_bodies(a.get(), out);
+    collect_lambda_bodies(d.array_size.get(), out);
+  }
+  collect_lambda_bodies(s->then_branch.get(), out);
+  collect_lambda_bodies(s->else_branch.get(), out);
+  collect_lambda_bodies(s->for_init.get(), out);
+  collect_lambda_bodies(s->for_inc.get(), out);
+  collect_lambda_bodies(s->loop_body.get(), out);
+  collect_lambda_bodies(s->omp_body.get(), out);
+}
+void collect_lambda_bodies(const minic::Expr* e,
+                           std::vector<const minic::Stmt*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == minic::ExprKind::LambdaExpr) {
+    if (e->lambda_body) out->push_back(e->lambda_body.get());
+  }
+  for (const auto& kid : e->kids) collect_lambda_bodies(kid.get(), out);
+  collect_lambda_bodies(e->launch_grid.get(), out);
+  collect_lambda_bodies(e->launch_block.get(), out);
+  collect_lambda_bodies(e->lambda_body.get(), out);
+}
+
 bool decode_diag(minic::BinReader& r, Diag* out) {
   if (!minic::diag_category_from_key(r.str(), &out->category)) return false;
   const std::uint8_t sev = r.u8();
@@ -116,6 +151,25 @@ std::string encode_link(const execsim::Executable& exe) {
   for (const auto& [name, fn] : prog.functions) {
     const minic::Chunk& chunk =
         exe.chunks->get_or_compile(*fn, prog, *exe.builtins);
+    if (!minic::encode_chunk(chunk, nodes, w)) return {};
+  }
+
+  // Lambda-body chunks, so a warm hit starts with lambdas pre-compiled
+  // too (and the tree-walking engine can reuse them). Bodies the
+  // NodeTable does not enumerate (lambdas in global initializers) are
+  // skipped, not fatal — they just compile again at runtime.
+  std::vector<const minic::Stmt*> lambda_bodies;
+  for (const auto& [name, fn] : prog.functions) {
+    if (fn->body) collect_lambda_bodies(fn->body.get(), &lambda_bodies);
+  }
+  std::vector<const minic::Stmt*> kept;
+  for (const minic::Stmt* body : lambda_bodies) {
+    if (nodes.index_of(body) >= 0) kept.push_back(body);
+  }
+  w.u32(static_cast<std::uint32_t>(kept.size()));
+  for (const minic::Stmt* body : kept) {
+    const minic::Chunk& chunk =
+        exe.chunks->get_or_compile_lambda(*body, prog, *exe.builtins);
     if (!minic::encode_chunk(chunk, nodes, w)) return {};
   }
 
@@ -207,12 +261,25 @@ std::optional<execsim::Executable> decode_link(
   const std::uint32_t nchunks = r.u32();
   for (std::uint32_t i = 0; i < nchunks && r.ok(); ++i) {
     minic::Chunk chunk;
-    if (!minic::decode_chunk(r, nodes, *exe.builtins, &chunk)) {
+    if (!minic::decode_chunk(r, nodes, *exe.builtins, &chunk) ||
+        chunk.fn == nullptr) {
       return std::nullopt;
     }
     const minic::FunctionDecl* fn = chunk.fn;
     exe.chunks->put(fn, std::make_shared<const minic::Chunk>(
                             std::move(chunk)));
+  }
+
+  const std::uint32_t nlambdas = r.u32();
+  for (std::uint32_t i = 0; i < nlambdas && r.ok(); ++i) {
+    minic::Chunk chunk;
+    if (!minic::decode_chunk(r, nodes, *exe.builtins, &chunk) ||
+        chunk.lambda_body == nullptr) {
+      return std::nullopt;
+    }
+    const minic::Stmt* body = chunk.lambda_body;
+    exe.chunks->put_lambda(body, std::make_shared<const minic::Chunk>(
+                                     std::move(chunk)));
   }
 
   for (const auto& tu : tus) exe.diags.merge(tu->diags);

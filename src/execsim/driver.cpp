@@ -12,12 +12,14 @@ namespace pareval::execsim {
 namespace {
 std::atomic<std::uint64_t> g_parses{0};
 std::atomic<std::uint64_t> g_links{0};
+std::atomic<std::uint64_t> g_tree_fallbacks{0};
 }  // namespace
 
 DriverCounters driver_counters() {
   DriverCounters c;
   c.parses = g_parses.load(std::memory_order_relaxed);
   c.links = g_links.load(std::memory_order_relaxed);
+  c.tree_fallbacks = g_tree_fallbacks.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -95,9 +97,15 @@ minic::RunResult run_executable(const Executable& exe,
                        "cannot run: executable has compile errors");
     return result;
   }
-  return minic::make_engine(engine, exe.program, *exe.builtins, limits,
-                            exe.chunks)
-      ->run(args);
+  auto eng = minic::make_engine(engine, exe.program, *exe.builtins, limits,
+                                exe.chunks);
+  result = eng->run(args);
+  const long long fb = eng->tree_fallbacks();
+  if (fb > 0) {
+    g_tree_fallbacks.fetch_add(static_cast<std::uint64_t>(fb),
+                               std::memory_order_relaxed);
+  }
+  return result;
 }
 
 }  // namespace pareval::execsim

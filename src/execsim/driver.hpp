@@ -42,6 +42,10 @@ struct Executable {
 struct DriverCounters {
   std::uint64_t parses = 0;
   std::uint64_t links = 0;
+  /// Tree-walk fallback instructions executed by VM runs (see
+  /// ExecEngine::tree_fallbacks): the bytecode compiler's residual
+  /// coverage gap, summed over every run_executable call.
+  std::uint64_t tree_fallbacks = 0;
 };
 DriverCounters driver_counters();
 

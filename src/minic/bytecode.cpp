@@ -19,6 +19,10 @@ struct Compiler {
   int pending = 0;      // fuel charges not yet attached to an instruction
   int pending_line = 0;
   int depth = 0;        // compiled scope depth (PushScope minus PopScope)
+  // Compiling an OMP structured-region subchunk: a `return` must stay a
+  // signal (RetSig) so it unwinds through the region's cleanup
+  // (finish_target / leave_data_env) exactly like the interpreter.
+  bool region_mode = false;
 
   struct LoopCtx {
     int cont_label = -1;
@@ -143,12 +147,25 @@ struct Compiler {
   static bool can_compile_lvalue(const Expr& e) {
     return e.kind == ExprKind::Ident ||
            (e.kind == ExprKind::Unary && e.text == "*") ||
-           e.kind == ExprKind::Index;
+           e.kind == ExprKind::Index || e.kind == ExprKind::Member ||
+           e.kind == ExprKind::Call;
   }
 
   /// Mirror resolve_lvalue for the compilable subset; pushes one entry on
   /// the runtime lvalue stack. Pre: can_compile_lvalue(e).
   void compile_lvalue(const Expr& e) {
+    if (e.kind == ExprKind::Member || e.kind == ExprKind::Call) {
+      // Struct-field and Kokkos-view targets keep the interpreter's
+      // resolver (dim3 members, vivification, view bounds): LvTree calls
+      // resolve_lvalue on the node, which charges its own entry and
+      // operand fuel at runtime — so no static charge here.
+      Instr in;
+      in.op = Op::LvTree;
+      in.line = e.line;
+      in.node = &e;
+      emit(std::move(in));
+      return;
+    }
     charge(e.line);  // resolve_lvalue entry step
     if (e.kind == ExprKind::Ident) {
       Instr in;
@@ -288,8 +305,21 @@ struct Compiler {
       case ExprKind::Call:
         compile_call(e, dst);
         return;
+      case ExprKind::LambdaExpr: {
+        // Closure capture only; the body compiles to its own chunk when
+        // the closure is first called (Machine::call_closure).
+        charge(e.line);
+        Instr in;
+        in.op = Op::Lambda;
+        in.a = static_cast<unsigned short>(dst);
+        in.line = e.line;
+        in.node = &e;
+        emit(std::move(in));
+        return;
+      }
       default:
-        // InitList, LambdaExpr: tree-walk (eval charges its own entry).
+        // InitList: tree-walk (eval charges its own entry). Residual
+        // fallback — the brace-init tuple materialisation has no lowering.
         tree_eval(e, dst);
         return;
     }
@@ -308,6 +338,8 @@ struct Compiler {
     const std::string& op = e.text;
     if (op == "++" || op == "--") {
       if (!can_compile_lvalue(*e.kids[0])) {
+        // Unary inc/dec on a non-lowerable target (e.g. an InitList or
+        // unknown form): walk it so eval's lvalue trap fires verbatim.
         tree_eval(e, dst);
         return;
       }
@@ -357,6 +389,9 @@ struct Compiler {
         emit(std::move(in));
         return;
       }
+      // Unary '&' of a non-lowerable operand: the walker's address-of
+      // path traps ("cannot take the address of this expression")
+      // identically.
       tree_eval(e, dst);
       return;
     }
@@ -417,14 +452,16 @@ struct Compiler {
   void compile_assign(const Expr& e, int dst) {
     const Expr& target = *e.kids[0];
     if (!can_compile_lvalue(target)) {
-      tree_eval(e, dst);  // Member/view targets: tree-walk the whole node
+      // Non-lvalue Assign target (Binary, literal, ...): tree-walk so the
+      // interpreter's "expression is not assignable" trap fires verbatim.
+      tree_eval(e, dst);
       return;
     }
     signed char bop = -1;
     if (e.text != "=") {
       const auto b = binop_from_text(e.text.substr(0, e.text.size() - 1));
       if (!b) {
-        tree_eval(e, dst);
+        tree_eval(e, dst);  // unknown compound-assign operator: eval traps
         return;
       }
       bop = static_cast<signed char>(*b);
@@ -530,6 +567,23 @@ struct Compiler {
     }
   }
 
+  static bool struct_decl(const VarDecl& v) {
+    return !v.array_size && (v.type.base == BaseType::Struct ||
+                             v.type.base == BaseType::CurandState);
+  }
+
+  /// Declarations with a lowering. Residual fallbacks, each tree-walked as
+  /// a whole statement: View and Dim3 declarations (ctor-argument
+  /// construction), and array / struct declarations with a brace-list
+  /// initializer — the element-by-element InitList walk has no lowering.
+  static bool can_compile_decl(const VarDecl& v) {
+    const bool brace_init =
+        v.init != nullptr && v.init->kind == ExprKind::InitList;
+    if (v.array_size) return v.init == nullptr;
+    if (struct_decl(v)) return !brace_init;
+    return simple_decl(v);
+  }
+
   void compile_stmt(const Stmt& s) {
     switch (s.kind) {
       case StmtKind::Block: {
@@ -559,26 +613,49 @@ struct Compiler {
       }
       case StmtKind::Decl: {
         for (const auto& v : s.decls) {
-          if (!simple_decl(v)) {
-            tree_stmt(s);  // any complex decl: walk the whole statement
+          if (!can_compile_decl(v)) {
+            tree_stmt(s);  // residual decl form: walk the whole statement
             return;
           }
         }
         charge(s.line);
         for (const auto& v : s.decls) {
           const int save = rtop;
-          Instr in;
-          in.op = Op::DeclVar;
-          in.imm = add_name(v.name);
-          in.imm2 = add_type(v.type);
-          in.line = v.line;
-          if (v.init) {
+          if (v.array_size) {  // no-init array: size reg, alloc + declare
             const int r = alloc_reg();
-            compile_expr(*v.init, r);
+            compile_expr(*v.array_size, r);
+            Instr in;
+            in.op = Op::DeclArr;
             in.a = static_cast<unsigned short>(r);
-            in.flag = true;
+            in.line = v.line;
+            in.node = &v;
+            emit(std::move(in));
+          } else if (struct_decl(v)) {
+            Instr in;
+            in.op = Op::DeclStruct;
+            in.line = v.line;
+            in.node = &v;
+            if (v.init) {
+              const int r = alloc_reg();
+              compile_expr(*v.init, r);
+              in.a = static_cast<unsigned short>(r);
+              in.flag = true;
+            }
+            emit(std::move(in));
+          } else {
+            Instr in;
+            in.op = Op::DeclVar;
+            in.imm = add_name(v.name);
+            in.imm2 = add_type(v.type);
+            in.line = v.line;
+            if (v.init) {
+              const int r = alloc_reg();
+              compile_expr(*v.init, r);
+              in.a = static_cast<unsigned short>(r);
+              in.flag = true;
+            }
+            emit(std::move(in));
           }
-          emit(std::move(in));
           rtop = save;
         }
         return;
@@ -687,14 +764,15 @@ struct Compiler {
           const int r = alloc_reg();
           compile_expr(*s.expr, r);
           Instr in;
-          in.op = Op::Ret;
+          in.op = region_mode ? Op::RetSig : Op::Ret;
           in.a = static_cast<unsigned short>(r);
+          in.flag = region_mode;  // RetSig: carries a value
           in.line = s.line;
           emit(std::move(in));
           rtop = save;
         } else {
           Instr in;
-          in.op = Op::RetVoid;
+          in.op = region_mode ? Op::RetSig : Op::RetVoid;
           in.line = s.line;
           emit(std::move(in));
         }
@@ -720,10 +798,81 @@ struct Compiler {
         return;
       }
       case StmtKind::Omp:
-        tree_stmt(s);  // OpenMP semantics live in the machine's walker
+        compile_omp(s);
         return;
     }
-    tree_stmt(s);
+    tree_stmt(s);  // statement kind without a lowering: walk it whole
+  }
+
+  /// Lower an OpenMP statement. Mirrors Machine::exec_omp construct by
+  /// construct (same dispatch order); structured device regions compile
+  /// their body into a subchunk so the runtime's enter/exit bookkeeping
+  /// brackets the compiled body exactly as it brackets the tree walk.
+  void compile_omp(const Stmt& s) {
+    charge(s.line);  // exec() entry for the pragma statement
+    if (!s.omp) {
+      // OpenMP disabled at build time: pragma was ignored.
+      if (s.omp_body) compile_stmt(*s.omp_body);
+      return;
+    }
+    const OmpDirective& d = *s.omp;
+    if (d.has(OmpConstruct::Barrier) || d.has(OmpConstruct::Declare) ||
+        d.has(OmpConstruct::End)) {
+      return;  // no-ops: the entry charge is all the interpreter does
+    }
+    if (d.has(OmpConstruct::TargetUpdate) ||
+        d.has(OmpConstruct::TargetEnterData) ||
+        d.has(OmpConstruct::TargetExitData)) {
+      Instr in;
+      in.op = Op::OmpData;
+      in.line = s.line;
+      in.node = &s;
+      emit(std::move(in));
+      return;
+    }
+    if (d.has(OmpConstruct::TargetData) ||
+        (d.has(OmpConstruct::Target) && prog.caps.offload)) {
+      Instr in;
+      in.op = Op::OmpExec;
+      in.a = static_cast<unsigned short>(ch.subchunks.size());
+      in.line = s.line;
+      in.node = &s;
+      set_loop_ctx(in);
+      emit(std::move(in));
+      ch.subchunks.push_back(compile_region(s));
+      return;
+    }
+    // Host constructs — parallel / for / simd / single / critical /
+    // atomic, plus `target` when offload is off — run the body inline.
+    const bool counts = d.has(OmpConstruct::Target) ||
+                        d.has(OmpConstruct::Parallel) ||
+                        d.has(OmpConstruct::For) || d.has(OmpConstruct::Simd);
+    Instr in;
+    in.op = Op::HostPar;
+    in.flag = counts;
+    in.line = s.line;
+    emit(std::move(in));
+    if (s.omp_body) compile_stmt(*s.omp_body);
+  }
+
+  std::shared_ptr<const Chunk> compile_region(const Stmt& s) {
+    auto sub = std::make_shared<Chunk>();
+    Compiler c{prog, builtins, *sub};
+    c.region_mode = true;
+    if (s.omp_body) c.compile_stmt(*s.omp_body);
+    Instr end;
+    end.op = Op::End;
+    c.emit(std::move(end));  // carries any trailing fuel
+    c.patch_fixups();
+    return sub;
+  }
+
+  void patch_fixups() {
+    for (const Fixup& f : fixups) {
+      const int target = labels[static_cast<std::size_t>(f.label)];
+      Instr& in = ch.code[f.code_index];
+      (f.imm2 ? in.imm2 : in.imm) = target;
+    }
   }
 };
 
@@ -741,11 +890,23 @@ std::unique_ptr<Chunk> compile_function(const FunctionDecl& fn,
     end.op = Op::End;
     c.emit(std::move(end));  // carries any trailing fuel
   }
-  for (const Compiler::Fixup& f : c.fixups) {
-    const int target = c.labels[static_cast<std::size_t>(f.label)];
-    Instr& in = ch->code[f.code_index];
-    (f.imm2 ? in.imm2 : in.imm) = target;
+  c.patch_fixups();
+  return ch;
+}
+
+std::unique_ptr<Chunk> compile_lambda(const Stmt& body,
+                                      const LinkedProgram& prog,
+                                      const BuiltinTable& builtins) {
+  auto ch = std::make_unique<Chunk>();
+  ch->lambda_body = &body;
+  Compiler c{prog, builtins, *ch};
+  c.compile_stmt(body);
+  {
+    Instr end;
+    end.op = Op::End;
+    c.emit(std::move(end));
   }
+  c.patch_fixups();
   return ch;
 }
 
@@ -784,24 +945,69 @@ std::size_t ChunkPack::size() const {
   return chunks_.size();
 }
 
+std::shared_ptr<const Chunk> ChunkPack::get_lambda(const Stmt* body) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = lambda_chunks_.find(body);
+  return it == lambda_chunks_.end() ? nullptr : it->second;
+}
+
+const Chunk& ChunkPack::get_or_compile_lambda(const Stmt& body,
+                                              const LinkedProgram& prog,
+                                              const BuiltinTable& builtins) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = lambda_chunks_.find(&body);
+    if (it != lambda_chunks_.end()) return *it->second;
+  }
+  std::shared_ptr<const Chunk> fresh = compile_lambda(body, prog, builtins);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = lambda_chunks_.emplace(&body, std::move(fresh));
+  return *it->second;
+}
+
+void ChunkPack::put_lambda(const Stmt* body,
+                           std::shared_ptr<const Chunk> chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lambda_chunks_.emplace(body, std::move(chunk));  // existing entry wins
+}
+
+std::size_t ChunkPack::lambda_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lambda_chunks_.size();
+}
+
 // --- binary chunk codec -----------------------------------------------------
 
 namespace {
 
 constexpr std::uint8_t kMaxOp = static_cast<std::uint8_t>(Op::End);
 
-/// Ops whose `node` payload is an Expr / Stmt / FunctionDecl. Every other
-/// op ignores the field (it must be null).
+/// Subchunk nesting bound: OMP regions nest a handful deep in practice;
+/// the cap keeps a (hash-sealed, so effectively impossible) pathological
+/// payload from recursing the decoder off the stack.
+constexpr int kMaxSubchunkDepth = 32;
+
+/// Ops whose `node` payload is an Expr / Stmt / VarDecl / FunctionDecl.
+/// Every other op ignores the field (it must be null).
 bool node_is_expr(Op op) {
-  return op == Op::TreeEval || op == Op::Member || op == Op::CallGuard;
+  return op == Op::TreeEval || op == Op::Member || op == Op::CallGuard ||
+         op == Op::Lambda || op == Op::LvTree;
+}
+bool node_is_stmt(Op op) {
+  return op == Op::TreeStmt || op == Op::OmpData || op == Op::OmpExec;
+}
+bool node_is_vardecl(Op op) {
+  return op == Op::DeclArr || op == Op::DeclStruct;
 }
 
-}  // namespace
+bool encode_chunk_body(const Chunk& chunk, const NodeTable& nodes,
+                       BinWriter& w, int depth);
+bool decode_chunk_body(BinReader& r, const NodeTable& nodes,
+                       const BuiltinTable& builtins, Chunk* out, int depth);
 
-bool encode_chunk(const Chunk& chunk, const NodeTable& nodes, BinWriter& w) {
-  const std::int32_t fn_index = nodes.index_of(chunk.fn);
-  if (fn_index < 0) return false;
-  w.i32(fn_index);
+bool encode_chunk_body(const Chunk& chunk, const NodeTable& nodes,
+                       BinWriter& w, int depth) {
+  if (depth > kMaxSubchunkDepth) return false;
   w.i32(chunk.num_regs);
   w.u32(static_cast<std::uint32_t>(chunk.consts.size()));
   for (const Value& v : chunk.consts) {
@@ -829,22 +1035,44 @@ bool encode_chunk(const Chunk& chunk, const NodeTable& nodes, BinWriter& w) {
       // AST: serialize by name and re-resolve on decode.
       if (in.node == nullptr) return false;
       w.str(static_cast<const BuiltinDef*>(in.node)->name);
-    } else if (node_is_expr(in.op) || in.op == Op::TreeStmt ||
-               in.op == Op::CallFn) {
+    } else if (node_is_expr(in.op) || node_is_stmt(in.op) ||
+               node_is_vardecl(in.op) || in.op == Op::CallFn) {
       const std::int32_t idx = nodes.index_of(in.node);
       if (idx < 0) return false;
       w.i32(idx);
     }
   }
+  w.u32(static_cast<std::uint32_t>(chunk.subchunks.size()));
+  for (const auto& sub : chunk.subchunks) {
+    if (sub == nullptr || !encode_chunk_body(*sub, nodes, w, depth + 1)) {
+      return false;
+    }
+  }
   return true;
 }
 
-bool decode_chunk(BinReader& r, const NodeTable& nodes,
-                  const BuiltinTable& builtins, Chunk* out) {
-  const std::int32_t fn_index = r.i32();
-  out->fn = static_cast<const FunctionDecl*>(nodes.at(
-      static_cast<std::uint32_t>(fn_index), NodeTable::Kind::Function));
-  if (out->fn == nullptr) {
+}  // namespace
+
+bool encode_chunk(const Chunk& chunk, const NodeTable& nodes, BinWriter& w) {
+  if (chunk.fn != nullptr) {
+    const std::int32_t fn_index = nodes.index_of(chunk.fn);
+    if (fn_index < 0) return false;
+    w.u8(0);  // function chunk
+    w.i32(fn_index);
+  } else {
+    const std::int32_t body_index = nodes.index_of(chunk.lambda_body);
+    if (body_index < 0) return false;
+    w.u8(1);  // lambda chunk
+    w.i32(body_index);
+  }
+  return encode_chunk_body(chunk, nodes, w, 0);
+}
+
+namespace {
+
+bool decode_chunk_body(BinReader& r, const NodeTable& nodes,
+                       const BuiltinTable& builtins, Chunk* out, int depth) {
+  if (depth > kMaxSubchunkDepth) {
     r.fail();
     return false;
   }
@@ -889,9 +1117,12 @@ bool decode_chunk(BinReader& r, const NodeTable& nodes,
     } else if (node_is_expr(in.op)) {
       in.node = nodes.at(static_cast<std::uint32_t>(r.i32()),
                          NodeTable::Kind::Expr);
-    } else if (in.op == Op::TreeStmt) {
+    } else if (node_is_stmt(in.op)) {
       in.node = nodes.at(static_cast<std::uint32_t>(r.i32()),
                          NodeTable::Kind::Stmt);
+    } else if (node_is_vardecl(in.op)) {
+      in.node = nodes.at(static_cast<std::uint32_t>(r.i32()),
+                         NodeTable::Kind::VarDecl);
     } else if (in.op == Op::CallFn) {
       in.node = nodes.at(static_cast<std::uint32_t>(r.i32()),
                          NodeTable::Kind::Function);
@@ -905,7 +1136,49 @@ bool decode_chunk(BinReader& r, const NodeTable& nodes,
     }
     out->code.push_back(in);
   }
+  const std::uint32_t nsubs = r.u32();
+  for (std::uint32_t i = 0; r.ok() && i < nsubs; ++i) {
+    Chunk sub;
+    if (!decode_chunk_body(r, nodes, builtins, &sub, depth + 1)) {
+      return false;
+    }
+    out->subchunks.push_back(
+        std::make_shared<const Chunk>(std::move(sub)));
+  }
+  // Every OmpExec must address a decoded subchunk.
+  for (const Instr& in : out->code) {
+    if (in.op == Op::OmpExec && in.a >= out->subchunks.size()) {
+      r.fail();
+      return false;
+    }
+  }
   return r.ok();
+}
+
+}  // namespace
+
+bool decode_chunk(BinReader& r, const NodeTable& nodes,
+                  const BuiltinTable& builtins, Chunk* out) {
+  const std::uint8_t tag = r.u8();
+  if (tag == 0) {
+    out->fn = static_cast<const FunctionDecl*>(nodes.at(
+        static_cast<std::uint32_t>(r.i32()), NodeTable::Kind::Function));
+    if (out->fn == nullptr) {
+      r.fail();
+      return false;
+    }
+  } else if (tag == 1) {
+    out->lambda_body = static_cast<const Stmt*>(nodes.at(
+        static_cast<std::uint32_t>(r.i32()), NodeTable::Kind::Stmt));
+    if (out->lambda_body == nullptr) {
+      r.fail();
+      return false;
+    }
+  } else {
+    r.fail();
+    return false;
+  }
+  return decode_chunk_body(r, nodes, builtins, out, 0);
 }
 
 }  // namespace pareval::minic

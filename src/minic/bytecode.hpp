@@ -40,6 +40,8 @@ enum class Op : unsigned char {
   Member,      // r[a] = member `names[imm]` of expr node (fast dim3/struct)
   CheckVar,    // lv_stack.push(lvalue_ident(names[imm]))
   CheckDeref,  // lv_stack.push(lvalue for *r[a] / r[a][r[b]])
+  LvTree,      // lv_stack.push(resolve_lvalue(node)) — member / view-call
+               // targets; resolve_lvalue charges its own fuel at runtime
   StoreLv,     // lv_store(lv_stack.pop(), r[a])
   CompoundLv,  // r[a] = compound_combine(binop, lv_load(top), r[a]); store
   IncDecLv,    // r[a] = incdec_apply(lv_stack.pop(), ±1, postfix)
@@ -60,15 +62,27 @@ enum class Op : unsigned char {
   PushScope,   // push a block scope
   PopScope,    // pop it
   DeclVar,     // declare names[imm] : types[imm2], init from r[a] if b
+  DeclArr,     // declare_array(node VarDecl, r[a] elements) — no-init arrays
+  DeclStruct,  // declare_struct(node VarDecl, r[a] if flag) — struct /
+               // struct-pointer decls whose init is not a brace list
   CallGuard,   // if try_call_var(node) { r[a] = result; ip = imm; }
   CallFn,      // r[a] = call_function(fn, r[b..b+c-1])
   Builtin,     // r[a] = builtin(node, r[b..b+c-1])  (flags: PtrOut refs)
   RefArg,      // r[a] = Ref to names[imm] if declared, else ip = imm2
   TreeEval,    // r[a] = machine.eval(node)   (fallback; node charges fuel)
   TreeStmt,    // machine.exec(node); Break/Continue -> PopJump semantics
+  Lambda,      // r[a] = eval_lambda(node)    (closure capture, no body run)
+  HostPar,     // if flag: stats.host_parallel_regions++ (body is inline)
+  OmpData,     // target update / enter data / exit data (node = Stmt)
+  OmpExec,     // run subchunks[a] as the body of node's target/target-data
+               // region (enter/exit bookkeeping brackets it); Break/
+               // Continue escaping the region use PopJump semantics
   Ret,         // throw ReturnSig{coerce(r[a], return_type)} — handled by
                // the dispatch loop as a direct return instead
   RetVoid,     // return coerced Value{}
+  RetSig,      // throw ReturnSig{r[a] if flag else void} — compiled OMP
+               // region bodies, where a return must unwind through the
+               // region's cleanup instead of ending the chunk
   End,         // fell off the end: return uncoerced Value{}
 };
 
@@ -82,15 +96,22 @@ struct Instr {
   int fuel = 0;             // fused step charges to burn before executing
   int fuel_line = 0;        // line reported if the fuel charge traps
   int line = 0;             // source line of the instruction itself
-  const void* node = nullptr;  // Expr* / Stmt* / FunctionDecl* payload
+  const void* node = nullptr;  // Expr*/Stmt*/FunctionDecl*/VarDecl* payload
 };
 
 struct Chunk {
+  // Exactly one identity is set: `fn` for a named function's chunk,
+  // `lambda_body` for a lambda body's chunk (keyed by the Closure's body
+  // statement). OMP-region subchunks carry neither — they are owned and
+  // reached positionally through their parent's `subchunks`.
   const FunctionDecl* fn = nullptr;
+  const Stmt* lambda_body = nullptr;
   std::vector<Instr> code;
   std::vector<Value> consts;
   std::vector<std::string> names;
   std::vector<Type> types;
+  /// Compiled OMP structured-region bodies, indexed by OmpExec's `a`.
+  std::vector<std::shared_ptr<const Chunk>> subchunks;
   int num_regs = 0;
 };
 
@@ -101,6 +122,15 @@ struct Chunk {
 std::unique_ptr<Chunk> compile_function(const FunctionDecl& fn,
                                         const LinkedProgram& prog,
                                         const BuiltinTable& builtins);
+
+/// Compile a lambda body to bytecode (same guarantees as
+/// compile_function). The chunk runs inside the frame call_closure sets
+/// up — captured names resolve through the machine's environment chain,
+/// and a top-level return ends the chunk (the closure's result is
+/// discarded, exactly like the interpreter's ReturnSig).
+std::unique_ptr<Chunk> compile_lambda(const Stmt& body,
+                                      const LinkedProgram& prog,
+                                      const BuiltinTable& builtins);
 
 /// Thread-safe per-executable chunk cache, shared by every engine instance
 /// running one linked program: first call compiles (or a warm link-cache
@@ -119,9 +149,20 @@ class ChunkPack {
   void put(const FunctionDecl* fn, std::shared_ptr<const Chunk> chunk);
   std::size_t size() const;
 
+  // Lambda-body chunks, keyed by the Closure's body statement (stable for
+  // the program's lifetime; every closure over the same LambdaExpr shares
+  // one chunk). Same compile-once / never-evict discipline as functions.
+  std::shared_ptr<const Chunk> get_lambda(const Stmt* body) const;
+  const Chunk& get_or_compile_lambda(const Stmt& body,
+                                     const LinkedProgram& prog,
+                                     const BuiltinTable& builtins);
+  void put_lambda(const Stmt* body, std::shared_ptr<const Chunk> chunk);
+  std::size_t lambda_size() const;
+
  private:
   mutable std::mutex mu_;
   std::map<const FunctionDecl*, std::shared_ptr<const Chunk>> chunks_;
+  std::map<const Stmt*, std::shared_ptr<const Chunk>> lambda_chunks_;
 };
 
 // --- binary chunk codec (warm-object persistence) ---------------------------
@@ -133,13 +174,15 @@ class ChunkPack {
 // framing (magic/format version/content hash) is the link cache's job —
 // these encode raw chunk bodies into an already-sealed stream.
 
-/// Append `chunk` to `w`. False when a referenced node is not enumerated
-/// in `nodes` or a pooled constant has an unexpected kind — the caller
-/// must skip persisting that program rather than write a partial record.
+/// Append `chunk` to `w` (a function or lambda chunk, tagged; OMP-region
+/// subchunks are encoded recursively inside their parent). False when a
+/// referenced node is not enumerated in `nodes` or a pooled constant has
+/// an unexpected kind — the caller must skip persisting that program
+/// rather than write a partial record.
 bool encode_chunk(const Chunk& chunk, const NodeTable& nodes, BinWriter& w);
 
-/// Decode one chunk (including its owning function reference). False on
-/// any malformed field; `out` is unusable then.
+/// Decode one chunk (including its owning function / lambda-body
+/// reference). False on any malformed field; `out` is unusable then.
 bool decode_chunk(BinReader& r, const NodeTable& nodes,
                   const BuiltinTable& builtins, Chunk* out);
 

@@ -30,7 +30,8 @@ std::unique_ptr<ExecEngine> make_engine(EngineKind kind,
     case EngineKind::Interp:
       break;
   }
-  return std::make_unique<Interpreter>(prog, builtins, limits);
+  return std::make_unique<Interpreter>(prog, builtins, limits,
+                                       std::move(chunks));
 }
 
 }  // namespace pareval::minic

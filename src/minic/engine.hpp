@@ -38,6 +38,12 @@ class ExecEngine {
   virtual ~ExecEngine() = default;
   virtual RunResult run(const std::vector<std::string>& args) = 0;
   virtual EngineKind kind() const = 0;
+  /// Tree-walk fallback instructions executed by the last run(): the
+  /// residual AST surface the bytecode compiler could not lower (zero for
+  /// a pure tree-walker, whose every step is by definition not a
+  /// *fallback*). Engine-local coverage telemetry — deliberately not part
+  /// of RunResult/RunStats, which stay bit-identical across engines.
+  virtual long long tree_fallbacks() const { return 0; }
 };
 
 class ChunkPack;

@@ -23,13 +23,19 @@ class Machine;
 
 class Interpreter final : public ExecEngine {
  public:
+  /// `chunks` (optional): compiled chunks a warm object decode pre-filled.
+  /// The tree-walker never compiles, but it will run a pre-compiled lambda
+  /// body through its chunk (call_closure) — bit-identical either way.
   Interpreter(const LinkedProgram& prog, const BuiltinTable& builtins,
-              RunLimits limits = {});
+              RunLimits limits = {},
+              std::shared_ptr<ChunkPack> chunks = nullptr);
   ~Interpreter() override;
 
   /// Run main() with the given command-line arguments (argv[1..]).
   RunResult run(const std::vector<std::string>& args) override;
   EngineKind kind() const override { return EngineKind::Interp; }
+  /// Non-zero only when warm-decoded chunks ran tree-fallback instructions.
+  long long tree_fallbacks() const override;
 
  private:
   std::unique_ptr<Machine> machine_;

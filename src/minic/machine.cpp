@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "minic/bytecode.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -1234,29 +1235,33 @@ void Machine::exec_for(const Stmt& s) {
   pop_scope();
 }
 
+void Machine::declare_array(const VarDecl& v, long long n) {
+  VarSlot slot;
+  slot.type = v.type.pointer_to();
+  const MemSpace space = device_ctx() ? MemSpace::Device : MemSpace::Host;
+  const int blk = do_alloc(space, n, type_size(v.type),
+                           "array '" + v.name + "'", v.line);
+  MemRef ref;
+  ref.block = blk;
+  ref.elem_size = type_size(v.type);
+  ref.elem_base = v.type.ptr_depth > 0 ? BaseType::SizeT : v.type.base;
+  slot.v = Value::make_ptr(ref);
+  if (v.init && v.init->kind == ExprKind::InitList) {
+    for (std::size_t i = 0; i < v.init->kids.size(); ++i) {
+      store_ref(MemRef{blk, static_cast<long long>(i), ref.elem_size,
+                       ref.elem_base},
+                eval(*v.init->kids[i]), v.line);
+    }
+  }
+  declare(v.name, std::move(slot));
+}
+
 void Machine::exec_decl(const VarDecl& v) {
   VarSlot slot;
   slot.type = v.array_size ? v.type.pointer_to() : v.type;
 
   if (v.array_size) {
-    const long long n = eval(*v.array_size).as_int();
-    const MemSpace space =
-        device_ctx() ? MemSpace::Device : MemSpace::Host;
-    const int blk = do_alloc(space, n, type_size(v.type),
-                             "array '" + v.name + "'", v.line);
-    MemRef ref;
-    ref.block = blk;
-    ref.elem_size = type_size(v.type);
-    ref.elem_base = v.type.ptr_depth > 0 ? BaseType::SizeT : v.type.base;
-    slot.v = Value::make_ptr(ref);
-    if (v.init && v.init->kind == ExprKind::InitList) {
-      for (std::size_t i = 0; i < v.init->kids.size(); ++i) {
-        store_ref(MemRef{blk, static_cast<long long>(i), ref.elem_size,
-                         ref.elem_base},
-                  eval(*v.init->kids[i]), v.line);
-      }
-    }
-    declare(v.name, std::move(slot));
+    declare_array(v, eval(*v.array_size).as_int());
     return;
   }
 
@@ -1315,18 +1320,14 @@ void Machine::exec_decl(const VarDecl& v) {
 
   if (v.type.base == BaseType::Struct ||
       v.type.base == BaseType::CurandState) {
-    if (v.type.is_pointer()) {
-      if (v.init) slot.v = coerce_to_type(eval(*v.init), slot.type);
-      declare(v.name, std::move(slot));
-      return;
-    }
-    Value out;
-    out.kind = Value::Kind::StructV;
-    out.strct = std::make_shared<StructData>();
-    out.strct->struct_name = v.type.base == BaseType::CurandState
-                                 ? "curandState"
-                                 : v.type.struct_name;
-    if (v.init && v.init->kind == ExprKind::InitList) {
+    if (!v.type.is_pointer() && v.init &&
+        v.init->kind == ExprKind::InitList) {
+      Value out;
+      out.kind = Value::Kind::StructV;
+      out.strct = std::make_shared<StructData>();
+      out.strct->struct_name = v.type.base == BaseType::CurandState
+                                   ? "curandState"
+                                   : v.type.struct_name;
       const auto sit = prog.structs.find(v.type.struct_name);
       if (sit != prog.structs.end()) {
         const auto& fields = sit->second->fields;
@@ -1336,17 +1337,41 @@ void Machine::exec_decl(const VarDecl& v) {
               coerce_to_type(eval(*v.init->kids[i]), fields[i].type);
         }
       }
-    } else if (v.init) {
-      out = eval(*v.init).clone();
+      slot.v = std::move(out);
+      declare(v.name, std::move(slot));
+      return;
     }
-    slot.v = std::move(out);
-    declare(v.name, std::move(slot));
+    Value init;
+    const bool has_init = v.init != nullptr;
+    if (has_init) init = eval(*v.init);
+    declare_struct(v, has_init ? &init : nullptr);
     return;
   }
 
   if (v.init) {
     slot.v = coerce_to_type(eval(*v.init), slot.type);
   }
+  declare(v.name, std::move(slot));
+}
+
+void Machine::declare_struct(const VarDecl& v, Value* init) {
+  VarSlot slot;
+  slot.type = v.type;
+  if (v.type.is_pointer()) {
+    if (init != nullptr) {
+      slot.v = coerce_to_type(std::move(*init), slot.type);
+    }
+    declare(v.name, std::move(slot));
+    return;
+  }
+  Value out;
+  out.kind = Value::Kind::StructV;
+  out.strct = std::make_shared<StructData>();
+  out.strct->struct_name = v.type.base == BaseType::CurandState
+                               ? "curandState"
+                               : v.type.struct_name;
+  if (init != nullptr) out = init->clone();
+  slot.v = std::move(out);
   declare(v.name, std::move(slot));
 }
 
@@ -1375,16 +1400,7 @@ void Machine::exec_omp(const Stmt& s) {
     return;
   }
   if (d.has(OmpConstruct::TargetData)) {
-    DataEnv env_entry;
-    enter_data_env(env_entry, d, s.line, true);
-    data_envs.push_back(std::move(env_entry));
-    try {
-      if (s.omp_body) exec(*s.omp_body);
-    } catch (...) {
-      leave_data_env(s.line);
-      throw;
-    }
-    leave_data_env(s.line);
+    exec_target_data(s, d);
     return;
   }
   if (d.has(OmpConstruct::Target)) {
@@ -1524,11 +1540,47 @@ void Machine::exec_target_update(const OmpDirective& d, int line) {
   }
 }
 
-void Machine::exec_target(const Stmt& s, const OmpDirective& d) {
+void Machine::run_omp_body(const Stmt& s, const Chunk* region) {
+  if (region != nullptr) {
+    run_subchunk(*region);
+    return;
+  }
+  if (s.omp_body) exec(*s.omp_body);
+}
+
+void Machine::run_subchunk(const Chunk& sub) {
+  const std::size_t base = frames.back().scopes.size();
+  try {
+    execute(sub);
+  } catch (...) {
+    // Signals (Return/Break/Continue/trap) unwinding out of a compiled
+    // region leave its PushScope scopes behind; the interpreter's Block
+    // handlers pop theirs during unwind, so restore the same depth.
+    while (frames.back().scopes.size() > base) pop_scope();
+    throw;
+  }
+}
+
+void Machine::exec_target_data(const Stmt& s, const OmpDirective& d,
+                               const Chunk* region) {
+  DataEnv env_entry;
+  enter_data_env(env_entry, d, s.line, true);
+  data_envs.push_back(std::move(env_entry));
+  try {
+    run_omp_body(s, region);
+  } catch (...) {
+    leave_data_env(s.line);
+    throw;
+  }
+  leave_data_env(s.line);
+}
+
+void Machine::exec_target(const Stmt& s, const OmpDirective& d,
+                          const Chunk* region) {
   if (!prog.caps.offload) {
     // Host fallback: no device data environment, loop runs on the host.
     result.stats.host_parallel_regions++;
-    if (s.omp_body) exec(*s.omp_body);
+    run_omp_body(s, region);
     return;
   }
   result.stats.target_regions++;
@@ -1558,7 +1610,7 @@ void Machine::exec_target(const Stmt& s, const OmpDirective& d) {
   result.stats.device_kernel_launches++;
 
   try {
-    if (s.omp_body) exec(*s.omp_body);
+    run_omp_body(s, region);
   } catch (...) {
     finish_target(s.line);
     throw;
@@ -1724,8 +1776,27 @@ void Machine::call_closure(const Value& lambda, std::vector<Value> args,
   ExecEnv ee;
   ee.device = on_device;
   exec_envs.push_back(ee);
+  // Run the body through its compiled chunk when one is available: the Vm
+  // compiles on first call, the Interpreter reuses chunks a warm object
+  // decode pre-filled. The chunk replays the tree-walker's fuel charges
+  // exactly, so either path is bit-identical.
+  const Chunk* lam = nullptr;
+  std::shared_ptr<const Chunk> lam_hold;  // pack entries never evict
+  if (chunks != nullptr) {
+    if (jit_lambdas) {
+      lam = &chunks->get_or_compile_lambda(*c.body, prog, builtins);
+    } else {
+      lam_hold = chunks->get_lambda(c.body);
+      lam = lam_hold.get();
+    }
+  }
+  const std::size_t base_scopes = frames.back().scopes.size();
   try {
-    exec(*c.body);
+    if (lam != nullptr) {
+      execute(*lam);  // a top-level compiled return ends the chunk
+    } else {
+      exec(*c.body);
+    }
   } catch (ReturnSig&) {
     // lambdas in our dialect return void
   } catch (...) {
@@ -1735,6 +1806,10 @@ void Machine::call_closure(const Value& lambda, std::vector<Value> args,
     throw;
   }
   exec_envs.pop_back();
+  // A compiled return exits the chunk without running its PopScopes (the
+  // interpreter's ReturnSig unwind pops them); either way the copy-back
+  // below must read the param scope, so restore the entry depth.
+  while (frames.back().scopes.size() > base_scopes) pop_scope();
   // Copy back by-ref params.
   ref_i = 0;
   for (std::size_t i = 0; i < c.params.size(); ++i) {

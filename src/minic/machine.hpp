@@ -53,6 +53,9 @@ enum class BinOp {
 std::optional<BinOp> binop_from_text(const std::string& op);
 const char* binop_text(BinOp op);
 
+struct Chunk;
+class ChunkPack;
+
 class Machine : public InterpCtx {
  public:
   Machine(const LinkedProgram& p, const BuiltinTable& b, RunLimits l);
@@ -65,6 +68,19 @@ class Machine : public InterpCtx {
   const LinkedProgram& prog;
   const BuiltinTable& builtins;
   RunLimits limits;
+
+  // Compiled-chunk state. `chunks` may be null (pure tree walk); when set,
+  // call_closure runs lambda bodies through their compiled chunks — the
+  // Vm compiles them on demand (`jit_lambdas`), the Interpreter only
+  // reuses chunks a warm object decode pre-filled. `tree_fallbacks`
+  // counts TreeEval/TreeStmt instructions actually executed: the residual
+  // surface the bytecode compiler could not lower. It is engine-local
+  // bookkeeping, deliberately NOT part of RunStats/RunResult (the two
+  // engines differ here by design; everything observable stays
+  // bit-identical).
+  std::shared_ptr<ChunkPack> chunks;
+  bool jit_lambdas = false;
+  long long tree_fallbacks = 0;
 
   RunResult result;
   std::vector<MemBlock> memory;
@@ -228,7 +244,34 @@ class Machine : public InterpCtx {
   void exec(const Stmt& s);
   void exec_for(const Stmt& s);
   void exec_decl(const VarDecl& v);
+  /// Allocate and declare `v` as an array of `n` elements (the DeclArr
+  /// op and exec_decl's no-brace-init array path share this).
+  void declare_array(const VarDecl& v, long long n);
+  /// Declare a struct / struct-pointer variable; `init` is the already
+  /// evaluated initializer or nullptr (DeclStruct op + exec_decl share
+  /// this; brace-list inits take exec_decl's field-by-field path instead).
+  void declare_struct(const VarDecl& v, Value* init);
   void exec_global(const GlobalVarDecl& g);
+
+  // ----------------------------------------------------------- bytecode --
+  /// Run one compiled chunk in the current frame (the direct-threaded
+  /// dispatch loop, defined in vm.cpp). Every effect goes through the
+  /// shared helpers above, so a chunk is bit-identical to tree-walking
+  /// the same nodes.
+  Value execute(const Chunk& ch);
+  /// Run an OMP-region subchunk: on abnormal exit (signal/trap) the
+  /// frame's scope stack is restored to its entry depth — the compiled
+  /// analogue of the Block unwind handlers popping their own scopes.
+  void run_subchunk(const Chunk& sub);
+  /// Pooled register files + lvalue stacks for execute(): kernel-thread
+  /// calls run tiny chunks millions of times, so a heap allocation per
+  /// call would dominate the dispatch loop. Nested execute() calls (via
+  /// call_function) each pop their own scratch; returns push it back.
+  struct VmScratch {
+    std::vector<Value> regs;
+    std::vector<LValue> lvs;
+  };
+  std::vector<std::unique_ptr<VmScratch>> vm_scratch_pool;
 
   // ------------------------------------------------------------ OpenMP --
   void exec_omp(const Stmt& s);
@@ -237,7 +280,15 @@ class Machine : public InterpCtx {
   void leave_data_env(int line);
   void exit_unstructured(const OmpDirective& d, int line);
   void exec_target_update(const OmpDirective& d, int line);
-  void exec_target(const Stmt& s, const OmpDirective& d);
+  /// Target / target-data regions. `region` selects the body form: a
+  /// compiled subchunk (from an OmpExec instruction) or, when null, the
+  /// statement's tree-walked omp_body. The bracketing bookkeeping (data
+  /// environments, scalar shadows, device env, stats) is identical.
+  void exec_target(const Stmt& s, const OmpDirective& d,
+                   const Chunk* region = nullptr);
+  void exec_target_data(const Stmt& s, const OmpDirective& d,
+                        const Chunk* region = nullptr);
+  void run_omp_body(const Stmt& s, const Chunk* region);
   void finish_target(int line);
   void raw_copy(int dst_block, long long dst_off, int src_block,
                 long long src_off, long long count, int line);

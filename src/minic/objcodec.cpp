@@ -591,6 +591,7 @@ void NodeTable::walk_expr(const Expr* e) {
 }
 
 void NodeTable::walk_var_decl(const VarDecl& d) {
+  add(&d, Kind::VarDecl);
   walk_expr(d.init.get());
   for (const auto& a : d.ctor_args) walk_expr(a.get());
   walk_expr(d.array_size.get());

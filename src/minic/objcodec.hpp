@@ -31,7 +31,11 @@
 namespace pareval::minic {
 
 /// Bump on ANY change to the binary layout below or in the chunk codec.
-inline constexpr std::uint32_t kObjFormatVersion = 1;
+/// v2: tagged chunk identity (function vs lambda), lambda-chunk section
+/// in link payloads, OMP-region subchunks, VarDecl entries in the
+/// NodeTable walk, and the Lambda/HostPar/OmpData/OmpExec/RetSig/LvTree/
+/// DeclArr/DeclStruct opcodes.
+inline constexpr std::uint32_t kObjFormatVersion = 2;
 
 /// The stream version object payload streams (`obj1`, `lnk1`) are written
 /// under: the pipeline version with the codec format version folded in.
@@ -110,14 +114,15 @@ std::shared_ptr<TranslationUnit> decode_tu(std::string_view bytes);
 
 /// A deterministic pre-order enumeration of every AST node a compiled
 /// Chunk instruction can reference (each TU's function declarations and
-/// every statement/expression of their bodies, in declaration order).
+/// every statement/expression/variable-declarator of their bodies, in
+/// declaration order).
 /// Built identically over the original and the decoded program, it turns
 /// raw `const void*` instruction payloads into stable indices — the chunk
 /// codec's relocation table. The walk order is part of the on-disk
 /// format: changing it requires a kObjFormatVersion bump.
 class NodeTable {
  public:
-  enum class Kind : std::uint8_t { Function, Expr, Stmt };
+  enum class Kind : std::uint8_t { Function, Expr, Stmt, VarDecl };
 
   static NodeTable build(
       const std::vector<std::shared_ptr<TranslationUnit>>& tus);

@@ -16,10 +16,9 @@ namespace pareval::minic {
 struct Vm::Impl final : Machine {
   using Machine::Machine;
 
-  /// Shared (or private) cache of compiled functions. Entries are never
-  /// evicted, so the references chunk_for returns outlive the run.
-  std::shared_ptr<ChunkPack> chunks;
-
+  // Machine::chunks is the shared (or private) cache of compiled
+  // functions and lambda bodies. Entries are never evicted, so the
+  // references chunk_for returns outlive the run.
   const Chunk& chunk_for(const FunctionDecl& fn) {
     return chunks->get_or_compile(fn, prog, builtins);
   }
@@ -65,13 +64,36 @@ struct Vm::Impl final : Machine {
     frames.pop_back();
     return ret;
   }
-
-  Value execute(const Chunk& ch);
 };
 
-Value Vm::Impl::execute(const Chunk& ch) {
-  std::vector<Value> regs(static_cast<std::size_t>(ch.num_regs));
-  std::vector<LValue> lvs;
+// The dispatch loop lives on Machine (not Vm::Impl) so the Interpreter can
+// run warm-decoded lambda chunks through it too: every effect goes through
+// the shared helpers, and call_function stays virtual, so under the
+// Interpreter a chunk's CallFn still tree-walks the callee.
+Value Machine::execute(const Chunk& ch) {
+  std::unique_ptr<VmScratch> scratch;
+  if (!vm_scratch_pool.empty()) {
+    scratch = std::move(vm_scratch_pool.back());
+    vm_scratch_pool.pop_back();
+  } else {
+    scratch = std::make_unique<VmScratch>();
+  }
+  // No clearing: the compiler's register allocation writes every register
+  // before any read on every path (registers are expression scratch, not
+  // variables), so values left by a previous pooled run are never
+  // observed — they are only overwritten.
+  if (scratch->regs.size() < static_cast<std::size_t>(ch.num_regs)) {
+    scratch->regs.resize(static_cast<std::size_t>(ch.num_regs));
+  }
+  scratch->lvs.clear();
+  // Returns the scratch to the pool on every exit path, traps included.
+  struct ScratchReturn {
+    Machine* m;
+    std::unique_ptr<VmScratch>* s;
+    ~ScratchReturn() { m->vm_scratch_pool.push_back(std::move(*s)); }
+  } scratch_return{this, &scratch};
+  std::vector<Value>& regs = scratch->regs;
+  std::vector<LValue>& lvs = scratch->lvs;
   const Instr* const code = ch.code.data();
   std::size_t ip = 0;
 
@@ -79,14 +101,16 @@ Value Vm::Impl::execute(const Chunk& ch) {
   // Table order must match enum class Op exactly.
   static const void* const kJump[] = {
       &&L_Step,      &&L_LoadConst, &&L_LoadVar,  &&L_Move,
-      &&L_Member,    &&L_CheckVar,  &&L_CheckDeref, &&L_StoreLv,
-      &&L_CompoundLv, &&L_IncDecLv, &&L_LoadLv,   &&L_Deref,
-      &&L_AddrVar,   &&L_AddrLv,    &&L_Neg,      &&L_Not,
-      &&L_BNot,      &&L_Binop,     &&L_Boolize,  &&L_Cast,
-      &&L_Jmp,       &&L_Jz,        &&L_Jnz,      &&L_PopJump,
-      &&L_PushScope, &&L_PopScope,  &&L_DeclVar,  &&L_CallGuard,
-      &&L_CallFn,    &&L_Builtin,   &&L_RefArg,   &&L_TreeEval,
-      &&L_TreeStmt,  &&L_Ret,       &&L_RetVoid,  &&L_End,
+      &&L_Member,    &&L_CheckVar,  &&L_CheckDeref, &&L_LvTree,
+      &&L_StoreLv,   &&L_CompoundLv, &&L_IncDecLv, &&L_LoadLv,
+      &&L_Deref,     &&L_AddrVar,   &&L_AddrLv,   &&L_Neg,
+      &&L_Not,       &&L_BNot,      &&L_Binop,    &&L_Boolize,
+      &&L_Cast,      &&L_Jmp,       &&L_Jz,       &&L_Jnz,
+      &&L_PopJump,   &&L_PushScope, &&L_PopScope, &&L_DeclVar,
+      &&L_DeclArr,   &&L_DeclStruct, &&L_CallGuard, &&L_CallFn,
+      &&L_Builtin,   &&L_RefArg,    &&L_TreeEval, &&L_TreeStmt,
+      &&L_Lambda,    &&L_HostPar,   &&L_OmpData,  &&L_OmpExec,
+      &&L_Ret,       &&L_RetVoid,   &&L_RetSig,   &&L_End,
   };
 #define VM_CASE(name) L_##name
 #define VM_DISPATCH()                                              \
@@ -185,6 +209,15 @@ Value Vm::Impl::execute(const Chunk& ch) {
           }
         }
         lvs.push_back(std::move(lv));
+        VM_NEXT();
+      }
+
+      VM_CASE(LvTree) : {
+        const Instr& I = code[ip];
+        // Member / view-call target: the interpreter's resolver handles
+        // dim3 members, struct vivification, and view bounds; it charges
+        // its own entry + operand fuel.
+        lvs.push_back(resolve_lvalue(*static_cast<const Expr*>(I.node)));
         VM_NEXT();
       }
 
@@ -343,6 +376,20 @@ Value Vm::Impl::execute(const Chunk& ch) {
         VM_NEXT();
       }
 
+      VM_CASE(DeclArr) : {
+        const Instr& I = code[ip];
+        declare_array(*static_cast<const VarDecl*>(I.node),
+                      regs[I.a].as_int());
+        VM_NEXT();
+      }
+
+      VM_CASE(DeclStruct) : {
+        const Instr& I = code[ip];
+        declare_struct(*static_cast<const VarDecl*>(I.node),
+                       I.flag ? &regs[I.a] : nullptr);
+        VM_NEXT();
+      }
+
       VM_CASE(CallGuard) : {
         const Instr& I = code[ip];
         Value out;
@@ -393,6 +440,7 @@ Value Vm::Impl::execute(const Chunk& ch) {
 
       VM_CASE(TreeEval) : {
         const Instr& I = code[ip];
+        ++tree_fallbacks;
         int jump_to = -1;
         try {
           regs[I.a] = eval(*static_cast<const Expr*>(I.node));
@@ -411,6 +459,7 @@ Value Vm::Impl::execute(const Chunk& ch) {
 
       VM_CASE(TreeStmt) : {
         const Instr& I = code[ip];
+        ++tree_fallbacks;
         int jump_to = -1;
         try {
           exec(*static_cast<const Stmt*>(I.node));
@@ -427,13 +476,77 @@ Value Vm::Impl::execute(const Chunk& ch) {
         VM_NEXT();
       }
 
+      VM_CASE(Lambda) : {
+        const Instr& I = code[ip];
+        regs[I.a] = eval_lambda(*static_cast<const Expr*>(I.node));
+        VM_NEXT();
+      }
+
+      VM_CASE(HostPar) : {
+        const Instr& I = code[ip];
+        if (I.flag) result.stats.host_parallel_regions++;
+        VM_NEXT();
+      }
+
+      VM_CASE(OmpData) : {
+        const Instr& I = code[ip];
+        const Stmt& s = *static_cast<const Stmt*>(I.node);
+        const OmpDirective& d = *s.omp;
+        if (d.has(OmpConstruct::TargetUpdate)) {
+          exec_target_update(d, s.line);
+        } else if (d.has(OmpConstruct::TargetEnterData)) {
+          enter_data_env(data_envs.front(), d, s.line, /*entering=*/true);
+        } else {
+          exit_unstructured(d, s.line);
+        }
+        VM_NEXT();
+      }
+
+      VM_CASE(OmpExec) : {
+        const Instr& I = code[ip];
+        const Stmt& s = *static_cast<const Stmt*>(I.node);
+        const Chunk* region = ch.subchunks[I.a].get();
+        int jump_to = -1;
+        try {
+          if (s.omp->has(OmpConstruct::TargetData)) {
+            exec_target_data(s, *s.omp, region);
+          } else {
+            exec_target(s, *s.omp, region);
+          }
+        } catch (BreakSig&) {
+          if (I.imm < 0) throw;
+          for (unsigned short i = 0; i < I.b; ++i) pop_scope();
+          jump_to = I.imm;
+        } catch (ContinueSig&) {
+          if (I.imm2 < 0) throw;
+          for (unsigned short i = 0; i < I.c; ++i) pop_scope();
+          jump_to = I.imm2;
+        }
+        if (jump_to >= 0) VM_JUMP(jump_to);
+        VM_NEXT();
+      }
+
       VM_CASE(Ret) : {
         const Instr& I = code[ip];
+        // Lambda chunks return uncoerced: the interpreter's ReturnSig
+        // carries the raw value and call_closure discards it anyway.
+        if (ch.fn == nullptr) return std::move(regs[I.a]);
         return coerce_to_type(std::move(regs[I.a]), ch.fn->return_type);
       }
 
       VM_CASE(RetVoid) : {
+        if (ch.fn == nullptr) return Value{};
         return coerce_to_type(Value{}, ch.fn->return_type);
+      }
+
+      VM_CASE(RetSig) : {
+        const Instr& I = code[ip];
+        // Returns inside a compiled OMP region must unwind through the
+        // region's cleanup (finish_target / leave_data_env), exactly like
+        // the interpreter's signal.
+        ReturnSig sig;
+        if (I.flag) sig.v = std::move(regs[I.a]);
+        throw sig;
       }
 
       VM_CASE(End) : { return Value{}; }
@@ -457,6 +570,7 @@ Vm::Vm(const LinkedProgram& prog, const BuiltinTable& builtins,
     : impl_(std::make_unique<Impl>(prog, builtins, limits)) {
   impl_->chunks =
       chunks != nullptr ? std::move(chunks) : std::make_shared<ChunkPack>();
+  impl_->jit_lambdas = true;
 }
 
 Vm::~Vm() = default;
@@ -464,5 +578,7 @@ Vm::~Vm() = default;
 RunResult Vm::run(const std::vector<std::string>& args) {
   return impl_->run(args);
 }
+
+long long Vm::tree_fallbacks() const { return impl_->tree_fallbacks; }
 
 }  // namespace pareval::minic

@@ -6,9 +6,15 @@
 // context, diagnostics, and the fuel (`steps`) accounting — come from the
 // shared `Machine` runtime, so results are bit-identical to the
 // tree-walking `Interpreter`; the VM only removes the per-node dispatch
-// overhead of the Execute stage. Constructs without a bytecode lowering
-// (OpenMP directives, lambdas, struct declarations, ...) fall back to the
-// machine's tree-walker per-instruction.
+// overhead of the Execute stage. Lambda bodies compile to their own chunks
+// and OMP structured regions to subchunks; member and view-call stores
+// route through the machine's lvalue resolver (Op::LvTree) and plain
+// array/struct declarations through the shared declare helpers, so the
+// constructs still without a bytecode lowering are: initializer-list
+// expressions, brace-initialized array/struct declarations, View/dim3
+// constructor declarations, kernel launches, and stray break/continue.
+// Each falls back to the machine's tree-walker per-instruction, counted
+// by tree_fallbacks().
 
 #include <memory>
 #include <string>
@@ -32,6 +38,7 @@ class Vm final : public ExecEngine {
   /// Run main() with the given command-line arguments (argv[1..]).
   RunResult run(const std::vector<std::string>& args) override;
   EngineKind kind() const override { return EngineKind::Vm; }
+  long long tree_fallbacks() const override;
 
  private:
   struct Impl;

@@ -194,9 +194,11 @@ void SweepServer::handle_message(const std::shared_ptr<Conn>& conn,
     }
     send_msg(*conn, fold_store(req.dir));
   } else if (type == "shutdown") {
+    // Flag the drain before replying: once the client sees the ack,
+    // draining() must already be true (submits rejected, no new accepts).
+    request_stop();
     ShutdownReply reply;
     send_msg(*conn, reply.encode());
-    request_stop();
   } else {
     reply_error("unknown message type '" + type + "'");
   }
@@ -308,6 +310,7 @@ Json SweepServer::status_body() const {
   Json driver = Json::object();
   driver.set("parses", static_cast<long long>(drv.parses));
   driver.set("links", static_cast<long long>(drv.links));
+  driver.set("tree_fallbacks", static_cast<long long>(drv.tree_fallbacks));
   cache.set("driver", driver);
   body.set("cache", cache);
 

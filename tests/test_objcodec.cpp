@@ -24,6 +24,7 @@
 #include "minic/objcodec.hpp"
 #include "minic/runio.hpp"
 #include "support/cachestore.hpp"
+#include "translate/transpile.hpp"
 
 using namespace pareval;
 using buildsim::LinkCache;
@@ -243,6 +244,66 @@ TEST(ObjCodec, WarmStoreRebuildsWithZeroParsesAndZeroLinks) {
   EXPECT_FALSE(stale_tus.attach(stale, kVersion + 1));
   EXPECT_FALSE(stale_links.attach(stale, kVersion + 1));
   EXPECT_EQ(stale_links.size(), 0u);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(ObjCodec, WarmLinkDecodesLambdaChunksAndRunsBitIdentical) {
+  // A Kokkos implementation's link payload carries its lambda-body chunks
+  // too: the warm decode pre-fills the pack, and both engines — the VM
+  // (which would have compiled them anyway) and the tree-walker (which
+  // only ever *reuses* warm chunks) — run the decoded executable
+  // bit-identically to a cold build. No app ships a Kokkos repo directly;
+  // the reference transpiler produces one from the CUDA sources.
+  const apps::AppSpec* app = apps::find_app("nanoXOR");
+  ASSERT_NE(app, nullptr);
+  xlate::TranspileLog xlog;
+  const vfs::Repo repo = xlate::transpile_repo(
+      *app, apps::Model::Cuda, apps::Model::Kokkos, xlog);
+
+  const std::string dir = temp_store_dir("obj_warm_lambda");
+  constexpr std::uint64_t kVersion = 79;
+  buildsim::BuildResult cold;
+  {
+    cache::Store store(dir);
+    ASSERT_TRUE(store.open());
+    TuCompileCache tus;
+    LinkCache links;
+    tus.attach(store, kVersion);
+    links.attach(store, kVersion);
+    cold = buildsim::build_repo(repo, "", &tus, std::nullopt, &links);
+    ASSERT_TRUE(cold.ok);
+    // Force the lambda chunks into the payload even though no VM run
+    // compiled them yet: encode_link compiles on demand.
+    ASSERT_GT(links.flush(), 0u);
+    tus.flush();
+  }
+
+  cache::Store store(dir);
+  TuCompileCache tus;
+  LinkCache links;
+  ASSERT_TRUE(tus.attach(store, kVersion));
+  ASSERT_TRUE(links.attach(store, kVersion));
+  const auto warm = buildsim::build_repo(repo, "", &tus, std::nullopt,
+                                         &links);
+  ASSERT_TRUE(warm.ok);
+  ASSERT_TRUE(warm.exe.has_value());
+  // The decode really did pre-fill lambda chunks (Kokkos apps launch
+  // lambdas by construction).
+  EXPECT_GT(warm.exe->chunks->lambda_size(), 0u);
+
+  for (const auto& tc : app->tests) {
+    const auto ref = execsim::run_executable(*cold.exe, tc.args);
+    for (const auto engine :
+         {minic::EngineKind::Interp, minic::EngineKind::Vm}) {
+      const auto got = execsim::run_executable(*warm.exe, tc.args,
+                                               minic::RunLimits{}, engine);
+      EXPECT_EQ(minic::to_json(got).dump(), minic::to_json(ref).dump())
+          << apps::model_key(apps::Model::Kokkos) << " engine "
+          << minic::engine_key(engine);
+    }
+  }
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

@@ -347,11 +347,19 @@ TEST(ServeJobs, CancelSkipsQueuedUnitsAndSettlesTheJob) {
 
   std::mutex mu;
   std::condition_variable cv;
+  bool cancel_issued = false;
   bool done_cancelled = false;
   int done_calls = 0;
   const int id = queue.submit(
       spec, pe::HarnessConfig(), /*high_priority=*/false,
-      [](int, const pe::SampleRecord&) {},
+      // Hold the first completed unit hostage until the cancel has been
+      // issued (on_sample runs outside the queue lock, so cancel cannot
+      // deadlock against it). Without this gate a fast execute stage can
+      // drain all 24 units before the main thread reaches cancel().
+      [&](int, const pe::SampleRecord&) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return cancel_issued; });
+      },
       [&](int, bool cancelled, std::size_t) {
         std::lock_guard<std::mutex> lock(mu);
         done_cancelled = cancelled;
@@ -359,7 +367,13 @@ TEST(ServeJobs, CancelSkipsQueuedUnitsAndSettlesTheJob) {
         cv.notify_all();
       });
   std::size_t skipped = 0;
-  ASSERT_TRUE(queue.cancel(id, &skipped));
+  const bool cancel_ok = queue.cancel(id, &skipped);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    cancel_issued = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(cancel_ok);
   EXPECT_GE(skipped, 1u);
   {
     std::unique_lock<std::mutex> lock(mu);

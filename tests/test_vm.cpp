@@ -56,6 +56,16 @@ RunResult run_engine(const Executable& exe, EngineKind kind,
   return make_engine(kind, exe.program, *exe.builtins, limits)->run(args);
 }
 
+/// Run under the VM and report how many tree-walk fallback instructions
+/// executed (ExecEngine::tree_fallbacks): 0 = the whole run was lowered.
+long long vm_fallbacks(const Executable& exe,
+                       const std::vector<std::string>& args = {},
+                       RunLimits limits = {}) {
+  auto eng = make_engine(EngineKind::Vm, exe.program, *exe.builtins, limits);
+  eng->run(args);
+  return eng->tree_fallbacks();
+}
+
 /// The full observable surface of a run, via the shared JSON codec.
 std::string fingerprint(const RunResult& r) {
   return pareval::minic::to_json(r).dump();
@@ -228,10 +238,10 @@ int main() { printf("%d\n", fib(18)); return 0; }
   EXPECT_EQ(r.stdout_text, "2584\n");
 }
 
-TEST(VmLang, KokkosLambdaFallback) {
-  // Lambdas and View declarations have no bytecode lowering: they run
-  // through the TreeEval/TreeStmt fallback and the closure machinery
-  // while the rest of main stays compiled.
+TEST(VmLang, KokkosLambdaBodiesCompiled) {
+  // Lambda bodies compile to their own chunks on first call; View
+  // declarations and view-element assignments (`a(i) = ...`, an Assign
+  // whose target is an ExprKind::Call lvalue) remain tree fallbacks.
   Capabilities caps;
   caps.kokkos = true;
   const RunResult r = run_both(R"(
@@ -289,9 +299,10 @@ int main() {
   EXPECT_EQ(r.stats.device_kernel_launches, 1);
 }
 
-TEST(VmLang, OmpOffloadFallback) {
-  // OpenMP directives are tree-fallback statements; the surrounding code
-  // compiles. Device-context stats must still match exactly.
+TEST(VmLang, OmpOffloadRegionCompiled) {
+  // OpenMP target regions compile their structured body into a subchunk
+  // (an OmpExec instruction brackets it with the data-environment
+  // bookkeeping). Device-context stats must still match exactly.
   const RunResult r = run_both(R"(
 #include <stdio.h>
 #include <omp.h>
@@ -309,6 +320,256 @@ int main() {
                                omp_caps());
   EXPECT_TRUE(r.ok);
   EXPECT_GE(r.stats.target_regions, 1);
+}
+
+// ------------------------------------------------- lambda chunk diffs ----
+
+TEST(VmLambda, CapturesThroughNestedScopes) {
+  // Capture-by-value flattens globals + every scope of the creating
+  // frame; the compiled lambda chunk must resolve captured names through
+  // the same environment chain as the tree walker.
+  Capabilities caps;
+  caps.kokkos = true;
+  const RunResult r = run_both(R"(
+#include <Kokkos_Core.hpp>
+#include <stdio.h>
+double gscale = 2.0;
+int main() {
+  Kokkos::initialize();
+  {
+    int n = 8;
+    Kokkos::View<double*> out("out", n);
+    double base = 10.0;
+    {
+      double inner = 0.5;
+      {
+        int deep = 3;
+        Kokkos::parallel_for("fill", n, KOKKOS_LAMBDA(int i) {
+          out(i) = gscale * base + inner * i + deep;
+        });
+      }
+    }
+    Kokkos::fence();
+    double total = 0.0;
+    Kokkos::parallel_reduce(n, KOKKOS_LAMBDA(int i, double& sum) {
+      sum += out(i);
+    }, total);
+    printf("%.1f\n", total);
+  }
+  Kokkos::finalize();
+  return 0;
+}
+)",
+                               caps);
+  EXPECT_TRUE(r.ok) << r.stderr_text;
+  // 8 * (2*10 + 3) + 0.5 * (0+..+7) = 184 + 14 = 198
+  EXPECT_EQ(r.stdout_text, "198.0\n");
+}
+
+TEST(VmLambda, LambdaCallsFunctionsAndRecursion) {
+  // A compiled lambda chunk's CallFn dispatches through the virtual
+  // call_function — recursion and nested lambda launches included.
+  Capabilities caps;
+  caps.kokkos = true;
+  const RunResult r = run_both(R"(
+#include <Kokkos_Core.hpp>
+#include <stdio.h>
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main() {
+  Kokkos::initialize();
+  {
+    double total = 0.0;
+    Kokkos::parallel_reduce(6, KOKKOS_LAMBDA(int i, double& sum) {
+      sum += fib(i);
+    }, total);
+    printf("%.0f\n", total);
+  }
+  Kokkos::finalize();
+  return 0;
+}
+)",
+                               caps);
+  EXPECT_TRUE(r.ok) << r.stderr_text;
+  EXPECT_EQ(r.stdout_text, "12\n");  // 0+1+1+2+3+5
+}
+
+TEST(VmLambda, RepeatedLaunchesReuseOneChunk) {
+  // Every closure over the same LambdaExpr shares one compiled chunk;
+  // repeated launches across loop iterations must stay bit-identical
+  // (and the fused fuel replay must hold on every re-entry).
+  Capabilities caps;
+  caps.kokkos = true;
+  const RunResult r = run_both(R"(
+#include <Kokkos_Core.hpp>
+#include <stdio.h>
+int main() {
+  Kokkos::initialize();
+  {
+    double grand = 0.0;
+    for (int rep = 1; rep <= 4; rep++) {
+      double total = 0.0;
+      Kokkos::parallel_reduce(5, KOKKOS_LAMBDA(int i, double& sum) {
+        if (i % 2 == 0) { sum += rep * i; } else { sum += 1.0; }
+      }, total);
+      grand += total;
+    }
+    printf("%.0f\n", grand);
+  }
+  Kokkos::finalize();
+  return 0;
+}
+)",
+                               caps);
+  EXPECT_TRUE(r.ok) << r.stderr_text;
+  // per rep: rep*(0+2+4) + 2 = 6*rep + 2; reps 1..4 -> 60 + 8 = 68
+  EXPECT_EQ(r.stdout_text, "68\n");
+}
+
+TEST(VmLambda, FuelExhaustionInsideLambdaChunk) {
+  // The trap must fire after exactly max_steps + 1 charges and report the
+  // same line from inside the compiled lambda chunk as from the walker
+  // (run_both's fingerprint equality covers the diag byte-for-byte).
+  Capabilities caps;
+  caps.kokkos = true;
+  RunLimits limits;
+  limits.max_steps = 4000;
+  const RunResult r = run_both(R"(
+#include <Kokkos_Core.hpp>
+int main() {
+  Kokkos::initialize();
+  {
+    double total = 0.0;
+    Kokkos::parallel_reduce(1000000, KOKKOS_LAMBDA(int i, double& sum) {
+      sum += i * 0.5;
+    }, total);
+  }
+  Kokkos::finalize();
+  return 0;
+}
+)",
+                               caps, {}, limits);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_runtime_fault(r.diags));
+  EXPECT_EQ(r.stats.steps, limits.max_steps + 1);
+}
+
+// --------------------------------------------- fallback counting ----
+
+TEST(VmCoverage, LoweredControlFlowRunsWithZeroFallbacks) {
+  Executable exe = compile_one(R"(
+#include <stdio.h>
+#include <stdlib.h>
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main() {
+  int* v = (int*)malloc(16 * sizeof(int));
+  int sum = 0;
+  for (int i = 0; i < 16; i++) {
+    if (i % 4 == 0) continue;
+    v[i] = fib(i % 8);
+    sum += v[i];
+  }
+  int j = 0;
+  while (j < 5) { j++; }
+  do { j--; } while (j > 2);
+  printf("%d %d\n", sum, j);
+  free(v);
+  return 0;
+}
+)",
+                               Capabilities{});
+  ASSERT_TRUE(exe.ok()) << exe.diags.render();
+  EXPECT_EQ(vm_fallbacks(exe), 0);
+}
+
+TEST(VmCoverage, LambdaBodiesRunWithZeroFallbacks) {
+  Executable exe = compile_one(R"(
+#include <Kokkos_Core.hpp>
+#include <stdio.h>
+int main() {
+  Kokkos::initialize();
+  {
+    double total = 0.0;
+    Kokkos::parallel_reduce(64, KOKKOS_LAMBDA(int i, double& sum) {
+      if (i % 2 == 0) { sum += i * 0.5; }
+    }, total);
+    printf("%.0f\n", total);
+  }
+  Kokkos::finalize();
+  return 0;
+}
+)",
+                               [] {
+                                 Capabilities c;
+                                 c.kokkos = true;
+                                 return c;
+                               }());
+  ASSERT_TRUE(exe.ok()) << exe.diags.render();
+  EXPECT_EQ(vm_fallbacks(exe), 0);
+}
+
+TEST(VmCoverage, OmpHostParallelRunsWithZeroFallbacks) {
+  Executable exe = compile_one(R"(
+#include <stdio.h>
+#include <stdlib.h>
+#include <omp.h>
+int main() {
+  int n = 32;
+  double* v = (double*)malloc(n * sizeof(double));
+  for (int i = 0; i < n; i++) v[i] = i * 0.25;
+  double sum = 0.0;
+  #pragma omp parallel for reduction(+:sum)
+  for (int i = 0; i < n; i++) sum += v[i];
+  printf("%.2f\n", sum);
+  free(v);
+  return 0;
+}
+)",
+                               omp_caps(/*offload=*/false));
+  ASSERT_TRUE(exe.ok()) << exe.diags.render();
+  EXPECT_EQ(vm_fallbacks(exe), 0);
+}
+
+TEST(VmCoverage, OmpTargetRegionRunsWithZeroFallbacks) {
+  Executable exe = compile_one(R"(
+#include <stdio.h>
+#include <stdlib.h>
+#include <omp.h>
+int main() {
+  int n = 32;
+  double* v = (double*)malloc(n * sizeof(double));
+  for (int i = 0; i < n; i++) v[i] = i * 0.5;
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+:sum) map(to: v[0:n])
+  for (int i = 0; i < n; i++) sum += v[i];
+  #pragma omp target data map(tofrom: v[0:n])
+  {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; i++) v[i] = v[i] + 1.0;
+  }
+  printf("%.1f %.1f\n", sum, v[3]);
+  free(v);
+  return 0;
+}
+)",
+                               omp_caps());
+  ASSERT_TRUE(exe.ok()) << exe.diags.render();
+  EXPECT_EQ(vm_fallbacks(exe), 0);
+}
+
+TEST(VmCoverage, ResidualFormsAreCountedAsFallbacks) {
+  // `int a[3] = {...}` is a complex declaration (array + InitList): the
+  // whole statement tree-walks and the counter must say so.
+  Executable exe = compile_one(R"(
+#include <stdio.h>
+int main() {
+  int a[3] = {1, 2, 3};
+  printf("%d\n", a[0] + a[1] + a[2]);
+  return 0;
+}
+)",
+                               Capabilities{});
+  ASSERT_TRUE(exe.ok()) << exe.diags.render();
+  EXPECT_GT(vm_fallbacks(exe), 0);
 }
 
 // ------------------------------------------------- runtime fault diffs ----

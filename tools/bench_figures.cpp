@@ -387,6 +387,9 @@ int main(int argc, char** argv) {
     Json driver = Json::object();
     driver.set("parses", static_cast<long long>(drv.parses));
     driver.set("links", static_cast<long long>(drv.links));
+    // Bytecode coverage telemetry: tree-walk fallback instructions VM
+    // runs executed (0 = everything the sweep ran was fully lowered).
+    driver.set("tree_fallbacks", static_cast<long long>(drv.tree_fallbacks));
     stats.set("driver", std::move(driver));
     stats.set("build_wall_ms",
               static_cast<double>(eval::build_stage_nanos()) / 1e6);

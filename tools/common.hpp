@@ -13,7 +13,9 @@
 #include <climits>
 #include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "eval/harness.hpp"
@@ -24,8 +26,12 @@
 namespace pareval::tools {
 
 /// Strict base-10 int parse: the whole token, no overflow. atoi would
-/// turn a typo like "--pair cuda" into pair 0 silently.
+/// turn a typo like "--pair cuda" into pair 0 silently. strtol alone is
+/// not strict enough either — it skips leading whitespace and accepts a
+/// '+' sign, so `--samples " 5"` would quietly parse; only an optional
+/// '-' followed by digits is accepted here.
 inline bool parse_int(const char* text, int* out) {
+  if (text[0] != '-' && (text[0] < '0' || text[0] > '9')) return false;
   char* end = nullptr;
   errno = 0;
   const long v = std::strtol(text, &end, 10);
@@ -37,12 +43,18 @@ inline bool parse_int(const char* text, int* out) {
   return true;
 }
 
-/// Legacy per-file cache flags still work, but each process warns once:
-/// the journaled --cache-dir store subsumes them without the delta/merge
-/// choreography.
+/// Legacy per-file cache flags still work, but each process warns once
+/// *per flag*: the journaled --cache-dir store subsumes them without the
+/// delta/merge choreography. (A single process-wide latch would swallow
+/// the second flag's warning when a tool passes, say, both --cache-in and
+/// --cache-out.)
 inline void warn_deprecated(const char* tool, const char* flag) {
-  static std::atomic<bool> warned{false};
-  if (warned.exchange(true)) return;
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!warned.emplace(flag).second) return;
+  }
   std::fprintf(stderr,
                "%s: %s is deprecated; prefer --cache-dir DIR (journaled "
                "multi-writer cache store)\n",
